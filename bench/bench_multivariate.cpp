@@ -1,0 +1,140 @@
+// Sec 8 contribution claim, quantified: "that the system can take
+// multivariate data as input opens a new dimension for scientific
+// discovery." On the solver's two-variable combustion jet the feature of
+// interest is the entrainment side of the mixing layer — strong vorticity
+// in fuel-free air (the vortices stirring ambient fluid into the jet).
+// No single variable expresses that conjunction: most strong vorticity
+// rides the fuel stream, and most fuel-free air is quiescent: we sweep the best
+// possible single-variable thresholds as baselines, add the univariate
+// learned classifier, and show the multivariate classifier is the only
+// method that extracts the joint feature.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/dataspace.hpp"
+#include "core/multivariate.hpp"
+#include "flowsim/datasets.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "volume/ops.hpp"
+
+int main() {
+  using namespace ifet;
+  std::cout << "=== Multivariate extraction: entrainment vortices "
+               "(strong vorticity AND fuel-free) ===\n"
+            << "(running the fluid solver)\n";
+
+  CombustionJetConfig cfg;
+  cfg.dims = Dims{24, 36, 16};
+  cfg.num_steps = 12;
+  cfg.solver_steps_per_snapshot = 3;
+  CombustionJetSource source(cfg);
+  const int step = 11;
+  VolumeF vorticity = source.generate(step);
+  const VolumeF& fuel = source.fuel_snapshot(step);
+  std::vector<const VolumeF*> vars{&vorticity, &fuel};
+  auto [vlo, vhi] = source.value_range();
+
+  // Ground truth: top-quartile vorticity AND fuel-free (< 0.2).
+  std::vector<float> sorted(vorticity.data().begin(),
+                            vorticity.data().end());
+  auto nth = sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size()) * 3 / 4;
+  std::nth_element(sorted.begin(), nth, sorted.end());
+  const float vcut = *nth;
+  Mask truth(vorticity.dims());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = (vorticity[i] >= vcut && fuel[i] < 0.2f) ? 1 : 0;
+  }
+  std::cout << mask_count(truth) << " joint-feature voxels of "
+            << truth.size() << "\n\n";
+
+  Table table({"method", "f1", "recall", "precision"});
+  CsvWriter csv(bench::output_dir() + "/multivariate.csv",
+                {"method", "f1", "recall", "precision"});
+  auto report = [&](const std::string& name, const Mask& extracted) {
+    MaskScore s = score_mask(extracted, truth);
+    table.add_row({name, Table::num(s.f1()), Table::num(s.recall()),
+                   Table::num(s.precision())});
+    csv.row(name, s.f1(), s.recall(), s.precision());
+    return s.f1();
+  };
+
+  // (a)/(b) Best-possible single-variable thresholds (oracle sweeps).
+  auto best_threshold = [&](const VolumeF& field, float lo, float hi) {
+    double best_f1 = -1.0;
+    Mask best(field.dims());
+    for (int t = 0; t <= 40; ++t) {
+      float cut = lo + (hi - lo) * t / 40.0f;
+      Mask m = threshold_mask(field, cut, hi + 1.0f);
+      double f1 = score_mask(m, truth).f1();
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best = m;
+      }
+    }
+    return best;
+  };
+  double f1_vort = report("best vorticity threshold",
+                          best_threshold(vorticity, static_cast<float>(vlo),
+                                         static_cast<float>(vhi)));
+  double f1_fuel = report("best fuel threshold",
+                          best_threshold(fuel, 0.0f, 1.0f));
+
+  // Painted samples shared by the learned methods.
+  Rng rng(55);
+  std::vector<PaintedVoxel> painted;
+  int positives = 0, negatives = 0;
+  while (positives < 250 || negatives < 250) {
+    std::size_t pick = rng.uniform_index(truth.size());
+    Index3 p = truth.coord_of(pick);
+    if (truth[pick] && positives < 250) {
+      painted.push_back({p, step, 1.0});
+      ++positives;
+    } else if (!truth[pick] && negatives < 250) {
+      painted.push_back({p, step, 0.0});
+      ++negatives;
+    }
+  }
+
+  // (c) Univariate learned classifier on vorticity only.
+  DataSpaceConfig ucfg;
+  ucfg.spec.use_position = false;
+  ucfg.spec.use_time = false;
+  ucfg.spec.shell_samples = 6;
+  DataSpaceClassifier univariate(cfg.num_steps, vlo, vhi, ucfg);
+  univariate.add_samples(vorticity, step, painted);
+  univariate.train(400);
+  double f1_uni = report("learned, vorticity only",
+                         univariate.classify_mask(vorticity, step, 0.5));
+
+  // (d) Multivariate learned classifier on both variables.
+  MultivariateConfig mcfg;
+  mcfg.spec.use_position = false;
+  mcfg.spec.use_time = false;
+  mcfg.spec.shell_samples = 6;
+  MultivariateClassifier multivariate(cfg.num_steps,
+                                      {{vlo, vhi}, {0.0, 1.0}}, mcfg);
+  multivariate.add_samples(vars, step, painted);
+  multivariate.train(400);
+  double f1_multi =
+      report("learned, vorticity+fuel", multivariate.classify_mask(vars,
+                                                                   step,
+                                                                   0.5));
+  table.print(std::cout);
+  std::cout << '\n';
+
+  bench::ShapeCheck check;
+  // The exact conjunction has a hard quantile boundary a smooth network
+  // can only approximate, so the absolute bar is moderate; the decisive
+  // margins over every single-variable method are the claim.
+  check.expect(f1_multi > 0.6,
+               "the multivariate classifier extracts the joint feature");
+  check.expect(f1_multi > std::max(f1_vort, f1_fuel) + 0.1,
+               "no single-variable threshold can express the conjunction");
+  check.expect(f1_multi > f1_uni + 0.05,
+               "the second variable adds information beyond the univariate "
+               "learned classifier");
+  return check.exit_code();
+}

@@ -1,0 +1,116 @@
+// Sec 7 future-work reproduction: compressed streaming vs raw volume I/O.
+//
+// "a more interesting and helpful capability is fast data decompression ...
+// since one potential bottleneck for large data sets is the need to
+// transmit data between the disk and the video memory."
+// We stream argon-bubble steps from disk both ways and measure bytes moved
+// and end-to-end step latency; the quantized+RLE format moves a fraction
+// of the bytes at a bounded reconstruction error.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "flowsim/datasets.hpp"
+#include "io/compressed.hpp"
+#include "io/volume_io.hpp"
+
+namespace {
+
+using namespace ifet;
+
+struct IoFixture {
+  IoFixture() {
+    ArgonBubbleConfig cfg;
+    cfg.dims = Dims{64, 64, 64};
+    cfg.num_steps = 8;
+    ArgonBubbleSource source(cfg);
+    raw_paths.reserve(8);
+    for (int s = 0; s < 8; ++s) {
+      VolumeF v = source.generate(s);
+      std::string path = "/tmp/ifet_bench_raw_" + std::to_string(s) + ".vol";
+      write_vol(v, path);
+      raw_paths.push_back(path);
+      raw_bytes += v.size() * sizeof(float);
+    }
+    compressed_path = "/tmp/ifet_bench_seq.cvol";
+    write_compressed_sequence(source, compressed_path);
+    reader = std::make_unique<CompressedFileSource>(compressed_path);
+    compressed_bytes = reader->total_payload_bytes();
+  }
+
+  ~IoFixture() {
+    for (const auto& p : raw_paths) std::remove(p.c_str());
+    std::remove(compressed_path.c_str());
+  }
+
+  std::vector<std::string> raw_paths;
+  std::string compressed_path;
+  std::unique_ptr<CompressedFileSource> reader;
+  std::size_t raw_bytes = 0;
+  std::size_t compressed_bytes = 0;
+};
+
+IoFixture& fixture() {
+  static IoFixture f;
+  return f;
+}
+
+void BM_ReadRawStep(benchmark::State& state) {
+  IoFixture& f = fixture();
+  int s = 0;
+  for (auto _ : state) {
+    VolumeF v = read_vol(f.raw_paths[static_cast<std::size_t>(s)]);
+    benchmark::DoNotOptimize(v.data().data());
+    s = (s + 1) % 8;
+  }
+  state.counters["bytes_per_step"] =
+      static_cast<double>(f.raw_bytes) / 8.0;
+}
+BENCHMARK(BM_ReadRawStep)->Unit(benchmark::kMillisecond);
+
+void BM_ReadCompressedStep(benchmark::State& state) {
+  IoFixture& f = fixture();
+  int s = 0;
+  for (auto _ : state) {
+    VolumeF v = f.reader->generate(s);
+    benchmark::DoNotOptimize(v.data().data());
+    s = (s + 1) % 8;
+  }
+  state.counters["bytes_per_step"] =
+      static_cast<double>(f.compressed_bytes) / 8.0;
+  state.counters["compression_x"] =
+      static_cast<double>(f.raw_bytes) /
+      static_cast<double>(f.compressed_bytes);
+}
+BENCHMARK(BM_ReadCompressedStep)->Unit(benchmark::kMillisecond);
+
+void BM_CompressStep(benchmark::State& state) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{64, 64, 64};
+  cfg.num_steps = 8;
+  ArgonBubbleSource source(cfg);
+  VolumeF v = source.generate(4);
+  for (auto _ : state) {
+    CompressedVolume c = compress_volume(v);
+    benchmark::DoNotOptimize(c.payload.data());
+  }
+}
+BENCHMARK(BM_CompressStep)->Unit(benchmark::kMillisecond);
+
+void BM_DecompressStep(benchmark::State& state) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{64, 64, 64};
+  cfg.num_steps = 8;
+  ArgonBubbleSource source(cfg);
+  CompressedVolume c = compress_volume(source.generate(4));
+  for (auto _ : state) {
+    VolumeF v = decompress_volume(c);
+    benchmark::DoNotOptimize(v.data().data());
+  }
+}
+BENCHMARK(BM_DecompressStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

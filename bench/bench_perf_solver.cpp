@@ -1,0 +1,63 @@
+// Substrate performance: the incompressible solver that generates the
+// Fig 5 combustion data (DESIGN.md Sec 2 substitution). Step cost must
+// scale linearly in voxel count, and the pressure projection — the
+// dominant term — linearly in its iteration count, so the data-generation
+// budget for any bench configuration is predictable.
+#include <benchmark/benchmark.h>
+
+#include "flowsim/fluid_solver.hpp"
+
+namespace {
+
+using namespace ifet;
+
+void BM_SolverStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FluidConfig cfg;
+  cfg.dims = Dims{n, n, n};
+  FluidSolver solver(cfg);
+  auto forcing = [](VolumeF& u, VolumeF&, VolumeF&, VolumeF& s) {
+    const Dims d = u.dims();
+    u.at(d.x / 2, d.y / 2, d.z / 2) = 2.0f;
+    s.at(d.x / 2, d.y / 2, d.z / 2) = 1.0f;
+  };
+  for (auto _ : state) {
+    solver.step(forcing);
+  }
+  state.counters["voxels_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(cfg.dims.count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SolverStep)->Arg(16)->Arg(24)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolverPressureIterations(benchmark::State& state) {
+  FluidConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  cfg.pressure_iterations = static_cast<int>(state.range(0));
+  FluidSolver solver(cfg);
+  for (auto _ : state) {
+    solver.step();
+  }
+}
+BENCHMARK(BM_SolverPressureIterations)->Arg(10)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VorticityDerivation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FluidConfig cfg;
+  cfg.dims = Dims{n, n, n};
+  FluidSolver solver(cfg);
+  solver.step();
+  for (auto _ : state) {
+    VolumeF vort = solver.vorticity_magnitude();
+    benchmark::DoNotOptimize(vort.data().data());
+  }
+}
+BENCHMARK(BM_VorticityDerivation)->Arg(24)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#include "core/batch.hpp"
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace ifet {
+
+BatchReport run_batch_extraction(const VolumeSource& source, int first,
+                                 int last, const ExtractFn& extract) {
+  IFET_REQUIRE(first >= 0 && last < source.num_steps() && first <= last,
+               "run_batch_extraction: bad step range");
+  const std::size_t count = static_cast<std::size_t>(last - first + 1);
+  BatchReport report;
+  report.steps.resize(count);
+
+  Stopwatch total;
+  parallel_for(0, count, [&](std::size_t idx) {
+    const int step = first + static_cast<int>(idx);
+    Stopwatch watch;
+    VolumeF volume = source.generate(step);
+    Mask mask = extract(volume, step);
+    BatchStepResult& r = report.steps[idx];
+    r.step = step;
+    r.feature_voxels = mask_count(mask);
+    r.seconds = watch.seconds();
+  });
+  report.wall_seconds = total.seconds();
+  for (const auto& r : report.steps) report.cpu_step_seconds += r.seconds;
+  return report;
+}
+
+BatchRenderReport run_batch_render(const VolumeSource& source, int first,
+                                   int last, const RenderFn& render) {
+  IFET_REQUIRE(first >= 0 && last < source.num_steps() && first <= last,
+               "run_batch_render: bad step range");
+  const std::size_t count = static_cast<std::size_t>(last - first + 1);
+  BatchRenderReport report;
+  report.frames.resize(count);
+  Stopwatch total;
+  parallel_for(0, count, [&](std::size_t idx) {
+    const int step = first + static_cast<int>(idx);
+    VolumeF volume = source.generate(step);
+    report.frames[idx] = render(volume, step);
+  });
+  report.wall_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace ifet

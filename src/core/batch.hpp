@@ -1,0 +1,56 @@
+// Batch extraction driver (paper Sec 8).
+//
+// "Since the processing of each time step is completely independent of
+// other time steps, it is feasible and desirable to employ a large PC
+// cluster to conduct the final feature extraction and rendering
+// concurrently." This is the shared-memory version of that driver: apply a
+// per-step extraction function to every step of a sequence, one worker per
+// step (each worker generates its own volume so the shared LRU cache is
+// bypassed), and collect per-step results in order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "io/image_io.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+/// Result of processing a single step.
+struct BatchStepResult {
+  int step = 0;
+  std::size_t feature_voxels = 0;  ///< Extracted voxel count.
+  double seconds = 0.0;            ///< Wall time for this step.
+};
+
+/// Extraction function: produces the feature mask of a step.
+using ExtractFn = std::function<Mask(const VolumeF& volume, int step)>;
+
+struct BatchReport {
+  std::vector<BatchStepResult> steps;
+  double wall_seconds = 0.0;  ///< Total wall time of the batch.
+  double cpu_step_seconds = 0.0;  ///< Sum of per-step times.
+};
+
+/// Process steps [first, last] (inclusive) of `source` with `extract`.
+/// Steps run concurrently on the global thread pool; results are returned
+/// sorted by step.
+BatchReport run_batch_extraction(const VolumeSource& source, int first,
+                                 int last, const ExtractFn& extract);
+
+/// Per-step rendering function: given the step's volume, produce its frame
+/// (typically: evaluate the shipped IATF for the step, then ray-cast).
+using RenderFn = std::function<ImageRgb8(const VolumeF& volume, int step)>;
+
+struct BatchRenderReport {
+  std::vector<ImageRgb8> frames;  ///< Ordered by step.
+  double wall_seconds = 0.0;
+};
+
+/// Sec 8's full batch: "conduct the final feature extraction and rendering
+/// concurrently" — render every step of [first, last] independently.
+BatchRenderReport run_batch_render(const VolumeSource& source, int first,
+                                   int last, const RenderFn& render);
+
+}  // namespace ifet

@@ -1,0 +1,136 @@
+#include "core/feature_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "volume/components.hpp"
+#include "volume/ops.hpp"
+
+namespace ifet {
+
+int FeatureVectorSpec::width() const {
+  int n = 0;
+  if (use_value) ++n;
+  if (use_shell) n += shell_samples;
+  if (use_position) n += 3;
+  if (use_time) ++n;
+  if (use_gradient) ++n;
+  return n;
+}
+
+std::vector<std::string> FeatureVectorSpec::component_names() const {
+  std::vector<std::string> names;
+  if (use_value) names.push_back("value");
+  if (use_shell) {
+    for (int s = 0; s < shell_samples; ++s) {
+      names.push_back("shell" + std::to_string(s));
+    }
+  }
+  if (use_position) {
+    names.push_back("pos_x");
+    names.push_back("pos_y");
+    names.push_back("pos_z");
+  }
+  if (use_time) names.push_back("time");
+  if (use_gradient) names.push_back("gradient");
+  return names;
+}
+
+std::vector<Vec3> shell_directions(int count) {
+  static const std::vector<Vec3> kAll = [] {
+    std::vector<Vec3> dirs;
+    // 6 axes.
+    dirs.push_back({1, 0, 0});
+    dirs.push_back({-1, 0, 0});
+    dirs.push_back({0, 1, 0});
+    dirs.push_back({0, -1, 0});
+    dirs.push_back({0, 0, 1});
+    dirs.push_back({0, 0, -1});
+    // 8 cube diagonals.
+    for (int sx : {-1, 1}) {
+      for (int sy : {-1, 1}) {
+        for (int sz : {-1, 1}) {
+          dirs.push_back(Vec3{static_cast<double>(sx),
+                              static_cast<double>(sy),
+                              static_cast<double>(sz)}
+                             .normalized());
+        }
+      }
+    }
+    // 12 edge midpoints.
+    const int signs[2] = {-1, 1};
+    for (int a : signs) {
+      for (int b : signs) {
+        dirs.push_back(Vec3{static_cast<double>(a), static_cast<double>(b), 0}
+                           .normalized());
+        dirs.push_back(Vec3{static_cast<double>(a), 0, static_cast<double>(b)}
+                           .normalized());
+        dirs.push_back(Vec3{0, static_cast<double>(a), static_cast<double>(b)}
+                           .normalized());
+      }
+    }
+    return dirs;
+  }();
+  IFET_REQUIRE(count > 0 && count <= static_cast<int>(kAll.size()),
+               "shell_directions: supported counts are 1..26");
+  return {kAll.begin(), kAll.begin() + count};
+}
+
+std::vector<double> assemble_feature_vector(const FeatureVectorSpec& spec,
+                                            const FeatureContext& context,
+                                            int i, int j, int k) {
+  IFET_REQUIRE(context.volume != nullptr,
+               "assemble_feature_vector: null volume");
+  const VolumeF& vol = *context.volume;
+  const double span = std::max(1e-12, context.value_hi - context.value_lo);
+  auto norm_value = [&](double v) {
+    return clamp((v - context.value_lo) / span, 0.0, 1.0);
+  };
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(spec.width()));
+  if (spec.use_value) {
+    out.push_back(norm_value(vol.clamped(i, j, k)));
+  }
+  if (spec.use_shell) {
+    const auto& dirs = shell_directions(spec.shell_samples);
+    for (const Vec3& dir : dirs) {
+      double x = i + spec.shell_radius * dir.x;
+      double y = j + spec.shell_radius * dir.y;
+      double z = k + spec.shell_radius * dir.z;
+      out.push_back(norm_value(vol.sample(x, y, z)));
+    }
+  }
+  if (spec.use_position) {
+    const Dims d = vol.dims();
+    out.push_back(static_cast<double>(i) / std::max(1, d.x - 1));
+    out.push_back(static_cast<double>(j) / std::max(1, d.y - 1));
+    out.push_back(static_cast<double>(k) / std::max(1, d.z - 1));
+  }
+  if (spec.use_time) {
+    out.push_back(static_cast<double>(context.step) /
+                  std::max(1, context.num_steps - 1));
+  }
+  if (spec.use_gradient) {
+    // Normalize by the value span; central differences are bounded by it.
+    out.push_back(clamp(gradient_at(vol, i, j, k).norm() / span, 0.0, 1.0));
+  }
+  return out;
+}
+
+double derive_shell_radius(const Mask& positive_samples) {
+  Labeling labeling = label_components(positive_samples);
+  if (labeling.components.empty()) return 3.0;
+  double mean_half_extent = 0.0;
+  for (const auto& c : labeling.components) {
+    double ex = c.bbox_max.x - c.bbox_min.x + 1;
+    double ey = c.bbox_max.y - c.bbox_min.y + 1;
+    double ez = c.bbox_max.z - c.bbox_min.z + 1;
+    mean_half_extent += (ex + ey + ez) / 6.0;
+  }
+  mean_half_extent /= static_cast<double>(labeling.components.size());
+  return clamp(mean_half_extent, 1.5, 6.0);
+}
+
+}  // namespace ifet

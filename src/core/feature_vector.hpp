@@ -1,0 +1,67 @@
+// Per-voxel feature vectors for data-space extraction (paper Sec 4.3).
+//
+// "...the trained network in fact takes as input a feature vector which
+// consists of data values of the feature, neighborhood information, and the
+// time step number." Neighborhood information is a *shell*: "we do not use
+// all the voxel values in the neighborhood; only those voxels a fixed
+// distance away from the feature of interest are used, and this distance is
+// data dependent and derived according to the characteristics of the
+// selected features so far."
+//
+// FeatureVectorSpec makes every component optional so the user can drop
+// properties they judge unimportant (Sec 6); the classifier then shrinks
+// its network while transferring the surviving weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+struct FeatureVectorSpec {
+  bool use_value = true;       ///< The voxel's own scalar value.
+  bool use_shell = true;       ///< Shell of neighborhood samples.
+  bool use_position = true;    ///< Normalized (x, y, z).
+  bool use_time = true;        ///< Normalized time step.
+  bool use_gradient = false;   ///< Gradient magnitude (optional extra).
+  double shell_radius = 3.0;   ///< Shell distance in voxels.
+  int shell_samples = 14;      ///< 6 axis + 8 diagonal directions by default.
+
+  /// Total feature-vector width for this spec.
+  int width() const;
+
+  /// Human-readable component names, index-aligned with assemble()'s output
+  /// (used by the session UI when the user toggles properties).
+  std::vector<std::string> component_names() const;
+};
+
+/// Context needed to assemble a vector: the step's volume, its index, the
+/// sequence length (for time normalization) and the global value range.
+struct FeatureContext {
+  const VolumeF* volume = nullptr;
+  int step = 0;
+  int num_steps = 1;
+  double value_lo = 0.0;
+  double value_hi = 1.0;
+};
+
+/// Assemble the (already normalized to ~[0,1]) feature vector of voxel
+/// (i, j, k). Shell samples use trilinear interpolation at `shell_radius`
+/// voxels along fixed directions, clamped at volume borders.
+std::vector<double> assemble_feature_vector(const FeatureVectorSpec& spec,
+                                            const FeatureContext& context,
+                                            int i, int j, int k);
+
+/// The fixed shell directions (unit vectors); first 6 are the axes, the
+/// next 8 the cube diagonals, then edge midpoints for larger counts.
+std::vector<Vec3> shell_directions(int count);
+
+/// Derive a shell radius from the painted feature voxels "according to the
+/// characteristics of the selected features": half the mean feature
+/// diameter, estimated from the per-component bounding boxes of the
+/// positive samples, clamped to [1.5, 6] voxels.
+double derive_shell_radius(const Mask& positive_samples);
+
+}  // namespace ifet

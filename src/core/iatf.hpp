@@ -1,0 +1,116 @@
+// Intelligent Adaptive Transfer Function (paper Sec 4.2).
+//
+// The user pins ordinary 1D transfer functions to a few key frames. For
+// every entry of every key-frame TF we form one training vector
+//     < data value, cumulative-histogram(value) at that step, t >  ->  opacity
+// (Sec 4.2.2: "the training data is collected from the transfer functions
+// user specified... each entry in the IATF has the same amount of
+// training"), train a three-layer perceptron on it, and then synthesize a
+// 1D TF for *any* time step by evaluating the network at each of the 256
+// entry values with that step's cumulative histogram.
+//
+// Training is incremental — train_for() is meant to be called from the
+// application idle loop while the user keeps interacting; key frames can be
+// added at any time and simply extend the training set.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/mlp.hpp"
+#include "nn/normalizer.hpp"
+#include "nn/training.hpp"
+#include "tf/transfer_function.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+struct IatfConfig {
+  int hidden_units = 10;
+  BackpropConfig backprop{0.25, 0.8};
+  std::uint64_t seed = 1234;
+  /// Input ablation switches (bench_ablation_inputs): the paper argues all
+  /// three inputs are required; turning one off reproduces its failure mode.
+  bool use_value = true;
+  bool use_cumulative_histogram = true;
+  bool use_time = true;
+};
+
+class Iatf {
+ public:
+  /// The sequence provides per-step cumulative histograms and the global
+  /// value range the key-frame TFs are defined over.
+  Iatf(const VolumeSequence& sequence, const IatfConfig& config = {});
+
+  // The trainer references the Iatf's own network, so the object must stay
+  // put; hold it by unique_ptr where reseating is needed.
+  Iatf(const Iatf&) = delete;
+  Iatf& operator=(const Iatf&) = delete;
+
+  /// Add a user-authored key frame; its 256 entries join the training set.
+  void add_key_frame(int step, const TransferFunction1D& tf);
+
+  /// Upsert a key frame: replace the TF at `step` if present (the user
+  /// revising a key frame mid-session), otherwise add it. On replacement
+  /// the training set is rebuilt from all key frames; the network keeps
+  /// its weights and continues training from them.
+  void set_key_frame(int step, const TransferFunction1D& tf);
+
+  /// Remove a key frame and rebuild the training set; returns false if no
+  /// key frame exists at `step`.
+  bool remove_key_frame(int step);
+
+  /// All key frames added so far.
+  const KeyFrameSet& key_frames() const { return key_frames_; }
+
+  /// Run exactly `epochs` training epochs; returns final epoch MSE.
+  double train(int epochs);
+
+  /// Idle-loop form: run whole epochs until `budget_ms` elapses.
+  double train_for(double budget_ms);
+
+  /// Synthesize the adaptive 1D transfer function for `step`: each entry is
+  /// the network's opacity for <entry value, cumhist_step(value), step>.
+  TransferFunction1D evaluate(int step) const;
+
+  /// Network opacity for one (value, step) pair.
+  double opacity(double value, int step) const;
+
+  /// Training-set size (256 per key frame).
+  std::size_t training_samples() const { return training_set_.size(); }
+  int epochs_run() const { return trainer_.epochs_run(); }
+  double last_mse() const { return trainer_.last_mse(); }
+
+  /// Serialize the trained IATF — network, input configuration, and
+  /// normalization — so it can be shipped to other machines: the paper's
+  /// Sec 4.2.3 workflow is to "create an IATF that is suitable for all the
+  /// time steps, and send the IATF to parallel systems or remote machines
+  /// for rendering". Key frames are not serialized (they are only needed
+  /// for further training).
+  void save(std::ostream& os) const;
+
+  /// Load a serialized IATF against a (possibly different) sequence of the
+  /// same data set. The sequence must span the same value range and step
+  /// count the IATF was trained for.
+  static std::unique_ptr<Iatf> load(std::istream& is,
+                                    const VolumeSequence& sequence);
+
+  /// Serialize the trained network only (not the key frames).
+  void save_network(std::ostream& os) const { network_.save(os); }
+
+ private:
+  std::vector<double> make_input(double value, double cumhist_fraction,
+                                 int step) const;
+  void rebuild_training_set();
+
+  const VolumeSequence& sequence_;
+  IatfConfig config_;
+  int input_width_;
+  Mlp network_;
+  InputNormalizer normalizer_;
+  TrainingSet training_set_;
+  Trainer trainer_;
+  KeyFrameSet key_frames_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,72 @@
+#include "core/keyframe_advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+double cumulative_histogram_distance(const CumulativeHistogram& a,
+                                     const CumulativeHistogram& b) {
+  IFET_REQUIRE(a.bins() == b.bins() && a.lo() == b.lo() && a.hi() == b.hi(),
+               "cumulative_histogram_distance: incompatible histograms");
+  const int bins = a.bins();
+  const double width = (a.hi() - a.lo()) / bins;
+  double area = 0.0;
+  for (int bin = 0; bin < bins; ++bin) {
+    double value = a.lo() + (bin + 0.5) * width;
+    area += std::fabs(a.fraction_at(value) - b.fraction_at(value)) * width;
+  }
+  // Normalize by the range so the distance is range-independent (0..1-ish).
+  return area / (a.hi() - a.lo());
+}
+
+double distance_to_nearest_key(const VolumeSequence& sequence, int step,
+                               const std::vector<int>& key_steps) {
+  IFET_REQUIRE(!key_steps.empty(),
+               "distance_to_nearest_key: no key frames given");
+  const CumulativeHistogram& probe = sequence.cumulative_histogram(step);
+  double best = 1e30;
+  for (int key : key_steps) {
+    best = std::min(best, cumulative_histogram_distance(
+                              probe, sequence.cumulative_histogram(key)));
+  }
+  return best;
+}
+
+KeyFrameSuggestion suggest_key_frame(const VolumeSequence& sequence,
+                                     const std::vector<int>& key_steps,
+                                     int first, int last, int stride,
+                                     double threshold, double time_weight) {
+  IFET_REQUIRE(stride > 0, "suggest_key_frame: stride must be positive");
+  IFET_REQUIRE(first >= 0 && last < sequence.num_steps() && first <= last,
+               "suggest_key_frame: bad step range");
+  IFET_REQUIRE(!key_steps.empty(), "suggest_key_frame: no key frames given");
+  const double span = std::max(1, last - first);
+  KeyFrameSuggestion suggestion;
+  for (int step = first; step <= last; step += stride) {
+    if (std::find(key_steps.begin(), key_steps.end(), step) !=
+        key_steps.end()) {
+      continue;
+    }
+    const CumulativeHistogram& probe = sequence.cumulative_histogram(step);
+    double score = 1e30;
+    for (int key : key_steps) {
+      double d = cumulative_histogram_distance(
+          probe, sequence.cumulative_histogram(key));
+      d += time_weight * std::abs(step - key) / span;
+      score = std::min(score, d);
+    }
+    if (score > suggestion.distance) {
+      suggestion.distance = score;
+      suggestion.step = step;
+    }
+  }
+  if (suggestion.distance <= threshold) {
+    suggestion.step = -1;
+  }
+  return suggestion;
+}
+
+}  // namespace ifet

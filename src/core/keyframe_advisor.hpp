@@ -1,0 +1,59 @@
+// Key-frame selection advice.
+//
+// The paper's workflow leaves key-frame placement to the user: "the user
+// can visualize the rendered results using the adaptive transfer function
+// and add new key frames when needed" (Sec 4.2). This module automates the
+// "when needed": the data-driven signal for a missing key frame is a time
+// step whose value distribution is far from every key frame's — exactly
+// the situation where the IATF must extrapolate. Distribution distance is
+// the area between cumulative histograms (the 1D Wasserstein distance,
+// computed on the per-step cumulative histograms the sequence already
+// maintains), so the advisor costs one pass over the steps and no network
+// evaluation.
+//
+// (Jankun-Kelly & Ma, cited in Sec 2, generate minimal transfer-function
+// sets for time-varying data by clustering step behavior; this advisor is
+// the same idea specialized to the IATF's key-frame mechanism.)
+#pragma once
+
+#include <vector>
+
+#include "volume/histogram.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+/// Area between two cumulative histograms over their shared value range —
+/// the (normalized) 1D Wasserstein distance between the distributions.
+/// Both must be built over the same range and bin count.
+double cumulative_histogram_distance(const CumulativeHistogram& a,
+                                     const CumulativeHistogram& b);
+
+/// Distance of `step`'s distribution to the nearest existing key frame.
+double distance_to_nearest_key(const VolumeSequence& sequence, int step,
+                               const std::vector<int>& key_steps);
+
+struct KeyFrameSuggestion {
+  int step = -1;        ///< Suggested new key frame (-1 when none needed).
+  double distance = 0;  ///< Its distance to the nearest existing key.
+};
+
+/// Scan steps [first, last] with the given stride and return the step
+/// whose distribution is farthest from all existing key frames. Returns
+/// step = -1 when every scanned step is within `threshold` of a key (the
+/// current key set already covers the sequence). `stride` > 1 trades
+/// precision for scan cost on long sequences.
+///
+/// `time_weight` > 0 adds a temporal-coverage term: a step's score against
+/// key k becomes W(step, k) + time_weight * |step - k| / (last - first).
+/// With a sigmoid network the IATF's confidence sags in long key-free time
+/// gaps even when the distributions barely move, so purely distributional
+/// advice can leave such gaps uncovered; a small time weight (~0.1) makes
+/// the advisor close them.
+KeyFrameSuggestion suggest_key_frame(const VolumeSequence& sequence,
+                                     const std::vector<int>& key_steps,
+                                     int first, int last, int stride = 1,
+                                     double threshold = 0.0,
+                                     double time_weight = 0.0);
+
+}  // namespace ifet

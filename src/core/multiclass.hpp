@@ -1,0 +1,79 @@
+// Multi-class data-space classification (paper Sec 6).
+//
+// "The user only needs to specify a few sample data of different classes
+// with brushes of different color." The binary DataSpaceClassifier covers
+// the common feature/background split; this classifier generalizes to N
+// material classes: the network has one sigmoid output per class trained
+// on one-hot targets, classification returns per-class certainty volumes,
+// and label_volume() assigns each voxel its argmax class — the direct
+// multi-material segmentation used when a data set has several structures
+// of interest.
+#pragma once
+
+#include <vector>
+
+#include "core/feature_vector.hpp"
+#include "nn/mlp.hpp"
+#include "nn/training.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+struct MultiClassConfig {
+  FeatureVectorSpec spec;
+  int hidden_units = 14;
+  BackpropConfig backprop{0.3, 0.7};
+  std::uint64_t seed = 9876;
+};
+
+/// A painted voxel with a class id in [0, num_classes).
+struct ClassSample {
+  Index3 voxel;
+  int step = 0;
+  int class_id = 0;
+};
+
+class MultiClassClassifier {
+ public:
+  MultiClassClassifier(int num_classes, int num_steps, double value_lo,
+                       double value_hi, const MultiClassConfig& config = {});
+
+  int num_classes() const { return num_classes_; }
+  const FeatureVectorSpec& spec() const { return config_.spec; }
+
+  /// Add painted samples from the key frame `volume` at `step`.
+  void add_samples(const VolumeF& volume, int step,
+                   const std::vector<ClassSample>& painted);
+
+  double train(int epochs);
+  double train_for(double budget_ms);
+  std::size_t training_samples() const { return training_set_.size(); }
+
+  /// Per-class certainties for one voxel (size num_classes()).
+  std::vector<double> classify_voxel(const VolumeF& volume, int step, int i,
+                                     int j, int k) const;
+
+  /// Certainty volume of a single class (thread-parallel).
+  VolumeF class_certainty(const VolumeF& volume, int step,
+                          int class_id) const;
+
+  /// Argmax class label per voxel (thread-parallel). Ties go to the lower
+  /// class id.
+  Volume<std::uint8_t> label_volume(const VolumeF& volume, int step) const;
+
+  /// Mask of voxels whose argmax class is `class_id`.
+  Mask class_mask(const VolumeF& volume, int step, int class_id) const;
+
+ private:
+  FeatureContext context_for(const VolumeF& volume, int step) const;
+
+  MultiClassConfig config_;
+  int num_classes_;
+  int num_steps_;
+  double value_lo_, value_hi_;
+  Mlp network_;
+  TrainingSet training_set_;
+  Trainer trainer_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,152 @@
+#include "core/multivariate.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+
+int MultivariateSpec::width() const {
+  int per_variable = 0;
+  if (use_value) ++per_variable;
+  if (use_shell) per_variable += shell_samples;
+  int n = num_variables * per_variable;
+  if (use_position) n += 3;
+  if (use_time) ++n;
+  return n;
+}
+
+std::vector<double> assemble_multivariate_vector(
+    const MultivariateSpec& spec, const MultiFeatureContext& context, int i,
+    int j, int k) {
+  IFET_REQUIRE(static_cast<int>(context.variables.size()) ==
+                       spec.num_variables &&
+                   context.ranges.size() == context.variables.size(),
+               "assemble_multivariate_vector: variable count mismatch");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(spec.width()));
+  const auto dirs =
+      spec.use_shell ? shell_directions(spec.shell_samples)
+                     : std::vector<Vec3>{};
+  for (int v = 0; v < spec.num_variables; ++v) {
+    const VolumeF& field = *context.variables[static_cast<std::size_t>(v)];
+    auto [lo, hi] = context.ranges[static_cast<std::size_t>(v)];
+    const double span = std::max(1e-12, hi - lo);
+    auto norm = [&](double raw) {
+      return clamp((raw - lo) / span, 0.0, 1.0);
+    };
+    if (spec.use_value) out.push_back(norm(field.clamped(i, j, k)));
+    if (spec.use_shell) {
+      for (const Vec3& dir : dirs) {
+        out.push_back(norm(field.sample(i + spec.shell_radius * dir.x,
+                                        j + spec.shell_radius * dir.y,
+                                        k + spec.shell_radius * dir.z)));
+      }
+    }
+  }
+  const Dims d = context.variables.front()->dims();
+  if (spec.use_position) {
+    out.push_back(static_cast<double>(i) / std::max(1, d.x - 1));
+    out.push_back(static_cast<double>(j) / std::max(1, d.y - 1));
+    out.push_back(static_cast<double>(k) / std::max(1, d.z - 1));
+  }
+  if (spec.use_time) {
+    out.push_back(static_cast<double>(context.step) /
+                  std::max(1, context.num_steps - 1));
+  }
+  return out;
+}
+
+MultivariateClassifier::MultivariateClassifier(
+    int num_steps, std::vector<std::pair<double, double>> ranges,
+    const MultivariateConfig& config)
+    : config_(config),
+      num_steps_(num_steps),
+      ranges_(std::move(ranges)),
+      network_(),
+      trainer_(network_, config.backprop, config.seed ^ 0x2468ULL) {
+  IFET_REQUIRE(num_steps_ > 0, "MultivariateClassifier: need steps");
+  IFET_REQUIRE(static_cast<int>(ranges_.size()) ==
+                   config_.spec.num_variables,
+               "MultivariateClassifier: one range per variable required");
+  for (auto [lo, hi] : ranges_) {
+    IFET_REQUIRE(hi > lo, "MultivariateClassifier: degenerate range");
+  }
+  Rng rng(config_.seed);
+  network_ = Mlp({config_.spec.width(), config_.hidden_units, 1}, rng);
+}
+
+MultiFeatureContext MultivariateClassifier::context_for(
+    const std::vector<const VolumeF*>& variables, int step) const {
+  IFET_REQUIRE(static_cast<int>(variables.size()) ==
+                   config_.spec.num_variables,
+               "MultivariateClassifier: wrong variable count");
+  const Dims d = variables.front()->dims();
+  for (const VolumeF* field : variables) {
+    IFET_REQUIRE(field != nullptr && field->dims() == d,
+                 "MultivariateClassifier: variables must be aligned");
+  }
+  return MultiFeatureContext{variables, ranges_, step, num_steps_};
+}
+
+void MultivariateClassifier::add_samples(
+    const std::vector<const VolumeF*>& variables, int step,
+    const std::vector<PaintedVoxel>& painted) {
+  IFET_REQUIRE(step >= 0 && step < num_steps_,
+               "MultivariateClassifier: step out of range");
+  MultiFeatureContext ctx = context_for(variables, step);
+  for (const PaintedVoxel& p : painted) {
+    IFET_REQUIRE(variables.front()->dims().contains(p.voxel),
+                 "MultivariateClassifier: painted voxel out of range");
+    training_set_.add(assemble_multivariate_vector(config_.spec, ctx,
+                                                   p.voxel.x, p.voxel.y,
+                                                   p.voxel.z),
+                      {p.certainty});
+  }
+}
+
+double MultivariateClassifier::train(int epochs) {
+  IFET_REQUIRE(!training_set_.empty(),
+               "MultivariateClassifier::train: paint samples first");
+  return trainer_.run_epochs(training_set_, epochs);
+}
+
+double MultivariateClassifier::classify_voxel(
+    const std::vector<const VolumeF*>& variables, int step, int i, int j,
+    int k) const {
+  MultiFeatureContext ctx = context_for(variables, step);
+  return network_.forward_scalar(
+      assemble_multivariate_vector(config_.spec, ctx, i, j, k));
+}
+
+VolumeF MultivariateClassifier::classify(
+    const std::vector<const VolumeF*>& variables, int step) const {
+  MultiFeatureContext ctx = context_for(variables, step);
+  const Dims d = variables.front()->dims();
+  VolumeF out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(network_.forward_scalar(
+                assemble_multivariate_vector(config_.spec, ctx, i, j, k)));
+      }
+    }
+  });
+  return out;
+}
+
+Mask MultivariateClassifier::classify_mask(
+    const std::vector<const VolumeF*>& variables, int step,
+    double cut) const {
+  VolumeF certainty = classify(variables, step);
+  Mask out(certainty.dims());
+  for (std::size_t i = 0; i < certainty.size(); ++i) {
+    out[i] = certainty[i] >= cut ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace ifet

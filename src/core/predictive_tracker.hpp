@@ -1,0 +1,77 @@
+// Prediction–verification feature tracking (the Reinders et al. scheme the
+// paper cites in Sec 2): "calculate the basic attributes for the features
+// of interest which are used to track features with a prediction and
+// verification scheme."
+//
+// Per step, features are the connected components of the criterion mask.
+// The tracker follows one feature: it predicts the next step's attributes
+// (centroid by linear motion extrapolation, size assumed continuous) and
+// verifies candidate components against the prediction within tolerances.
+// Unlike 4D region growing it never touches the time axis voxel-wise —
+// each step costs one labeling pass — but it follows a *single* component
+// and signals rather than absorbs split events (the comparison
+// bench_tracking_methods quantifies this tradeoff against the paper's
+// region-growing tracker).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/tracking.hpp"
+#include "volume/components.hpp"
+
+namespace ifet {
+
+struct PredictiveTrackerConfig {
+  /// Candidate centroid must lie within this many voxels of the prediction.
+  double centroid_tolerance = 8.0;
+  /// Candidate size must be within [1/ratio, ratio] of the prediction.
+  double size_ratio_tolerance = 2.0;
+  /// Components below this size are ignored as noise.
+  std::size_t min_component_voxels = 4;
+};
+
+/// One matched step of a predictive track.
+struct PredictedStep {
+  int step = 0;
+  ComponentInfo component;
+  /// Distance between predicted and matched centroid (verification error).
+  double prediction_error = 0.0;
+  /// Number of candidates that passed verification (>= 2 suggests a split).
+  int candidates = 1;
+};
+
+struct PredictiveTrack {
+  std::vector<PredictedStep> steps;
+  /// Step at which verification failed (-1 when tracked to the end).
+  int lost_at = -1;
+
+  bool reached_end(int last_step) const {
+    return !steps.empty() && steps.back().step == last_step;
+  }
+  /// Steps with more than one verified candidate (potential splits).
+  std::vector<int> ambiguous_steps() const;
+};
+
+class PredictiveTracker {
+ public:
+  PredictiveTracker(const VolumeSequence& sequence,
+                    const TrackingCriterion& criterion,
+                    const PredictiveTrackerConfig& config = {});
+
+  /// Components of one step under the criterion (size-filtered).
+  std::vector<ComponentInfo> components_at(int step) const;
+
+  /// Track forward from the component containing `seed` at `seed_step`
+  /// through `last_step` (inclusive).
+  PredictiveTrack track(Index3 seed, int seed_step, int last_step) const;
+
+ private:
+  Mask criterion_mask(int step) const;
+
+  const VolumeSequence& sequence_;
+  const TrackingCriterion& criterion_;
+  PredictiveTrackerConfig config_;
+};
+
+}  // namespace ifet

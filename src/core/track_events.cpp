@@ -1,0 +1,143 @@
+#include "core/track_events.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+const char* event_name(EventType type) {
+  switch (type) {
+    case EventType::kBirth: return "birth";
+    case EventType::kDeath: return "death";
+    case EventType::kContinuation: return "continuation";
+    case EventType::kSplit: return "split";
+    case EventType::kMerge: return "merge";
+  }
+  return "?";
+}
+
+std::vector<int> FeatureHistory::nodes_at(int step) const {
+  std::vector<int> out;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].step == step) out.push_back(static_cast<int>(n));
+  }
+  return out;
+}
+
+int FeatureHistory::component_count(int step) const {
+  return static_cast<int>(nodes_at(step).size());
+}
+
+std::vector<FeatureEvent> FeatureHistory::events_of(EventType type) const {
+  std::vector<FeatureEvent> out;
+  for (const auto& e : events) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<int> FeatureHistory::steps() const {
+  std::vector<int> out;
+  for (const auto& n : nodes) out.push_back(n.step);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FeatureHistory build_feature_history(const TrackResult& track,
+                                     std::size_t min_overlap) {
+  IFET_REQUIRE(min_overlap >= 1, "build_feature_history: min_overlap >= 1");
+  FeatureHistory history;
+  if (track.masks.empty()) return history;
+
+  // Label each step and remember node index per (step, label).
+  std::map<int, Labeling> labelings;
+  std::map<std::pair<int, std::int32_t>, int> node_of;
+  for (const auto& [step, mask] : track.masks) {
+    Labeling labeling = label_components(mask);
+    for (const auto& comp : labeling.components) {
+      FeatureNode node;
+      node.step = step;
+      node.label = comp.label;
+      node.info = comp;
+      node_of[{step, comp.label}] = static_cast<int>(history.nodes.size());
+      history.nodes.push_back(std::move(node));
+    }
+    labelings.emplace(step, std::move(labeling));
+  }
+
+  // Connect consecutive steps by voxel overlap.
+  for (auto it = labelings.begin(); it != labelings.end(); ++it) {
+    auto next = std::next(it);
+    if (next == labelings.end() || next->first != it->first + 1) continue;
+    const Labeling& a = it->second;
+    const Labeling& b = next->second;
+    std::map<std::pair<std::int32_t, std::int32_t>, std::size_t> overlap;
+    for (std::size_t v = 0; v < a.labels.size(); ++v) {
+      std::int32_t la = a.labels[v];
+      std::int32_t lb = b.labels[v];
+      if (la > 0 && lb > 0) ++overlap[{la, lb}];
+    }
+    for (const auto& [pair, count] : overlap) {
+      if (count < min_overlap) continue;
+      int na = node_of.at({it->first, pair.first});
+      int nb = node_of.at({next->first, pair.second});
+      history.nodes[static_cast<std::size_t>(na)].children.push_back(nb);
+      history.nodes[static_cast<std::size_t>(nb)].parents.push_back(na);
+    }
+  }
+
+  // Classify events.
+  const int first = track.masks.begin()->first;
+  const int last = track.masks.rbegin()->first;
+  for (std::size_t n = 0; n < history.nodes.size(); ++n) {
+    const FeatureNode& node = history.nodes[n];
+    if (node.parents.empty() && node.step != first) {
+      history.events.push_back(
+          {EventType::kBirth, node.step, static_cast<int>(n)});
+    }
+    if (node.children.empty() && node.step != last) {
+      history.events.push_back(
+          {EventType::kDeath, node.step, static_cast<int>(n)});
+    }
+    if (node.children.size() >= 2) {
+      history.events.push_back(
+          {EventType::kSplit, node.step, static_cast<int>(n)});
+    }
+    if (node.parents.size() >= 2) {
+      history.events.push_back(
+          {EventType::kMerge, node.step, static_cast<int>(n)});
+    }
+    if (node.parents.size() == 1 && node.children.size() == 1) {
+      history.events.push_back(
+          {EventType::kContinuation, node.step, static_cast<int>(n)});
+    }
+  }
+  return history;
+}
+
+std::string format_feature_tree(const FeatureHistory& history) {
+  std::ostringstream os;
+  for (int step : history.steps()) {
+    os << "t=" << step << ":";
+    for (int n : history.nodes_at(step)) {
+      const FeatureNode& node = history.nodes[static_cast<std::size_t>(n)];
+      os << "  [#" << n << " size=" << node.info.voxel_count << " c=("
+         << static_cast<int>(node.info.centroid.x) << ","
+         << static_cast<int>(node.info.centroid.y) << ","
+         << static_cast<int>(node.info.centroid.z) << ")";
+      if (!node.children.empty()) {
+        os << " ->";
+        for (int c : node.children) os << " #" << c;
+      }
+      os << "]";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ifet

@@ -1,0 +1,153 @@
+#include "core/tracking.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+AdaptiveTfCriterion::AdaptiveTfCriterion(const Iatf& iatf, double opacity_cut)
+    : iatf_(iatf), opacity_cut_(opacity_cut) {}
+
+bool AdaptiveTfCriterion::accept(int step, double value) const {
+  auto it = tf_cache_.find(step);
+  if (it == tf_cache_.end()) {
+    it = tf_cache_.emplace(step, iatf_.evaluate(step)).first;
+  }
+  return it->second.opacity(value) >= opacity_cut_;
+}
+
+std::size_t TrackResult::voxels_at(int step) const {
+  auto it = masks.find(step);
+  return it == masks.end() ? 0 : mask_count(it->second);
+}
+
+int TrackResult::first_step() const {
+  IFET_REQUIRE(!masks.empty(), "TrackResult: empty track");
+  return masks.begin()->first;
+}
+
+int TrackResult::last_step() const {
+  IFET_REQUIRE(!masks.empty(), "TrackResult: empty track");
+  return masks.rbegin()->first;
+}
+
+Tracker::Tracker(const VolumeSequence& sequence,
+                 const TrackingCriterion& criterion,
+                 const TrackerConfig& config)
+    : sequence_(sequence), criterion_(criterion), config_(config) {
+  IFET_REQUIRE(config_.min_step < 0 || config_.max_step < 0 ||
+                   config_.min_step <= config_.max_step,
+               "Tracker: min_step must not exceed max_step");
+}
+
+TrackResult Tracker::track(Index3 seed, int seed_step) const {
+  Mask seeds(sequence_.dims());
+  IFET_REQUIRE(seeds.dims().contains(seed), "Tracker: seed out of range");
+  seeds.at(seed) = 1;
+  return track_from_mask(seeds, seed_step);
+}
+
+TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
+  IFET_REQUIRE(seeds.dims() == sequence_.dims(),
+               "Tracker: seed mask dimension mismatch");
+  const int lo_step = config_.min_step >= 0 ? config_.min_step : 0;
+  const int hi_step =
+      config_.max_step >= 0 ? config_.max_step : sequence_.num_steps() - 1;
+  IFET_REQUIRE(seed_step >= lo_step && seed_step <= hi_step,
+               "Tracker: seed step outside tracking window");
+
+  TrackResult result;
+  // Per-step worklists of candidate voxels (unfiltered; filtered when the
+  // step is processed so each candidate costs one criterion check).
+  std::map<int, std::vector<Index3>> pending;
+  {
+    std::vector<Index3> initial;
+    for (std::size_t v = 0; v < seeds.size(); ++v) {
+      if (seeds[v]) initial.push_back(seeds.coord_of(v));
+    }
+    pending.emplace(seed_step, std::move(initial));
+  }
+
+  static constexpr int kNeighborhood[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                              {0, 1, 0},  {0, -1, 0},
+                                              {0, 0, 1},  {0, 0, -1}};
+  const Dims d = sequence_.dims();
+  std::size_t total_voxels = 0;
+  std::deque<Index3> frontier;
+
+  while (!pending.empty()) {
+    // Process the step closest to the seed step first; this keeps the
+    // sequence's LRU cache working on a contiguous window.
+    auto chosen = pending.begin();
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (std::abs(it->first - seed_step) <
+          std::abs(chosen->first - seed_step)) {
+        chosen = it;
+      }
+    }
+    const int step = chosen->first;
+    std::vector<Index3> candidates = std::move(chosen->second);
+    pending.erase(chosen);
+
+    const VolumeF& volume = sequence_.step(step);
+    auto [mask_it, inserted] = result.masks.try_emplace(step, d);
+    (void)inserted;
+    Mask& mask = mask_it->second;
+
+    // 3D BFS within this step from all accepted candidates.
+    frontier.clear();
+    std::vector<Index3> newly_added;
+    auto try_add = [&](const Index3& p) {
+      std::size_t li = mask.linear_index(p.x, p.y, p.z);
+      if (mask[li]) return;
+      if (!criterion_.accept(step, volume[li])) return;
+      mask[li] = 1;
+      frontier.push_back(p);
+      newly_added.push_back(p);
+      ++total_voxels;
+    };
+    for (const Index3& p : candidates) try_add(p);
+    while (!frontier.empty()) {
+      if (config_.max_voxels != 0 && total_voxels >= config_.max_voxels) {
+        break;
+      }
+      Index3 p = frontier.front();
+      frontier.pop_front();
+      for (const auto& n : kNeighborhood) {
+        Index3 q{p.x + n[0], p.y + n[1], p.z + n[2]};
+        if (d.contains(q)) try_add(q);
+      }
+    }
+
+    // Temporal propagation: every voxel newly added at this step seeds the
+    // same position at t-1 and t+1 (the 4D connectivity).
+    for (int dt : {-1, 1}) {
+      const int next = step + dt;
+      if (next < lo_step || next > hi_step) continue;
+      auto visited = result.masks.find(next);
+      std::vector<Index3>& out = pending[next];
+      for (const Index3& p : newly_added) {
+        if (visited != result.masks.end() &&
+            visited->second[visited->second.linear_index(p.x, p.y, p.z)]) {
+          continue;
+        }
+        out.push_back(p);
+      }
+      if (out.empty()) pending.erase(next);
+    }
+    if (config_.max_voxels != 0 && total_voxels >= config_.max_voxels) break;
+  }
+
+  // Drop steps the region never actually reached.
+  for (auto it = result.masks.begin(); it != result.masks.end();) {
+    if (mask_count(it->second) == 0) {
+      it = result.masks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return result;
+}
+
+}  // namespace ifet

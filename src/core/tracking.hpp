@@ -1,0 +1,99 @@
+// Feature tracking by 4D region growing (paper Sec 5).
+//
+// Assumption (stated in the paper): temporal sampling is dense enough that
+// matching features overlap in 3D between consecutive steps. Tracking is
+// then region growing where the fourth dimension is time — a voxel's
+// neighbors are its six spatial neighbors in the same step plus the
+// same-position voxel in steps t-1 and t+1. The inclusion criterion is
+// pluggable: a fixed value range reproduces conventional threshold
+// tracking; the adaptive criterion consults the IATF (opacity above a cut)
+// so the tracked value band follows the data drift — the Fig 10 contrast.
+//
+// The grown region is stored as one mask volume per visited step ("the
+// region growing result is then saved in a 3D volume texture for
+// rendering").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/iatf.hpp"
+#include "volume/sequence.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Voxel-inclusion predicate for tracking.
+class TrackingCriterion {
+ public:
+  virtual ~TrackingCriterion() = default;
+  /// True if a voxel with `value` at time `step` belongs to the feature.
+  virtual bool accept(int step, double value) const = 0;
+};
+
+/// Conventional tracking: a constant value range for all steps.
+class FixedRangeCriterion final : public TrackingCriterion {
+ public:
+  FixedRangeCriterion(double lo, double hi) : lo_(lo), hi_(hi) {}
+  bool accept(int, double value) const override {
+    return value >= lo_ && value <= hi_;
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Adaptive tracking: accept where the IATF's opacity for (value, step)
+/// exceeds `opacity_cut`. The per-step 1D transfer functions are
+/// synthesized once and cached (sub-second per step, paper Sec 5).
+class AdaptiveTfCriterion final : public TrackingCriterion {
+ public:
+  AdaptiveTfCriterion(const Iatf& iatf, double opacity_cut = 0.25);
+  bool accept(int step, double value) const override;
+
+ private:
+  const Iatf& iatf_;
+  double opacity_cut_;
+  mutable std::map<int, TransferFunction1D> tf_cache_;
+};
+
+/// Per-step output of a tracking run.
+struct TrackResult {
+  /// step -> mask of tracked voxels (only steps the region reached).
+  std::map<int, Mask> masks;
+
+  /// Number of tracked voxels at `step` (0 if the step was never reached).
+  std::size_t voxels_at(int step) const;
+  bool reached(int step) const { return masks.count(step) != 0; }
+  int first_step() const;
+  int last_step() const;
+};
+
+struct TrackerConfig {
+  /// Restrict growing to [min_step, max_step] (inclusive); -1 = sequence
+  /// bounds.
+  int min_step = -1;
+  int max_step = -1;
+  /// Safety cap on total grown voxels across all steps (0 = unlimited).
+  std::size_t max_voxels = 0;
+};
+
+class Tracker {
+ public:
+  Tracker(const VolumeSequence& sequence, const TrackingCriterion& criterion,
+          const TrackerConfig& config = {});
+
+  /// Grow from a single seed; the seed voxel must satisfy the criterion.
+  TrackResult track(Index3 seed, int seed_step) const;
+
+  /// Grow from every voxel of `seeds` that satisfies the criterion.
+  TrackResult track_from_mask(const Mask& seeds, int seed_step) const;
+
+ private:
+  const VolumeSequence& sequence_;
+  const TrackingCriterion& criterion_;
+  TrackerConfig config_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,77 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+double MaskScore::precision() const {
+  std::size_t denom = true_positive + false_positive;
+  return denom > 0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double MaskScore::recall() const {
+  std::size_t denom = true_positive + false_negative;
+  return denom > 0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+double MaskScore::f1() const {
+  double p = precision();
+  double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double MaskScore::jaccard() const {
+  std::size_t denom = true_positive + false_positive + false_negative;
+  return denom > 0 ? static_cast<double>(true_positive) / denom : 0.0;
+}
+
+MaskScore score_mask(const Mask& predicted, const Mask& ground_truth) {
+  IFET_REQUIRE(predicted.dims() == ground_truth.dims(),
+               "score_mask: dimension mismatch");
+  MaskScore s;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool p = predicted[i] != 0;
+    const bool g = ground_truth[i] != 0;
+    if (p && g) {
+      ++s.true_positive;
+    } else if (p && !g) {
+      ++s.false_positive;
+    } else if (!p && g) {
+      ++s.false_negative;
+    } else {
+      ++s.true_negative;
+    }
+  }
+  return s;
+}
+
+double coverage(const Mask& mask, const Mask& region) {
+  IFET_REQUIRE(mask.dims() == region.dims(), "coverage: dimension mismatch");
+  std::size_t region_count = 0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (region[i]) {
+      ++region_count;
+      if (mask[i]) ++hit;
+    }
+  }
+  return region_count > 0 ? static_cast<double>(hit) / region_count : 0.0;
+}
+
+double masked_mean_abs_difference(const VolumeF& a, const VolumeF& b,
+                                  const Mask& region) {
+  IFET_REQUIRE(a.dims() == b.dims() && a.dims() == region.dims(),
+               "masked_mean_abs_difference: dimension mismatch");
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!region[i]) continue;
+    total += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace ifet

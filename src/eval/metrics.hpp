@@ -1,0 +1,41 @@
+// Extraction-quality metrics shared by the tests and the figure benches.
+//
+// The paper evaluates by rendered images; our synthetic data sets carry
+// analytic ground-truth masks, so every figure reproduction scores the
+// extracted voxel set against ground truth with the standard set-overlap
+// metrics below.
+#pragma once
+
+#include <cstddef>
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+struct MaskScore {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+  std::size_t true_negative = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double jaccard() const;
+};
+
+/// Compare a predicted mask with ground truth (same dims required).
+MaskScore score_mask(const Mask& predicted, const Mask& ground_truth);
+
+/// Fraction of `mask` voxels that are set within `region` (0 if region
+/// empty). Used e.g. for "how much of the small-feature region leaked
+/// through" in the Fig 7 reproduction.
+double coverage(const Mask& mask, const Mask& region);
+
+/// Mean absolute difference of two volumes restricted to `region`; the
+/// Fig 7 "fine detail preserved on the large structures" metric (smoothing
+/// scores poorly, classification-based masking scores well).
+double masked_mean_abs_difference(const VolumeF& a, const VolumeF& b,
+                                  const Mask& region);
+
+}  // namespace ifet

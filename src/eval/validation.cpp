@@ -1,0 +1,78 @@
+#include "eval/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+TrackValidation validate_track(const TrackResult& track,
+                               double max_count_jump,
+                               double min_overlap_ratio) {
+  IFET_REQUIRE(max_count_jump >= 0.0 && min_overlap_ratio >= 0.0 &&
+                   min_overlap_ratio <= 1.0,
+               "validate_track: bad thresholds");
+  TrackValidation report;
+  if (track.masks.empty()) return report;
+
+  const int first = track.first_step();
+  const int last = track.last_step();
+  for (int step = first; step <= last; ++step) {
+    if (!track.reached(step)) report.gap_steps.push_back(step);
+  }
+
+  const Mask* prev = nullptr;
+  std::size_t prev_count = 0;
+  for (const auto& [step, mask] : track.masks) {
+    TrackStepReport entry;
+    entry.step = step;
+    entry.voxels = mask_count(mask);
+    if (prev != nullptr) {
+      entry.count_jump =
+          std::fabs(static_cast<double>(entry.voxels) -
+                    static_cast<double>(prev_count)) /
+          std::max<std::size_t>(prev_count, 1);
+      std::size_t overlap = mask_count(mask_and(*prev, mask));
+      std::size_t smaller = std::min(prev_count, entry.voxels);
+      entry.overlap_ratio =
+          smaller > 0 ? static_cast<double>(overlap) / smaller : 0.0;
+      if (entry.count_jump > max_count_jump ||
+          entry.overlap_ratio < min_overlap_ratio) {
+        report.suspicious_steps.push_back(step);
+      }
+    }
+    report.steps.push_back(entry);
+    prev = &mask;
+    prev_count = entry.voxels;
+  }
+  return report;
+}
+
+ExtractionValidation validate_extraction(const VolumeF& certainty,
+                                         double cut, double band) {
+  IFET_REQUIRE(!certainty.empty(), "validate_extraction: empty volume");
+  IFET_REQUIRE(band >= 0.0, "validate_extraction: negative band");
+  ExtractionValidation report;
+  double inside_sum = 0.0, outside_sum = 0.0;
+  std::size_t inside = 0, outside = 0, boundary = 0;
+  for (float v : certainty.data()) {
+    if (v >= cut) {
+      inside_sum += v;
+      ++inside;
+    } else {
+      outside_sum += v;
+      ++outside;
+    }
+    if (std::fabs(static_cast<double>(v) - cut) <= band) ++boundary;
+  }
+  report.mean_certainty_inside =
+      inside > 0 ? inside_sum / static_cast<double>(inside) : 0.0;
+  report.mean_certainty_outside =
+      outside > 0 ? outside_sum / static_cast<double>(outside) : 0.0;
+  report.boundary_fraction =
+      static_cast<double>(boundary) / static_cast<double>(certainty.size());
+  return report;
+}
+
+}  // namespace ifet

@@ -1,0 +1,71 @@
+// Systematic validation of extraction and tracking results.
+//
+// Paper Sec 8: "We are presently seeking a systematic way for the
+// scientists to validate the feature extraction and tracking results."
+// This module provides the quantitative half of that: internal-consistency
+// checks that need no ground truth, so they apply to real data.
+//
+//  * Track validation — a correctly tracked feature evolves continuously:
+//    voxel counts change smoothly and consecutive masks overlap strongly
+//    (the paper's own temporal-sampling assumption). Violations flag the
+//    steps where tracking likely jumped to a different structure or the
+//    criterion collapsed.
+//  * Extraction validation — a trustworthy classifier is *decisive*: high
+//    certainty inside the extraction, low outside, few voxels riding the
+//    decision boundary. A large boundary fraction means the painted
+//    training set under-determines the feature and more strokes are
+//    needed (the feedback loop of Sec 6).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tracking.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+struct TrackStepReport {
+  int step = 0;
+  std::size_t voxels = 0;
+  /// |count(t) - count(t-1)| / max(count(t-1), 1); 0 for the first step.
+  double count_jump = 0.0;
+  /// |mask(t) ∩ mask(t-1)| / min(|mask(t)|, |mask(t-1)|); 1 for the first.
+  double overlap_ratio = 1.0;
+};
+
+struct TrackValidation {
+  std::vector<TrackStepReport> steps;
+  /// Steps whose count jump or overlap ratio violated the thresholds.
+  std::vector<int> suspicious_steps;
+  /// Steps missing from the track inside [first, last] (gaps).
+  std::vector<int> gap_steps;
+
+  bool clean() const {
+    return suspicious_steps.empty() && gap_steps.empty();
+  }
+};
+
+/// Validate temporal consistency of a tracking result.
+TrackValidation validate_track(const TrackResult& track,
+                               double max_count_jump = 0.6,
+                               double min_overlap_ratio = 0.25);
+
+struct ExtractionValidation {
+  double mean_certainty_inside = 0.0;   ///< Mean certainty of kept voxels.
+  double mean_certainty_outside = 0.0;  ///< Mean certainty of dropped ones.
+  /// Fraction of voxels within `band` of the decision cut.
+  double boundary_fraction = 0.0;
+
+  /// Decisiveness: inside minus outside mean certainty (1 = ideal).
+  double separation() const {
+    return mean_certainty_inside - mean_certainty_outside;
+  }
+};
+
+/// Validate a classifier's certainty volume against its own decision cut.
+ExtractionValidation validate_extraction(const VolumeF& certainty,
+                                         double cut = 0.5,
+                                         double band = 0.15);
+
+}  // namespace ifet

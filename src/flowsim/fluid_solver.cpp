@@ -1,0 +1,228 @@
+#include "flowsim/fluid_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ifet {
+
+FluidSolver::FluidSolver(const FluidConfig& config)
+    : config_(config),
+      u_(config.dims),
+      v_(config.dims),
+      w_(config.dims),
+      scalar_(config.dims) {
+  IFET_REQUIRE(config.dims.x >= 4 && config.dims.y >= 4 && config.dims.z >= 4,
+               "FluidSolver grids must be at least 4^3");
+  IFET_REQUIRE(config.dt > 0.0, "FluidSolver requires dt > 0");
+}
+
+void FluidSolver::diffuse(VolumeF& field, double coeff) {
+  if (coeff <= 0.0) return;
+  const Dims d = config_.dims;
+  const double a = config_.dt * coeff * d.x * d.y * d.z;
+  const double denom = 1.0 + 6.0 * a;
+  VolumeF prev = field;
+  for (int iter = 0; iter < config_.diffusion_iterations; ++iter) {
+    for (int k = 1; k < d.z - 1; ++k) {
+      for (int j = 1; j < d.y - 1; ++j) {
+        for (int i = 1; i < d.x - 1; ++i) {
+          const std::size_t c = field.linear_index(i, j, k);
+          double neighbors = field[field.linear_index(i - 1, j, k)] +
+                             field[field.linear_index(i + 1, j, k)] +
+                             field[field.linear_index(i, j - 1, k)] +
+                             field[field.linear_index(i, j + 1, k)] +
+                             field[field.linear_index(i, j, k - 1)] +
+                             field[field.linear_index(i, j, k + 1)];
+          field[c] = static_cast<float>((prev[c] + a * neighbors) / denom);
+        }
+      }
+    }
+  }
+}
+
+void FluidSolver::advect(VolumeF& out, const VolumeF& field, const VolumeF& u,
+                         const VolumeF& v, const VolumeF& w) const {
+  const Dims d = config_.dims;
+  const double dt = config_.dt;
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        const std::size_t c = field.linear_index(i, j, k);
+        // Trace the particle backwards through the velocity field.
+        double x = i - dt * u[c];
+        double y = j - dt * v[c];
+        double z = k - dt * w[c];
+        x = clamp(x, 0.0, d.x - 1.0);
+        y = clamp(y, 0.0, d.y - 1.0);
+        z = clamp(z, 0.0, d.z - 1.0);
+        out[c] = static_cast<float>(field.sample(x, y, z));
+      }
+    }
+  });
+}
+
+void FluidSolver::project() {
+  const Dims d = config_.dims;
+  VolumeF divergence(d);
+  VolumeF pressure(d);
+  const double h = 1.0;  // unit voxel spacing
+  for (int k = 1; k < d.z - 1; ++k) {
+    for (int j = 1; j < d.y - 1; ++j) {
+      for (int i = 1; i < d.x - 1; ++i) {
+        const std::size_t c = u_.linear_index(i, j, k);
+        double div = (u_[u_.linear_index(i + 1, j, k)] -
+                      u_[u_.linear_index(i - 1, j, k)] +
+                      v_[v_.linear_index(i, j + 1, k)] -
+                      v_[v_.linear_index(i, j - 1, k)] +
+                      w_[w_.linear_index(i, j, k + 1)] -
+                      w_[w_.linear_index(i, j, k - 1)]) *
+                     0.5 / h;
+        divergence[c] = static_cast<float>(div);
+      }
+    }
+  }
+  for (int iter = 0; iter < config_.pressure_iterations; ++iter) {
+    for (int k = 1; k < d.z - 1; ++k) {
+      for (int j = 1; j < d.y - 1; ++j) {
+        for (int i = 1; i < d.x - 1; ++i) {
+          const std::size_t c = pressure.linear_index(i, j, k);
+          double sum = pressure[pressure.linear_index(i - 1, j, k)] +
+                       pressure[pressure.linear_index(i + 1, j, k)] +
+                       pressure[pressure.linear_index(i, j - 1, k)] +
+                       pressure[pressure.linear_index(i, j + 1, k)] +
+                       pressure[pressure.linear_index(i, j, k - 1)] +
+                       pressure[pressure.linear_index(i, j, k + 1)];
+          pressure[c] =
+              static_cast<float>((sum - h * h * divergence[c]) / 6.0);
+        }
+      }
+    }
+  }
+  for (int k = 1; k < d.z - 1; ++k) {
+    for (int j = 1; j < d.y - 1; ++j) {
+      for (int i = 1; i < d.x - 1; ++i) {
+        const std::size_t c = u_.linear_index(i, j, k);
+        u_[c] -= static_cast<float>(
+            0.5 / h *
+            (pressure[pressure.linear_index(i + 1, j, k)] -
+             pressure[pressure.linear_index(i - 1, j, k)]));
+        v_[c] -= static_cast<float>(
+            0.5 / h *
+            (pressure[pressure.linear_index(i, j + 1, k)] -
+             pressure[pressure.linear_index(i, j - 1, k)]));
+        w_[c] -= static_cast<float>(
+            0.5 / h *
+            (pressure[pressure.linear_index(i, j, k + 1)] -
+             pressure[pressure.linear_index(i, j, k - 1)]));
+      }
+    }
+  }
+}
+
+Vec3 FluidSolver::vorticity_at(int i, int j, int k) const {
+  double dwdy = 0.5 * (w_.clamped(i, j + 1, k) - w_.clamped(i, j - 1, k));
+  double dvdz = 0.5 * (v_.clamped(i, j, k + 1) - v_.clamped(i, j, k - 1));
+  double dudz = 0.5 * (u_.clamped(i, j, k + 1) - u_.clamped(i, j, k - 1));
+  double dwdx = 0.5 * (w_.clamped(i + 1, j, k) - w_.clamped(i - 1, j, k));
+  double dvdx = 0.5 * (v_.clamped(i + 1, j, k) - v_.clamped(i - 1, j, k));
+  double dudy = 0.5 * (u_.clamped(i, j + 1, k) - u_.clamped(i, j - 1, k));
+  return {dwdy - dvdz, dudz - dwdx, dvdx - dudy};
+}
+
+void FluidSolver::confine_vorticity() {
+  if (config_.vorticity_confinement <= 0.0) return;
+  const Dims d = config_.dims;
+  VolumeF mag(d);
+  std::vector<Vec3> omega(mag.size());
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        Vec3 o = vorticity_at(i, j, k);
+        const std::size_t c = mag.linear_index(i, j, k);
+        omega[c] = o;
+        mag[c] = static_cast<float>(o.norm());
+      }
+    }
+  }
+  const double eps = config_.vorticity_confinement;
+  for (int k = 1; k < d.z - 1; ++k) {
+    for (int j = 1; j < d.y - 1; ++j) {
+      for (int i = 1; i < d.x - 1; ++i) {
+        Vec3 grad{
+            0.5 * (mag.clamped(i + 1, j, k) - mag.clamped(i - 1, j, k)),
+            0.5 * (mag.clamped(i, j + 1, k) - mag.clamped(i, j - 1, k)),
+            0.5 * (mag.clamped(i, j, k + 1) - mag.clamped(i, j, k - 1))};
+        double n = grad.norm();
+        if (n < 1e-9) continue;
+        Vec3 nvec = grad / n;
+        const std::size_t c = mag.linear_index(i, j, k);
+        Vec3 force = nvec.cross(omega[c]) * eps;
+        u_[c] += static_cast<float>(config_.dt * force.x);
+        v_[c] += static_cast<float>(config_.dt * force.y);
+        w_[c] += static_cast<float>(config_.dt * force.z);
+      }
+    }
+  }
+}
+
+void FluidSolver::step(const ForcingFn& forcing) {
+  if (forcing) forcing(u_, v_, w_, scalar_);
+  confine_vorticity();
+
+  diffuse(u_, config_.viscosity);
+  diffuse(v_, config_.viscosity);
+  diffuse(w_, config_.viscosity);
+  project();
+
+  VolumeF nu(config_.dims), nv(config_.dims), nw(config_.dims);
+  advect(nu, u_, u_, v_, w_);
+  advect(nv, v_, u_, v_, w_);
+  advect(nw, w_, u_, v_, w_);
+  u_ = std::move(nu);
+  v_ = std::move(nv);
+  w_ = std::move(nw);
+  project();
+
+  diffuse(scalar_, config_.scalar_diffusion);
+  VolumeF ns(config_.dims);
+  advect(ns, scalar_, u_, v_, w_);
+  scalar_ = std::move(ns);
+
+  ++steps_;
+}
+
+VolumeF FluidSolver::vorticity_magnitude() const {
+  const Dims d = config_.dims;
+  VolumeF out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(vorticity_at(i, j, k).norm());
+      }
+    }
+  });
+  return out;
+}
+
+double FluidSolver::max_divergence() const {
+  const Dims d = config_.dims;
+  double worst = 0.0;
+  for (int k = 1; k < d.z - 1; ++k) {
+    for (int j = 1; j < d.y - 1; ++j) {
+      for (int i = 1; i < d.x - 1; ++i) {
+        double div = 0.5 * (u_.clamped(i + 1, j, k) - u_.clamped(i - 1, j, k) +
+                            v_.clamped(i, j + 1, k) - v_.clamped(i, j - 1, k) +
+                            w_.clamped(i, j, k + 1) - w_.clamped(i, j, k - 1));
+        worst = std::max(worst, std::fabs(div));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace ifet

@@ -1,0 +1,82 @@
+// Incompressible 3D flow solver (stable-fluids scheme).
+//
+// The paper's Fig 5 case study uses a Sandia DNS of a turbulent reacting
+// plane jet whose *vorticity magnitude* grows in range as turbulence
+// develops. We cannot ship that proprietary data, so this solver is the
+// substitute substrate (DESIGN.md Sec 2): a semi-Lagrangian advection /
+// diffusion / pressure-projection integrator (Stam, "Stable Fluids") with
+// vorticity confinement to keep small-scale rotation alive on coarse grids,
+// plus passive scalar transport for the fuel field. From its velocity field
+// we derive the same diagnostic the paper visualizes: |curl u|.
+//
+// The solver is unconditionally stable, deterministic, and single-threaded
+// per step (steps are short on the bench grids); per-voxel derivation of
+// vorticity magnitude uses the thread pool.
+#pragma once
+
+#include <functional>
+
+#include "math/vec.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+struct FluidConfig {
+  Dims dims{32, 32, 32};
+  double dt = 0.4;                  ///< Time step.
+  double viscosity = 1e-4;          ///< Momentum diffusion coefficient.
+  double scalar_diffusion = 1e-5;   ///< Passive scalar diffusion.
+  double vorticity_confinement = 0.25;  ///< Epsilon of the confinement force.
+  int diffusion_iterations = 12;    ///< Gauss–Seidel sweeps for diffusion.
+  int pressure_iterations = 30;     ///< Gauss–Seidel sweeps for projection.
+};
+
+class FluidSolver {
+ public:
+  explicit FluidSolver(const FluidConfig& config);
+
+  const FluidConfig& config() const { return config_; }
+  Dims dims() const { return config_.dims; }
+
+  /// Velocity accessors (collocated grid, one component volume each).
+  const VolumeF& u() const { return u_; }
+  const VolumeF& v() const { return v_; }
+  const VolumeF& w() const { return w_; }
+  const VolumeF& scalar() const { return scalar_; }
+
+  /// Impose a velocity/scalar source before each step; the callback may
+  /// write into the mutable fields (used to drive inflows).
+  using ForcingFn =
+      std::function<void(VolumeF& u, VolumeF& v, VolumeF& w, VolumeF& scalar)>;
+
+  /// Advance one time step: forcing, confinement, diffusion, advection,
+  /// projection (velocity made divergence-free), scalar transport.
+  void step(const ForcingFn& forcing = nullptr);
+
+  /// Number of completed steps.
+  int steps_completed() const { return steps_; }
+
+  /// Vorticity vector at a voxel (central differences of velocity).
+  Vec3 vorticity_at(int i, int j, int k) const;
+
+  /// |curl u| over the whole grid — the Fig 5 diagnostic.
+  VolumeF vorticity_magnitude() const;
+
+  /// Maximum divergence magnitude after the last projection (diagnostic;
+  /// tests assert the projection actually reduces it).
+  double max_divergence() const;
+
+ private:
+  void diffuse(VolumeF& field, double coeff);
+  void advect(VolumeF& out, const VolumeF& field, const VolumeF& u,
+              const VolumeF& v, const VolumeF& w) const;
+  void project();
+  void confine_vorticity();
+
+  FluidConfig config_;
+  VolumeF u_, v_, w_;
+  VolumeF scalar_;
+  int steps_ = 0;
+};
+
+}  // namespace ifet

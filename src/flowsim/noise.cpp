@@ -1,0 +1,82 @@
+#include "flowsim/noise.hpp"
+
+#include <cmath>
+
+namespace ifet {
+
+namespace {
+inline double fade(double t) { return t * t * (3.0 - 2.0 * t); }
+
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+double ValueNoise::lattice(std::int64_t i, std::int64_t j, std::int64_t k,
+                           std::int64_t l) const {
+  std::uint64_t h = seed_;
+  h = mix64(h ^ static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(j) * 0xc2b2ae3d27d4eb4fULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(k) * 0x165667b19e3779f9ULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(l) * 0xd6e8feb86659fd93ULL);
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double ValueNoise::at(double x, double y, double z) const {
+  return at(x, y, z, 0.0);
+}
+
+double ValueNoise::at(double x, double y, double z, double w) const {
+  auto i0 = static_cast<std::int64_t>(std::floor(x));
+  auto j0 = static_cast<std::int64_t>(std::floor(y));
+  auto k0 = static_cast<std::int64_t>(std::floor(z));
+  auto l0 = static_cast<std::int64_t>(std::floor(w));
+  double fx = fade(x - static_cast<double>(i0));
+  double fy = fade(y - static_cast<double>(j0));
+  double fz = fade(z - static_cast<double>(k0));
+  double fw = fade(w - static_cast<double>(l0));
+
+  double acc_w[2];
+  for (int dl = 0; dl < 2; ++dl) {
+    double acc_z[2];
+    for (int dk = 0; dk < 2; ++dk) {
+      double acc_y[2];
+      for (int dj = 0; dj < 2; ++dj) {
+        double a = lattice(i0, j0 + dj, k0 + dk, l0 + dl);
+        double b = lattice(i0 + 1, j0 + dj, k0 + dk, l0 + dl);
+        acc_y[dj] = lerp(a, b, fx);
+      }
+      acc_z[dk] = lerp(acc_y[0], acc_y[1], fy);
+    }
+    acc_w[dl] = lerp(acc_z[0], acc_z[1], fz);
+  }
+  return lerp(acc_w[0], acc_w[1], fw);
+}
+
+double ValueNoise::fbm(double x, double y, double z, int octaves,
+                       double gain) const {
+  return fbm(x, y, z, 0.0, octaves, gain);
+}
+
+double ValueNoise::fbm(double x, double y, double z, double w, int octaves,
+                       double gain) const {
+  double amplitude = 1.0;
+  double total_amplitude = 0.0;
+  double sum = 0.0;
+  double fx = x, fy = y, fz = z, fw = w;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amplitude * at(fx, fy, fz, fw);
+    total_amplitude += amplitude;
+    amplitude *= gain;
+    fx *= 2.0;
+    fy *= 2.0;
+    fz *= 2.0;
+    fw *= 2.0;
+  }
+  return total_amplitude > 0.0 ? sum / total_amplitude : 0.0;
+}
+
+}  // namespace ifet

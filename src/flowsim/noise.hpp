@@ -1,0 +1,43 @@
+// Deterministic procedural noise used by the data-set generators.
+//
+// Hash-based trilinear value noise with fractal (fBm) stacking. Gradient
+// (Perlin) noise is overkill here — the generators only need band-limited,
+// seed-stable structure to stand in for turbulence and fine surface detail.
+// Everything is pure function of (seed, position), so a VolumeSource can
+// regenerate any time step bit-identically.
+#pragma once
+
+#include <cstdint>
+
+#include "math/vec.hpp"
+
+namespace ifet {
+
+/// Stateless lattice value noise in [-1, 1].
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) : seed_(seed) {}
+
+  /// Smooth trilinear noise at a 3D point (period-free).
+  double at(double x, double y, double z) const;
+
+  /// 4D variant: w is typically time, decorrelating successive steps.
+  double at(double x, double y, double z, double w) const;
+
+  /// Fractal Brownian motion: `octaves` layers, each at double frequency
+  /// and `gain` amplitude. Result roughly in [-1, 1].
+  double fbm(double x, double y, double z, int octaves,
+             double gain = 0.5) const;
+
+  /// 4D fBm.
+  double fbm(double x, double y, double z, double w, int octaves,
+             double gain = 0.5) const;
+
+ private:
+  double lattice(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace ifet

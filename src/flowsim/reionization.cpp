@@ -1,0 +1,160 @@
+#include <cmath>
+
+#include "flowsim/datasets.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace ifet {
+
+namespace {
+
+// The large structures are three filaments, each a polyline through the
+// domain perturbed by low-frequency noise. Segment count balances fidelity
+// against the per-voxel distance cost.
+constexpr int kNumFilaments = 3;
+constexpr int kFilamentSegments = 14;
+
+// Envelope value at which a voxel counts as belonging to a structure when
+// building ground-truth masks.
+constexpr double kMaskEnvelope = 0.5;
+
+double point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b) {
+  Vec3 ab = b - a;
+  double len2 = ab.norm2();
+  if (len2 <= 0.0) return (p - a).norm();
+  double t = clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return (p - (a + ab * t)).norm();
+}
+
+}  // namespace
+
+ReionizationSource::ReionizationSource(const ReionizationConfig& config)
+    : config_(config), noise_(config.seed) {
+  IFET_REQUIRE(config_.num_steps > 0, "Reionization: need steps");
+  IFET_REQUIRE(config_.num_small_features >= 0,
+               "Reionization: negative small-feature count");
+  // Small "noise" features: fixed positions, amplitudes drawn from the same
+  // value band the large structures occupy — by design a 1D transfer
+  // function cannot separate them (the Fig 7 premise).
+  Rng rng(config_.seed ^ 0xfeedULL);
+  small_centers_.reserve(static_cast<std::size_t>(config_.num_small_features));
+  small_amplitudes_.reserve(
+      static_cast<std::size_t>(config_.num_small_features));
+  for (int s = 0; s < config_.num_small_features; ++s) {
+    small_centers_.push_back(Vec3{rng.uniform(0.05, 0.95),
+                                  rng.uniform(0.05, 0.95),
+                                  rng.uniform(0.05, 0.95)});
+    small_amplitudes_.push_back(rng.uniform(0.55, 0.9));
+  }
+}
+
+double ReionizationSource::large_contribution(const Vec3& p, int step) const {
+  const double width =
+      config_.filament_width0 + config_.filament_growth * step;
+  double best = 0.0;
+  for (int f = 0; f < kNumFilaments; ++f) {
+    // Filament f: polyline sweeping across the domain, wobbling with noise.
+    double min_d = 1e9;
+    Vec3 prev;
+    for (int s = 0; s <= kFilamentSegments; ++s) {
+      double u = static_cast<double>(s) / kFilamentSegments;
+      Vec3 node{
+          u,
+          0.25 + 0.5 * f / (kNumFilaments - 1.0) +
+              0.12 * noise_.at(u * 3.0, f * 11.3, 0.0),
+          0.3 + 0.4 * std::fmod(f * 0.37 + 0.2, 1.0) +
+              0.12 * noise_.at(u * 3.0 + 9.0, f * 7.7, 1.5)};
+      if (s > 0) min_d = std::min(min_d, point_segment_distance(p, prev, node));
+      prev = node;
+    }
+    best = std::max(best, std::exp(-(min_d * min_d) / (width * width)));
+  }
+  return best;
+}
+
+double ReionizationSource::small_contribution(const Vec3& p, int step) const {
+  (void)step;
+  const double r = config_.small_radius;
+  double best = 0.0;
+  for (std::size_t s = 0; s < small_centers_.size(); ++s) {
+    Vec3 d = p - small_centers_[s];
+    // Cheap reject: blobs are tiny.
+    if (std::fabs(d.x) > 4 * r || std::fabs(d.y) > 4 * r ||
+        std::fabs(d.z) > 4 * r) {
+      continue;
+    }
+    double dist2 = d.norm2();
+    best = std::max(best,
+                    small_amplitudes_[s] * std::exp(-dist2 / (r * r)));
+  }
+  return best;
+}
+
+VolumeF ReionizationSource::generate(int step) const {
+  IFET_REQUIRE(step >= 0 && step < config_.num_steps,
+               "Reionization: step out of range");
+  const Dims d = config_.dims;
+  VolumeF out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        Vec3 p{(i + 0.5) / d.x, (j + 0.5) / d.y, (k + 0.5) / d.z};
+        // Large structures carry fine fbm surface detail — the detail the
+        // smoothing baseline of Fig 7 destroys.
+        double envelope = large_contribution(p, step);
+        double detail =
+            1.0 + config_.detail_amplitude *
+                      noise_.fbm(p.x * 14.0, p.y * 14.0, p.z * 14.0, 4);
+        double large = 0.7 * envelope * detail;
+        double small = small_contribution(p, step);
+        double background =
+            0.06 * std::fabs(noise_.fbm(p.x * 3.0, p.y * 3.0, p.z * 3.0, 3));
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(std::max({large, small, background}));
+      }
+    }
+  });
+  return out;
+}
+
+Mask ReionizationSource::large_mask(int step) const {
+  const Dims d = config_.dims;
+  Mask out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        Vec3 p{(i + 0.5) / d.x, (j + 0.5) / d.y, (k + 0.5) / d.z};
+        out[out.linear_index(i, j, k)] =
+            large_contribution(p, step) > kMaskEnvelope ? 1 : 0;
+      }
+    }
+  });
+  return out;
+}
+
+Mask ReionizationSource::small_mask(int step) const {
+  const Dims d = config_.dims;
+  Mask out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        Vec3 p{(i + 0.5) / d.x, (j + 0.5) / d.y, (k + 0.5) / d.z};
+        bool small = small_contribution(p, step) >
+                     kMaskEnvelope * 0.7;  // relative to blob amplitude band
+        bool large = large_contribution(p, step) > kMaskEnvelope;
+        out[out.linear_index(i, j, k)] = (small && !large) ? 1 : 0;
+      }
+    }
+  });
+  return out;
+}
+
+std::pair<double, double> ReionizationSource::value_range() const {
+  // Large: 0.7 * (1 + detail) <= 0.7 * 1.35; small <= 0.9.
+  return {0.0, 1.0};
+}
+
+}  // namespace ifet

@@ -1,0 +1,86 @@
+#include "flowsim/streamline.hpp"
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+double Streamline::length() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += (points[i] - points[i - 1]).norm();
+  }
+  return total;
+}
+
+Vec3 sample_velocity(const VolumeF& u, const VolumeF& v, const VolumeF& w,
+                     const Vec3& position) {
+  return Vec3{u.sample(position), v.sample(position), w.sample(position)};
+}
+
+namespace {
+bool inside(const Dims& d, const Vec3& p) {
+  return p.x >= 0.0 && p.x <= d.x - 1.0 && p.y >= 0.0 &&
+         p.y <= d.y - 1.0 && p.z >= 0.0 && p.z <= d.z - 1.0;
+}
+}  // namespace
+
+Streamline trace_streamline(const VolumeF& u, const VolumeF& v,
+                            const VolumeF& w, const Vec3& seed,
+                            const StreamlineConfig& config) {
+  IFET_REQUIRE(u.dims() == v.dims() && u.dims() == w.dims(),
+               "trace_streamline: component grids must match");
+  IFET_REQUIRE(config.dt > 0.0 && config.max_steps > 0,
+               "trace_streamline: invalid config");
+  const Dims d = u.dims();
+  Streamline line;
+  if (!inside(d, seed)) {
+    line.left_domain = true;
+    return line;
+  }
+  Vec3 p = seed;
+  line.points.push_back(p);
+  for (int step = 0; step < config.max_steps; ++step) {
+    // Classic RK4 on the interpolated field.
+    Vec3 k1 = sample_velocity(u, v, w, p);
+    if (k1.norm() < config.min_speed) {
+      line.stagnated = true;
+      break;
+    }
+    Vec3 k2 = sample_velocity(u, v, w, p + k1 * (0.5 * config.dt));
+    Vec3 k3 = sample_velocity(u, v, w, p + k2 * (0.5 * config.dt));
+    Vec3 k4 = sample_velocity(u, v, w, p + k3 * config.dt);
+    Vec3 next =
+        p + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (config.dt / 6.0);
+    if (!inside(d, next)) {
+      line.left_domain = true;
+      break;
+    }
+    p = next;
+    line.points.push_back(p);
+  }
+  return line;
+}
+
+std::vector<Streamline> trace_streamline_grid(
+    const VolumeF& u, const VolumeF& v, const VolumeF& w,
+    int seeds_per_axis, const StreamlineConfig& config) {
+  IFET_REQUIRE(seeds_per_axis > 0,
+               "trace_streamline_grid: need at least one seed per axis");
+  const Dims d = u.dims();
+  std::vector<Streamline> lines;
+  lines.reserve(static_cast<std::size_t>(seeds_per_axis) * seeds_per_axis *
+                seeds_per_axis);
+  for (int a = 0; a < seeds_per_axis; ++a) {
+    for (int b = 0; b < seeds_per_axis; ++b) {
+      for (int c = 0; c < seeds_per_axis; ++c) {
+        Vec3 seed{(a + 0.5) * (d.x - 1.0) / seeds_per_axis,
+                  (b + 0.5) * (d.y - 1.0) / seeds_per_axis,
+                  (c + 0.5) * (d.z - 1.0) / seeds_per_axis};
+        lines.push_back(trace_streamline(u, v, w, seed, config));
+      }
+    }
+  }
+  return lines;
+}
+
+}  // namespace ifet

@@ -1,0 +1,49 @@
+// Streamline tracing through the solver's velocity field.
+//
+// The library's subject is flow simulations; beyond scalar volume
+// rendering, the standard flow-visualization primitive is the streamline
+// (Post et al.'s survey, cited in paper Sec 2, catalogs it as the basic
+// geometric flow-vis technique). Fourth-order Runge-Kutta integration of
+// the trilinearly interpolated velocity; tracing stops at the domain
+// border, after `max_steps`, or when the flow stagnates.
+#pragma once
+
+#include <vector>
+
+#include "math/vec.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+struct StreamlineConfig {
+  double dt = 0.5;            ///< Integration step (voxel units).
+  int max_steps = 1000;       ///< Hard cap on vertices.
+  double min_speed = 1e-5;    ///< Stagnation cutoff (|u| below ends trace).
+};
+
+/// A traced streamline: ordered vertex positions in voxel coordinates.
+struct Streamline {
+  std::vector<Vec3> points;
+  bool left_domain = false;  ///< Ended by crossing the border.
+  bool stagnated = false;    ///< Ended below min_speed.
+
+  /// Total arc length (voxel units).
+  double length() const;
+};
+
+/// Velocity sample (trilinear) at a voxel-space position.
+Vec3 sample_velocity(const VolumeF& u, const VolumeF& v, const VolumeF& w,
+                     const Vec3& position);
+
+/// Trace a streamline from `seed` (voxel coordinates) through (u, v, w).
+Streamline trace_streamline(const VolumeF& u, const VolumeF& v,
+                            const VolumeF& w, const Vec3& seed,
+                            const StreamlineConfig& config = {});
+
+/// Trace from a grid of seeds spread uniformly through the volume
+/// (`seeds_per_axis`^3 seeds).
+std::vector<Streamline> trace_streamline_grid(
+    const VolumeF& u, const VolumeF& v, const VolumeF& w,
+    int seeds_per_axis, const StreamlineConfig& config = {});
+
+}  // namespace ifet

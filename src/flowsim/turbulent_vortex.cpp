@@ -1,0 +1,110 @@
+#include <cmath>
+
+#include "flowsim/datasets.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ifet {
+
+namespace {
+/// Mask threshold on the feature contribution; chosen together with the
+/// post-split lobe separation so the two lobes are disconnected at the mask
+/// level from the split step onwards (see lobe_centers()).
+constexpr double kMaskThreshold = 0.4;
+}  // namespace
+
+TurbulentVortexSource::TurbulentVortexSource(
+    const TurbulentVortexConfig& config)
+    : config_(config), noise_(config.seed) {
+  IFET_REQUIRE(config_.num_steps > 0, "TurbulentVortex: need steps");
+  IFET_REQUIRE(config_.split_step > 0 &&
+                   config_.split_step < config_.num_steps,
+               "TurbulentVortex: split_step must fall inside the sequence");
+}
+
+std::vector<Vec3> TurbulentVortexSource::lobe_centers(int step) const {
+  // The vortex core translates and meanders.
+  Vec3 c{0.30 + 0.012 * step, 0.5 + 0.08 * std::sin(step * 0.35),
+         0.55 - 0.006 * step};
+  if (step < config_.split_step) return {c};
+  // After the split the two lobes separate along a fixed direction fast
+  // enough that their masks are immediately disconnected: the contribution
+  // midway between lobes is below kMaskThreshold from the first split step.
+  const Vec3 dir = Vec3{0.1, 0.9, 0.35}.normalized();
+  // 0.125 makes the mid-point contribution < kMaskThreshold even when the
+  // deformation stretches the lobes along the separation direction, while
+  // each lobe still overlaps the parent's previous-step mask.
+  double sep = 0.125 + 0.008 * (step - config_.split_step);
+  return {c + dir * sep, c - dir * sep};
+}
+
+double TurbulentVortexSource::feature_contribution(const Vec3& p,
+                                                   int step) const {
+  const double r = config_.feature_radius;
+  // Deformation: the radius breathes anisotropically over time.
+  const double rx = r * (1.0 + 0.25 * std::sin(step * 0.3));
+  const double ry = r * (1.0 + 0.25 * std::sin(step * 0.3 + 2.0));
+  const double rz = r;
+  double best = 0.0;
+  for (const Vec3& c : lobe_centers(step)) {
+    Vec3 d = p - c;
+    double q = (d.x * d.x) / (rx * rx) + (d.y * d.y) / (ry * ry) +
+               (d.z * d.z) / (rz * rz);
+    best = std::max(best, config_.feature_value * std::exp(-q));
+  }
+  return best;
+}
+
+VolumeF TurbulentVortexSource::generate(int step) const {
+  IFET_REQUIRE(step >= 0 && step < config_.num_steps,
+               "TurbulentVortex: step out of range");
+  const Dims d = config_.dims;
+  VolumeF out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        Vec3 p{(i + 0.5) / d.x, (j + 0.5) / d.y, (k + 0.5) / d.z};
+        double feature = feature_contribution(p, step);
+        // Distractor structures in a *lower* value band plus background
+        // noise: context the tracked feature must be separated from.
+        Vec3 d1 = p - Vec3{0.75, 0.25, 0.3};
+        Vec3 d2 = p - Vec3{0.2, 0.8, 0.7};
+        double distractor =
+            0.5 * std::max(std::exp(-d1.norm2() / 0.01),
+                           std::exp(-d2.norm2() / 0.014));
+        double background =
+            0.12 *
+            std::fabs(noise_.fbm(p.x * 5.0, p.y * 5.0, p.z * 5.0,
+                                 step * 0.08, 3));
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(std::max({feature, distractor, background}));
+      }
+    }
+  });
+  return out;
+}
+
+Mask TurbulentVortexSource::feature_mask(int step) const {
+  const Dims d = config_.dims;
+  Mask out(d);
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        Vec3 p{(i + 0.5) / d.x, (j + 0.5) / d.y, (k + 0.5) / d.z};
+        out[out.linear_index(i, j, k)] =
+            feature_contribution(p, step) > kMaskThreshold ? 1 : 0;
+      }
+    }
+  }
+  return out;
+}
+
+int TurbulentVortexSource::expected_components(int step) const {
+  return step < config_.split_step ? 1 : 2;
+}
+
+std::pair<double, double> TurbulentVortexSource::value_range() const {
+  return {0.0, 1.0};
+}
+
+}  // namespace ifet

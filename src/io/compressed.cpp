@@ -1,0 +1,256 @@
+#include "io/compressed.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+namespace {
+
+constexpr char kMagic[] = "ifet-cseq";
+
+inline std::uint32_t quant_levels(QuantBits bits) {
+  return bits == QuantBits::k8 ? 255u : 65535u;
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back((v >> (8 * b)) & 0xff);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+  return v;
+}
+
+}  // namespace
+
+CompressedVolume compress_volume(const VolumeF& volume, QuantBits bits) {
+  IFET_REQUIRE(!volume.empty(), "compress_volume: empty volume");
+  CompressedVolume out;
+  out.dims = volume.dims();
+  out.bits = bits;
+  float lo = volume[0], hi = volume[0];
+  for (float v : volume.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  out.value_lo = lo;
+  out.value_hi = hi;
+  const double span = hi > lo ? hi - lo : 1.0;
+  const std::uint32_t levels = quant_levels(bits);
+
+  // Quantize, then run-length encode (run byte 1..255 + sample).
+  auto quantize = [&](float v) {
+    double t = (v - lo) / span;
+    return static_cast<std::uint32_t>(std::lround(t * levels));
+  };
+  std::uint32_t current = quantize(volume[0]);
+  std::uint32_t run = 0;
+  auto flush = [&]() {
+    while (run > 0) {
+      std::uint8_t chunk = static_cast<std::uint8_t>(std::min(run, 255u));
+      out.payload.push_back(chunk);
+      out.payload.push_back(static_cast<std::uint8_t>(current & 0xff));
+      if (bits == QuantBits::k16) {
+        out.payload.push_back(static_cast<std::uint8_t>(current >> 8));
+      }
+      run -= chunk;
+    }
+  };
+  for (float v : volume.data()) {
+    std::uint32_t q = quantize(v);
+    if (q == current) {
+      ++run;
+    } else {
+      flush();
+      current = q;
+      run = 1;
+    }
+  }
+  flush();
+  return out;
+}
+
+VolumeF decompress_volume(const CompressedVolume& compressed) {
+  VolumeF out(compressed.dims);
+  const double span = compressed.value_hi > compressed.value_lo
+                          ? compressed.value_hi - compressed.value_lo
+                          : 1.0;
+  const std::uint32_t levels = quant_levels(compressed.bits);
+  const int sample_bytes = compressed.bits == QuantBits::k8 ? 1 : 2;
+  std::size_t cursor = 0;
+  std::size_t voxel = 0;
+  const auto& payload = compressed.payload;
+  while (voxel < out.size()) {
+    IFET_REQUIRE(cursor + 1 + sample_bytes <= payload.size(),
+                 "decompress_volume: truncated payload");
+    std::uint32_t run = payload[cursor++];
+    std::uint32_t q = payload[cursor++];
+    if (sample_bytes == 2) {
+      q |= static_cast<std::uint32_t>(payload[cursor++]) << 8;
+    }
+    float value = static_cast<float>(
+        compressed.value_lo + span * q / static_cast<double>(levels));
+    IFET_REQUIRE(voxel + run <= out.size(),
+                 "decompress_volume: run overflows volume");
+    for (std::uint32_t r = 0; r < run; ++r) out[voxel++] = value;
+  }
+  IFET_REQUIRE(cursor == payload.size(),
+               "decompress_volume: trailing payload bytes");
+  return out;
+}
+
+double quantization_error_bound(const CompressedVolume& compressed) {
+  double span = compressed.value_hi - compressed.value_lo;
+  if (span <= 0.0) return 0.0;
+  return 0.5 * span / quant_levels(compressed.bits);
+}
+
+// --- Sequence container ------------------------------------------------------
+
+struct CompressedSequenceWriter::Impl {
+  std::ofstream out;
+  std::streampos index_pos;
+  std::vector<std::uint8_t> index_bytes;
+  int num_steps;
+};
+
+CompressedSequenceWriter::CompressedSequenceWriter(
+    const std::string& path, Dims dims, int num_steps,
+    std::pair<double, double> value_range)
+    : impl_(std::make_unique<Impl>()) {
+  IFET_REQUIRE(num_steps > 0, "CompressedSequenceWriter: need steps");
+  impl_->out.open(path, std::ios::binary);
+  IFET_REQUIRE(impl_->out.good(),
+               "CompressedSequenceWriter: cannot open " + path);
+  impl_->num_steps = num_steps;
+  impl_->out << kMagic << ' ' << dims.x << ' ' << dims.y << ' ' << dims.z
+             << ' ' << num_steps << ' ' << value_range.first << ' '
+             << value_range.second << '\n';
+  impl_->index_pos = impl_->out.tellp();
+  // Reserve the index region (16 bytes per step), filled in close().
+  std::vector<char> zeros(static_cast<std::size_t>(num_steps) * 16, 0);
+  impl_->out.write(zeros.data(),
+                   static_cast<std::streamsize>(zeros.size()));
+}
+
+CompressedSequenceWriter::~CompressedSequenceWriter() {
+  if (impl_ && impl_->out.is_open()) {
+    if (steps_written_ == impl_->num_steps) {
+      close();
+    } else {
+      // Incomplete sequence: never throw from a destructor; the file is
+      // left with a zeroed index, which the reader rejects.
+      impl_->out.close();
+    }
+  }
+}
+
+void CompressedSequenceWriter::append(const CompressedVolume& volume) {
+  IFET_REQUIRE(steps_written_ < impl_->num_steps,
+               "CompressedSequenceWriter: too many steps appended");
+  // Per-step record: bits u8, lo f32, hi f32, payload u64 + bytes.
+  std::vector<std::uint8_t> record;
+  record.push_back(static_cast<std::uint8_t>(volume.bits));
+  std::uint8_t fbytes[4];
+  std::memcpy(fbytes, &volume.value_lo, 4);
+  record.insert(record.end(), fbytes, fbytes + 4);
+  std::memcpy(fbytes, &volume.value_hi, 4);
+  record.insert(record.end(), fbytes, fbytes + 4);
+  append_u64(record, volume.payload.size());
+  record.insert(record.end(), volume.payload.begin(), volume.payload.end());
+
+  auto offset = static_cast<std::uint64_t>(impl_->out.tellp());
+  impl_->out.write(reinterpret_cast<const char*>(record.data()),
+                   static_cast<std::streamsize>(record.size()));
+  IFET_REQUIRE(impl_->out.good(), "CompressedSequenceWriter: write failed");
+  append_u64(impl_->index_bytes, offset);
+  append_u64(impl_->index_bytes, record.size());
+  ++steps_written_;
+}
+
+void CompressedSequenceWriter::close() {
+  IFET_REQUIRE(steps_written_ == impl_->num_steps,
+               "CompressedSequenceWriter: closed before all steps appended");
+  impl_->out.seekp(impl_->index_pos);
+  impl_->out.write(reinterpret_cast<const char*>(impl_->index_bytes.data()),
+                   static_cast<std::streamsize>(impl_->index_bytes.size()));
+  impl_->out.close();
+}
+
+CompressedFileSource::CompressedFileSource(const std::string& path)
+    : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  IFET_REQUIRE(in.good(), "CompressedFileSource: cannot open " + path);
+  std::string line;
+  std::getline(in, line);
+  std::istringstream header(line);
+  std::string magic;
+  header >> magic >> dims_.x >> dims_.y >> dims_.z >> num_steps_ >>
+      range_.first >> range_.second;
+  IFET_REQUIRE(magic == kMagic && header && num_steps_ > 0,
+               "CompressedFileSource: bad header in " + path);
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(num_steps_) * 16);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  IFET_REQUIRE(in.gcount() == static_cast<std::streamsize>(raw.size()),
+               "CompressedFileSource: truncated index in " + path);
+  index_.resize(static_cast<std::size_t>(num_steps_));
+  for (int s = 0; s < num_steps_; ++s) {
+    index_[static_cast<std::size_t>(s)].offset =
+        read_u64(raw.data() + 16 * s);
+    index_[static_cast<std::size_t>(s)].size =
+        read_u64(raw.data() + 16 * s + 8);
+    IFET_REQUIRE(index_[static_cast<std::size_t>(s)].size > 0,
+                 "CompressedFileSource: empty index entry (file not "
+                 "finalized?)");
+  }
+}
+
+VolumeF CompressedFileSource::generate(int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps_,
+               "CompressedFileSource: step out of range");
+  const IndexEntry& entry = index_[static_cast<std::size_t>(step)];
+  std::ifstream in(path_, std::ios::binary);
+  IFET_REQUIRE(in.good(), "CompressedFileSource: cannot reopen " + path_);
+  in.seekg(static_cast<std::streamoff>(entry.offset));
+  std::vector<std::uint8_t> record(entry.size);
+  in.read(reinterpret_cast<char*>(record.data()),
+          static_cast<std::streamsize>(record.size()));
+  IFET_REQUIRE(in.gcount() == static_cast<std::streamsize>(record.size()),
+               "CompressedFileSource: truncated record");
+  IFET_REQUIRE(record.size() >= 17, "CompressedFileSource: record too small");
+  CompressedVolume volume;
+  volume.dims = dims_;
+  volume.bits = static_cast<QuantBits>(record[0]);
+  std::memcpy(&volume.value_lo, record.data() + 1, 4);
+  std::memcpy(&volume.value_hi, record.data() + 5, 4);
+  std::uint64_t payload_size = read_u64(record.data() + 9);
+  IFET_REQUIRE(17 + payload_size == record.size(),
+               "CompressedFileSource: payload size mismatch");
+  volume.payload.assign(record.begin() + 17, record.end());
+  return decompress_volume(volume);
+}
+
+std::size_t CompressedFileSource::total_payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : index_) total += entry.size;
+  return total;
+}
+
+void write_compressed_sequence(const VolumeSource& source,
+                               const std::string& path, QuantBits bits) {
+  CompressedSequenceWriter writer(path, source.dims(), source.num_steps(),
+                                  source.value_range());
+  for (int s = 0; s < source.num_steps(); ++s) {
+    writer.append(compress_volume(source.generate(s), bits));
+  }
+  writer.close();
+}
+
+}  // namespace ifet

@@ -1,0 +1,109 @@
+// Compressed volume storage and out-of-core streaming.
+//
+// Paper Sec 7 names the next bottleneck: "one potential bottleneck for
+// large data sets is the need to transmit data between the disk and the
+// video memory. We will explore this option [fast data decompression] in
+// the future." This module is that exploration: volumes are quantized to
+// 8 or 16 bits (the paper's renderer samples 8-bit 3D textures anyway) and
+// run-length encoded — flow fields are smooth, so RLE on quantized bytes
+// bites. A CompressedSequenceFile stores a whole time series with a random-
+// access index; CompressedFileSource plugs it into VolumeSequence as a
+// disk-backed out-of-core source, so the LRU cache streams decoded steps
+// on demand.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "volume/sequence.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Quantization width for compressed payloads.
+enum class QuantBits : std::uint8_t { k8 = 8, k16 = 16 };
+
+/// An encoded volume: quantization range + RLE payload.
+struct CompressedVolume {
+  Dims dims{};
+  QuantBits bits = QuantBits::k8;
+  float value_lo = 0.0f;
+  float value_hi = 0.0f;
+  std::vector<std::uint8_t> payload;  ///< RLE stream of quantized samples.
+
+  /// Encoded bytes (payload + fixed header fields).
+  std::size_t byte_size() const { return payload.size() + 24; }
+  /// Raw float32 bytes of the same volume.
+  std::size_t raw_bytes() const { return dims.count() * sizeof(float); }
+  double compression_ratio() const {
+    return static_cast<double>(raw_bytes()) /
+           static_cast<double>(byte_size());
+  }
+};
+
+/// Quantize + RLE-encode. Reconstruction error is bounded by half a
+/// quantization step: (hi-lo) / (2^bits - 1) / 2.
+CompressedVolume compress_volume(const VolumeF& volume,
+                                 QuantBits bits = QuantBits::k8);
+
+/// Decode back to float32.
+VolumeF decompress_volume(const CompressedVolume& compressed);
+
+/// Maximum absolute reconstruction error guaranteed by the quantization.
+double quantization_error_bound(const CompressedVolume& compressed);
+
+/// Multi-step compressed container with a random-access index.
+/// File layout: text header line, index (offset+size per step), payloads.
+class CompressedSequenceWriter {
+ public:
+  /// `num_steps` payloads must then be appended in order.
+  CompressedSequenceWriter(const std::string& path, Dims dims, int num_steps,
+                           std::pair<double, double> value_range);
+  ~CompressedSequenceWriter();
+
+  void append(const CompressedVolume& volume);
+
+  /// Steps appended so far.
+  int steps_written() const { return steps_written_; }
+  /// Finalize the index; called automatically by the destructor.
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int steps_written_ = 0;
+};
+
+/// Disk-backed VolumeSource decoding steps on demand.
+class CompressedFileSource final : public VolumeSource {
+ public:
+  explicit CompressedFileSource(const std::string& path);
+
+  Dims dims() const override { return dims_; }
+  int num_steps() const override { return num_steps_; }
+  std::pair<double, double> value_range() const override { return range_; }
+  VolumeF generate(int step) const override;
+
+  /// Total compressed payload bytes (for the I/O accounting bench).
+  std::size_t total_payload_bytes() const;
+
+ private:
+  std::string path_;
+  Dims dims_{};
+  int num_steps_ = 0;
+  std::pair<double, double> range_{0.0, 1.0};
+  struct IndexEntry {
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::vector<IndexEntry> index_;
+};
+
+/// Convenience: compress every step of `source` into `path`.
+void write_compressed_sequence(const VolumeSource& source,
+                               const std::string& path,
+                               QuantBits bits = QuantBits::k8);
+
+}  // namespace ifet

@@ -1,0 +1,34 @@
+#include "io/image_io.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+void write_ppm(const ImageRgb8& image, const std::string& path) {
+  IFET_REQUIRE(image.width > 0 && image.height > 0,
+               "write_ppm: empty image");
+  std::ofstream out(path, std::ios::binary);
+  IFET_REQUIRE(out.good(), "write_ppm: cannot open " + path);
+  out << "P6\n" << image.width << ' ' << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels.data()),
+            static_cast<std::streamsize>(image.pixels.size()));
+  IFET_REQUIRE(out.good(), "write_ppm: write failed for " + path);
+}
+
+void write_pgm(const std::vector<std::uint8_t>& gray, int width, int height,
+               const std::string& path) {
+  IFET_REQUIRE(static_cast<std::size_t>(width) *
+                       static_cast<std::size_t>(height) ==
+                   gray.size(),
+               "write_pgm: size mismatch");
+  std::ofstream out(path, std::ios::binary);
+  IFET_REQUIRE(out.good(), "write_pgm: cannot open " + path);
+  out << "P5\n" << width << ' ' << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(gray.data()),
+            static_cast<std::streamsize>(gray.size()));
+  IFET_REQUIRE(out.good(), "write_pgm: write failed for " + path);
+}
+
+}  // namespace ifet

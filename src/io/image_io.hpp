@@ -1,0 +1,41 @@
+// PPM/PGM image output for rendered frames and slice views. Binary
+// (P6/P5) variants; enough to inspect every figure reproduction without an
+// image library dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ifet {
+
+/// Simple 8-bit RGB image.
+struct ImageRgb8 {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pixels;  // 3 bytes per pixel, row-major
+
+  ImageRgb8() = default;
+  ImageRgb8(int w, int h)
+      : width(w), height(h),
+        pixels(static_cast<std::size_t>(w) * static_cast<std::size_t>(h) * 3,
+               0) {}
+
+  void set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+    std::size_t o = 3 * (static_cast<std::size_t>(y) *
+                             static_cast<std::size_t>(width) +
+                         static_cast<std::size_t>(x));
+    pixels[o] = r;
+    pixels[o + 1] = g;
+    pixels[o + 2] = b;
+  }
+};
+
+/// Write binary PPM (P6).
+void write_ppm(const ImageRgb8& image, const std::string& path);
+
+/// Write binary PGM (P5) from grayscale bytes.
+void write_pgm(const std::vector<std::uint8_t>& gray, int width, int height,
+               const std::string& path);
+
+}  // namespace ifet

@@ -1,0 +1,58 @@
+#include "io/volume_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ifet {
+
+void write_raw(const VolumeF& volume, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  IFET_REQUIRE(out.good(), "write_raw: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(volume.data().data()),
+            static_cast<std::streamsize>(volume.size() * sizeof(float)));
+  IFET_REQUIRE(out.good(), "write_raw: write failed for " + path);
+}
+
+VolumeF read_raw(const std::string& path, Dims dims) {
+  std::ifstream in(path, std::ios::binary);
+  IFET_REQUIRE(in.good(), "read_raw: cannot open " + path);
+  VolumeF volume(dims);
+  in.read(reinterpret_cast<char*>(volume.data().data()),
+          static_cast<std::streamsize>(volume.size() * sizeof(float)));
+  IFET_REQUIRE(in.gcount() ==
+                   static_cast<std::streamsize>(volume.size() * sizeof(float)),
+               "read_raw: file shorter than dims require: " + path);
+  return volume;
+}
+
+void write_vol(const VolumeF& volume, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  IFET_REQUIRE(out.good(), "write_vol: cannot open " + path);
+  out << "ifet-vol " << volume.dims().x << ' ' << volume.dims().y << ' '
+      << volume.dims().z << '\n';
+  out.write(reinterpret_cast<const char*>(volume.data().data()),
+            static_cast<std::streamsize>(volume.size() * sizeof(float)));
+  IFET_REQUIRE(out.good(), "write_vol: write failed for " + path);
+}
+
+VolumeF read_vol(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  IFET_REQUIRE(in.good(), "read_vol: cannot open " + path);
+  std::string line;
+  std::getline(in, line);
+  std::istringstream header(line);
+  std::string magic;
+  Dims dims;
+  header >> magic >> dims.x >> dims.y >> dims.z;
+  IFET_REQUIRE(magic == "ifet-vol" && header,
+               "read_vol: bad header in " + path);
+  VolumeF volume(dims);
+  in.read(reinterpret_cast<char*>(volume.data().data()),
+          static_cast<std::streamsize>(volume.size() * sizeof(float)));
+  IFET_REQUIRE(in.gcount() ==
+                   static_cast<std::streamsize>(volume.size() * sizeof(float)),
+               "read_vol: truncated payload in " + path);
+  return volume;
+}
+
+}  // namespace ifet

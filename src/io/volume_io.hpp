@@ -1,0 +1,30 @@
+// Volume file I/O.
+//
+// Two formats:
+//  * raw  — headerless float32 stream in x-fastest order (the convention of
+//           the public flow data sets the paper uses; caller supplies dims).
+//  * .vol — the raw payload preceded by a one-line ASCII header
+//           "ifet-vol <dx> <dy> <dz>\n" so files are self-describing.
+// Byte order is host order (the library targets a single machine, like the
+// paper's workstation pipeline).
+#pragma once
+
+#include <string>
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Write headerless float32 data.
+void write_raw(const VolumeF& volume, const std::string& path);
+
+/// Read headerless float32 data of known dimensions.
+VolumeF read_raw(const std::string& path, Dims dims);
+
+/// Write self-describing .vol file.
+void write_vol(const VolumeF& volume, const std::string& path);
+
+/// Read self-describing .vol file.
+VolumeF read_vol(const std::string& path);
+
+}  // namespace ifet

@@ -1,0 +1,142 @@
+#include "math/mat4.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+Mat4 Mat4::identity() {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) r.m[i][i] = 1.0;
+  return r;
+}
+
+Mat4 Mat4::translation(const Vec3& t) {
+  Mat4 r = identity();
+  r.m[0][3] = t.x;
+  r.m[1][3] = t.y;
+  r.m[2][3] = t.z;
+  return r;
+}
+
+Mat4 Mat4::scaling(const Vec3& s) {
+  Mat4 r;
+  r.m[0][0] = s.x;
+  r.m[1][1] = s.y;
+  r.m[2][2] = s.z;
+  r.m[3][3] = 1.0;
+  return r;
+}
+
+Mat4 Mat4::rotation_x(double a) {
+  Mat4 r = identity();
+  r.m[1][1] = std::cos(a);
+  r.m[1][2] = -std::sin(a);
+  r.m[2][1] = std::sin(a);
+  r.m[2][2] = std::cos(a);
+  return r;
+}
+
+Mat4 Mat4::rotation_y(double a) {
+  Mat4 r = identity();
+  r.m[0][0] = std::cos(a);
+  r.m[0][2] = std::sin(a);
+  r.m[2][0] = -std::sin(a);
+  r.m[2][2] = std::cos(a);
+  return r;
+}
+
+Mat4 Mat4::rotation_z(double a) {
+  Mat4 r = identity();
+  r.m[0][0] = std::cos(a);
+  r.m[0][1] = -std::sin(a);
+  r.m[1][0] = std::sin(a);
+  r.m[1][1] = std::cos(a);
+  return r;
+}
+
+Mat4 Mat4::look_at(const Vec3& eye, const Vec3& target, const Vec3& up) {
+  Vec3 forward = (target - eye).normalized();
+  Vec3 right = forward.cross(up).normalized();
+  Vec3 true_up = right.cross(forward);
+  Mat4 r = identity();
+  // Columns are the camera basis in world space; translation is the eye.
+  r.m[0][0] = right.x;
+  r.m[1][0] = right.y;
+  r.m[2][0] = right.z;
+  r.m[0][1] = true_up.x;
+  r.m[1][1] = true_up.y;
+  r.m[2][1] = true_up.z;
+  r.m[0][2] = -forward.x;
+  r.m[1][2] = -forward.y;
+  r.m[2][2] = -forward.z;
+  r.m[0][3] = eye.x;
+  r.m[1][3] = eye.y;
+  r.m[2][3] = eye.z;
+  return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 4; ++k) s += m[i][k] * o.m[k][j];
+      r.m[i][j] = s;
+    }
+  }
+  return r;
+}
+
+Vec3 Mat4::transform_point(const Vec3& p) const {
+  double x = m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3];
+  double y = m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3];
+  double z = m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3];
+  double w = m[3][0] * p.x + m[3][1] * p.y + m[3][2] * p.z + m[3][3];
+  if (w != 0.0 && w != 1.0) {
+    x /= w;
+    y /= w;
+    z /= w;
+  }
+  return {x, y, z};
+}
+
+Vec3 Mat4::transform_vector(const Vec3& v) const {
+  return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+          m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+          m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+}
+
+Mat4 Mat4::inverse() const {
+  // Gauss–Jordan with partial pivoting on an augmented [A | I] system.
+  std::array<std::array<double, 8>, 4> a{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a[i][j] = m[i][j];
+    a[i][4 + i] = 1.0;
+  }
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    IFET_REQUIRE(std::fabs(a[pivot][col]) > 1e-12,
+                 "Mat4::inverse: singular matrix");
+    std::swap(a[pivot], a[col]);
+    double inv = 1.0 / a[col][col];
+    for (int j = 0; j < 8; ++j) a[col][j] *= inv;
+    for (int r = 0; r < 4; ++r) {
+      if (r == col) continue;
+      double f = a[r][col];
+      if (f == 0.0) continue;
+      for (int j = 0; j < 8; ++j) a[r][j] -= f * a[col][j];
+    }
+  }
+  Mat4 out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) out.m[i][j] = a[i][4 + j];
+  }
+  return out;
+}
+
+}  // namespace ifet

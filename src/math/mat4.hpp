@@ -1,0 +1,38 @@
+// Row-major 4x4 matrix with the transforms the ray caster needs
+// (look-at view, rotations, point/vector transform, affine inverse).
+#pragma once
+
+#include <array>
+
+#include "math/vec.hpp"
+
+namespace ifet {
+
+struct Mat4 {
+  // m[row][col], row-major.
+  std::array<std::array<double, 4>, 4> m{};
+
+  static Mat4 identity();
+  static Mat4 translation(const Vec3& t);
+  static Mat4 scaling(const Vec3& s);
+  static Mat4 rotation_x(double radians);
+  static Mat4 rotation_y(double radians);
+  static Mat4 rotation_z(double radians);
+
+  /// Camera-to-world transform for an eye looking at `target` with `up`.
+  static Mat4 look_at(const Vec3& eye, const Vec3& target, const Vec3& up);
+
+  Mat4 operator*(const Mat4& o) const;
+
+  /// Transform a point (w = 1, translation applies).
+  Vec3 transform_point(const Vec3& p) const;
+
+  /// Transform a direction (w = 0, translation ignored).
+  Vec3 transform_vector(const Vec3& v) const;
+
+  /// Inverse assuming the matrix is affine with orthonormal upper 3x3 *not*
+  /// required — full Gaussian elimination on the 4x4.
+  Mat4 inverse() const;
+};
+
+}  // namespace ifet

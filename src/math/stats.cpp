@@ -1,0 +1,35 @@
+#include "math/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  IFET_REQUIRE(a.size() == b.size(), "pearson: size mismatch");
+  if (a.size() < 2) return 0.0;
+  double ma = mean_of(a);
+  double mb = mean_of(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double xa = a[i] - ma;
+    double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  double denom = std::sqrt(da * db);
+  return denom > 0.0 ? num / denom : 0.0;
+}
+
+}  // namespace ifet

@@ -1,0 +1,46 @@
+// Streaming statistics helpers shared by evaluation code, the cumulative
+// histogram and the data generators.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ifet {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance (0 when fewer than 2 samples).
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a span (0 for empty spans).
+double mean_of(std::span<const double> values);
+
+/// Pearson correlation of two equal-length spans; 0 if degenerate.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ifet

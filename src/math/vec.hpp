@@ -1,0 +1,105 @@
+// Small dense linear-algebra types used by the renderer and the data
+// generators. Header-only, constexpr-friendly; only what the library needs
+// (no expression templates — 3/4-component vectors and a 4x4 matrix).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace ifet {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in this direction; returns the zero vector unchanged.
+  Vec3 normalized() const {
+    double n = norm();
+    return n > 0.0 ? *this / n : *this;
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+struct Vec4 {
+  double x = 0.0, y = 0.0, z = 0.0, w = 0.0;
+
+  constexpr Vec4() = default;
+  constexpr Vec4(double x_, double y_, double z_, double w_)
+      : x(x_), y(y_), z(z_), w(w_) {}
+  constexpr Vec4(const Vec3& v, double w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+  constexpr Vec3 xyz() const { return {x, y, z}; }
+  constexpr Vec4 operator+(const Vec4& o) const {
+    return {x + o.x, y + o.y, z + o.z, w + o.w};
+  }
+  constexpr Vec4 operator*(double s) const {
+    return {x * s, y * s, z * s, w * s};
+  }
+};
+
+/// Component range [lo, hi] clamp.
+inline constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Linear interpolation a + t*(b-a).
+inline constexpr double lerp(double a, double b, double t) {
+  return a + t * (b - a);
+}
+
+inline constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Smoothstep: 0 below e0, 1 above e1, C1 ramp in between.
+inline double smoothstep(double e0, double e1, double v) {
+  double t = clamp((v - e0) / (e1 - e0), 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+}  // namespace ifet

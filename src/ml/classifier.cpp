@@ -1,0 +1,62 @@
+#include "ml/classifier.hpp"
+
+#include "ml/naive_bayes.hpp"
+#include "ml/svm.hpp"
+#include "nn/mlp.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+
+namespace {
+
+/// The paper's engine behind the common interface.
+class MlpClassifier final : public BinaryClassifier {
+ public:
+  MlpClassifier(int input_width, std::uint64_t seed) : seed_(seed) {
+    Rng rng(seed);
+    network_ = Mlp({input_width, 12, 1}, rng);
+  }
+
+  void fit(const TrainingSet& set, int budget) override {
+    IFET_REQUIRE(budget > 0, "MlpClassifier::fit: epoch budget must be > 0");
+    Trainer trainer(network_, BackpropConfig{0.3, 0.7}, seed_ ^ 0x99ULL);
+    trainer.run_epochs(set, budget);
+  }
+
+  double predict(std::span<const double> input) const override {
+    return network_.forward_scalar(input);
+  }
+
+  std::string name() const override { return "mlp-bpn"; }
+
+ private:
+  std::uint64_t seed_;
+  Mlp network_;
+};
+
+}  // namespace
+
+std::unique_ptr<BinaryClassifier> make_classifier(EngineKind kind,
+                                                  int input_width,
+                                                  std::uint64_t seed) {
+  switch (kind) {
+    case EngineKind::kMlp:
+      return std::make_unique<MlpClassifier>(input_width, seed);
+    case EngineKind::kSvm:
+      return std::make_unique<SvmClassifier>(input_width, seed);
+    case EngineKind::kNaiveBayes:
+      return std::make_unique<NaiveBayesClassifier>(input_width);
+  }
+  throw Error("make_classifier: unknown engine kind");
+}
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMlp: return "mlp-bpn";
+    case EngineKind::kSvm: return "svm-rbf";
+    case EngineKind::kNaiveBayes: return "gaussian-nb";
+  }
+  return "?";
+}
+
+}  // namespace ifet

@@ -1,0 +1,53 @@
+// Pluggable supervised-learning engines.
+//
+// The paper commits to the three-layer perceptron "primarily because of its
+// simplicity and generality" but names the alternatives — "Support Vector
+// Machines, Bayesian networks, and Hidden Markov Models usable for our
+// purpose. In the context of intelligent visualization, the cost and
+// performance tradeoffs for each of these methods remain to be evaluated"
+// (Sec 3), and Sec 8 reports "promising results" with SVMs. This module
+// provides that evaluation surface: a common binary-classifier interface
+// with MLP, RBF-kernel SVM, and Gaussian naive-Bayes implementations, and
+// bench_ml_engines measures the tradeoffs on the data-space extraction
+// task.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "nn/training.hpp"
+
+namespace ifet {
+
+/// A supervised binary classifier: fit on (input, certainty in {0,1})
+/// samples, then predict a certainty in [0, 1] for new inputs.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// (Re)fit on the full training set. Engines with iterative training may
+  /// interpret `budget` as epochs; batch engines ignore it.
+  virtual void fit(const TrainingSet& set, int budget) = 0;
+
+  /// Certainty in [0, 1] that `input` belongs to the positive class.
+  virtual double predict(std::span<const double> input) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class EngineKind {
+  kMlp,         ///< Three-layer perceptron (the paper's engine).
+  kSvm,         ///< RBF-kernel soft-margin SVM (Sec 8's "promising" one).
+  kNaiveBayes,  ///< Gaussian naive Bayes (the Bayesian-network baseline).
+};
+
+/// Factory over the three engines. `input_width` is the feature-vector
+/// width; `seed` drives any stochastic initialization.
+std::unique_ptr<BinaryClassifier> make_classifier(EngineKind kind,
+                                                  int input_width,
+                                                  std::uint64_t seed);
+
+const char* engine_name(EngineKind kind);
+
+}  // namespace ifet

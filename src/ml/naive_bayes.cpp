@@ -1,0 +1,91 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+namespace {
+// Variance floor: degenerate (constant) features must not produce infinite
+// likelihoods.
+constexpr double kMinVariance = 1e-6;
+}  // namespace
+
+NaiveBayesClassifier::NaiveBayesClassifier(int input_width)
+    : input_width_(input_width) {
+  IFET_REQUIRE(input_width > 0, "NaiveBayes: input width must be > 0");
+}
+
+void NaiveBayesClassifier::fit(const TrainingSet& set, int /*budget*/) {
+  IFET_REQUIRE(!set.empty(), "NaiveBayes::fit: empty training set");
+  IFET_REQUIRE(static_cast<int>(set.input_width()) == input_width_,
+               "NaiveBayes::fit: input width mismatch");
+  const auto width = static_cast<std::size_t>(input_width_);
+  ClassModel models[2];
+  std::size_t counts[2] = {0, 0};
+  for (auto& m : models) {
+    m.mean.assign(width, 0.0);
+    m.variance.assign(width, 0.0);
+  }
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    IFET_REQUIRE(set[s].target.size() == 1,
+                 "NaiveBayes::fit: scalar targets required");
+    int cls = set[s].target[0] >= 0.5 ? 1 : 0;
+    ++counts[cls];
+    for (std::size_t f = 0; f < width; ++f) {
+      models[cls].mean[f] += set[s].input[f];
+    }
+  }
+  IFET_REQUIRE(counts[0] > 0 && counts[1] > 0,
+               "NaiveBayes::fit: need samples of both classes");
+  for (int cls = 0; cls < 2; ++cls) {
+    for (std::size_t f = 0; f < width; ++f) {
+      models[cls].mean[f] /= static_cast<double>(counts[cls]);
+    }
+  }
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    int cls = set[s].target[0] >= 0.5 ? 1 : 0;
+    for (std::size_t f = 0; f < width; ++f) {
+      double d = set[s].input[f] - models[cls].mean[f];
+      models[cls].variance[f] += d * d;
+    }
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    for (std::size_t f = 0; f < width; ++f) {
+      models[cls].variance[f] = std::max(
+          kMinVariance,
+          models[cls].variance[f] / static_cast<double>(counts[cls]));
+    }
+    models[cls].log_prior = std::log(static_cast<double>(counts[cls]) /
+                                     static_cast<double>(set.size()));
+  }
+  negative_ = std::move(models[0]);
+  positive_ = std::move(models[1]);
+  fitted_ = true;
+}
+
+double NaiveBayesClassifier::log_likelihood(
+    const ClassModel& model, std::span<const double> input) const {
+  double ll = model.log_prior;
+  for (std::size_t f = 0; f < input.size(); ++f) {
+    double var = model.variance[f];
+    double d = input[f] - model.mean[f];
+    ll += -0.5 * std::log(2.0 * std::numbers::pi * var) -
+          0.5 * d * d / var;
+  }
+  return ll;
+}
+
+double NaiveBayesClassifier::predict(std::span<const double> input) const {
+  IFET_REQUIRE(fitted_, "NaiveBayes::predict before fit");
+  IFET_REQUIRE(static_cast<int>(input.size()) == input_width_,
+               "NaiveBayes::predict: input width mismatch");
+  double lp = log_likelihood(positive_, input);
+  double ln = log_likelihood(negative_, input);
+  // Posterior via the stable logistic of the log-odds.
+  return 1.0 / (1.0 + std::exp(ln - lp));
+}
+
+}  // namespace ifet

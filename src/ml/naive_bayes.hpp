@@ -1,0 +1,40 @@
+// Gaussian naive Bayes — the Bayesian baseline of paper Sec 3's list.
+//
+// Per class, each feature is modeled as an independent Gaussian; predict()
+// returns the posterior of the positive class. Training is a single pass
+// (moment accumulation) making this by far the cheapest engine — and the
+// independence assumption is exactly what the shell feature vectors
+// violate, which bench_ml_engines makes visible.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace ifet {
+
+class NaiveBayesClassifier final : public BinaryClassifier {
+ public:
+  explicit NaiveBayesClassifier(int input_width);
+
+  void fit(const TrainingSet& set, int budget) override;
+  double predict(std::span<const double> input) const override;
+  std::string name() const override { return "gaussian-nb"; }
+
+ private:
+  struct ClassModel {
+    double log_prior = 0.0;
+    std::vector<double> mean;
+    std::vector<double> variance;
+  };
+  double log_likelihood(const ClassModel& model,
+                        std::span<const double> input) const;
+
+  int input_width_;
+  ClassModel positive_;
+  ClassModel negative_;
+  bool fitted_ = false;
+};
+
+}  // namespace ifet

@@ -1,0 +1,140 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+SvmClassifier::SvmClassifier(int input_width, std::uint64_t seed,
+                             const SvmConfig& config)
+    : input_width_(input_width), config_(config), rng_(seed) {
+  IFET_REQUIRE(input_width > 0, "SvmClassifier: input width must be > 0");
+  IFET_REQUIRE(config.c > 0 && config.gamma > 0,
+               "SvmClassifier: C and gamma must be positive");
+}
+
+double SvmClassifier::kernel(std::span<const double> a,
+                             std::span<const double> b) const {
+  double d2 = 0.0;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    double d = a[f] - b[f];
+    d2 += d * d;
+  }
+  return std::exp(-config_.gamma * d2);
+}
+
+void SvmClassifier::fit(const TrainingSet& set, int /*budget*/) {
+  IFET_REQUIRE(!set.empty(), "SvmClassifier::fit: empty training set");
+  IFET_REQUIRE(static_cast<int>(set.input_width()) == input_width_,
+               "SvmClassifier::fit: input width mismatch");
+  const std::size_t n = set.size();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    IFET_REQUIRE(set[i].target.size() == 1,
+                 "SvmClassifier::fit: scalar targets required");
+    y[i] = set[i].target[0] >= 0.5 ? 1.0 : -1.0;
+  }
+
+  // Precompute the kernel matrix (painted-sample scale keeps this small).
+  std::vector<double> K(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double k = kernel(set[i].input, set[j].input);
+      K[i * n + j] = k;
+      K[j * n + i] = k;
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  auto f_of = [&](std::size_t i) {
+    double s = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) s += alpha[j] * y[j] * K[j * n + i];
+    }
+    return s;
+  };
+
+  // Simplified SMO (Platt): sweep samples, pair each KKT violator with a
+  // random second index, solve the 2-variable subproblem analytically.
+  const double C = config_.c;
+  const double tol = config_.tolerance;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes &&
+         iterations < config_.max_iterations) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double Ei = f_of(i) - y[i];
+      bool violates = (y[i] * Ei < -tol && alpha[i] < C) ||
+                      (y[i] * Ei > tol && alpha[i] > 0);
+      if (!violates) continue;
+      std::size_t j = rng_.uniform_index(n - 1);
+      if (j >= i) ++j;
+      double Ej = f_of(j) - y[j];
+
+      double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(C, C + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - C);
+        hi = std::min(C, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      double eta = 2.0 * K[i * n + j] - K[i * n + i] - K[j * n + j];
+      if (eta >= 0.0) continue;
+      double aj = aj_old - y[j] * (Ei - Ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::fabs(aj - aj_old) < 1e-6) continue;
+      double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      double b1 = b - Ei - y[i] * (ai - ai_old) * K[i * n + i] -
+                  y[j] * (aj - aj_old) * K[i * n + j];
+      double b2 = b - Ej - y[i] * (ai - ai_old) * K[i * n + j] -
+                  y[j] * (aj - aj_old) * K[j * n + j];
+      if (ai > 0 && ai < C) {
+        b = b1;
+      } else if (aj > 0 && aj < C) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+      ++iterations;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  support_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      support_.push_back(Support{
+          std::vector<double>(set[i].input.begin(), set[i].input.end()),
+          alpha[i] * y[i]});
+    }
+  }
+  bias_ = b;
+}
+
+double SvmClassifier::decision(std::span<const double> input) const {
+  IFET_REQUIRE(static_cast<int>(input.size()) == input_width_,
+               "SvmClassifier::decision: input width mismatch");
+  double s = bias_;
+  for (const Support& sv : support_) {
+    s += sv.alpha_y * kernel(sv.x, input);
+  }
+  return s;
+}
+
+double SvmClassifier::predict(std::span<const double> input) const {
+  // Logistic link on the margin, so 0.5 sits on the decision boundary.
+  return 1.0 / (1.0 + std::exp(-2.0 * decision(input)));
+}
+
+}  // namespace ifet

@@ -1,0 +1,56 @@
+// Soft-margin kernel SVM trained with (simplified) Sequential Minimal
+// Optimization — the Sec 8 alternative engine.
+//
+// Binary targets; the decision value is mapped to a certainty with a
+// logistic link so SVM output is interchangeable with the MLP's sigmoid
+// output (the extraction threshold 0.5 corresponds to the decision
+// boundary). Training is O(passes * n^2) kernel evaluations, fine at the
+// painted-sample scale (hundreds to a few thousand samples).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace ifet {
+
+struct SvmConfig {
+  double c = 10.0;          ///< Soft-margin penalty.
+  double gamma = 2.0;       ///< RBF kernel width: exp(-gamma * |x-y|^2).
+  double tolerance = 1e-3;  ///< KKT violation tolerance.
+  int max_passes = 8;       ///< Consecutive violation-free sweeps to stop.
+  int max_iterations = 20000;  ///< Hard cap on SMO update steps.
+};
+
+class SvmClassifier final : public BinaryClassifier {
+ public:
+  SvmClassifier(int input_width, std::uint64_t seed,
+                const SvmConfig& config = {});
+
+  void fit(const TrainingSet& set, int budget) override;
+  double predict(std::span<const double> input) const override;
+  std::string name() const override { return "svm-rbf"; }
+
+  /// Raw decision value f(x) = sum_i alpha_i y_i K(x_i, x) + b.
+  double decision(std::span<const double> input) const;
+
+  /// Number of support vectors after fit (for the cost analysis).
+  std::size_t support_vector_count() const { return support_.size(); }
+
+ private:
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+
+  int input_width_;
+  SvmConfig config_;
+  Rng rng_;
+  struct Support {
+    std::vector<double> x;
+    double alpha_y;  // alpha_i * y_i
+  };
+  std::vector<Support> support_;
+  double bias_ = 0.0;
+};
+
+}  // namespace ifet

@@ -1,0 +1,46 @@
+#include "nn/normalizer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+InputNormalizer::InputNormalizer(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  IFET_REQUIRE(lo_.size() == hi_.size(), "InputNormalizer: lo/hi mismatch");
+}
+
+InputNormalizer InputNormalizer::fit(
+    const std::vector<std::vector<double>>& inputs) {
+  IFET_REQUIRE(!inputs.empty(), "InputNormalizer::fit: no samples");
+  const std::size_t width = inputs.front().size();
+  std::vector<double> lo(width, 0.0);
+  std::vector<double> hi(width, 0.0);
+  for (std::size_t f = 0; f < width; ++f) {
+    lo[f] = hi[f] = inputs.front()[f];
+  }
+  for (const auto& row : inputs) {
+    IFET_REQUIRE(row.size() == width, "InputNormalizer::fit: ragged inputs");
+    for (std::size_t f = 0; f < width; ++f) {
+      lo[f] = std::min(lo[f], row[f]);
+      hi[f] = std::max(hi[f], row[f]);
+    }
+  }
+  return InputNormalizer(std::move(lo), std::move(hi));
+}
+
+std::vector<double> InputNormalizer::apply(std::span<const double> raw) const {
+  IFET_REQUIRE(raw.size() == lo_.size(),
+               "InputNormalizer::apply: width mismatch");
+  std::vector<double> out(raw.size());
+  for (std::size_t f = 0; f < raw.size(); ++f) {
+    double span = hi_[f] - lo_[f];
+    out[f] = span > 0.0
+                 ? std::clamp((raw[f] - lo_[f]) / span, 0.0, 1.0)
+                 : 0.5;
+  }
+  return out;
+}
+
+}  // namespace ifet

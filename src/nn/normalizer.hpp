@@ -1,0 +1,38 @@
+// Per-feature affine input normalization.
+//
+// Sigmoid units saturate when inputs are far from the unit scale, so every
+// feature fed to an Mlp is first mapped to [0, 1] using ranges fitted on the
+// training data. The normalizer is stored next to the network so inference
+// applies the identical mapping.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ifet {
+
+class InputNormalizer {
+ public:
+  InputNormalizer() = default;
+
+  /// Fixed, known feature ranges (e.g. value in [lo,hi], cumhist in [0,1],
+  /// time in [0, steps-1]).
+  InputNormalizer(std::vector<double> lo, std::vector<double> hi);
+
+  /// Fit ranges from sample inputs (degenerate features map to 0.5).
+  static InputNormalizer fit(const std::vector<std::vector<double>>& inputs);
+
+  std::size_t width() const { return lo_.size(); }
+
+  /// Map a raw feature vector into [0,1]^d (clamped).
+  std::vector<double> apply(std::span<const double> raw) const;
+
+  double lo(std::size_t feature) const { return lo_[feature]; }
+  double hi(std::size_t feature) const { return hi_[feature]; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,109 @@
+#include "nn/training.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace ifet {
+
+void TrainingSet::add(std::vector<double> input, std::vector<double> target) {
+  if (!samples_.empty()) {
+    IFET_REQUIRE(input.size() == samples_.front().input.size(),
+                 "TrainingSet: inconsistent input width");
+    IFET_REQUIRE(target.size() == samples_.front().target.size(),
+                 "TrainingSet: inconsistent target width");
+  }
+  samples_.push_back(Sample{std::move(input), std::move(target)});
+}
+
+Trainer::Trainer(Mlp& network, BackpropConfig config, std::uint64_t seed)
+    : network_(network), config_(config), rng_(seed) {}
+
+double Trainer::run_one_epoch(const TrainingSet& set) {
+  if (set.empty()) return 0.0;
+  if (order_.size() != set.size()) {
+    order_.resize(set.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  }
+  // Fisher–Yates shuffle with the trainer's own deterministic stream.
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    std::swap(order_[i - 1], order_[rng_.uniform_index(i)]);
+  }
+  double total = 0.0;
+  for (std::size_t idx : order_) {
+    const Sample& s = set[idx];
+    total += network_.train_sample(s.input, s.target, config_);
+  }
+  ++epochs_run_;
+  last_mse_ = total / static_cast<double>(set.size());
+  return last_mse_;
+}
+
+double Trainer::run_epochs(const TrainingSet& set, int epochs) {
+  IFET_REQUIRE(epochs >= 0, "Trainer::run_epochs: negative epoch count");
+  double mse = last_mse_;
+  for (int e = 0; e < epochs; ++e) mse = run_one_epoch(set);
+  return mse;
+}
+
+double Trainer::run_for(const TrainingSet& set, double budget_ms,
+                        int max_epochs) {
+  Stopwatch watch;
+  double mse = last_mse_;
+  int done = 0;
+  while (done < max_epochs) {
+    mse = run_one_epoch(set);
+    ++done;
+    if (watch.milliseconds() >= budget_ms) break;
+  }
+  return mse;
+}
+
+double gradient_check(const Mlp& network, const Sample& sample,
+                      double epsilon) {
+  // Analytic gradient: replay train_sample on a copy with lr=1, momentum=0;
+  // the weight deltas are then exactly -gradient.
+  Mlp analytic = network;
+  BackpropConfig unit{1.0, 0.0};
+  analytic.train_sample(sample.input, sample.target, unit);
+
+  auto loss_of = [&](const Mlp& net) {
+    auto out = net.forward(sample.input);
+    double e = 0.0;
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      double d = out[j] - sample.target[j];
+      e += d * d;
+    }
+    // train_sample minimizes 1/2 * sum of squares (delta = err * f').
+    return 0.5 * e;
+  };
+
+  double max_rel_err = 0.0;
+  const auto& w0 = network.weights();
+  const auto& w1 = analytic.weights();
+  Mlp probe = network;
+  for (std::size_t l = 0; l < w0.size(); ++l) {
+    for (std::size_t j = 0; j < w0[l].size(); ++j) {
+      for (std::size_t i = 0; i < w0[l][j].size(); ++i) {
+        double backprop_grad = w0[l][j][i] - w1[l][j][i];
+        double& slot = probe.mutable_weights()[l][j][i];
+        double saved = slot;
+        slot = saved + epsilon;
+        double up = loss_of(probe);
+        slot = saved - epsilon;
+        double down = loss_of(probe);
+        slot = saved;
+        double numeric_grad = (up - down) / (2.0 * epsilon);
+        double scale = std::max({std::fabs(backprop_grad),
+                                 std::fabs(numeric_grad), 1e-8});
+        max_rel_err = std::max(
+            max_rel_err, std::fabs(backprop_grad - numeric_grad) / scale);
+      }
+    }
+  }
+  return max_rel_err;
+}
+
+}  // namespace ifet

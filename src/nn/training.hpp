@@ -1,0 +1,83 @@
+// Training-set container and the iterative trainer.
+//
+// The paper trains "iteratively in the system's idle loop" (Sec 4.2.2): the
+// user keeps interacting while epochs run in the background and can add new
+// key frames / paint strokes at any point. Trainer mirrors that contract —
+// run_epochs()/run_for() advance training incrementally on a mutable
+// TrainingSet, and the network is usable (forward passes) between calls.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace ifet {
+
+/// A supervised sample: input feature vector and desired outputs.
+struct Sample {
+  std::vector<double> input;
+  std::vector<double> target;
+};
+
+/// Growable set of samples; the visualization interface appends to it as
+/// the user paints or adds key frames.
+class TrainingSet {
+ public:
+  void add(std::vector<double> input, std::vector<double> target);
+  void add(const Sample& sample) { samples_.push_back(sample); }
+  void clear() { samples_.clear(); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Input dimensionality (0 when empty).
+  std::size_t input_width() const {
+    return samples_.empty() ? 0 : samples_.front().input.size();
+  }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Epoch-based stochastic trainer with shuffling and convergence tracking.
+class Trainer {
+ public:
+  Trainer(Mlp& network, BackpropConfig config, std::uint64_t seed = 7);
+
+  /// Run `epochs` full passes over `set` in shuffled order.
+  /// Returns the mean squared error of the final epoch.
+  double run_epochs(const TrainingSet& set, int epochs);
+
+  /// Run whole epochs until `budget_ms` wall-clock milliseconds elapse or
+  /// `max_epochs` epochs complete (the idle-loop form). Returns last MSE.
+  double run_for(const TrainingSet& set, double budget_ms,
+                 int max_epochs = 1 << 20);
+
+  /// Epochs completed since construction.
+  int epochs_run() const { return epochs_run_; }
+
+  /// MSE of the most recent epoch (pre-update errors averaged).
+  double last_mse() const { return last_mse_; }
+
+ private:
+  double run_one_epoch(const TrainingSet& set);
+
+  Mlp& network_;
+  BackpropConfig config_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  int epochs_run_ = 0;
+  double last_mse_ = 0.0;
+};
+
+/// Finite-difference gradient check: returns the maximum relative error
+/// between back-propagated and numeric gradients for one sample. Used by
+/// the property tests to pin the backprop implementation.
+double gradient_check(const Mlp& network, const Sample& sample,
+                      double epsilon = 1e-6);
+
+}  // namespace ifet

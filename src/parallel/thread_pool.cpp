@@ -1,0 +1,159 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::run_tasks(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::atomic<std::size_t> remaining(tasks.size());
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& t : tasks) {
+      queue_.push(Task{[&, fn = std::move(t)] {
+        try {
+          fn();
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      }});
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread also drains the queue so that nested parallel calls
+  // from within a worker cannot deadlock on an exhausted pool.
+  for (;;) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+    }
+    if (task.fn) {
+      task.fn();
+    } else {
+      break;
+    }
+  }
+
+  std::unique_lock<std::mutex> dlock(done_mutex);
+  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_static(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& range_body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(workers_.size() + 1, n);
+  if (parts <= 1) {
+    range_body(begin, end);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t lo = begin + n * p / parts;
+    const std::size_t hi = begin + n * (p + 1) / parts;
+    tasks.push_back([lo, hi, &range_body] { range_body(lo, hi); });
+  }
+  run_tasks(std::move(tasks));
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& range_body) {
+  IFET_REQUIRE(chunk > 0, "parallel_for_dynamic requires chunk > 0");
+  if (end <= begin) return;
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t workers = workers_.size() + 1;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    tasks.push_back([next, begin, end, chunk, &range_body] {
+      (void)begin;
+      for (;;) {
+        std::size_t lo = next->fetch_add(chunk);
+        if (lo >= end) return;
+        std::size_t hi = std::min(end, lo + chunk);
+        range_body(lo, hi);
+      }
+    });
+  }
+  run_tasks(std::move(tasks));
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for_static(
+      begin, end, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+}
+
+void parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& range_body) {
+  ThreadPool::global().parallel_for_static(begin, end, range_body);
+}
+
+}  // namespace ifet

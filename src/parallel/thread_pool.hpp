@@ -1,0 +1,104 @@
+// Shared-memory work distribution.
+//
+// The paper (Sec 8) notes that per-time-step feature extraction is
+// embarrassingly parallel and proposes a PC cluster for batch processing;
+// Sec 7 relies on the GPU for per-voxel work. We provide the shared-memory
+// equivalent: a fixed thread pool with static and dynamically-chunked
+// parallel loops. All per-voxel passes in the library (classification,
+// rendering, region statistics) run through these helpers.
+//
+// Design notes (per C++ Core Guidelines CP.*): tasks never share mutable
+// state except through the caller-provided body; joins are explicit; the
+// pool is RAII — destruction drains and joins all workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ifet {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs `body(begin..end)` split into contiguous ranges, one per worker
+  /// (static schedule). Blocks until all ranges complete. Exceptions from
+  /// the body are captured and the first one rethrown to the caller.
+  void parallel_for_static(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& range_body);
+
+  /// Dynamically-chunked loop: workers grab `chunk`-sized ranges from a
+  /// shared counter. Use when per-index cost is irregular (e.g. region
+  /// growing fronts, early ray termination).
+  void parallel_for_dynamic(
+      std::size_t begin, std::size_t end, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& range_body);
+
+  /// Process-wide default pool (lazily constructed, sized to hardware).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void run_tasks(std::vector<std::function<void()>> tasks);
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience: per-index parallel loop on the global pool, static schedule.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience: range-based parallel loop on the global pool.
+void parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& range_body);
+
+/// Parallel reduction: each worker folds its range into a local accumulator
+/// seeded with `identity`; partials are combined with `combine` in
+/// deterministic (range-order) sequence.
+template <typename T, typename Fold, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, Fold fold,
+                  Combine combine) {
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return identity;
+  const std::size_t num_parts =
+      std::min<std::size_t>(pool.size() == 0 ? 1 : pool.size(), n);
+  std::vector<T> partials(num_parts, identity);
+  pool.parallel_for_static(0, num_parts, [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      std::size_t lo = begin + n * p / num_parts;
+      std::size_t hi = begin + n * (p + 1) / num_parts;
+      T acc = identity;
+      for (std::size_t i = lo; i < hi; ++i) acc = fold(acc, i);
+      partials[p] = acc;
+    }
+  });
+  T result = identity;
+  for (const T& p : partials) result = combine(result, p);
+  return result;
+}
+
+}  // namespace ifet

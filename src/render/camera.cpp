@@ -1,0 +1,57 @@
+#include "render/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+Camera::Camera(double azimuth, double elevation, double distance,
+               double fov_y)
+    : fov_y_(fov_y) {
+  IFET_REQUIRE(distance > 0.0, "Camera distance must be positive");
+  IFET_REQUIRE(fov_y > 0.0 && fov_y < 3.0, "Camera fov_y out of range");
+  position_ = Vec3{distance * std::cos(elevation) * std::cos(azimuth),
+                   distance * std::cos(elevation) * std::sin(azimuth),
+                   distance * std::sin(elevation)};
+  forward_ = (Vec3{0, 0, 0} - position_).normalized();
+  Vec3 world_up{0, 0, 1};
+  if (std::fabs(forward_.dot(world_up)) > 0.999) world_up = Vec3{0, 1, 0};
+  right_ = forward_.cross(world_up).normalized();
+  up_ = right_.cross(forward_);
+}
+
+Ray Camera::pixel_ray(int x, int y, int width, int height) const {
+  const double aspect = static_cast<double>(width) / height;
+  const double tan_half = std::tan(0.5 * fov_y_);
+  const double ndc_x = (2.0 * (x + 0.5) / width - 1.0) * aspect * tan_half;
+  const double ndc_y = (1.0 - 2.0 * (y + 0.5) / height) * tan_half;
+  Vec3 dir = (forward_ + right_ * ndc_x + up_ * ndc_y).normalized();
+  return Ray{position_, dir};
+}
+
+bool intersect_box(const Ray& ray, const Vec3& lo, const Vec3& hi,
+                   double& t_near, double& t_far) {
+  t_near = -1e30;
+  t_far = 1e30;
+  const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const double dvec[3] = {ray.direction.x, ray.direction.y, ray.direction.z};
+  const double lov[3] = {lo.x, lo.y, lo.z};
+  const double hiv[3] = {hi.x, hi.y, hi.z};
+  for (int a = 0; a < 3; ++a) {
+    if (std::fabs(dvec[a]) < 1e-12) {
+      if (o[a] < lov[a] || o[a] > hiv[a]) return false;
+      continue;
+    }
+    double t0 = (lov[a] - o[a]) / dvec[a];
+    double t1 = (hiv[a] - o[a]) / dvec[a];
+    if (t0 > t1) std::swap(t0, t1);
+    t_near = std::max(t_near, t0);
+    t_far = std::min(t_far, t1);
+  }
+  t_near = std::max(t_near, 0.0);
+  return t_far >= t_near;
+}
+
+}  // namespace ifet

@@ -1,0 +1,40 @@
+// Pinhole camera for the ray caster. The volume is rendered in a world
+// frame where its largest axis spans [-0.5, 0.5] and the camera orbits the
+// origin — the view-aligned setup of the paper's 3D-texture renderer.
+#pragma once
+
+#include "math/mat4.hpp"
+#include "math/vec.hpp"
+
+namespace ifet {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  ///< Unit length.
+};
+
+class Camera {
+ public:
+  /// Orbit camera: azimuth/elevation in radians around the origin at
+  /// `distance`, vertical field of view `fov_y` in radians.
+  Camera(double azimuth, double elevation, double distance,
+         double fov_y = 0.9);
+
+  const Vec3& position() const { return position_; }
+
+  /// Ray through pixel (x, y) of a width*height image (pixel centers).
+  Ray pixel_ray(int x, int y, int width, int height) const;
+
+ private:
+  Vec3 position_;
+  Vec3 forward_, right_, up_;
+  double fov_y_;
+};
+
+/// Slab intersection of a ray with the axis-aligned box [lo, hi].
+/// Returns false if the ray misses; otherwise [t_near, t_far] with
+/// t_far >= max(t_near, 0).
+bool intersect_box(const Ray& ray, const Vec3& lo, const Vec3& hi,
+                   double& t_near, double& t_far);
+
+}  // namespace ifet

@@ -1,0 +1,252 @@
+#include "render/raycaster.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+#include "volume/ops.hpp"
+
+namespace ifet {
+
+namespace {
+
+/// World-space box of a volume: largest axis spans [-0.5, 0.5].
+struct WorldBox {
+  Vec3 lo, hi;
+  Vec3 scale;   ///< world -> voxel scale per axis
+  Vec3 offset;  ///< voxel = (world - lo) * scale (then -0.5 voxel centering)
+
+  explicit WorldBox(const Dims& d) {
+    const double m = std::max({d.x, d.y, d.z});
+    Vec3 half{0.5 * d.x / m, 0.5 * d.y / m, 0.5 * d.z / m};
+    lo = -half;
+    hi = half;
+    scale = Vec3{d.x / (hi.x - lo.x), d.y / (hi.y - lo.y),
+                 d.z / (hi.z - lo.z)};
+  }
+
+  Vec3 to_voxel(const Vec3& world) const {
+    // Voxel centers at integer coordinates: voxel i covers
+    // [i-0.5, i+0.5) in sample space.
+    return Vec3{(world.x - lo.x) * scale.x - 0.5,
+                (world.y - lo.y) * scale.y - 0.5,
+                (world.z - lo.z) * scale.z - 0.5};
+  }
+};
+
+inline std::uint8_t to_byte(double v) {
+  return static_cast<std::uint8_t>(clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+}
+
+}  // namespace
+
+Raycaster::Raycaster(const RenderSettings& settings) : settings_(settings) {
+  IFET_REQUIRE(settings_.width > 0 && settings_.height > 0,
+               "Raycaster: image dimensions must be positive");
+  IFET_REQUIRE(settings_.step_voxels > 0.0,
+               "Raycaster: step size must be positive");
+}
+
+ImageRgb8 Raycaster::render(const VolumeF& volume,
+                            const TransferFunction1D& tf,
+                            const ColorMap& colors, const Camera& camera,
+                            const HighlightLayer* highlight,
+                            RenderStats* stats) const {
+  if (highlight != nullptr) {
+    IFET_REQUIRE(highlight->mask != nullptr && highlight->tf != nullptr,
+                 "Raycaster: highlight layer needs mask and TF");
+    IFET_REQUIRE(highlight->mask->dims() == volume.dims(),
+                 "Raycaster: highlight mask dimension mismatch");
+    IFET_REQUIRE(settings_.mode == CompositingMode::kFrontToBack,
+                 "Raycaster: the tracked-feature highlight requires "
+                 "emission-absorption compositing (MIP has no ordering to "
+                 "overlay into)");
+  }
+  Stopwatch watch;
+  const Dims d = volume.dims();
+  const WorldBox box(d);
+  ImageRgb8 image(settings_.width, settings_.height);
+
+  // Step length in world units: step_voxels voxels of the largest axis.
+  const double max_dim = std::max({d.x, d.y, d.z});
+  const double dt = settings_.step_voxels / max_dim;
+  const double value_span = tf.value_hi() - tf.value_lo();
+  const Vec3 light_dir = (camera.position() - Vec3{0, 0, 0}).normalized();
+
+  std::atomic<std::size_t> total_samples{0};
+  std::atomic<std::size_t> early{0};
+
+  parallel_for_ranges(
+      0, static_cast<std::size_t>(settings_.height),
+      [&](std::size_t row0, std::size_t row1) {
+        std::size_t local_samples = 0;
+        std::size_t local_early = 0;
+        for (std::size_t y = row0; y < row1; ++y) {
+          for (int x = 0; x < settings_.width; ++x) {
+            Ray ray = camera.pixel_ray(x, static_cast<int>(y),
+                                       settings_.width, settings_.height);
+            double t0, t1;
+            Rgb accum = {0, 0, 0};
+            double alpha = 0.0;
+            if (settings_.mode == CompositingMode::kMaximumIntensity) {
+              // MIP: the brightest sample the TF makes visible wins the
+              // pixel; no ordering-dependent accumulation.
+              double best_value = 0.0;
+              bool any = false;
+              if (intersect_box(ray, box.lo, box.hi, t0, t1)) {
+                for (double t = t0; t <= t1; t += dt) {
+                  Vec3 vox = box.to_voxel(ray.origin + ray.direction * t);
+                  double value = volume.sample(vox);
+                  ++local_samples;
+                  if (tf.opacity(value) <= 0.0) continue;
+                  if (!any || value > best_value) {
+                    best_value = value;
+                    any = true;
+                  }
+                }
+              }
+              if (any) {
+                double norm =
+                    value_span > 0.0
+                        ? clamp((best_value - tf.value_lo()) / value_span,
+                                0.0, 1.0)
+                        : 0.0;
+                Rgb c = colors.at(norm);
+                image.set(x, static_cast<int>(y), to_byte(c.r),
+                          to_byte(c.g), to_byte(c.b));
+              } else {
+                image.set(x, static_cast<int>(y),
+                          to_byte(settings_.background.r),
+                          to_byte(settings_.background.g),
+                          to_byte(settings_.background.b));
+              }
+              continue;
+            }
+            if (intersect_box(ray, box.lo, box.hi, t0, t1)) {
+              for (double t = t0; t <= t1; t += dt) {
+                Vec3 world = ray.origin + ray.direction * t;
+                Vec3 vox = box.to_voxel(world);
+                double value = volume.sample(vox);
+                ++local_samples;
+
+                double a;
+                Rgb color;
+                bool highlighted = false;
+                if (highlight != nullptr) {
+                  // Nearest-voxel lookup in the region-growing texture.
+                  int hi_i = static_cast<int>(std::lround(vox.x));
+                  int hi_j = static_cast<int>(std::lround(vox.y));
+                  int hi_k = static_cast<int>(std::lround(vox.z));
+                  highlighted =
+                      highlight->mask->clamped(hi_i, hi_j, hi_k) != 0;
+                }
+                if (highlighted) {
+                  a = highlight->tf->opacity(value);
+                  color = highlight->color;
+                } else {
+                  a = tf.opacity(value);
+                  double norm =
+                      value_span > 0.0
+                          ? clamp((value - tf.value_lo()) / value_span, 0.0,
+                                  1.0)
+                          : 0.0;
+                  color = colors.at(norm);
+                }
+                if (a <= 0.0) continue;
+                if (settings_.opacity_correction) {
+                  a = 1.0 - std::pow(1.0 - a, settings_.step_voxels);
+                }
+
+                if (settings_.shading) {
+                  int gi = static_cast<int>(std::lround(vox.x));
+                  int gj = static_cast<int>(std::lround(vox.y));
+                  int gk = static_cast<int>(std::lround(vox.z));
+                  Vec3 g = gradient_at(volume, gi, gj, gk);
+                  double gn = g.norm();
+                  double shade = settings_.ambient;
+                  if (gn > 1e-9) {
+                    Vec3 normal = g / gn;
+                    double ndotl = std::fabs(normal.dot(light_dir));
+                    shade += settings_.diffuse * ndotl;
+                    // Headlight specular (view == light direction).
+                    double spec =
+                        std::pow(ndotl, settings_.specular_power);
+                    shade += settings_.specular * spec;
+                  } else {
+                    shade += settings_.diffuse * 0.5;
+                  }
+                  color.r *= shade;
+                  color.g *= shade;
+                  color.b *= shade;
+                }
+
+                const double w = (1.0 - alpha) * a;
+                accum.r += w * color.r;
+                accum.g += w * color.g;
+                accum.b += w * color.b;
+                alpha += w;
+                if (alpha >= settings_.early_termination_alpha) {
+                  ++local_early;
+                  break;
+                }
+              }
+            }
+            accum.r += (1.0 - alpha) * settings_.background.r;
+            accum.g += (1.0 - alpha) * settings_.background.g;
+            accum.b += (1.0 - alpha) * settings_.background.b;
+            image.set(x, static_cast<int>(y), to_byte(accum.r),
+                      to_byte(accum.g), to_byte(accum.b));
+          }
+        }
+        total_samples += local_samples;
+        early += local_early;
+      });
+
+  if (stats != nullptr) {
+    stats->rays = static_cast<std::size_t>(settings_.width) *
+                  static_cast<std::size_t>(settings_.height);
+    stats->samples = total_samples.load();
+    stats->terminated_early = early.load();
+    stats->seconds = watch.seconds();
+  }
+  return image;
+}
+
+ImageRgb8 render_slice(const VolumeF& volume, int axis, int slice,
+                       const TransferFunction1D& tf, const ColorMap& colors) {
+  IFET_REQUIRE(axis >= 0 && axis <= 2, "render_slice: axis must be 0..2");
+  const Dims d = volume.dims();
+  int width = 0, height = 0;
+  switch (axis) {
+    case 0: width = d.y; height = d.z; break;
+    case 1: width = d.x; height = d.z; break;
+    default: width = d.x; height = d.y; break;
+  }
+  ImageRgb8 image(width, height);
+  const double span = tf.value_hi() - tf.value_lo();
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      int i = 0, j = 0, k = 0;
+      switch (axis) {
+        case 0: i = slice; j = col; k = row; break;
+        case 1: i = col; j = slice; k = row; break;
+        default: i = col; j = row; k = slice; break;
+      }
+      IFET_REQUIRE(d.contains(i, j, k), "render_slice: slice out of range");
+      double value = volume.at(i, j, k);
+      double a = tf.opacity(value);
+      double norm = span > 0.0
+                        ? clamp((value - tf.value_lo()) / span, 0.0, 1.0)
+                        : 0.0;
+      Rgb c = colors.at(norm);
+      image.set(col, row, to_byte(c.r * a), to_byte(c.g * a),
+                to_byte(c.b * a));
+    }
+  }
+  return image;
+}
+
+}  // namespace ifet

@@ -1,0 +1,89 @@
+// Software direct-volume ray caster.
+//
+// Substitutes the paper's hardware pipeline (Sec 7: fragment programs +
+// view-aligned 3D textures on a GeForce 6800) with the same algorithm on
+// the CPU: per-sample transfer-function lookup, optional Phong shading from
+// central-difference gradient normals, front-to-back compositing with early
+// ray termination, and the tracked-feature highlight pass — "when a voxel's
+// value in the region growing texture is one, its color is set to red and
+// its opacity is set to the opacity in the adaptive transfer function.
+// Otherwise, the color and opacity looked up from the user specified 1D
+// transfer function are shown."
+//
+// Color is always assigned from the *original data value* through a
+// time-constant color map; the learned methods modulate opacity only
+// (Sec 7's caveat about misleading color shifts).
+#pragma once
+
+#include <optional>
+
+#include "io/image_io.hpp"
+#include "render/camera.hpp"
+#include "tf/transfer_function.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Ray compositing scheme.
+enum class CompositingMode {
+  kFrontToBack,       ///< Emission-absorption (the paper's DVR).
+  kMaximumIntensity,  ///< MIP: brightest TF-visible sample wins.
+};
+
+struct RenderSettings {
+  int width = 256;
+  int height = 256;
+  CompositingMode mode = CompositingMode::kFrontToBack;
+  /// Ray-march step as a fraction of a voxel (1.0 = one voxel per sample).
+  double step_voxels = 1.0;
+  bool shading = true;
+  double ambient = 0.3;
+  double diffuse = 0.7;
+  double specular = 0.25;
+  double specular_power = 24.0;
+  /// Compositing stops once accumulated alpha exceeds this.
+  double early_termination_alpha = 0.98;
+  Rgb background{0.0, 0.0, 0.0};
+  /// Opacity of TF entries was authored for unit sampling; corrected per
+  /// sample distance when true.
+  bool opacity_correction = true;
+};
+
+/// Inputs of a highlight (feature-tracking) overlay pass.
+struct HighlightLayer {
+  const Mask* mask = nullptr;             ///< Tracked-region texture.
+  const TransferFunction1D* tf = nullptr; ///< Adaptive TF giving its opacity.
+  Rgb color{0.9, 0.05, 0.05};             ///< Paper renders the feature red.
+};
+
+struct RenderStats {
+  std::size_t rays = 0;
+  std::size_t samples = 0;        ///< TF lookups performed.
+  std::size_t terminated_early = 0;
+  double seconds = 0.0;
+};
+
+class Raycaster {
+ public:
+  explicit Raycaster(const RenderSettings& settings = {});
+
+  const RenderSettings& settings() const { return settings_; }
+
+  /// Render `volume` with a transfer function and color map. If `highlight`
+  /// is provided its mask voxels are drawn in the highlight color with the
+  /// adaptive TF's opacity (the multi-pass feature-tracking display).
+  ImageRgb8 render(const VolumeF& volume, const TransferFunction1D& tf,
+                   const ColorMap& colors, const Camera& camera,
+                   const HighlightLayer* highlight = nullptr,
+                   RenderStats* stats = nullptr) const;
+
+ private:
+  RenderSettings settings_;
+};
+
+/// Render one axis-aligned slice of a volume through a TF + color map
+/// (the interface's 2D views, Sec 6). Axis 0=X, 1=Y, 2=Z.
+ImageRgb8 render_slice(const VolumeF& volume, int axis, int slice,
+                       const TransferFunction1D& tf, const ColorMap& colors);
+
+}  // namespace ifet

@@ -1,0 +1,154 @@
+#include "session/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+PaintingSession::PaintingSession(const VolumeSequence& sequence,
+                                 const SessionConfig& config)
+    : sequence_(sequence),
+      config_(config),
+      classifier_(std::make_unique<DataSpaceClassifier>(
+          sequence.num_steps(), sequence.value_range().first,
+          sequence.value_range().second, config.classifier)) {}
+
+void PaintingSession::add_to_classifier(
+    const VolumeF& volume, int step,
+    const std::vector<PaintedVoxel>& painted) {
+  classifier_->add_samples(volume, step, painted);
+  painted_.insert(painted_.end(), painted.begin(), painted.end());
+}
+
+std::size_t PaintingSession::paint(int step, const PaintStroke& stroke) {
+  IFET_REQUIRE(stroke.axis >= 0 && stroke.axis <= 2,
+               "paint: axis must be 0..2");
+  IFET_REQUIRE(stroke.radius >= 0.0, "paint: negative brush radius");
+  const Dims d = sequence_.dims();
+  const VolumeF& volume = sequence_.step(step);
+  const int r = static_cast<int>(std::ceil(stroke.radius));
+  std::vector<PaintedVoxel> painted;
+  for (int dv = -r; dv <= r; ++dv) {
+    for (int du = -r; du <= r; ++du) {
+      if (du * du + dv * dv > stroke.radius * stroke.radius) continue;
+      int col = static_cast<int>(std::lround(stroke.u)) + du;
+      int row = static_cast<int>(std::lround(stroke.v)) + dv;
+      Index3 p;
+      switch (stroke.axis) {
+        case 0: p = {stroke.slice, col, row}; break;
+        case 1: p = {col, stroke.slice, row}; break;
+        default: p = {col, row, stroke.slice}; break;
+      }
+      if (!d.contains(p)) continue;
+      painted.push_back(PaintedVoxel{p, step, stroke.certainty});
+    }
+  }
+  add_to_classifier(volume, step, painted);
+  return painted.size();
+}
+
+std::size_t PaintingSession::select_unwanted_region(int step, Index3 box_lo,
+                                                    Index3 box_hi) {
+  const Dims d = sequence_.dims();
+  IFET_REQUIRE(d.contains(box_lo) && d.contains(box_hi),
+               "select_unwanted_region: box outside the volume");
+  IFET_REQUIRE(box_lo.x <= box_hi.x && box_lo.y <= box_hi.y &&
+                   box_lo.z <= box_hi.z,
+               "select_unwanted_region: inverted box");
+  const VolumeF& volume = sequence_.step(step);
+  std::vector<PaintedVoxel> painted;
+  for (int k = box_lo.z; k <= box_hi.z; ++k) {
+    for (int j = box_lo.y; j <= box_hi.y; ++j) {
+      for (int i = box_lo.x; i <= box_hi.x; ++i) {
+        painted.push_back(PaintedVoxel{Index3{i, j, k}, step, 0.0});
+      }
+    }
+  }
+  add_to_classifier(volume, step, painted);
+  return painted.size();
+}
+
+double PaintingSession::train_idle(double budget_ms) {
+  return classifier_->train_for(budget_ms);
+}
+
+double PaintingSession::train_epochs(int epochs) {
+  return classifier_->train(epochs);
+}
+
+std::vector<float> PaintingSession::feedback_slice(int step, int axis,
+                                                   int slice) const {
+  return classifier_->classify_slice(sequence_.step(step), step, axis, slice);
+}
+
+VolumeF PaintingSession::feedback_volume(int step) const {
+  return classifier_->classify(sequence_.step(step), step);
+}
+
+ImageRgb8 PaintingSession::feedback_image(int step, int axis,
+                                          int slice) const {
+  const Dims d = sequence_.dims();
+  int width = 0, height = 0;
+  switch (axis) {
+    case 0: width = d.y; height = d.z; break;
+    case 1: width = d.x; height = d.z; break;
+    default: width = d.x; height = d.y; break;
+  }
+  std::vector<float> certainty = feedback_slice(step, axis, slice);
+  ImageRgb8 image(width, height);
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      auto c = static_cast<std::uint8_t>(
+          clamp(certainty[static_cast<std::size_t>(row) *
+                              static_cast<std::size_t>(width) +
+                          static_cast<std::size_t>(col)],
+                0.0f, 1.0f) *
+          255.0f);
+      image.set(col, row, c, c, c);
+    }
+  }
+  // Overlay painted samples on this slice: feature green, background red.
+  for (const PaintedVoxel& p : painted_) {
+    if (p.step != step) continue;
+    int pi = 0, col = 0, row = 0;
+    switch (axis) {
+      case 0: pi = p.voxel.x; col = p.voxel.y; row = p.voxel.z; break;
+      case 1: pi = p.voxel.y; col = p.voxel.x; row = p.voxel.z; break;
+      default: pi = p.voxel.z; col = p.voxel.x; row = p.voxel.y; break;
+    }
+    if (pi != slice) continue;
+    if (p.certainty >= 0.5) {
+      image.set(col, row, 30, 220, 30);
+    } else {
+      image.set(col, row, 220, 30, 30);
+    }
+  }
+  return image;
+}
+
+void PaintingSession::set_properties(const FeatureVectorSpec& spec) {
+  classifier_ = classifier_->with_spec(spec);
+  // Replay the stroke history under the new spec (grouped per step so each
+  // key-frame volume is fetched once).
+  std::vector<int> steps;
+  for (const auto& p : painted_) {
+    if (std::find(steps.begin(), steps.end(), p.step) == steps.end()) {
+      steps.push_back(p.step);
+    }
+  }
+  for (int step : steps) {
+    std::vector<PaintedVoxel> group;
+    for (const auto& p : painted_) {
+      if (p.step == step) group.push_back(p);
+    }
+    classifier_->add_samples(sequence_.step(step), step, group);
+  }
+}
+
+void PaintingSession::derive_shell_radius() {
+  classifier_->derive_shell_radius_from_samples(sequence_.dims());
+}
+
+}  // namespace ifet

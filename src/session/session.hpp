@@ -1,0 +1,93 @@
+// Headless interactive visualization session (paper Sec 6, Fig 11).
+//
+// The paper's interface lets the scientist (a) paint sample data of
+// different classes with colored brushes directly on three axis-aligned
+// slices, (b) select small unwanted features from the feature-volume window
+// as negative examples, (c) watch live feedback — the current network
+// applied to slices or the whole volume — while training proceeds in the
+// idle loop, and (d) drop data properties judged unimportant, transparently
+// shrinking the network while transferring learned weights.
+//
+// This module implements those semantics without a windowing toolkit; the
+// examples script user interactions against it, and the GUI of a downstream
+// application would be a thin layer over this class.
+#pragma once
+
+#include <vector>
+
+#include "core/dataspace.hpp"
+#include "io/image_io.hpp"
+#include "tf/transfer_function.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+/// One brush stroke on an axis-aligned slice. `axis` 0=X, 1=Y, 2=Z;
+/// (u, v) is the in-slice center in the slice's (col, row) coordinates.
+struct PaintStroke {
+  int axis = 2;
+  int slice = 0;
+  double u = 0.0;
+  double v = 0.0;
+  double radius = 2.0;     ///< Brush radius in voxels.
+  double certainty = 1.0;  ///< 1 = feature brush, 0 = background brush.
+};
+
+struct SessionConfig {
+  DataSpaceConfig classifier;
+  /// Feedback slices re-classified after each idle training slot.
+  int feedback_axis = 2;
+};
+
+class PaintingSession {
+ public:
+  PaintingSession(const VolumeSequence& sequence,
+                  const SessionConfig& config = {});
+
+  const DataSpaceClassifier& classifier() const { return *classifier_; }
+
+  /// Convert a stroke on `step`'s slice into painted voxels and add them to
+  /// the training set. Returns how many voxels the brush covered.
+  std::size_t paint(int step, const PaintStroke& stroke);
+
+  /// Sec 6: "the system also allows the user to select small features from
+  /// the window of feature volume, and consider the selected regions as
+  /// part of the unwanted feature." Marks every voxel of the box as a
+  /// negative sample. Returns the number of voxels added.
+  std::size_t select_unwanted_region(int step, Index3 box_lo, Index3 box_hi);
+
+  /// Idle-loop training slot; returns the training MSE after the slot.
+  double train_idle(double budget_ms);
+  double train_epochs(int epochs);
+
+  /// Live feedback: certainty image of one slice under the current network.
+  std::vector<float> feedback_slice(int step, int axis, int slice) const;
+
+  /// Live feedback: full certainty volume of a step.
+  VolumeF feedback_volume(int step) const;
+
+  /// Feedback rendered to an 8-bit image (certainty as grayscale with the
+  /// painted samples overlaid in green/red).
+  ImageRgb8 feedback_image(int step, int axis, int slice) const;
+
+  /// Sec 6 property toggling: rebuild the classifier for `spec` (weights of
+  /// shared inputs transferred) and replay all recorded paint samples under
+  /// the new spec. "The user interface hides all these."
+  void set_properties(const FeatureVectorSpec& spec);
+
+  /// Re-derive the shell radius from the positive samples painted so far.
+  void derive_shell_radius();
+
+  std::size_t samples_painted() const { return painted_.size(); }
+
+ private:
+  void add_to_classifier(const VolumeF& volume, int step,
+                         const std::vector<PaintedVoxel>& painted);
+
+  const VolumeSequence& sequence_;
+  SessionConfig config_;
+  std::unique_ptr<DataSpaceClassifier> classifier_;
+  std::vector<PaintedVoxel> painted_;  ///< Full stroke history (for replay).
+};
+
+}  // namespace ifet

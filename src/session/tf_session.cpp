@@ -1,0 +1,51 @@
+#include "session/tf_session.hpp"
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+TfSession::TfSession(const VolumeSequence& sequence,
+                     const TfSessionConfig& config)
+    : sequence_(sequence), config_(config), iatf_(sequence, config.iatf) {}
+
+void TfSession::set_key_frame(int step, const TransferFunction1D& tf) {
+  iatf_.set_key_frame(step, tf);
+}
+
+bool TfSession::remove_key_frame(int step) {
+  return iatf_.remove_key_frame(step);
+}
+
+double TfSession::idle(double budget_ms) {
+  IFET_REQUIRE(key_frame_count() > 0,
+               "TfSession::idle: set a key frame first");
+  return iatf_.train_for(budget_ms);
+}
+
+double TfSession::train_epochs(int epochs) {
+  IFET_REQUIRE(key_frame_count() > 0,
+               "TfSession::train_epochs: set a key frame first");
+  return iatf_.train(epochs);
+}
+
+KeyFrameSuggestion TfSession::advise() const {
+  IFET_REQUIRE(key_frame_count() > 0,
+               "TfSession::advise: set a key frame first");
+  std::vector<int> keys;
+  for (const auto& frame : iatf_.key_frames().frames()) {
+    keys.push_back(frame.step);
+  }
+  return suggest_key_frame(sequence_, keys, 0, sequence_.num_steps() - 1,
+                           config_.advisor_stride, config_.advisor_threshold,
+                           config_.advisor_time_weight);
+}
+
+ImageRgb8 TfSession::preview(int step, const Camera& camera,
+                             const RenderSettings& settings,
+                             const ColorMap& colors) const {
+  Raycaster caster(settings);
+  return caster.render(sequence_.step(step), iatf_.evaluate(step), colors,
+                       camera);
+}
+
+}  // namespace ifet

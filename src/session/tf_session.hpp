@@ -1,0 +1,68 @@
+// Transfer-function-space session (the Fig 1 loop of the paper).
+//
+// Wraps the Iatf in the interaction protocol of Sec 4.2: the user assigns
+// 1D transfer functions to key frames (and may revise or remove them),
+// training proceeds in idle-loop slots, the current adaptive TF for any
+// step is always available for rendering, and the session can advise which
+// step to key next (the automated form of "add new key frames when
+// needed"). The paired render helper produces the frame the user would see
+// — volume rendered through the current adaptive TF.
+#pragma once
+
+#include <memory>
+
+#include "core/iatf.hpp"
+#include "core/keyframe_advisor.hpp"
+#include "io/image_io.hpp"
+#include "render/raycaster.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+struct TfSessionConfig {
+  IatfConfig iatf;
+  /// Advisor scan stride (1 = every step; raise for long sequences).
+  int advisor_stride = 1;
+  /// Advisor stops suggesting below this distance.
+  double advisor_threshold = 0.02;
+  /// Advisor weight for temporal coverage (see keyframe_advisor.hpp).
+  double advisor_time_weight = 0.1;
+};
+
+class TfSession {
+ public:
+  explicit TfSession(const VolumeSequence& sequence,
+                     const TfSessionConfig& config = {});
+
+  /// Upsert a key frame (add, or revise an existing one).
+  void set_key_frame(int step, const TransferFunction1D& tf);
+  /// Remove a key frame; returns false if absent.
+  bool remove_key_frame(int step);
+  std::size_t key_frame_count() const { return iatf_.key_frames().size(); }
+
+  /// Idle-loop training slot; returns current training MSE.
+  double idle(double budget_ms);
+  /// Deterministic alternative for scripted runs.
+  double train_epochs(int epochs);
+
+  /// The adaptive TF for any step under the current network.
+  TransferFunction1D current_tf(int step) const { return iatf_.evaluate(step); }
+
+  /// Where to key next; step = -1 when the sequence is covered. Requires
+  /// at least one key frame.
+  KeyFrameSuggestion advise() const;
+
+  /// Render `step` through the current adaptive TF (the user's preview).
+  ImageRgb8 preview(int step, const Camera& camera,
+                    const RenderSettings& settings = {},
+                    const ColorMap& colors = {}) const;
+
+  const Iatf& iatf() const { return iatf_; }
+
+ private:
+  const VolumeSequence& sequence_;
+  TfSessionConfig config_;
+  Iatf iatf_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,46 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace ifet {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) == 0) {
+      arg.remove_prefix(2);
+      auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        options_[std::string(arg)] = "";
+      } else {
+        options_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+}  // namespace ifet

@@ -1,0 +1,31 @@
+// Tiny command-line option parser for the examples and bench binaries.
+// Accepts "--key=value" and bare "--flag" arguments; anything else is kept
+// as a positional argument. No external dependency, deliberately minimal.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ifet {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if "--name" or "--name=..." was passed.
+  bool has(const std::string& name) const;
+
+  /// Value of "--name=value", or `fallback` if absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,24 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  IFET_REQUIRE(out_.good(), "cannot open CSV file for writing: " + path);
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) line += ',';
+    line += header[i];
+  }
+  out_ << line << '\n';
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  out_ << line << '\n';
+  ++rows_;
+}
+
+}  // namespace ifet

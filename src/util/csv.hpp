@@ -1,0 +1,37 @@
+// Minimal CSV writer used by the benchmark harnesses to persist the series
+// behind each reproduced figure (so plots can be regenerated outside C++).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ifet {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; values are stringified with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::ostringstream os;
+    bool first = true;
+    ((os << (first ? "" : ",") << values, first = false), ...);
+    write_line(os.str());
+  }
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_line(const std::string& line);
+
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ifet

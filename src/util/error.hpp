@@ -1,0 +1,35 @@
+// Error handling primitives for the ifet library.
+//
+// Following the C++ Core Guidelines (E.2, I.10) we report errors that cannot
+// be handled locally by throwing; precondition violations use IFET_REQUIRE
+// which throws ifet::Error with file/line context so library misuse is
+// diagnosable in release builds too (the data sets processed here are large
+// and rebuilding in debug mode to find a bad extent is not acceptable).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ifet {
+
+/// Exception type thrown for all recoverable errors raised by ifet libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace ifet
+
+/// Precondition / invariant check that stays on in release builds.
+/// Throws ifet::Error with source location on failure.
+#define IFET_REQUIRE(expr, message)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::ifet::detail::throw_error(__FILE__, __LINE__, #expr, (message));  \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,30 @@
+// Fixed-width console table printer. The figure-reproduction benches print
+// the series a paper figure plots as aligned rows; this keeps that output
+// readable without dragging in a formatting library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ifet {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row of already-formatted cells. Short rows are padded.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with fixed precision (helper for row building).
+  static std::string num(double v, int precision = 3);
+
+  /// Render with column alignment to `os`.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harnesses and by the
+// idle-loop training driver (which budgets training work in milliseconds,
+// mirroring the paper's "training is performed iteratively in the system's
+// idle loop").
+#pragma once
+
+#include <chrono>
+
+namespace ifet {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,104 @@
+#include "volume/components.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ifet {
+
+const ComponentInfo& Labeling::info(std::int32_t label) const {
+  for (const auto& c : components) {
+    if (c.label == label) return c;
+  }
+  throw Error("Labeling::info: unknown label " + std::to_string(label));
+}
+
+Mask Labeling::component_mask(std::int32_t label) const {
+  Mask out(labels.dims());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out[i] = labels[i] == label ? 1 : 0;
+  }
+  return out;
+}
+
+Labeling label_components(const Mask& mask, const VolumeF* values) {
+  if (values != nullptr) {
+    IFET_REQUIRE(values->dims() == mask.dims(),
+                 "label_components: value volume dimension mismatch");
+  }
+  const Dims d = mask.dims();
+  Labeling result;
+  result.labels = Volume<std::int32_t>(d, 0);
+
+  static constexpr int kNeighborhood[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                              {0, 1, 0},  {0, -1, 0},
+                                              {0, 0, 1},  {0, 0, -1}};
+  std::int32_t next_label = 1;
+  std::deque<Index3> frontier;
+
+  for (std::size_t start = 0; start < mask.size(); ++start) {
+    if (mask[start] == 0 || result.labels[start] != 0) continue;
+    const std::int32_t label = next_label++;
+    ComponentInfo info;
+    info.label = label;
+    Index3 seed = mask.coord_of(start);
+    info.bbox_min = seed;
+    info.bbox_max = seed;
+
+    result.labels[start] = label;
+    frontier.clear();
+    frontier.push_back(seed);
+    double cx = 0.0, cy = 0.0, cz = 0.0;
+    while (!frontier.empty()) {
+      Index3 p = frontier.front();
+      frontier.pop_front();
+      ++info.voxel_count;
+      cx += p.x;
+      cy += p.y;
+      cz += p.z;
+      info.bbox_min.x = std::min(info.bbox_min.x, p.x);
+      info.bbox_min.y = std::min(info.bbox_min.y, p.y);
+      info.bbox_min.z = std::min(info.bbox_min.z, p.z);
+      info.bbox_max.x = std::max(info.bbox_max.x, p.x);
+      info.bbox_max.y = std::max(info.bbox_max.y, p.y);
+      info.bbox_max.z = std::max(info.bbox_max.z, p.z);
+      if (values != nullptr) {
+        info.value_sum += (*values)[values->linear_index(p.x, p.y, p.z)];
+      }
+      for (const auto& n : kNeighborhood) {
+        Index3 q{p.x + n[0], p.y + n[1], p.z + n[2]};
+        if (!d.contains(q)) continue;
+        std::size_t qi = mask.linear_index(q.x, q.y, q.z);
+        if (mask[qi] == 0 || result.labels[qi] != 0) continue;
+        result.labels[qi] = label;
+        frontier.push_back(q);
+      }
+    }
+    double n = static_cast<double>(info.voxel_count);
+    info.centroid = Vec3{cx / n, cy / n, cz / n};
+    result.components.push_back(info);
+  }
+
+  std::sort(result.components.begin(), result.components.end(),
+            [](const ComponentInfo& a, const ComponentInfo& b) {
+              return a.voxel_count > b.voxel_count;
+            });
+  return result;
+}
+
+Mask remove_small_components(const Mask& mask, std::size_t min_voxels) {
+  Labeling labeling = label_components(mask);
+  std::vector<std::uint8_t> keep(labeling.components.size() + 1, 0);
+  for (const auto& c : labeling.components) {
+    if (c.voxel_count >= min_voxels) {
+      keep[static_cast<std::size_t>(c.label)] = 1;
+    }
+  }
+  Mask out(mask.dims());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    std::int32_t label = labeling.labels[i];
+    out[i] = (label > 0 && keep[static_cast<std::size_t>(label)]) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace ifet

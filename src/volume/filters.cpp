@@ -1,0 +1,76 @@
+#include "volume/filters.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ifet {
+
+namespace {
+
+std::vector<double> gaussian_kernel(double sigma) {
+  IFET_REQUIRE(sigma > 0.0, "gaussian_blur requires sigma > 0");
+  int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    double w = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = w;
+    sum += w;
+  }
+  for (auto& w : kernel) w /= sum;
+  return kernel;
+}
+
+enum class Axis { X, Y, Z };
+
+VolumeF convolve_axis(const VolumeF& in, const std::vector<double>& kernel,
+                      Axis axis) {
+  const Dims d = in.dims();
+  const int radius = (static_cast<int>(kernel.size()) - 1) / 2;
+  VolumeF out(d);
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        double acc = 0.0;
+        for (int o = -radius; o <= radius; ++o) {
+          double w = kernel[static_cast<std::size_t>(o + radius)];
+          switch (axis) {
+            case Axis::X: acc += w * in.clamped(i + o, j, k); break;
+            case Axis::Y: acc += w * in.clamped(i, j + o, k); break;
+            case Axis::Z: acc += w * in.clamped(i, j, k + o); break;
+          }
+        }
+        out[out.linear_index(i, j, k)] = static_cast<float>(acc);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+VolumeF gaussian_blur(const VolumeF& volume, double sigma) {
+  auto kernel = gaussian_kernel(sigma);
+  VolumeF tmp = convolve_axis(volume, kernel, Axis::X);
+  tmp = convolve_axis(tmp, kernel, Axis::Y);
+  return convolve_axis(tmp, kernel, Axis::Z);
+}
+
+VolumeF repeated_smooth(const VolumeF& volume, double sigma, int iterations) {
+  IFET_REQUIRE(iterations >= 0, "repeated_smooth: negative iterations");
+  VolumeF out = volume;
+  for (int it = 0; it < iterations; ++it) out = gaussian_blur(out, sigma);
+  return out;
+}
+
+VolumeF box_blur3(const VolumeF& volume) {
+  const std::vector<double> kernel{1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  VolumeF tmp = convolve_axis(volume, kernel, Axis::X);
+  tmp = convolve_axis(tmp, kernel, Axis::Y);
+  return convolve_axis(tmp, kernel, Axis::Z);
+}
+
+}  // namespace ifet

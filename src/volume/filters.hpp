@@ -1,0 +1,22 @@
+// Smoothing filters. Repeated Gaussian smoothing is the "conventional
+// filtering method" baseline of Fig 7: it removes small features but
+// destroys fine detail on the large structures — exactly the failure mode
+// the learning-based extraction avoids.
+#pragma once
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Separable Gaussian blur with the given standard deviation (in voxels).
+/// Kernel radius is ceil(3*sigma); edges clamp.
+VolumeF gaussian_blur(const VolumeF& volume, double sigma);
+
+/// Apply `iterations` rounds of Gaussian smoothing (the Fig 7 baseline of
+/// "repeatedly smooth the data").
+VolumeF repeated_smooth(const VolumeF& volume, double sigma, int iterations);
+
+/// 3x3x3 box blur (cheap pre-filter used by some generators).
+VolumeF box_blur3(const VolumeF& volume);
+
+}  // namespace ifet

@@ -1,0 +1,87 @@
+#include "volume/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifet {
+
+Histogram::Histogram(int bins, double lo, double hi) : lo_(lo), hi_(hi) {
+  IFET_REQUIRE(bins > 0, "Histogram requires at least one bin");
+  IFET_REQUIRE(hi > lo, "Histogram range must be non-degenerate");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+Histogram Histogram::of(const VolumeF& volume, int bins, double lo,
+                        double hi) {
+  Histogram h(bins, lo, hi);
+  for (float v : volume.data()) h.add(static_cast<double>(v));
+  return h;
+}
+
+int Histogram::bin_of(double value) const {
+  double t = (value - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(std::floor(t * bins()));
+  return std::clamp(bin, 0, bins() - 1);
+}
+
+double Histogram::bin_center(int bin) const {
+  double width = (hi_ - lo_) / bins();
+  return lo_ + (bin + 0.5) * width;
+}
+
+void Histogram::add(double value) {
+  ++counts_[static_cast<std::size_t>(bin_of(value))];
+  ++total_;
+}
+
+int Histogram::peak_bin(int bin_lo, int bin_hi) const {
+  bin_lo = std::clamp(bin_lo, 0, bins() - 1);
+  bin_hi = std::clamp(bin_hi, 0, bins() - 1);
+  IFET_REQUIRE(bin_lo <= bin_hi, "peak_bin: empty range");
+  int best = bin_lo;
+  for (int b = bin_lo + 1; b <= bin_hi; ++b) {
+    if (counts_[static_cast<std::size_t>(b)] >
+        counts_[static_cast<std::size_t>(best)]) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+CumulativeHistogram::CumulativeHistogram(const Histogram& histogram)
+    : lo_(histogram.lo()),
+      hi_(histogram.hi()),
+      bin_width_((histogram.hi() - histogram.lo()) / histogram.bins()) {
+  cumulative_.resize(static_cast<std::size_t>(histogram.bins()));
+  const double total =
+      histogram.total() > 0 ? static_cast<double>(histogram.total()) : 1.0;
+  std::size_t running = 0;
+  for (int b = 0; b < histogram.bins(); ++b) {
+    running += histogram.count(b);
+    cumulative_[static_cast<std::size_t>(b)] =
+        static_cast<double>(running) / total;
+  }
+}
+
+CumulativeHistogram CumulativeHistogram::of(const VolumeF& volume, int bins,
+                                            double lo, double hi) {
+  return CumulativeHistogram(Histogram::of(volume, bins, lo, hi));
+}
+
+double CumulativeHistogram::fraction_at(double value) const {
+  double t = (value - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(std::floor(t * bins()));
+  if (bin < 0) return 0.0;
+  if (bin >= bins()) return 1.0;
+  return cumulative_[static_cast<std::size_t>(bin)];
+}
+
+double CumulativeHistogram::value_at_fraction(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), fraction);
+  if (it == cumulative_.end()) return hi_;
+  auto bin = static_cast<int>(it - cumulative_.begin());
+  return lo_ + (bin + 0.5) * bin_width_;
+}
+
+}  // namespace ifet

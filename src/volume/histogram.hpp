@@ -1,0 +1,79 @@
+// Histograms and cumulative histograms (paper Sec 4.2.1).
+//
+// The cumulative histogram is the backbone of the Intelligent Adaptive
+// Transfer Function: "for a given data set, the value of a voxel's
+// cumulative histogram is the number of voxels in the data set that have
+// scalar value less than or equal to that voxel". When the temporal change
+// of a volume is a positional move or a global intensity shift, a feature's
+// *cumulative* coordinate is stable even though its raw value drifts — so
+// <value, cumhist(value), t> is the IATF input vector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Fixed-range binned histogram over scalar values.
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins over [lo, hi]; values outside the range
+  /// clamp into the first/last bin (matches 8-bit texture quantization in
+  /// the paper's renderer).
+  Histogram(int bins, double lo, double hi);
+
+  /// Convenience: histogram of every voxel of `volume`.
+  static Histogram of(const VolumeF& volume, int bins, double lo, double hi);
+
+  void add(double value);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t total() const { return total_; }
+
+  /// Bin index of a value (clamped).
+  int bin_of(double value) const;
+  /// Center value of a bin.
+  double bin_center(int bin) const;
+  std::size_t count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Bin with the largest count inside [bin_lo, bin_hi] (inclusive).
+  int peak_bin(int bin_lo, int bin_hi) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Normalized cumulative histogram: value -> fraction of voxels <= value.
+class CumulativeHistogram {
+ public:
+  /// Builds from a histogram (the usual path: one histogram per time step).
+  explicit CumulativeHistogram(const Histogram& histogram);
+
+  /// Convenience: build directly from a volume.
+  static CumulativeHistogram of(const VolumeF& volume, int bins, double lo,
+                                double hi);
+
+  /// Fraction of voxels with value <= `value`, in [0, 1].
+  double fraction_at(double value) const;
+
+  /// Inverse lookup: smallest value whose cumulative fraction >= `fraction`.
+  double value_at_fraction(double fraction) const;
+
+  int bins() const { return static_cast<int>(cumulative_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+  double bin_width_;
+  std::vector<double> cumulative_;  // cumulative_[b] = P(value <= center_b)
+};
+
+}  // namespace ifet

@@ -1,0 +1,89 @@
+#include "volume/histogram2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "volume/ops.hpp"
+
+namespace ifet {
+
+Histogram2D::Histogram2D(const VolumeF& volume, int value_bins,
+                         int gradient_bins, double value_lo, double value_hi)
+    : value_bins_(value_bins),
+      gradient_bins_(gradient_bins),
+      value_lo_(value_lo),
+      value_hi_(value_hi),
+      gradient_max_(0.0) {
+  IFET_REQUIRE(value_bins > 0 && gradient_bins > 0,
+               "Histogram2D: bin counts must be positive");
+  IFET_REQUIRE(value_hi > value_lo, "Histogram2D: degenerate value range");
+  IFET_REQUIRE(!volume.empty(), "Histogram2D: empty volume");
+
+  VolumeF gradients = gradient_magnitude(volume);
+  gradient_max_ = static_cast<double>(
+      *std::max_element(gradients.data().begin(), gradients.data().end()));
+  const double gspan = gradient_max_ > 0.0 ? gradient_max_ : 1.0;
+
+  counts_.assign(static_cast<std::size_t>(value_bins_) *
+                     static_cast<std::size_t>(gradient_bins_),
+                 0);
+  gradient_sum_.assign(static_cast<std::size_t>(value_bins_), 0.0);
+  value_bin_total_.assign(static_cast<std::size_t>(value_bins_), 0);
+
+  const double vspan = value_hi_ - value_lo_;
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    int vbin = static_cast<int>((volume[i] - value_lo_) / vspan *
+                                value_bins_);
+    vbin = std::clamp(vbin, 0, value_bins_ - 1);
+    double g = gradients[i];
+    int gbin = static_cast<int>(g / gspan * gradient_bins_);
+    gbin = std::clamp(gbin, 0, gradient_bins_ - 1);
+    ++counts_[static_cast<std::size_t>(vbin) *
+                  static_cast<std::size_t>(gradient_bins_) +
+              static_cast<std::size_t>(gbin)];
+    gradient_sum_[static_cast<std::size_t>(vbin)] += g;
+    ++value_bin_total_[static_cast<std::size_t>(vbin)];
+    ++total_;
+  }
+}
+
+std::size_t Histogram2D::count(int value_bin, int gradient_bin) const {
+  IFET_REQUIRE(value_bin >= 0 && value_bin < value_bins_ &&
+                   gradient_bin >= 0 && gradient_bin < gradient_bins_,
+               "Histogram2D::count: bin out of range");
+  return counts_[static_cast<std::size_t>(value_bin) *
+                     static_cast<std::size_t>(gradient_bins_) +
+                 static_cast<std::size_t>(gradient_bin)];
+}
+
+double Histogram2D::mean_gradient_of_value_bin(int value_bin) const {
+  IFET_REQUIRE(value_bin >= 0 && value_bin < value_bins_,
+               "Histogram2D: value bin out of range");
+  std::size_t n = value_bin_total_[static_cast<std::size_t>(value_bin)];
+  return n > 0 ? gradient_sum_[static_cast<std::size_t>(value_bin)] /
+                     static_cast<double>(n)
+               : 0.0;
+}
+
+TransferFunction1D Histogram2D::boundary_emphasis_tf(
+    double peak_opacity) const {
+  TransferFunction1D tf(value_lo_, value_hi_);
+  // Map TF entries onto value bins; opacity tracks the mean gradient.
+  double peak_gradient = 0.0;
+  for (int b = 0; b < value_bins_; ++b) {
+    peak_gradient = std::max(peak_gradient, mean_gradient_of_value_bin(b));
+  }
+  if (peak_gradient <= 0.0) return tf;  // uniform volume: all transparent
+  for (int e = 0; e < TransferFunction1D::kEntries; ++e) {
+    double value = tf.entry_value(e);
+    int vbin = static_cast<int>((value - value_lo_) /
+                                (value_hi_ - value_lo_) * value_bins_);
+    vbin = std::clamp(vbin, 0, value_bins_ - 1);
+    tf.set_opacity_entry(
+        e, peak_opacity * mean_gradient_of_value_bin(vbin) / peak_gradient);
+  }
+  return tf;
+}
+
+}  // namespace ifet

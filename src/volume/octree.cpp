@@ -1,0 +1,141 @@
+#include "volume/octree.hpp"
+
+#include <algorithm>
+
+namespace ifet {
+
+namespace {
+int enclosing_power_of_two(const Dims& d) {
+  int size = 1;
+  while (size < d.x || size < d.y || size < d.z) size *= 2;
+  return size;
+}
+}  // namespace
+
+MaskOctree::MaskOctree(const Mask& mask) : dims_(mask.dims()) {
+  root_size_ = enclosing_power_of_two(dims_);
+  // Indices 0/1 are the kEmpty/kFull sentinels; keep placeholder slots so
+  // child ids can be compared against them directly.
+  nodes_.resize(2, Node{});
+  root_ = build(mask, 0, 0, 0, root_size_);
+  voxel_count_ = mask_count(mask);
+}
+
+std::uint32_t MaskOctree::build(const Mask& mask, int x0, int y0, int z0,
+                                int size) {
+  // Regions fully outside the volume are empty (padding).
+  if (x0 >= dims_.x || y0 >= dims_.y || z0 >= dims_.z) return kEmpty;
+  if (size == 1) {
+    return mask[mask.linear_index(x0, y0, z0)] ? kFull : kEmpty;
+  }
+  const int half = size / 2;
+  std::uint32_t child[8];
+  bool all_empty = true, all_full = true;
+  for (int oct = 0; oct < 8; ++oct) {
+    child[oct] = build(mask, x0 + (oct & 1 ? half : 0),
+                       y0 + (oct & 2 ? half : 0),
+                       z0 + (oct & 4 ? half : 0), half);
+    all_empty = all_empty && child[oct] == kEmpty;
+    all_full = all_full && child[oct] == kFull;
+  }
+  if (all_empty) return kEmpty;
+  if (all_full) return kFull;
+  Node node;
+  std::copy(child, child + 8, node.child);
+  nodes_.push_back(node);
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+bool MaskOctree::at(int i, int j, int k) const {
+  if (!dims_.contains(i, j, k)) return false;
+  std::uint32_t node = root_;
+  int size = root_size_;
+  int x0 = 0, y0 = 0, z0 = 0;
+  while (true) {
+    if (node == kEmpty) return false;
+    if (node == kFull) return true;
+    const int half = size / 2;
+    int oct = 0;
+    if (i >= x0 + half) {
+      oct |= 1;
+      x0 += half;
+    }
+    if (j >= y0 + half) {
+      oct |= 2;
+      y0 += half;
+    }
+    if (k >= z0 + half) {
+      oct |= 4;
+      z0 += half;
+    }
+    node = nodes_[node].child[oct];
+    size = half;
+  }
+}
+
+void MaskOctree::fill_region(Mask& out, std::uint32_t node, int x0, int y0,
+                             int z0, int size) const {
+  if (node == kEmpty) return;
+  if (node == kFull) {
+    // Full regions are always entirely inside the volume (padding voxels
+    // are empty by construction), but clamp defensively.
+    int x1 = std::min(x0 + size, dims_.x);
+    int y1 = std::min(y0 + size, dims_.y);
+    int z1 = std::min(z0 + size, dims_.z);
+    for (int k = z0; k < z1; ++k) {
+      for (int j = y0; j < y1; ++j) {
+        for (int i = x0; i < x1; ++i) {
+          out[out.linear_index(i, j, k)] = 1;
+        }
+      }
+    }
+    return;
+  }
+  const int half = size / 2;
+  for (int oct = 0; oct < 8; ++oct) {
+    fill_region(out, nodes_[node].child[oct], x0 + (oct & 1 ? half : 0),
+                y0 + (oct & 2 ? half : 0), z0 + (oct & 4 ? half : 0), half);
+  }
+}
+
+Mask MaskOctree::to_mask() const {
+  Mask out(dims_);
+  fill_region(out, root_, 0, 0, 0, root_size_);
+  return out;
+}
+
+std::size_t MaskOctree::overlap_nodes(const MaskOctree& a, std::uint32_t na,
+                                      const MaskOctree& b, std::uint32_t nb,
+                                      int x0, int y0, int z0, int size,
+                                      const Dims& clip) {
+  if (na == kEmpty || nb == kEmpty) return 0;
+  if (na == kFull && nb == kFull) {
+    // Full nodes never extend past the volume, so the region volume is the
+    // overlap; clip anyway for safety.
+    std::size_t dx = static_cast<std::size_t>(
+        std::max(0, std::min(x0 + size, clip.x) - x0));
+    std::size_t dy = static_cast<std::size_t>(
+        std::max(0, std::min(y0 + size, clip.y) - y0));
+    std::size_t dz = static_cast<std::size_t>(
+        std::max(0, std::min(z0 + size, clip.z) - z0));
+    return dx * dy * dz;
+  }
+  const int half = size / 2;
+  std::size_t total = 0;
+  for (int oct = 0; oct < 8; ++oct) {
+    std::uint32_t ca = (na == kFull) ? kFull : a.nodes_[na].child[oct];
+    std::uint32_t cb = (nb == kFull) ? kFull : b.nodes_[nb].child[oct];
+    total += overlap_nodes(a, ca, b, cb, x0 + (oct & 1 ? half : 0),
+                           y0 + (oct & 2 ? half : 0),
+                           z0 + (oct & 4 ? half : 0), half, clip);
+  }
+  return total;
+}
+
+std::size_t MaskOctree::overlap(const MaskOctree& a, const MaskOctree& b) {
+  IFET_REQUIRE(a.dims_ == b.dims_, "MaskOctree::overlap: dims mismatch");
+  return overlap_nodes(a, a.root_, b, b.root_, 0, 0, 0, a.root_size_,
+                       a.dims_);
+}
+
+}  // namespace ifet

@@ -1,0 +1,71 @@
+// Octree representation of feature masks.
+//
+// Silver & Wang (cited in paper Sec 2) "extract the features, and organize
+// them into an octree structure to reduce the amount of data during
+// tracking". Tracked-region masks are sparse and spatially coherent, so an
+// octree with collapsed homogeneous nodes stores them in a small fraction
+// of the dense bytes; overlap tests between consecutive steps (the
+// correspondence primitive of build_feature_history) can run directly on
+// two octrees without decompressing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+class MaskOctree {
+ public:
+  /// Build from a dense mask. The tree spans the power-of-two cube
+  /// enclosing the dims; out-of-volume space is treated as empty.
+  explicit MaskOctree(const Mask& mask);
+
+  const Dims& dims() const { return dims_; }
+
+  /// Voxel membership (false outside the volume).
+  bool at(int i, int j, int k) const;
+
+  /// Number of set voxels (computed during build).
+  std::size_t voxel_count() const { return voxel_count_; }
+
+  /// Decompress back to a dense mask (exact inverse of the constructor).
+  Mask to_mask() const;
+
+  /// Number of voxels set in both trees — the tracking overlap primitive.
+  /// Walks both trees simultaneously, skipping disjoint/empty subtrees.
+  static std::size_t overlap(const MaskOctree& a, const MaskOctree& b);
+
+  /// Storage accounting (the Silver-Wang reduction).
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t memory_bytes() const { return nodes_.size() * sizeof(Node); }
+  /// Bytes of the equivalent dense mask.
+  std::size_t dense_bytes() const { return dims_.count(); }
+
+ private:
+  // Node child index 0 = "all empty" sentinel, 1 = "all full" sentinel;
+  // real nodes start at index 2. Children are indexed by octant bit code
+  // (x bit 0, y bit 1, z bit 2).
+  struct Node {
+    std::uint32_t child[8];
+  };
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kFull = 1;
+
+  std::uint32_t build(const Mask& mask, int x0, int y0, int z0, int size);
+  void fill_region(Mask& out, std::uint32_t node, int x0, int y0, int z0,
+                   int size) const;
+  static std::size_t overlap_nodes(const MaskOctree& a, std::uint32_t na,
+                                   const MaskOctree& b, std::uint32_t nb,
+                                   int x0, int y0, int z0, int size,
+                                   const Dims& clip);
+
+  Dims dims_{};
+  int root_size_ = 0;
+  std::uint32_t root_ = kEmpty;
+  std::vector<Node> nodes_;  // nodes_[0], nodes_[1] unused placeholders
+  std::size_t voxel_count_ = 0;
+};
+
+}  // namespace ifet

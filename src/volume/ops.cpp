@@ -1,0 +1,77 @@
+#include "volume/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ifet {
+
+std::pair<float, float> value_range(const VolumeF& volume) {
+  IFET_REQUIRE(!volume.empty(), "value_range of empty volume");
+  auto [mn, mx] =
+      std::minmax_element(volume.data().begin(), volume.data().end());
+  return {*mn, *mx};
+}
+
+VolumeF normalized(const VolumeF& volume) {
+  auto [lo, hi] = value_range(volume);
+  VolumeF out(volume.dims());
+  if (hi <= lo) return out;
+  const float scale = 1.0f / (hi - lo);
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    out[i] = (volume[i] - lo) * scale;
+  }
+  return out;
+}
+
+Vec3 gradient_at(const VolumeF& volume, int i, int j, int k) {
+  double gx = 0.5 * (volume.clamped(i + 1, j, k) - volume.clamped(i - 1, j, k));
+  double gy = 0.5 * (volume.clamped(i, j + 1, k) - volume.clamped(i, j - 1, k));
+  double gz = 0.5 * (volume.clamped(i, j, k + 1) - volume.clamped(i, j, k - 1));
+  return {gx, gy, gz};
+}
+
+VolumeF gradient_magnitude(const VolumeF& volume) {
+  VolumeF out(volume.dims());
+  const Dims d = volume.dims();
+  parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(gradient_at(volume, i, j, k).norm());
+      }
+    }
+  });
+  return out;
+}
+
+Mask threshold_mask(const VolumeF& volume, float lo, float hi) {
+  Mask out(volume.dims());
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    out[i] = (volume[i] >= lo && volume[i] <= hi) ? 1 : 0;
+  }
+  return out;
+}
+
+VolumeF blend(const VolumeF& a, const VolumeF& b, double t) {
+  IFET_REQUIRE(a.dims() == b.dims(), "blend: dimension mismatch");
+  VolumeF out(a.dims());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<float>(lerp(a[i], b[i], t));
+  }
+  return out;
+}
+
+double mean_abs_difference(const VolumeF& a, const VolumeF& b) {
+  IFET_REQUIRE(a.dims() == b.dims(), "mean_abs_difference: dimension mismatch");
+  if (a.size() == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace ifet

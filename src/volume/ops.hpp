@@ -1,0 +1,35 @@
+// Whole-volume operators: range queries, normalization, gradients,
+// thresholding. Gradients use central differences — the same estimator the
+// paper's renderer uses to obtain shading normals on the GPU.
+#pragma once
+
+#include <utility>
+
+#include "math/vec.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Minimum and maximum voxel value.
+std::pair<float, float> value_range(const VolumeF& volume);
+
+/// Rescale all voxels so the value range maps onto [0, 1].
+/// Constant volumes map to all-zero.
+VolumeF normalized(const VolumeF& volume);
+
+/// Central-difference gradient at a voxel (clamp-to-edge).
+Vec3 gradient_at(const VolumeF& volume, int i, int j, int k);
+
+/// Gradient-magnitude volume (parallel over z-slabs).
+VolumeF gradient_magnitude(const VolumeF& volume);
+
+/// Mask of voxels with value in [lo, hi].
+Mask threshold_mask(const VolumeF& volume, float lo, float hi);
+
+/// Linear blend (1-t)*a + t*b of two same-sized volumes.
+VolumeF blend(const VolumeF& a, const VolumeF& b, double t);
+
+/// Mean absolute voxel-wise difference.
+double mean_abs_difference(const VolumeF& a, const VolumeF& b);
+
+}  // namespace ifet

@@ -1,0 +1,105 @@
+#include "volume/resample.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ifet {
+
+VolumeF downsample2(const VolumeF& volume) {
+  const Dims d = volume.dims();
+  Dims out_dims{(d.x + 1) / 2, (d.y + 1) / 2, (d.z + 1) / 2};
+  VolumeF out(out_dims);
+  parallel_for(0, static_cast<std::size_t>(out_dims.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    for (int j = 0; j < out_dims.y; ++j) {
+      for (int i = 0; i < out_dims.x; ++i) {
+        double sum = 0.0;
+        int count = 0;
+        for (int dk = 0; dk < 2; ++dk) {
+          for (int dj = 0; dj < 2; ++dj) {
+            for (int di = 0; di < 2; ++di) {
+              int fi = 2 * i + di, fj = 2 * j + dj, fk = 2 * k + dk;
+              if (!d.contains(fi, fj, fk)) continue;
+              sum += volume[volume.linear_index(fi, fj, fk)];
+              ++count;
+            }
+          }
+        }
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(sum / std::max(1, count));
+      }
+    }
+  });
+  return out;
+}
+
+VolumeF resample(const VolumeF& volume, Dims target) {
+  IFET_REQUIRE(target.x > 0 && target.y > 0 && target.z > 0,
+               "resample: target dims must be positive");
+  const Dims d = volume.dims();
+  VolumeF out(target);
+  // Map output voxel centers onto the input's voxel-coordinate range.
+  auto map = [](int idx, int out_n, int in_n) {
+    if (out_n == 1) return 0.5 * (in_n - 1);
+    return static_cast<double>(idx) * (in_n - 1) / (out_n - 1);
+  };
+  parallel_for(0, static_cast<std::size_t>(target.z), [&](std::size_t kz) {
+    int k = static_cast<int>(kz);
+    double z = map(k, target.z, d.z);
+    for (int j = 0; j < target.y; ++j) {
+      double y = map(j, target.y, d.y);
+      for (int i = 0; i < target.x; ++i) {
+        double x = map(i, target.x, d.x);
+        out[out.linear_index(i, j, k)] =
+            static_cast<float>(volume.sample(x, y, z));
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<VolumeF> build_lod_pyramid(const VolumeF& volume,
+                                       int max_levels) {
+  std::vector<VolumeF> pyramid;
+  pyramid.push_back(volume);
+  while (max_levels <= 0 ||
+         static_cast<int>(pyramid.size()) < max_levels) {
+    const Dims d = pyramid.back().dims();
+    if (d.x == 1 && d.y == 1 && d.z == 1) break;
+    pyramid.push_back(downsample2(pyramid.back()));
+    if (max_levels <= 0 && pyramid.back().dims().count() == 1) break;
+  }
+  return pyramid;
+}
+
+Mask downsample2_mask(const Mask& mask, double threshold) {
+  const Dims d = mask.dims();
+  Dims out_dims{(d.x + 1) / 2, (d.y + 1) / 2, (d.z + 1) / 2};
+  Mask out(out_dims);
+  for (int k = 0; k < out_dims.z; ++k) {
+    for (int j = 0; j < out_dims.y; ++j) {
+      for (int i = 0; i < out_dims.x; ++i) {
+        int set = 0, count = 0;
+        for (int dk = 0; dk < 2; ++dk) {
+          for (int dj = 0; dj < 2; ++dj) {
+            for (int di = 0; di < 2; ++di) {
+              int fi = 2 * i + di, fj = 2 * j + dj, fk = 2 * k + dk;
+              if (!d.contains(fi, fj, fk)) continue;
+              ++count;
+              set += mask[mask.linear_index(fi, fj, fk)] ? 1 : 0;
+            }
+          }
+        }
+        out[out.linear_index(i, j, k)] =
+            (count > 0 &&
+             static_cast<double>(set) / count >= threshold)
+                ? 1
+                : 0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ifet

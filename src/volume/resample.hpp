@@ -1,0 +1,34 @@
+// Resampling and level-of-detail pyramids.
+//
+// Paper Sec 4.3: the viable way to specify feature size is to "let the
+// scientist see [the] 4D flow field from different views and at different
+// levels of details, and interactively select the features with the
+// desired sizes". These helpers provide those levels: box-filtered
+// downsampling (each coarse voxel averages its 2x2x2 fine block) and
+// trilinear upsampling to arbitrary target dims.
+#pragma once
+
+#include <vector>
+
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Halve each dimension (rounding up); coarse voxels average the covered
+/// fine voxels (partial blocks at the borders average what exists).
+VolumeF downsample2(const VolumeF& volume);
+
+/// Trilinear resample to arbitrary target dims.
+VolumeF resample(const VolumeF& volume, Dims target);
+
+/// Level-of-detail pyramid: level 0 is the input, each following level is
+/// downsample2 of the previous, ending when any axis reaches 1.
+/// `max_levels` caps the count (0 = no cap).
+std::vector<VolumeF> build_lod_pyramid(const VolumeF& volume,
+                                       int max_levels = 0);
+
+/// Downsample a mask: a coarse voxel is set when at least `threshold`
+/// fraction of its fine voxels are set (0.5 = majority vote).
+Mask downsample2_mask(const Mask& mask, double threshold = 0.5);
+
+}  // namespace ifet

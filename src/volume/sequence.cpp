@@ -1,0 +1,63 @@
+#include "volume/sequence.hpp"
+
+#include <algorithm>
+
+namespace ifet {
+
+VolumeSequence::VolumeSequence(std::shared_ptr<const VolumeSource> source,
+                               std::size_t cache_capacity, int histogram_bins)
+    : source_(std::move(source)),
+      capacity_(std::max<std::size_t>(1, cache_capacity)),
+      histogram_bins_(histogram_bins) {
+  IFET_REQUIRE(source_ != nullptr, "VolumeSequence requires a source");
+  IFET_REQUIRE(source_->num_steps() > 0, "VolumeSequence: empty source");
+  IFET_REQUIRE(histogram_bins_ > 0, "VolumeSequence: need histogram bins");
+}
+
+VolumeSequence::Entry& VolumeSequence::fetch(int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "VolumeSequence: step out of range");
+  // Serializes cache bookkeeping AND generation: simple and safe; see the
+  // class comment for the concurrent-reader sizing contract.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(step);
+  if (it != cache_.end()) {
+    lru_.remove(step);
+    lru_.push_front(step);
+    return it->second;
+  }
+  // Evict least-recently used entries beyond capacity before inserting.
+  while (cache_.size() >= capacity_) {
+    int victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  Entry entry;
+  entry.volume = source_->generate(step);
+  ++generations_;
+  IFET_REQUIRE(entry.volume.dims() == source_->dims(),
+               "VolumeSequence: source produced wrong dimensions");
+  auto [lo, hi] = source_->value_range();
+  entry.cumhist = std::make_unique<CumulativeHistogram>(
+      Histogram::of(entry.volume, histogram_bins_, lo, hi));
+  auto [pos, inserted] = cache_.emplace(step, std::move(entry));
+  (void)inserted;
+  lru_.push_front(step);
+  return pos->second;
+}
+
+const VolumeF& VolumeSequence::step(int step) const {
+  return fetch(step).volume;
+}
+
+const CumulativeHistogram& VolumeSequence::cumulative_histogram(
+    int step) const {
+  return *fetch(step).cumhist;
+}
+
+Histogram VolumeSequence::histogram(int step) const {
+  auto [lo, hi] = source_->value_range();
+  return Histogram::of(fetch(step).volume, histogram_bins_, lo, hi);
+}
+
+}  // namespace ifet

@@ -1,0 +1,108 @@
+// Time-varying volume sequences (the "4D" in the paper's title).
+//
+// Terascale sequences do not fit in core (paper Sec 4.2.2: "when the volume
+// size is large or many time steps are used, it can be time consuming to
+// load the volumes for training since not all the data can fit in core").
+// A VolumeSequence therefore produces steps on demand from a source
+// (procedural generator or file reader) and keeps only a small LRU-cached
+// working set resident — mirroring the out-of-core constraint that
+// motivates training from key frames only.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "volume/histogram.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+/// Abstract producer of the volume for a given time step.
+class VolumeSource {
+ public:
+  virtual ~VolumeSource() = default;
+
+  virtual Dims dims() const = 0;
+  virtual int num_steps() const = 0;
+  /// Global scalar range across all steps (used to fix histogram binning so
+  /// cumulative coordinates are comparable between time steps).
+  virtual std::pair<double, double> value_range() const = 0;
+  virtual VolumeF generate(int step) const = 0;
+};
+
+/// Adapts a lambda to a VolumeSource.
+class CallbackSource final : public VolumeSource {
+ public:
+  CallbackSource(Dims dims, int num_steps, std::pair<double, double> range,
+                 std::function<VolumeF(int)> generate)
+      : dims_(dims),
+        num_steps_(num_steps),
+        range_(range),
+        generate_(std::move(generate)) {}
+
+  Dims dims() const override { return dims_; }
+  int num_steps() const override { return num_steps_; }
+  std::pair<double, double> value_range() const override { return range_; }
+  VolumeF generate(int step) const override { return generate_(step); }
+
+ private:
+  Dims dims_;
+  int num_steps_;
+  std::pair<double, double> range_;
+  std::function<VolumeF(int)> generate_;
+};
+
+/// LRU-cached view over a VolumeSource, plus per-step histogram access.
+///
+/// Thread safety: cache bookkeeping is internally synchronized, so
+/// concurrent step()/cumulative_histogram() calls are safe — but the
+/// returned references stay valid only until the entry is evicted. When
+/// reading from several threads (e.g. run_batch_render with a shared
+/// sequence), size `cache_capacity` to at least the number of concurrent
+/// readers, or have each worker generate() its own volume.
+class VolumeSequence {
+ public:
+  /// Keeps at most `cache_capacity` decoded steps in memory.
+  VolumeSequence(std::shared_ptr<const VolumeSource> source,
+                 std::size_t cache_capacity = 4, int histogram_bins = 256);
+
+  Dims dims() const { return source_->dims(); }
+  int num_steps() const { return source_->num_steps(); }
+  std::pair<double, double> value_range() const {
+    return source_->value_range();
+  }
+  int histogram_bins() const { return histogram_bins_; }
+
+  /// Volume at `step` (generated on miss; cached).
+  const VolumeF& step(int step) const;
+
+  /// Cumulative histogram of `step` over the sequence-global value range.
+  const CumulativeHistogram& cumulative_histogram(int step) const;
+
+  /// Histogram of `step` over the sequence-global value range.
+  Histogram histogram(int step) const;
+
+  /// Number of generate() calls so far (cache-miss count; for tests).
+  std::size_t generation_count() const { return generations_; }
+
+ private:
+  struct Entry {
+    VolumeF volume;
+    std::unique_ptr<CumulativeHistogram> cumhist;
+  };
+
+  Entry& fetch(int step) const;
+
+  std::shared_ptr<const VolumeSource> source_;
+  std::size_t capacity_;
+  int histogram_bins_;
+  mutable std::mutex mutex_;
+  mutable std::list<int> lru_;  // front = most recent
+  mutable std::unordered_map<int, Entry> cache_;
+  mutable std::size_t generations_ = 0;
+};
+
+}  // namespace ifet

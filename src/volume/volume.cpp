@@ -1,0 +1,34 @@
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+std::size_t mask_count(const Mask& mask) {
+  std::size_t n = 0;
+  for (auto v : mask.data()) n += (v != 0);
+  return n;
+}
+
+namespace {
+Mask binary_op(const Mask& a, const Mask& b, bool (*op)(bool, bool)) {
+  IFET_REQUIRE(a.dims() == b.dims(), "mask op: dimension mismatch");
+  Mask out(a.dims());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = op(a[i] != 0, b[i] != 0) ? 1 : 0;
+  }
+  return out;
+}
+}  // namespace
+
+Mask mask_and(const Mask& a, const Mask& b) {
+  return binary_op(a, b, [](bool x, bool y) { return x && y; });
+}
+
+Mask mask_or(const Mask& a, const Mask& b) {
+  return binary_op(a, b, [](bool x, bool y) { return x || y; });
+}
+
+Mask mask_subtract(const Mask& a, const Mask& b) {
+  return binary_op(a, b, [](bool x, bool y) { return x && !y; });
+}
+
+}  // namespace ifet

@@ -1,0 +1,149 @@
+// Regular 3D scalar grids — the fundamental data structure of the library.
+//
+// A Volume<T> is a dense dx*dy*dz grid stored in x-fastest order (matching
+// the raw-file convention of the simulation data sets the paper uses).
+// Voxel centers sit at integer coordinates; continuous sampling is
+// trilinear with clamp-to-edge addressing, which is what the paper's
+// 3D-texture renderer does in hardware.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/vec.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+
+/// Integer voxel coordinate.
+struct Index3 {
+  int x = 0, y = 0, z = 0;
+
+  friend bool operator==(const Index3&, const Index3&) = default;
+};
+
+/// Grid extents.
+struct Dims {
+  int x = 0, y = 0, z = 0;
+
+  constexpr std::size_t count() const {
+    return static_cast<std::size_t>(x) * static_cast<std::size_t>(y) *
+           static_cast<std::size_t>(z);
+  }
+  constexpr bool contains(int i, int j, int k) const {
+    return i >= 0 && i < x && j >= 0 && j < y && k >= 0 && k < z;
+  }
+  constexpr bool contains(const Index3& p) const {
+    return contains(p.x, p.y, p.z);
+  }
+  friend bool operator==(const Dims&, const Dims&) = default;
+};
+
+template <typename T>
+class Volume {
+ public:
+  Volume() = default;
+
+  /// Allocate a dx*dy*dz grid filled with `fill`.
+  explicit Volume(Dims dims, T fill = T{}) : dims_(dims) {
+    IFET_REQUIRE(dims.x > 0 && dims.y > 0 && dims.z > 0,
+                 "Volume dimensions must be positive");
+    data_.assign(dims.count(), fill);
+  }
+
+  const Dims& dims() const { return dims_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Linear index of voxel (i,j,k); x varies fastest.
+  std::size_t linear_index(int i, int j, int k) const {
+    return static_cast<std::size_t>(i) +
+           static_cast<std::size_t>(dims_.x) *
+               (static_cast<std::size_t>(j) +
+                static_cast<std::size_t>(dims_.y) * static_cast<std::size_t>(k));
+  }
+
+  /// Voxel coordinate of a linear index.
+  Index3 coord_of(std::size_t linear) const {
+    const auto dx = static_cast<std::size_t>(dims_.x);
+    const auto dy = static_cast<std::size_t>(dims_.y);
+    return Index3{static_cast<int>(linear % dx),
+                  static_cast<int>((linear / dx) % dy),
+                  static_cast<int>(linear / (dx * dy))};
+  }
+
+  T& at(int i, int j, int k) {
+    IFET_REQUIRE(dims_.contains(i, j, k), "Volume::at out of range");
+    return data_[linear_index(i, j, k)];
+  }
+  const T& at(int i, int j, int k) const {
+    IFET_REQUIRE(dims_.contains(i, j, k), "Volume::at out of range");
+    return data_[linear_index(i, j, k)];
+  }
+  T& at(const Index3& p) { return at(p.x, p.y, p.z); }
+  const T& at(const Index3& p) const { return at(p.x, p.y, p.z); }
+
+  /// Unchecked access for hot loops (callers guarantee bounds).
+  T& operator[](std::size_t linear) { return data_[linear]; }
+  const T& operator[](std::size_t linear) const { return data_[linear]; }
+
+  /// Clamp-to-edge voxel fetch (any integer coordinate allowed).
+  T clamped(int i, int j, int k) const {
+    i = std::clamp(i, 0, dims_.x - 1);
+    j = std::clamp(j, 0, dims_.y - 1);
+    k = std::clamp(k, 0, dims_.z - 1);
+    return data_[linear_index(i, j, k)];
+  }
+
+  /// Trilinear sample at continuous voxel coordinates (clamp-to-edge).
+  double sample(double x, double y, double z) const {
+    int i0 = static_cast<int>(std::floor(x));
+    int j0 = static_cast<int>(std::floor(y));
+    int k0 = static_cast<int>(std::floor(z));
+    double fx = x - i0, fy = y - j0, fz = z - k0;
+    double c000 = static_cast<double>(clamped(i0, j0, k0));
+    double c100 = static_cast<double>(clamped(i0 + 1, j0, k0));
+    double c010 = static_cast<double>(clamped(i0, j0 + 1, k0));
+    double c110 = static_cast<double>(clamped(i0 + 1, j0 + 1, k0));
+    double c001 = static_cast<double>(clamped(i0, j0, k0 + 1));
+    double c101 = static_cast<double>(clamped(i0 + 1, j0, k0 + 1));
+    double c011 = static_cast<double>(clamped(i0, j0 + 1, k0 + 1));
+    double c111 = static_cast<double>(clamped(i0 + 1, j0 + 1, k0 + 1));
+    double c00 = lerp(c000, c100, fx);
+    double c10 = lerp(c010, c110, fx);
+    double c01 = lerp(c001, c101, fx);
+    double c11 = lerp(c011, c111, fx);
+    return lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz);
+  }
+
+  /// Trilinear sample at a point given in voxel coordinates.
+  double sample(const Vec3& p) const { return sample(p.x, p.y, p.z); }
+
+  std::span<T> data() { return data_; }
+  std::span<const T> data() const { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  Dims dims_{};
+  std::vector<T> data_;
+};
+
+using VolumeF = Volume<float>;
+using VolumeU8 = Volume<std::uint8_t>;
+/// Binary voxel mask; uint8_t rather than vector<bool> so it is addressable
+/// and thread-safe to write disjoint elements.
+using Mask = Volume<std::uint8_t>;
+
+/// Number of set voxels in a mask.
+std::size_t mask_count(const Mask& mask);
+
+/// Elementwise logical ops on same-sized masks.
+Mask mask_and(const Mask& a, const Mask& b);
+Mask mask_or(const Mask& a, const Mask& b);
+Mask mask_subtract(const Mask& a, const Mask& b);
+
+}  // namespace ifet

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "io/compressed.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+namespace {
+
+using testing::random_volume;
+
+double max_abs_error(const VolumeF& a, const VolumeF& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(static_cast<double>(a[i]) -
+                                      static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+TEST(CompressVolume, RoundTripWithinQuantizationBound) {
+  VolumeF v = random_volume(Dims{16, 16, 16}, 5, -2.0, 3.0);
+  for (QuantBits bits : {QuantBits::k8, QuantBits::k16}) {
+    CompressedVolume c = compress_volume(v, bits);
+    VolumeF back = decompress_volume(c);
+    ASSERT_EQ(back.dims(), v.dims());
+    EXPECT_LE(max_abs_error(v, back),
+              quantization_error_bound(c) + 1e-6);
+  }
+}
+
+TEST(CompressVolume, SixteenBitsAreMorePrecise) {
+  VolumeF v = random_volume(Dims{12, 12, 12}, 6, 0.0, 1.0);
+  CompressedVolume c8 = compress_volume(v, QuantBits::k8);
+  CompressedVolume c16 = compress_volume(v, QuantBits::k16);
+  EXPECT_LT(max_abs_error(v, decompress_volume(c16)),
+            max_abs_error(v, decompress_volume(c8)) + 1e-9);
+  EXPECT_LT(quantization_error_bound(c16),
+            quantization_error_bound(c8));
+}
+
+TEST(CompressVolume, ConstantVolumeCompressesExtremely) {
+  VolumeF v(Dims{32, 32, 32}, 1.25f);
+  CompressedVolume c = compress_volume(v);
+  EXPECT_GT(c.compression_ratio(), 100.0);
+  VolumeF back = decompress_volume(c);
+  for (float x : back.data()) EXPECT_FLOAT_EQ(x, 1.25f);
+}
+
+TEST(CompressVolume, SmoothFieldBeatsRandomNoise) {
+  VolumeF noise = random_volume(Dims{24, 24, 24}, 7);
+  VolumeF smooth(Dims{24, 24, 24});
+  for (int k = 0; k < 24; ++k) {
+    for (int j = 0; j < 24; ++j) {
+      for (int i = 0; i < 24; ++i) {
+        smooth.at(i, j, k) = static_cast<float>(i / 6);  // plateaus
+      }
+    }
+  }
+  double smooth_ratio = compress_volume(smooth).compression_ratio();
+  double noise_ratio = compress_volume(noise).compression_ratio();
+  EXPECT_GT(smooth_ratio, 2.0 * noise_ratio);
+}
+
+TEST(CompressVolume, LongRunsSplitCorrectly) {
+  // A run longer than 255 must be split across RLE chunks and still decode.
+  VolumeF v(Dims{16, 16, 16}, 0.5f);  // 4096-voxel run
+  v.at(15, 15, 15) = 1.0f;
+  CompressedVolume c = compress_volume(v);
+  VolumeF back = decompress_volume(c);
+  EXPECT_FLOAT_EQ(back.at(0, 0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(back.at(15, 15, 15), 1.0f);
+}
+
+TEST(CompressVolume, TruncatedPayloadRejected) {
+  VolumeF v = random_volume(Dims{8, 8, 8}, 9);
+  CompressedVolume c = compress_volume(v);
+  c.payload.resize(c.payload.size() / 2);
+  EXPECT_THROW(decompress_volume(c), Error);
+}
+
+TEST(CompressedSequence, FileRoundTripAllSteps) {
+  const std::string path = "/tmp/ifet_cseq_test.cvol";
+  Dims d{12, 10, 8};
+  const int steps = 5;
+  CallbackSource source(d, steps, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 100 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path);
+
+  CompressedFileSource reader(path);
+  EXPECT_EQ(reader.dims(), d);
+  EXPECT_EQ(reader.num_steps(), steps);
+  EXPECT_GT(reader.total_payload_bytes(), 0u);
+  for (int s = 0; s < steps; ++s) {
+    VolumeF original = source.generate(s);
+    VolumeF decoded = reader.generate(s);
+    EXPECT_LE(max_abs_error(original, decoded), 1.0 / 255.0)
+        << "step " << s;
+  }
+  EXPECT_THROW(reader.generate(steps), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedSequence, RandomAccessOrderIndependent) {
+  const std::string path = "/tmp/ifet_cseq_random.cvol";
+  Dims d{8, 8, 8};
+  CallbackSource source(d, 4, {0.0, 1.0}, [d](int step) {
+    return VolumeF(d, 0.1f * static_cast<float>(step + 1));
+  });
+  write_compressed_sequence(source, path);
+  CompressedFileSource reader(path);
+  EXPECT_NEAR(reader.generate(3).at(0, 0, 0), 0.4f, 1e-2);
+  EXPECT_NEAR(reader.generate(0).at(0, 0, 0), 0.1f, 1e-2);
+  EXPECT_NEAR(reader.generate(2).at(0, 0, 0), 0.3f, 1e-2);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedSequence, PlugsIntoVolumeSequence) {
+  const std::string path = "/tmp/ifet_cseq_stream.cvol";
+  Dims d{10, 10, 10};
+  CallbackSource source(d, 6, {0.0, 1.0}, [d](int step) {
+    return VolumeF(d, 0.05f * static_cast<float>(step));
+  });
+  write_compressed_sequence(source, path);
+
+  auto disk_source = std::make_shared<CompressedFileSource>(path);
+  VolumeSequence seq(disk_source, 2);  // streams with a 2-step window
+  EXPECT_NEAR(seq.step(5).at(3, 3, 3), 0.25f, 1e-2);
+  EXPECT_NEAR(seq.step(0).at(3, 3, 3), 0.0f, 1e-2);
+  EXPECT_NEAR(seq.step(1).at(3, 3, 3), 0.05f, 1e-2);  // evicts step 5
+  EXPECT_NEAR(seq.step(5).at(3, 3, 3), 0.25f, 1e-2);  // re-decoded after LRU
+  EXPECT_EQ(seq.generation_count(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedSequence, WriterValidatesUsage) {
+  const std::string path = "/tmp/ifet_cseq_bad.cvol";
+  Dims d{4, 4, 4};
+  {
+    CompressedSequenceWriter writer(path, d, 2, {0.0, 1.0});
+    writer.append(compress_volume(VolumeF(d, 0.5f)));
+    EXPECT_THROW(writer.close(), Error);  // one step missing
+    writer.append(compress_volume(VolumeF(d, 0.6f)));
+    EXPECT_THROW(writer.append(compress_volume(VolumeF(d, 0.7f))), Error);
+    writer.close();
+  }
+  CompressedFileSource reader(path);
+  EXPECT_EQ(reader.num_steps(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedSequence, UnfinalizedFileRejected) {
+  const std::string path = "/tmp/ifet_cseq_unfinal.cvol";
+  Dims d{4, 4, 4};
+  {
+    CompressedSequenceWriter writer(path, d, 3, {0.0, 1.0});
+    writer.append(compress_volume(VolumeF(d, 0.5f)));
+    // Destructor must not throw; the file keeps a zeroed index.
+  }
+  EXPECT_THROW(CompressedFileSource reader(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CompressedSequence, SixteenBitContainerRoundTrips) {
+  const std::string path = "/tmp/ifet_cseq16.cvol";
+  Dims d{10, 10, 10};
+  CallbackSource source(d, 3, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 300 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path, QuantBits::k16);
+  CompressedFileSource reader(path);
+  for (int s = 0; s < 3; ++s) {
+    VolumeF original = source.generate(s);
+    VolumeF decoded = reader.generate(s);
+    EXPECT_LE(max_abs_error(original, decoded), 1.0 / 65535.0 + 1e-7)
+        << "step " << s;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompressedSequence, MissingFileRejected) {
+  EXPECT_THROW(CompressedFileSource("/tmp/ifet_no_such.cvol"), Error);
+}
+
+}  // namespace
+}  // namespace ifet

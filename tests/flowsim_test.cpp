@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flowsim/datasets.hpp"
+#include "flowsim/fluid_solver.hpp"
+#include "flowsim/noise.hpp"
+#include "util/error.hpp"
+#include "volume/components.hpp"
+#include "volume/ops.hpp"
+
+namespace ifet {
+namespace {
+
+TEST(ValueNoise, DeterministicAndBounded) {
+  ValueNoise n(42);
+  for (int t = 0; t < 200; ++t) {
+    double x = t * 0.37, y = t * 0.11, z = t * 0.23;
+    double a = n.at(x, y, z);
+    double b = n.at(x, y, z);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GE(a, -1.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(ValueNoise, DifferentSeedsDiffer) {
+  ValueNoise a(1), b(2);
+  double diff = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    diff += std::fabs(a.at(t * 0.3, 0.5, 0.7) - b.at(t * 0.3, 0.5, 0.7));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ValueNoise, SmoothBetweenLatticePoints) {
+  ValueNoise n(7);
+  // Nearby points must produce nearby values (trilinear continuity).
+  double prev = n.at(0.0, 0.5, 0.5);
+  for (int s = 1; s <= 100; ++s) {
+    double cur = n.at(s * 0.01, 0.5, 0.5);
+    EXPECT_LT(std::fabs(cur - prev), 0.2);
+    prev = cur;
+  }
+}
+
+TEST(ValueNoise, FbmBounded) {
+  ValueNoise n(9);
+  for (int t = 0; t < 100; ++t) {
+    double v = n.fbm(t * 0.17, t * 0.29, t * 0.05, 4);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(FluidSolver, RejectsTinyGrids) {
+  FluidConfig cfg;
+  cfg.dims = Dims{2, 8, 8};
+  EXPECT_THROW(FluidSolver solver(cfg), Error);
+}
+
+TEST(FluidSolver, ProjectionReducesDivergence) {
+  FluidConfig cfg;
+  cfg.dims = Dims{16, 16, 16};
+  cfg.pressure_iterations = 60;
+  FluidSolver solver(cfg);
+  // One forced step with a strongly divergent injection.
+  solver.step([](VolumeF& u, VolumeF& v, VolumeF& w, VolumeF&) {
+    for (int k = 6; k < 10; ++k) {
+      for (int j = 6; j < 10; ++j) {
+        for (int i = 6; i < 10; ++i) {
+          u.at(i, j, k) = static_cast<float>(i - 8);
+          v.at(i, j, k) = static_cast<float>(j - 8);
+          w.at(i, j, k) = static_cast<float>(k - 8);
+        }
+      }
+    }
+  });
+  // The source field has divergence ~3; after projection it must be far
+  // smaller.
+  EXPECT_LT(solver.max_divergence(), 0.5);
+}
+
+TEST(FluidSolver, ScalarStaysBounded) {
+  FluidConfig cfg;
+  cfg.dims = Dims{12, 12, 12};
+  FluidSolver solver(cfg);
+  auto forcing = [](VolumeF& u, VolumeF&, VolumeF&, VolumeF& s) {
+    s.at(6, 6, 6) = 1.0f;
+    u.at(6, 6, 6) = 2.0f;
+  };
+  for (int t = 0; t < 10; ++t) solver.step(forcing);
+  auto [lo, hi] = value_range(solver.scalar());
+  // Semi-Lagrangian advection cannot create new extrema.
+  EXPECT_GE(lo, -1e-4f);
+  EXPECT_LE(hi, 1.0f + 1e-4f);
+}
+
+TEST(FluidSolver, StepCounterAdvances) {
+  FluidConfig cfg;
+  cfg.dims = Dims{8, 8, 8};
+  FluidSolver solver(cfg);
+  EXPECT_EQ(solver.steps_completed(), 0);
+  solver.step();
+  solver.step();
+  EXPECT_EQ(solver.steps_completed(), 2);
+}
+
+TEST(FluidSolver, VorticityOfShearFlow) {
+  FluidConfig cfg;
+  cfg.dims = Dims{12, 12, 12};
+  FluidSolver solver(cfg);
+  // Impose u = y (a pure shear): curl = (0, 0, -du/dy) = (0,0,-1).
+  solver.step([](VolumeF& u, VolumeF&, VolumeF&, VolumeF&) {
+    const Dims d = u.dims();
+    for (int k = 0; k < d.z; ++k) {
+      for (int j = 0; j < d.y; ++j) {
+        for (int i = 0; i < d.x; ++i) {
+          u.at(i, j, k) = static_cast<float>(j);
+        }
+      }
+    }
+  });
+  // After the step the shear has been diffused/advected/projected but its
+  // rotation is still present: vorticity magnitude is finite and nonzero.
+  VolumeF mag = solver.vorticity_magnitude();
+  auto [lo, hi] = value_range(mag);
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_GT(hi, 0.1f);
+}
+
+TEST(ArgonBubble, DeterministicGeneration) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  cfg.num_steps = 300;
+  ArgonBubbleSource src(cfg);
+  VolumeF a = src.generate(200);
+  VolumeF b = src.generate(200);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(ArgonBubble, ValuesWithinDeclaredRange) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  cfg.num_steps = 300;
+  ArgonBubbleSource src(cfg);
+  auto [lo, hi] = src.value_range();
+  for (int step : {0, 150, 299}) {
+    auto [vlo, vhi] = value_range(src.generate(step));
+    EXPECT_GE(vlo, lo);
+    EXPECT_LE(vhi, hi);
+  }
+}
+
+TEST(ArgonBubble, RingMaskIsATorus) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  cfg.num_steps = 300;
+  ArgonBubbleSource src(cfg);
+  Mask ring = src.feature_mask(100);
+  EXPECT_GT(mask_count(ring), 100u);
+  // A torus is one connected component with an empty center.
+  Labeling lab = label_components(ring);
+  EXPECT_EQ(lab.components.size(), 1u);
+  // Center of the volume is inside the hole, not in the ring.
+  EXPECT_EQ(ring.at(16, 16, ring.dims().z / 2), 0);
+}
+
+TEST(ArgonBubble, RingBandDriftsOverTime) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{16, 16, 16};
+  cfg.num_steps = 360;
+  ArgonBubbleSource src(cfg);
+  double c0 = src.ring_band_center(0);
+  double c300 = src.ring_band_center(300);
+  EXPECT_GT(std::fabs(c300 - c0), 0.1);  // raw band moves substantially
+}
+
+TEST(ArgonBubble, RingValuesMatchAnalyticBand) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  cfg.num_steps = 300;
+  ArgonBubbleSource src(cfg);
+  const int step = 150;
+  VolumeF vol = src.generate(step);
+  Mask ring = src.feature_mask(step);
+  const double center = src.ring_band_center(step);
+  const double half = src.ring_band_half_width();
+  std::size_t in_band = 0, total = 0;
+  for (std::size_t i = 0; i < vol.size(); ++i) {
+    if (!ring[i]) continue;
+    ++total;
+    if (std::fabs(vol[i] - center) <= half * 1.5) ++in_band;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(in_band) / total, 0.9);
+}
+
+TEST(CombustionJet, VorticityRangeGrows) {
+  CombustionJetConfig cfg;
+  cfg.dims = Dims{16, 24, 12};
+  cfg.num_steps = 10;
+  cfg.solver_steps_per_snapshot = 3;
+  CombustionJetSource src(cfg);
+  // The paper's Fig 5 premise: later steps reach higher vorticity.
+  EXPECT_GT(src.max_vorticity(9), src.max_vorticity(0) * 1.2);
+  EXPECT_GT(src.feature_threshold(9), src.feature_threshold(0));
+}
+
+TEST(CombustionJet, FeatureMaskMatchesQuantile) {
+  CombustionJetConfig cfg;
+  cfg.dims = Dims{16, 24, 12};
+  cfg.num_steps = 4;
+  cfg.solver_steps_per_snapshot = 2;
+  cfg.feature_fraction = 0.05;
+  CombustionJetSource src(cfg);
+  for (int step : {0, 3}) {
+    Mask m = src.feature_mask(step);
+    double fraction =
+        static_cast<double>(mask_count(m)) / static_cast<double>(m.size());
+    EXPECT_NEAR(fraction, 0.05, 0.02) << "step " << step;
+  }
+}
+
+TEST(Reionization, MasksAreDisjoint) {
+  ReionizationConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  cfg.num_steps = 400;
+  cfg.num_small_features = 60;
+  ReionizationSource src(cfg);
+  Mask large = src.large_mask(310);
+  Mask small = src.small_mask(310);
+  EXPECT_GT(mask_count(large), 0u);
+  EXPECT_GT(mask_count(small), 0u);
+  EXPECT_EQ(mask_count(mask_and(large, small)), 0u);
+}
+
+TEST(Reionization, SmallFeatureValuesOverlapLargeOnes) {
+  // The Fig 7 premise: value alone cannot separate small from large.
+  ReionizationConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  cfg.num_steps = 400;
+  ReionizationSource src(cfg);
+  const int step = 310;
+  VolumeF vol = src.generate(step);
+  Mask large = src.large_mask(step);
+  Mask small = src.small_mask(step);
+  double large_max = 0.0, small_max = 0.0;
+  for (std::size_t i = 0; i < vol.size(); ++i) {
+    if (large[i]) large_max = std::max(large_max, (double)vol[i]);
+    if (small[i]) small_max = std::max(small_max, (double)vol[i]);
+  }
+  // Peak small-feature values reach well into the large-structure band.
+  EXPECT_GT(small_max, 0.5 * large_max);
+}
+
+TEST(Reionization, SmallFeaturesAreNumerousAndTiny) {
+  ReionizationConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  cfg.num_steps = 400;
+  cfg.num_small_features = 100;
+  ReionizationSource src(cfg);
+  Labeling lab = label_components(src.small_mask(310));
+  EXPECT_GT(lab.components.size(), 20u);
+  for (const auto& c : lab.components) {
+    EXPECT_LT(c.voxel_count, 100u);
+  }
+}
+
+TEST(TurbulentVortex, SplitsAtConfiguredStep) {
+  TurbulentVortexConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  cfg.num_steps = 25;
+  cfg.split_step = 18;
+  TurbulentVortexSource src(cfg);
+  for (int step : {0, 10, 17}) {
+    Labeling lab = label_components(src.feature_mask(step));
+    EXPECT_EQ(lab.components.size(), 1u) << "step " << step;
+    EXPECT_EQ(src.expected_components(step), 1);
+  }
+  for (int step : {18, 20, 24}) {
+    Labeling lab = label_components(src.feature_mask(step));
+    EXPECT_EQ(lab.components.size(), 2u) << "step " << step;
+    EXPECT_EQ(src.expected_components(step), 2);
+  }
+}
+
+TEST(TurbulentVortex, ConsecutiveMasksOverlap) {
+  // The tracking assumption (paper Sec 5): matching features overlap in 3D
+  // between consecutive steps.
+  TurbulentVortexConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  TurbulentVortexSource src(cfg);
+  for (int step = 0; step + 1 < cfg.num_steps; ++step) {
+    Mask a = src.feature_mask(step);
+    Mask b = src.feature_mask(step + 1);
+    EXPECT_GT(mask_count(mask_and(a, b)), 0u) << "steps " << step;
+  }
+}
+
+TEST(TurbulentVortex, FeatureMoves) {
+  TurbulentVortexConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  TurbulentVortexSource src(cfg);
+  Labeling first = label_components(src.feature_mask(0));
+  Labeling later = label_components(src.feature_mask(15));
+  ASSERT_FALSE(first.components.empty());
+  ASSERT_FALSE(later.components.empty());
+  Vec3 delta = later.components[0].centroid - first.components[0].centroid;
+  EXPECT_GT(delta.norm(), 2.0);  // voxels
+}
+
+TEST(SwirlingFlow, PeakDecaysLinearly) {
+  SwirlingFlowConfig cfg;
+  SwirlingFlowSource src(cfg);
+  EXPECT_NEAR(src.peak_value(0), cfg.peak_value0, 1e-12);
+  EXPECT_LT(src.peak_value(62), 0.45);
+  EXPECT_GT(src.peak_value(62), 0.1);
+}
+
+TEST(SwirlingFlow, FeatureExistsAtEveryStep) {
+  SwirlingFlowConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  SwirlingFlowSource src(cfg);
+  for (int step : {0, 23, 41, 62}) {
+    EXPECT_GT(mask_count(src.feature_mask(step)), 10u) << "step " << step;
+  }
+}
+
+TEST(SwirlingFlow, FixedThresholdLosesFeatureOverTime) {
+  // Quantifies the Fig 10 top row: a fixed criterion range empties out.
+  SwirlingFlowConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  SwirlingFlowSource src(cfg);
+  auto in_fixed_range = [&](int step) {
+    VolumeF v = src.generate(step);
+    Mask m = threshold_mask(v, 0.55f, 1.0f);
+    return mask_count(m);
+  };
+  EXPECT_GT(in_fixed_range(0), 0u);
+  EXPECT_EQ(in_fixed_range(62), 0u);
+}
+
+TEST(SwirlingFlow, ConsecutiveMasksOverlap) {
+  SwirlingFlowConfig cfg;
+  cfg.dims = Dims{24, 24, 24};
+  SwirlingFlowSource src(cfg);
+  for (int step = 0; step + 1 < cfg.num_steps; step += 5) {
+    Mask a = src.feature_mask(step);
+    Mask b = src.feature_mask(step + 1);
+    EXPECT_GT(mask_count(mask_and(a, b)), 0u);
+  }
+}
+
+
+TEST(CombustionJet, FuelFieldBoundedAndPresent) {
+  CombustionJetConfig cfg;
+  cfg.dims = Dims{16, 24, 12};
+  cfg.num_steps = 5;
+  cfg.solver_steps_per_snapshot = 2;
+  CombustionJetSource src(cfg);
+  for (int step : {0, 4}) {
+    const VolumeF& fuel = src.fuel_snapshot(step);
+    EXPECT_EQ(fuel.dims(), cfg.dims);
+    auto [lo, hi] = value_range(fuel);
+    // Semi-Lagrangian transport of a [0,1] source stays in [0,1].
+    EXPECT_GE(lo, -1e-4f);
+    EXPECT_LE(hi, 1.0f + 1e-4f);
+    // Fuel has actually entered the domain.
+    double total = 0.0;
+    for (float v : fuel.data()) total += v;
+    EXPECT_GT(total, 1.0);
+  }
+  EXPECT_THROW(src.fuel_snapshot(5), Error);
+}
+
+TEST(CombustionJet, FuelConcentratesInTheJetSlab) {
+  CombustionJetConfig cfg;
+  cfg.dims = Dims{16, 24, 12};
+  cfg.num_steps = 4;
+  cfg.solver_steps_per_snapshot = 2;
+  CombustionJetSource src(cfg);
+  const VolumeF& fuel = src.fuel_snapshot(3);
+  const Dims d = cfg.dims;
+  double slab = 0.0, edges = 0.0;
+  int slab_n = 0, edge_n = 0;
+  for (int k = 0; k < d.z; ++k) {
+    bool in_slab = std::abs(k - d.z / 2) <= std::max(2, d.z / 6);
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        if (in_slab) {
+          slab += fuel.at(i, j, k);
+          ++slab_n;
+        } else {
+          edges += fuel.at(i, j, k);
+          ++edge_n;
+        }
+      }
+    }
+  }
+  EXPECT_GT(slab / slab_n, 2.0 * (edges / std::max(1, edge_n)));
+}
+// Every generator satisfies the VolumeSource contract.
+TEST(Sources, AllRespectDimsAndRange) {
+  ArgonBubbleConfig acfg;
+  acfg.dims = Dims{16, 16, 16};
+  acfg.num_steps = 10;
+  ArgonBubbleSource argon(acfg);
+
+  ReionizationConfig rcfg;
+  rcfg.dims = Dims{16, 16, 16};
+  rcfg.num_steps = 10;
+  rcfg.num_small_features = 10;
+  ReionizationSource reion(rcfg);
+
+  TurbulentVortexConfig tcfg;
+  tcfg.dims = Dims{16, 16, 16};
+  tcfg.num_steps = 10;
+  tcfg.split_step = 5;
+  TurbulentVortexSource vortex(tcfg);
+
+  SwirlingFlowConfig scfg;
+  scfg.dims = Dims{16, 16, 16};
+  scfg.num_steps = 10;
+  SwirlingFlowSource swirl(scfg);
+
+  const LabeledSource* sources[] = {&argon, &reion, &vortex, &swirl};
+  for (const LabeledSource* src : sources) {
+    EXPECT_EQ(src->dims().x, 16);
+    auto [lo, hi] = src->value_range();
+    VolumeF v = src->generate(5);
+    EXPECT_EQ(v.dims(), src->dims());
+    auto [vlo, vhi] = value_range(v);
+    EXPECT_GE(vlo, lo - 1e-6);
+    EXPECT_LE(vhi, hi + 1e-6);
+    EXPECT_THROW(src->generate(-1), Error);
+    EXPECT_THROW(src->generate(10), Error);
+  }
+}
+
+}  // namespace
+}  // namespace ifet

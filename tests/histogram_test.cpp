@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "volume/histogram.hpp"
+
+namespace ifet {
+namespace {
+
+using testing::random_volume;
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(4, 0.0, 4.0);
+  h.add(0.5);   // bin 0
+  h.add(1.5);   // bin 1
+  h.add(1.9);   // bin 1
+  h.add(3.999); // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEndBins) {
+  Histogram h(4, 0.0, 4.0);
+  h.add(-10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, BinCentersAndBinOfAgree) {
+  Histogram h(10, -1.0, 1.0);
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bin_of(h.bin_center(b)), b);
+  }
+}
+
+TEST(Histogram, PeakBinFindsMaximum) {
+  Histogram h(8, 0.0, 8.0);
+  for (int i = 0; i < 5; ++i) h.add(3.5);
+  for (int i = 0; i < 2; ++i) h.add(6.5);
+  EXPECT_EQ(h.peak_bin(0, 7), 3);
+  EXPECT_EQ(h.peak_bin(5, 7), 6);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0, 0.0, 1.0), Error);
+  EXPECT_THROW(Histogram(8, 1.0, 1.0), Error);
+}
+
+TEST(CumulativeHistogram, MonotoneNonDecreasingToOne) {
+  VolumeF v = random_volume(Dims{16, 16, 16}, 31, 0.0, 2.0);
+  CumulativeHistogram ch = CumulativeHistogram::of(v, 64, 0.0, 2.0);
+  double prev = 0.0;
+  for (int b = 0; b < 64; ++b) {
+    double value = 0.0 + (b + 0.5) * (2.0 / 64);
+    double f = ch.fraction_at(value);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(CumulativeHistogram, FractionOutsideRange) {
+  VolumeF v = random_volume(Dims{8, 8, 8}, 2, 0.0, 1.0);
+  CumulativeHistogram ch = CumulativeHistogram::of(v, 32, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ch.fraction_at(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(ch.fraction_at(5.0), 1.0);
+}
+
+TEST(CumulativeHistogram, MedianOfUniformNearHalf) {
+  VolumeF v = random_volume(Dims{24, 24, 24}, 8, 0.0, 1.0);
+  CumulativeHistogram ch = CumulativeHistogram::of(v, 256, 0.0, 1.0);
+  EXPECT_NEAR(ch.fraction_at(0.5), 0.5, 0.03);
+}
+
+TEST(CumulativeHistogram, InverseLookupRoundTrips) {
+  VolumeF v = random_volume(Dims{16, 16, 16}, 77, 0.0, 1.0);
+  CumulativeHistogram ch = CumulativeHistogram::of(v, 128, 0.0, 1.0);
+  for (double f : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double value = ch.value_at_fraction(f);
+    // fraction_at(value) is the smallest achievable fraction >= f.
+    EXPECT_GE(ch.fraction_at(value) + 1e-12, f);
+    // One bin earlier must be below f.
+    EXPECT_LT(ch.fraction_at(value - 2.0 / 128), f + 0.05);
+  }
+}
+
+// THE property the IATF rests on (paper Sec 4.2.1, Fig 2): a global
+// monotonic drift of all values moves a feature's raw value but leaves its
+// cumulative-histogram coordinate unchanged.
+class CumHistDriftTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CumHistDriftTest, GlobalShiftPreservesCumulativeCoordinate) {
+  const double offset = GetParam();
+  VolumeF v = random_volume(Dims{16, 16, 16}, 5, 0.0, 1.0);
+  const double probe = 0.7;  // a "feature" value in the original field
+
+  CumulativeHistogram before = CumulativeHistogram::of(v, 512, 0.0, 3.0);
+  VolumeF shifted(v.dims());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    shifted[i] = static_cast<float>(v[i] + offset);
+  }
+  CumulativeHistogram after = CumulativeHistogram::of(shifted, 512, 0.0, 3.0);
+
+  EXPECT_NEAR(after.fraction_at(probe + offset), before.fraction_at(probe),
+              0.02)
+      << "offset " << offset;
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CumHistDriftTest,
+                         ::testing::Values(0.0, 0.1, 0.37, 0.8, 1.5));
+
+// Same invariance under monotone gain.
+class CumHistGainTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CumHistGainTest, GlobalGainPreservesCumulativeCoordinate) {
+  const double gain = GetParam();
+  VolumeF v = random_volume(Dims{16, 16, 16}, 6, 0.0, 1.0);
+  const double probe = 0.6;
+  CumulativeHistogram before = CumulativeHistogram::of(v, 512, 0.0, 3.0);
+  VolumeF scaled(v.dims());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    scaled[i] = static_cast<float>(v[i] * gain);
+  }
+  CumulativeHistogram after = CumulativeHistogram::of(scaled, 512, 0.0, 3.0);
+  EXPECT_NEAR(after.fraction_at(probe * gain), before.fraction_at(probe),
+              0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, CumHistGainTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.7, 2.4));
+
+// The counterpart limitation the paper also names: when a feature keeps its
+// value but *grows*, the cumulative coordinate of values above it shifts —
+// which is why the raw value must stay in the input vector too.
+TEST(CumulativeHistogram, FeatureSizeChangeShiftsCumulativeCoordinate) {
+  Dims d{16, 16, 16};
+  VolumeF small_feature(d, 0.2f);
+  VolumeF big_feature(d, 0.2f);
+  // Feature value 0.8; occupies 2^3 voxels vs 8^3 voxels.
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        if (i < 2 && j < 2 && k < 2) small_feature.at(i, j, k) = 0.8f;
+        big_feature.at(i, j, k) = 0.8f;
+      }
+    }
+  }
+  auto before = CumulativeHistogram::of(small_feature, 256, 0.0, 1.0);
+  auto after = CumulativeHistogram::of(big_feature, 256, 0.0, 1.0);
+  // The probe just below the feature value: its cumulative coordinate drops
+  // as the feature displaces background voxels.
+  EXPECT_GT(std::fabs(after.fraction_at(0.79) - before.fraction_at(0.79)),
+            0.05);
+}
+
+}  // namespace
+}  // namespace ifet

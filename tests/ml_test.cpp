@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/classifier.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/svm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ifet {
+namespace {
+
+/// Two Gaussian blobs in 2D, linearly separable.
+TrainingSet blob_set(std::uint64_t seed, int per_class, double separation) {
+  Rng rng(seed);
+  TrainingSet set;
+  for (int s = 0; s < per_class; ++s) {
+    set.add({rng.normal(0.3, 0.08), rng.normal(0.3, 0.08)}, {0.0});
+    set.add({rng.normal(0.3 + separation, 0.08),
+             rng.normal(0.3 + separation, 0.08)},
+            {1.0});
+  }
+  return set;
+}
+
+/// XOR-style checkerboard (NOT linearly separable; defeats naive Bayes and
+/// linear models, solvable by the MLP and the RBF SVM).
+TrainingSet xor_set(std::uint64_t seed, int per_quadrant) {
+  Rng rng(seed);
+  TrainingSet set;
+  for (int s = 0; s < per_quadrant; ++s) {
+    for (int qx = 0; qx < 2; ++qx) {
+      for (int qy = 0; qy < 2; ++qy) {
+        double x = 0.25 + 0.5 * qx + rng.normal(0.0, 0.05);
+        double y = 0.25 + 0.5 * qy + rng.normal(0.0, 0.05);
+        set.add({x, y}, {qx == qy ? 0.0 : 1.0});
+      }
+    }
+  }
+  return set;
+}
+
+double accuracy(const BinaryClassifier& clf, const TrainingSet& set) {
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    bool predicted = clf.predict(set[s].input) >= 0.5;
+    bool truth = set[s].target[0] >= 0.5;
+    if (predicted == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(set.size());
+}
+
+class EngineTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineTest, SeparatesGaussianBlobs) {
+  TrainingSet train = blob_set(1, 60, 0.4);
+  TrainingSet test = blob_set(2, 40, 0.4);
+  auto clf = make_classifier(GetParam(), 2, 7);
+  clf->fit(train, 400);
+  EXPECT_GT(accuracy(*clf, test), 0.95) << clf->name();
+}
+
+TEST_P(EngineTest, OutputsAreProbabilities) {
+  TrainingSet train = blob_set(3, 30, 0.4);
+  auto clf = make_classifier(GetParam(), 2, 7);
+  clf->fit(train, 200);
+  Rng rng(5);
+  for (int s = 0; s < 50; ++s) {
+    double p = clf->predict(
+        std::vector<double>{rng.uniform(-1, 2), rng.uniform(-1, 2)});
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(EngineTest, NameMatchesFactory) {
+  auto clf = make_classifier(GetParam(), 2, 7);
+  EXPECT_EQ(clf->name(), engine_name(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest,
+                         ::testing::Values(EngineKind::kMlp, EngineKind::kSvm,
+                                           EngineKind::kNaiveBayes));
+
+TEST(SvmClassifier, SolvesXor) {
+  TrainingSet train = xor_set(11, 40);
+  SvmClassifier svm(2, 13);
+  svm.fit(train, 0);
+  EXPECT_GT(accuracy(svm, xor_set(12, 20)), 0.9);
+  EXPECT_GT(svm.support_vector_count(), 0u);
+}
+
+TEST(NaiveBayes, CannotSolveXor) {
+  // The independence assumption makes the checkerboard unlearnable —
+  // documenting the engine's known limitation.
+  TrainingSet train = xor_set(21, 40);
+  NaiveBayesClassifier nb(2);
+  nb.fit(train, 0);
+  EXPECT_LT(accuracy(nb, xor_set(22, 20)), 0.75);
+}
+
+TEST(MlpEngine, SolvesXor) {
+  TrainingSet train = xor_set(31, 40);
+  auto clf = make_classifier(EngineKind::kMlp, 2, 17);
+  clf->fit(train, 1500);
+  EXPECT_GT(accuracy(*clf, xor_set(32, 20)), 0.9);
+}
+
+TEST(SvmClassifier, DecisionSignMatchesPrediction) {
+  TrainingSet train = blob_set(41, 40, 0.5);
+  SvmClassifier svm(2, 43);
+  svm.fit(train, 0);
+  Rng rng(44);
+  for (int s = 0; s < 30; ++s) {
+    std::vector<double> x{rng.uniform(0, 1), rng.uniform(0, 1)};
+    double d = svm.decision(x);
+    double p = svm.predict(x);
+    EXPECT_EQ(d >= 0.0, p >= 0.5);
+  }
+}
+
+TEST(SvmClassifier, ValidatesInputs) {
+  SvmClassifier svm(3, 1);
+  TrainingSet empty;
+  EXPECT_THROW(svm.fit(empty, 0), Error);
+  TrainingSet wrong;
+  wrong.add({1.0}, {1.0});
+  EXPECT_THROW(svm.fit(wrong, 0), Error);
+  SvmConfig bad;
+  bad.c = -1.0;
+  EXPECT_THROW(SvmClassifier(3, 1, bad), Error);
+}
+
+TEST(NaiveBayes, RecoverersClassMoments) {
+  // One strongly informative feature, one noise feature: the posterior
+  // must track the informative one.
+  Rng rng(51);
+  TrainingSet set;
+  for (int s = 0; s < 300; ++s) {
+    set.add({rng.normal(0.2, 0.05), rng.uniform()}, {0.0});
+    set.add({rng.normal(0.8, 0.05), rng.uniform()}, {1.0});
+  }
+  NaiveBayesClassifier nb(2);
+  nb.fit(set, 0);
+  EXPECT_GT(nb.predict(std::vector<double>{0.8, 0.5}), 0.95);
+  EXPECT_LT(nb.predict(std::vector<double>{0.2, 0.5}), 0.05);
+  // The noise feature alone should not decide.
+  double mid = nb.predict(std::vector<double>{0.5, 0.9});
+  EXPECT_GT(mid, 0.1);
+  EXPECT_LT(mid, 0.9);
+}
+
+TEST(NaiveBayes, RequiresBothClasses) {
+  TrainingSet set;
+  set.add({0.1, 0.2}, {1.0});
+  NaiveBayesClassifier nb(2);
+  EXPECT_THROW(nb.fit(set, 0), Error);
+}
+
+TEST(NaiveBayes, PredictBeforeFitThrows) {
+  NaiveBayesClassifier nb(2);
+  EXPECT_THROW(nb.predict(std::vector<double>{0.1, 0.2}), Error);
+}
+
+TEST(NaiveBayes, DegenerateFeatureDoesNotBlowUp) {
+  TrainingSet set;
+  for (int s = 0; s < 20; ++s) {
+    set.add({0.5, s * 0.01}, {0.0});        // feature 0 constant
+    set.add({0.5, 0.5 + s * 0.01}, {1.0});
+  }
+  NaiveBayesClassifier nb(2);
+  nb.fit(set, 0);
+  double p = nb.predict(std::vector<double>{0.5, 0.6});
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(p, 0.5);
+}
+
+}  // namespace
+}  // namespace ifet

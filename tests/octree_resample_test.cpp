@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "volume/octree.hpp"
+#include "volume/resample.hpp"
+
+namespace ifet {
+namespace {
+
+using testing::box_mask;
+using testing::random_volume;
+
+TEST(MaskOctree, RoundTripsExactly) {
+  Dims d{20, 17, 9};  // deliberately non-power-of-two
+  Rng rng(7);
+  Mask m(d);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = rng.uniform() < 0.3 ? 1 : 0;
+  }
+  MaskOctree tree(m);
+  Mask back = tree.to_mask();
+  ASSERT_EQ(back.dims(), d);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(back[i], m[i]) << "voxel " << i;
+  }
+  EXPECT_EQ(tree.voxel_count(), mask_count(m));
+}
+
+TEST(MaskOctree, PointQueriesMatchDense) {
+  Dims d{16, 16, 16};
+  Mask m = box_mask(d, {3, 4, 5}, {10, 11, 12});
+  MaskOctree tree(m);
+  for (int k = 0; k < d.z; ++k) {
+    for (int j = 0; j < d.y; ++j) {
+      for (int i = 0; i < d.x; ++i) {
+        EXPECT_EQ(tree.at(i, j, k), m.at(i, j, k) != 0);
+      }
+    }
+  }
+  EXPECT_FALSE(tree.at(-1, 0, 0));
+  EXPECT_FALSE(tree.at(0, 0, 99));
+}
+
+TEST(MaskOctree, CoherentMasksCompressWell) {
+  // A solid box (the shape of tracked features) collapses into few nodes,
+  // far below the dense footprint — the Silver-Wang reduction.
+  Dims d{64, 64, 64};
+  Mask m = box_mask(d, {8, 8, 8}, {39, 39, 39});  // an aligned 32^3 block
+  MaskOctree tree(m);
+  EXPECT_LT(tree.memory_bytes(), tree.dense_bytes() / 10);
+}
+
+TEST(MaskOctree, EmptyAndFullDegenerate) {
+  Dims d{32, 32, 32};
+  MaskOctree empty{Mask(d)};
+  EXPECT_EQ(empty.voxel_count(), 0u);
+  EXPECT_EQ(mask_count(empty.to_mask()), 0u);
+  Mask full(d);
+  full.fill(1);
+  MaskOctree all(full);
+  EXPECT_EQ(all.voxel_count(), d.count());
+  EXPECT_EQ(mask_count(all.to_mask()), d.count());
+  // A completely full power-of-two mask is a single sentinel — no real
+  // nodes beyond the two placeholders.
+  EXPECT_EQ(all.node_count(), 2u);
+}
+
+TEST(MaskOctree, OverlapMatchesDenseIntersection) {
+  Dims d{24, 24, 24};
+  Rng rng(9);
+  Mask a(d), b(d);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform() < 0.4 ? 1 : 0;
+    b[i] = rng.uniform() < 0.4 ? 1 : 0;
+  }
+  MaskOctree ta(a), tb(b);
+  EXPECT_EQ(MaskOctree::overlap(ta, tb), mask_count(mask_and(a, b)));
+}
+
+TEST(MaskOctree, OverlapOfDisjointIsZero) {
+  Dims d{16, 16, 16};
+  MaskOctree a{box_mask(d, {0, 0, 0}, {5, 5, 5})};
+  MaskOctree b{box_mask(d, {10, 10, 10}, {15, 15, 15})};
+  EXPECT_EQ(MaskOctree::overlap(a, b), 0u);
+  MaskOctree self{box_mask(d, {0, 0, 0}, {5, 5, 5})};
+  EXPECT_EQ(MaskOctree::overlap(a, self), 216u);
+}
+
+TEST(MaskOctree, OverlapRejectsDimMismatch) {
+  MaskOctree a{Mask(Dims{8, 8, 8})};
+  MaskOctree b{Mask(Dims{16, 8, 8})};
+  EXPECT_THROW(MaskOctree::overlap(a, b), Error);
+}
+
+// Octree round-trip across random densities (property sweep).
+class OctreeDensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OctreeDensityTest, RoundTripAndCount) {
+  Dims d{13, 21, 10};
+  Rng rng(77);
+  Mask m(d);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = rng.uniform() < GetParam() ? 1 : 0;
+  }
+  MaskOctree tree(m);
+  EXPECT_EQ(tree.voxel_count(), mask_count(m));
+  Mask back = tree.to_mask();
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(back[i], m[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, OctreeDensityTest,
+                         ::testing::Values(0.0, 0.02, 0.3, 0.7, 1.0));
+
+TEST(Downsample2, AveragesBlocks) {
+  VolumeF v(Dims{4, 4, 4});
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(i % 2);  // alternating 0/1 along x
+  }
+  VolumeF half = downsample2(v);
+  EXPECT_EQ(half.dims(), (Dims{2, 2, 2}));
+  for (float x : half.data()) EXPECT_FLOAT_EQ(x, 0.5f);
+}
+
+TEST(Downsample2, HandlesOddDims) {
+  VolumeF v(Dims{5, 3, 1}, 2.0f);
+  VolumeF half = downsample2(v);
+  EXPECT_EQ(half.dims(), (Dims{3, 2, 1}));
+  for (float x : half.data()) EXPECT_FLOAT_EQ(x, 2.0f);
+}
+
+TEST(Downsample2, PreservesMean) {
+  VolumeF v = random_volume(Dims{16, 16, 16}, 3);
+  VolumeF half = downsample2(v);
+  double mean_full = 0.0, mean_half = 0.0;
+  for (float x : v.data()) mean_full += x;
+  for (float x : half.data()) mean_half += x;
+  mean_full /= static_cast<double>(v.size());
+  mean_half /= static_cast<double>(half.size());
+  EXPECT_NEAR(mean_half, mean_full, 1e-5);
+}
+
+TEST(Resample, IdentityWhenSameDims) {
+  VolumeF v = random_volume(Dims{8, 8, 8}, 4);
+  VolumeF r = resample(v, v.dims());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(r[i], v[i], 1e-5);
+  }
+}
+
+TEST(Resample, UpsampleOfConstantIsConstant) {
+  VolumeF v(Dims{4, 4, 4}, 1.5f);
+  VolumeF up = resample(v, Dims{9, 7, 5});
+  EXPECT_EQ(up.dims(), (Dims{9, 7, 5}));
+  for (float x : up.data()) EXPECT_FLOAT_EQ(x, 1.5f);
+}
+
+TEST(Resample, PreservesLinearRamp) {
+  VolumeF v(Dims{8, 8, 8});
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) v.at(i, j, k) = static_cast<float>(i);
+    }
+  }
+  VolumeF up = resample(v, Dims{15, 8, 8});
+  // A linear ramp stays linear under trilinear interpolation: corners pin
+  // the range.
+  EXPECT_NEAR(up.at(0, 4, 4), 0.0, 1e-5);
+  EXPECT_NEAR(up.at(14, 4, 4), 7.0, 1e-5);
+  EXPECT_NEAR(up.at(7, 4, 4), 3.5, 1e-5);
+}
+
+TEST(Resample, RejectsBadDims) {
+  VolumeF v(Dims{4, 4, 4});
+  EXPECT_THROW(resample(v, Dims{0, 4, 4}), Error);
+}
+
+TEST(LodPyramid, HalvesUntilUnitCube) {
+  VolumeF v = random_volume(Dims{16, 16, 16}, 6);
+  auto pyramid = build_lod_pyramid(v);
+  ASSERT_EQ(pyramid.size(), 5u);  // 16, 8, 4, 2, 1
+  EXPECT_EQ(pyramid[0].dims(), (Dims{16, 16, 16}));
+  EXPECT_EQ(pyramid[4].dims(), (Dims{1, 1, 1}));
+}
+
+TEST(LodPyramid, MaxLevelsCap) {
+  VolumeF v = random_volume(Dims{32, 32, 32}, 7);
+  auto pyramid = build_lod_pyramid(v, 3);
+  ASSERT_EQ(pyramid.size(), 3u);
+  EXPECT_EQ(pyramid[2].dims(), (Dims{8, 8, 8}));
+}
+
+TEST(LodPyramid, SmallFeaturesVanishAtCoarseLevels) {
+  // The Sec 4.3 rationale: at coarser levels tiny features wash out while
+  // large structures persist — which is how a user picks sizes visually.
+  Dims d{32, 32, 32};
+  VolumeF v(d, 0.0f);
+  v.at(5, 5, 5) = 1.0f;  // tiny feature
+  for (int k = 16; k < 28; ++k) {  // large feature
+    for (int j = 16; j < 28; ++j) {
+      for (int i = 16; i < 28; ++i) v.at(i, j, k) = 1.0f;
+    }
+  }
+  auto pyramid = build_lod_pyramid(v, 3);
+  const VolumeF& coarse = pyramid[2];  // 8^3
+  EXPECT_LT(coarse.at(1, 1, 1), 0.1f);   // tiny feature gone
+  EXPECT_GT(coarse.at(5, 5, 5), 0.8f);   // large block survives
+}
+
+TEST(DownsampleMask, MajorityVote) {
+  Dims d{4, 4, 4};
+  Mask m(d);
+  // Block (0,0,0): 5 of 8 set -> majority; block (1,1,1) (fine 2..3): 1 of
+  // 8 -> not.
+  m.at(0, 0, 0) = m.at(1, 0, 0) = m.at(0, 1, 0) = m.at(0, 0, 1) =
+      m.at(1, 1, 0) = 1;
+  m.at(2, 2, 2) = 1;
+  Mask half = downsample2_mask(m, 0.5);
+  EXPECT_EQ(half.at(0, 0, 0), 1);
+  EXPECT_EQ(half.at(1, 1, 1), 0);
+  // Threshold 0 keeps any-set blocks.
+  Mask any = downsample2_mask(m, 1e-9);
+  EXPECT_EQ(any.at(1, 1, 1), 1);
+}
+
+}  // namespace
+}  // namespace ifet

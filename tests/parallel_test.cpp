@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+namespace {
+
+TEST(ThreadPool, RunsAllIndicesExactlyOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, StaticRangesCoverWithoutOverlap) {
+  ThreadPool pool(4);
+  const std::size_t n = 1003;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_static(0, n, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DynamicChunksCoverWithoutOverlap) {
+  ThreadPool pool(3);
+  const std::size_t n = 777;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_dynamic(0, n, 10, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LE(hi - lo, 10u);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DynamicRejectsZeroChunk) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_dynamic(0, 10, 0, [](std::size_t, std::size_t) {}),
+      Error);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_static(0, 100,
+                                        [&](std::size_t lo, std::size_t) {
+                                          if (lo == 0) {
+                                            throw Error("worker failure");
+                                          }
+                                        }),
+               Error);
+}
+
+TEST(ThreadPool, NestedParallelismDoesNotDeadlock) {
+  std::atomic<int> total{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 50, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  const std::size_t n = 100000;
+  auto result = parallel_reduce<long long>(
+      0, n, 0LL,
+      [](long long acc, std::size_t i) {
+        return acc + static_cast<long long>(i);
+      },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(result, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeGivesIdentity) {
+  auto result = parallel_reduce<int>(
+      10, 10, 42, [](int acc, std::size_t) { return acc + 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  std::vector<double> values(5000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 2654435761u) % 10007);
+  }
+  auto result = parallel_reduce<double>(
+      0, values.size(), -1.0,
+      [&](double acc, std::size_t i) { return std::max(acc, values[i]); },
+      [](double a, double b) { return std::max(a, b); });
+  EXPECT_EQ(result, *std::max_element(values.begin(), values.end()));
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ifet

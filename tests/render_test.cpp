@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/camera.hpp"
+#include "render/raycaster.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+namespace {
+
+using testing::blob_volume;
+using testing::box_mask;
+
+TEST(Camera, PixelRaysAreUnitLength) {
+  Camera cam(0.5, 0.3, 2.5);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      Ray r = cam.pixel_ray(x, y, 8, 8);
+      EXPECT_NEAR(r.direction.norm(), 1.0, 1e-12);
+      EXPECT_NEAR((r.origin - cam.position()).norm(), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Camera, CenterRayPointsAtOrigin) {
+  Camera cam(0.7, 0.2, 3.0);
+  // With an even image the four center pixels straddle the axis; a large
+  // image makes the center ray nearly exact.
+  Ray r = cam.pixel_ray(500, 500, 1001, 1001);
+  // The ray from the eye towards the origin:
+  Vec3 to_origin = (Vec3{0, 0, 0} - cam.position()).normalized();
+  EXPECT_NEAR(r.direction.dot(to_origin), 1.0, 1e-4);
+}
+
+TEST(Camera, RejectsBadParameters) {
+  EXPECT_THROW(Camera(0, 0, -1.0), Error);
+  EXPECT_THROW(Camera(0, 0, 1.0, 5.0), Error);
+}
+
+TEST(Camera, StraightDownViewUsesFallbackUp) {
+  // Elevation ~ +-pi/2 makes the view direction parallel to world up; the
+  // camera must fall back to an alternative up vector and still produce
+  // finite, unit-length rays.
+  for (double elevation : {1.5707, -1.5707}) {
+    Camera cam(0.3, elevation, 2.0);
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        Ray r = cam.pixel_ray(x, y, 4, 4);
+        EXPECT_NEAR(r.direction.norm(), 1.0, 1e-9);
+        EXPECT_TRUE(std::isfinite(r.direction.x));
+        EXPECT_TRUE(std::isfinite(r.direction.y));
+        EXPECT_TRUE(std::isfinite(r.direction.z));
+      }
+    }
+  }
+}
+
+TEST(IntersectBox, HitAndMiss) {
+  Vec3 lo{-0.5, -0.5, -0.5}, hi{0.5, 0.5, 0.5};
+  double t0, t1;
+  Ray hit{{-2, 0, 0}, {1, 0, 0}};
+  ASSERT_TRUE(intersect_box(hit, lo, hi, t0, t1));
+  EXPECT_NEAR(t0, 1.5, 1e-12);
+  EXPECT_NEAR(t1, 2.5, 1e-12);
+
+  Ray miss{{-2, 2, 0}, {1, 0, 0}};
+  EXPECT_FALSE(intersect_box(miss, lo, hi, t0, t1));
+
+  // Ray starting inside: t_near clamps to 0.
+  Ray inside{{0, 0, 0}, {0, 0, 1}};
+  ASSERT_TRUE(intersect_box(inside, lo, hi, t0, t1));
+  EXPECT_DOUBLE_EQ(t0, 0.0);
+  EXPECT_NEAR(t1, 0.5, 1e-12);
+}
+
+TEST(IntersectBox, AxisParallelRay) {
+  Vec3 lo{0, 0, 0}, hi{1, 1, 1};
+  double t0, t1;
+  // Parallel to x inside the slab.
+  Ray in{{-1, 0.5, 0.5}, {1, 0, 0}};
+  EXPECT_TRUE(intersect_box(in, lo, hi, t0, t1));
+  // Parallel to x outside the slab.
+  Ray out{{-1, 2.0, 0.5}, {1, 0, 0}};
+  EXPECT_FALSE(intersect_box(out, lo, hi, t0, t1));
+}
+
+RenderSettings small_settings() {
+  RenderSettings s;
+  s.width = 48;
+  s.height = 48;
+  return s;
+}
+
+TEST(Raycaster, TransparentTfGivesBackground) {
+  VolumeF v = testing::random_volume(Dims{16, 16, 16}, 3);
+  TransferFunction1D tf(0.0, 1.0);  // fully transparent
+  RenderSettings s = small_settings();
+  s.background = Rgb{0.25, 0.5, 0.75};
+  Raycaster caster(s);
+  Camera cam(0.4, 0.3, 2.5);
+  ImageRgb8 img = caster.render(v, tf, ColorMap(), cam);
+  for (std::size_t p = 0; p < img.pixels.size(); p += 3) {
+    EXPECT_EQ(img.pixels[p], 64);       // 0.25
+    EXPECT_EQ(img.pixels[p + 1], 128);  // 0.5
+    EXPECT_EQ(img.pixels[p + 2], 191);  // 0.75
+  }
+}
+
+TEST(Raycaster, OpaqueBlobProducesNonBackgroundPixels) {
+  VolumeF v = blob_volume(Dims{24, 24, 24}, {12, 12, 12}, 4.0, 1.0f);
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.5, 1.0, 1.0);
+  Raycaster caster(small_settings());
+  Camera cam(0.4, 0.3, 2.5);
+  RenderStats stats;
+  ImageRgb8 img = caster.render(v, tf, ColorMap(), cam, nullptr, &stats);
+  int nonblack = 0;
+  for (std::size_t p = 0; p < img.pixels.size(); p += 3) {
+    if (img.pixels[p] || img.pixels[p + 1] || img.pixels[p + 2]) ++nonblack;
+  }
+  EXPECT_GT(nonblack, 30);
+  EXPECT_EQ(stats.rays, 48u * 48u);
+  EXPECT_GT(stats.samples, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Raycaster, EarlyTerminationTriggersOnOpaqueVolume) {
+  VolumeF v(Dims{16, 16, 16}, 0.8f);
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.0, 1.0, 1.0);  // everything fully opaque
+  Raycaster caster(small_settings());
+  Camera cam(0.4, 0.3, 2.5);
+  RenderStats stats;
+  caster.render(v, tf, ColorMap(), cam, nullptr, &stats);
+  EXPECT_GT(stats.terminated_early, 100u);
+}
+
+TEST(Raycaster, HighlightTurnsMaskRegionRed) {
+  // Volume: uniform medium-opacity; highlight mask over one half.
+  VolumeF v(Dims{16, 16, 16}, 0.5f);
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.0, 1.0, 0.9);
+  TransferFunction1D highlight_tf = tf;
+  Mask mask = box_mask(Dims{16, 16, 16}, {0, 0, 0}, {15, 15, 15});
+  HighlightLayer layer{&mask, &highlight_tf, Rgb{1.0, 0.0, 0.0}};
+  RenderSettings s = small_settings();
+  s.shading = false;  // keep colors pure
+  Raycaster caster(s);
+  Camera cam(0.4, 0.3, 2.5);
+  ImageRgb8 img = caster.render(v, tf, ColorMap(), cam, &layer);
+  // Every volume-covering pixel must be pure red (mask covers everything).
+  int red_pixels = 0;
+  for (std::size_t p = 0; p < img.pixels.size(); p += 3) {
+    if (img.pixels[p] > 200 && img.pixels[p + 1] < 30 &&
+        img.pixels[p + 2] < 30) {
+      ++red_pixels;
+    }
+  }
+  EXPECT_GT(red_pixels, 400);
+}
+
+TEST(Raycaster, HighlightValidatesInputs) {
+  VolumeF v(Dims{8, 8, 8}, 0.5f);
+  TransferFunction1D tf(0.0, 1.0);
+  Raycaster caster(small_settings());
+  Camera cam(0.4, 0.3, 2.5);
+  HighlightLayer missing{nullptr, nullptr, Rgb{1, 0, 0}};
+  EXPECT_THROW(caster.render(v, tf, ColorMap(), cam, &missing), Error);
+  Mask wrong(Dims{4, 4, 4});
+  HighlightLayer bad{&wrong, &tf, Rgb{1, 0, 0}};
+  EXPECT_THROW(caster.render(v, tf, ColorMap(), cam, &bad), Error);
+}
+
+TEST(Raycaster, SettingsValidated) {
+  RenderSettings s;
+  s.width = 0;
+  EXPECT_THROW(Raycaster{s}, Error);
+  RenderSettings s2;
+  s2.step_voxels = 0.0;
+  EXPECT_THROW(Raycaster{s2}, Error);
+}
+
+TEST(Raycaster, SmallerStepSamplesMore) {
+  VolumeF v(Dims{16, 16, 16}, 0.1f);
+  TransferFunction1D tf(0.0, 1.0);  // transparent: no early termination
+  Camera cam(0.4, 0.3, 2.5);
+  RenderSettings coarse = small_settings();
+  coarse.step_voxels = 2.0;
+  RenderSettings fine = small_settings();
+  fine.step_voxels = 0.5;
+  RenderStats cs, fs;
+  Raycaster(coarse).render(v, tf, ColorMap(), cam, nullptr, &cs);
+  Raycaster(fine).render(v, tf, ColorMap(), cam, nullptr, &fs);
+  EXPECT_GT(fs.samples, cs.samples * 3);
+}
+
+TEST(RenderSlice, MapsValuesThroughTf) {
+  Dims d{8, 8, 8};
+  VolumeF v(d, 0.0f);
+  v.at(3, 4, 2) = 1.0f;
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.9, 1.0, 1.0);
+  ColorMap colors({{0.0, Rgb{0, 0, 1}}, {1.0, Rgb{1, 0, 0}}});
+  ImageRgb8 img = render_slice(v, 2, 2, tf, colors);
+  EXPECT_EQ(img.width, 8);
+  EXPECT_EQ(img.height, 8);
+  // The hot voxel renders red at (col=3,row=4); everything else black
+  // (opacity zero).
+  std::size_t o = 3 * (4u * 8u + 3u);
+  EXPECT_GT(img.pixels[o], 200);
+  EXPECT_EQ(img.pixels[o + 2], 0);
+  std::size_t elsewhere = 3 * (0u * 8u + 0u);
+  EXPECT_EQ(img.pixels[elsewhere], 0);
+}
+
+TEST(RenderSlice, AxisSelection) {
+  Dims d{4, 6, 8};
+  VolumeF v(d, 0.5f);
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.0, 1.0, 1.0);
+  ImageRgb8 x = render_slice(v, 0, 1, tf, ColorMap());
+  EXPECT_EQ(x.width, 6);
+  EXPECT_EQ(x.height, 8);
+  ImageRgb8 y = render_slice(v, 1, 1, tf, ColorMap());
+  EXPECT_EQ(y.width, 4);
+  EXPECT_EQ(y.height, 8);
+  ImageRgb8 z = render_slice(v, 2, 1, tf, ColorMap());
+  EXPECT_EQ(z.width, 4);
+  EXPECT_EQ(z.height, 6);
+  EXPECT_THROW(render_slice(v, 3, 0, tf, ColorMap()), Error);
+  EXPECT_THROW(render_slice(v, 2, 99, tf, ColorMap()), Error);
+}
+
+}  // namespace
+}  // namespace ifet

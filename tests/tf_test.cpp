@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "tf/transfer_function.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+namespace {
+
+TEST(TransferFunction, StartsTransparent) {
+  TransferFunction1D tf(0.0, 1.0);
+  for (int i = 0; i < TransferFunction1D::kEntries; ++i) {
+    EXPECT_DOUBLE_EQ(tf.opacity_entry(i), 0.0);
+  }
+}
+
+TEST(TransferFunction, RejectsDegenerateRange) {
+  EXPECT_THROW(TransferFunction1D(1.0, 1.0), Error);
+  EXPECT_THROW(TransferFunction1D(2.0, 1.0), Error);
+}
+
+TEST(TransferFunction, EntryValueAndEntryOfAgree) {
+  TransferFunction1D tf(-2.0, 6.0);
+  for (int i = 0; i < TransferFunction1D::kEntries; ++i) {
+    EXPECT_EQ(tf.entry_of(tf.entry_value(i)), i);
+  }
+  EXPECT_EQ(tf.entry_of(-100.0), 0);
+  EXPECT_EQ(tf.entry_of(100.0), TransferFunction1D::kEntries - 1);
+}
+
+TEST(TransferFunction, AddBandSetsPlateau) {
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.4, 0.6, 0.8);
+  EXPECT_NEAR(tf.opacity(0.5), 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(tf.opacity(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(tf.opacity(0.9), 0.0);
+}
+
+TEST(TransferFunction, TrapezoidRampsLinearly) {
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_trapezoid(0.2, 0.4, 0.6, 0.8, 1.0);
+  EXPECT_DOUBLE_EQ(tf.opacity(0.1), 0.0);
+  EXPECT_NEAR(tf.opacity(0.3), 0.5, 0.02);
+  EXPECT_NEAR(tf.opacity(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(tf.opacity(0.7), 0.5, 0.02);
+  EXPECT_DOUBLE_EQ(tf.opacity(0.9), 0.0);
+}
+
+TEST(TransferFunction, TrapezoidValidatesCorners) {
+  TransferFunction1D tf(0.0, 1.0);
+  EXPECT_THROW(tf.add_trapezoid(0.5, 0.4, 0.6, 0.8, 1.0), Error);
+}
+
+TEST(TransferFunction, BandsComposeWithMax) {
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.2, 0.4, 0.5);
+  tf.add_band(0.3, 0.5, 0.9);
+  EXPECT_NEAR(tf.opacity(0.35), 0.9, 1e-12);  // max wins in the overlap
+  EXPECT_NEAR(tf.opacity(0.25), 0.5, 1e-12);
+}
+
+TEST(TransferFunction, ScaleOpacityClamps) {
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.0, 1.0, 0.6);
+  tf.scale_opacity(2.0);
+  EXPECT_DOUBLE_EQ(tf.opacity(0.5), 1.0);
+  tf.scale_opacity(0.25);
+  EXPECT_DOUBLE_EQ(tf.opacity(0.5), 0.25);
+}
+
+TEST(TransferFunction, OpaqueIntervalsFindBands) {
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.1, 0.2, 1.0);
+  tf.add_band(0.6, 0.8, 1.0);
+  auto intervals = tf.opaque_intervals(0.5);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_NEAR(intervals[0].first, 0.1, 0.01);
+  EXPECT_NEAR(intervals[0].second, 0.2, 0.01);
+  EXPECT_NEAR(intervals[1].first, 0.6, 0.01);
+  EXPECT_NEAR(intervals[1].second, 0.8, 0.01);
+}
+
+TEST(TransferFunction, InterpolationIsEntrywise) {
+  TransferFunction1D a(0.0, 1.0), b(0.0, 1.0);
+  a.add_band(0.2, 0.3, 1.0);
+  b.add_band(0.7, 0.8, 1.0);
+  TransferFunction1D mid = TransferFunction1D::interpolate(a, b, 0.5);
+  // Linear interpolation leaves BOTH bands at half opacity — the Fig 3
+  // failure: instead of one moved band, two weakened ones.
+  EXPECT_NEAR(mid.opacity(0.25), 0.5, 1e-12);
+  EXPECT_NEAR(mid.opacity(0.75), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(mid.opacity(0.5), 0.0);
+}
+
+TEST(TransferFunction, InterpolationRequiresSameRange) {
+  TransferFunction1D a(0.0, 1.0), b(0.0, 2.0);
+  EXPECT_THROW(TransferFunction1D::interpolate(a, b, 0.5), Error);
+}
+
+TEST(ColorMap, DefaultRampEndpoints) {
+  ColorMap map;
+  Rgb lo = map.at(0.0);
+  Rgb hi = map.at(1.0);
+  EXPECT_GT(lo.b, lo.r);  // cold end is blue
+  EXPECT_GT(hi.r, hi.b);  // hot end is red
+}
+
+TEST(ColorMap, InterpolatesBetweenStops) {
+  ColorMap map({{0.0, Rgb{0, 0, 0}}, {1.0, Rgb{1, 1, 1}}});
+  Rgb mid = map.at(0.5);
+  EXPECT_NEAR(mid.r, 0.5, 1e-12);
+  EXPECT_NEAR(mid.g, 0.5, 1e-12);
+}
+
+TEST(ColorMap, ClampsOutsideUnit) {
+  ColorMap map({{0.0, Rgb{0, 0, 0}}, {1.0, Rgb{1, 1, 1}}});
+  EXPECT_DOUBLE_EQ(map.at(-3.0).r, 0.0);
+  EXPECT_DOUBLE_EQ(map.at(3.0).r, 1.0);
+}
+
+TEST(ColorMap, RejectsUnsortedStops) {
+  EXPECT_THROW(ColorMap({{0.5, Rgb{}}, {0.2, Rgb{}}}), Error);
+  EXPECT_THROW(ColorMap(std::vector<std::pair<double, Rgb>>{}), Error);
+}
+
+TEST(KeyFrameSet, KeepsFramesSorted) {
+  KeyFrameSet set;
+  TransferFunction1D tf(0.0, 1.0);
+  set.add(50, tf);
+  set.add(10, tf);
+  set.add(30, tf);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0].step, 10);
+  EXPECT_EQ(set[1].step, 30);
+  EXPECT_EQ(set[2].step, 50);
+}
+
+TEST(KeyFrameSet, RejectsDuplicatesAndMixedRanges) {
+  KeyFrameSet set;
+  set.add(10, TransferFunction1D(0.0, 1.0));
+  EXPECT_THROW(set.add(10, TransferFunction1D(0.0, 1.0)), Error);
+  EXPECT_THROW(set.add(20, TransferFunction1D(0.0, 2.0)), Error);
+}
+
+TEST(KeyFrameSet, InterpolateAtBlendsAndClamps) {
+  KeyFrameSet set;
+  TransferFunction1D a(0.0, 1.0), b(0.0, 1.0);
+  a.add_band(0.0, 1.0, 0.0);
+  b.add_band(0.0, 1.0, 1.0);
+  set.add(10, a);
+  set.add(20, b);
+  EXPECT_NEAR(set.interpolate_at(15).opacity(0.5), 0.5, 0.01);
+  EXPECT_NEAR(set.interpolate_at(0).opacity(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(set.interpolate_at(99).opacity(0.5), 1.0, 1e-12);
+}
+
+TEST(KeyFrameSet, InterpolateAtEmptyThrows) {
+  KeyFrameSet set;
+  EXPECT_THROW(set.interpolate_at(5), Error);
+}
+
+}  // namespace
+}  // namespace ifet

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/track_events.hpp"
+#include "core/tracking.hpp"
+#include "flowsim/datasets.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+namespace {
+
+/// Moving-box sequence: a 4^3 box of value 0.8 whose x position advances by
+/// `speed` voxels per step (background 0.1). With speed <= 3 consecutive
+/// boxes overlap; with speed >= 5 they do not.
+std::shared_ptr<CallbackSource> moving_box_source(int steps, int speed) {
+  Dims d{32, 16, 16};
+  return std::make_shared<CallbackSource>(
+      d, steps, std::pair<double, double>{0.0, 1.0}, [d, speed](int step) {
+        VolumeF v(d, 0.1f);
+        int x0 = 2 + speed * step;
+        for (int k = 6; k < 10; ++k) {
+          for (int j = 6; j < 10; ++j) {
+            for (int i = x0; i < x0 + 4 && i < d.x; ++i) {
+              v.at(i, j, k) = 0.8f;
+            }
+          }
+        }
+        return v;
+      });
+}
+
+TEST(FixedRangeCriterion, AcceptsInsideRange) {
+  FixedRangeCriterion c(0.4, 0.6);
+  EXPECT_TRUE(c.accept(0, 0.5));
+  EXPECT_TRUE(c.accept(7, 0.4));
+  EXPECT_FALSE(c.accept(0, 0.39));
+  EXPECT_FALSE(c.accept(0, 0.61));
+}
+
+TEST(Tracker, GrowsWithinOneStep) {
+  VolumeSequence seq(moving_box_source(1, 0), 2);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
+  EXPECT_EQ(result.voxels_at(0), 64u);  // the whole 4^3 box
+}
+
+TEST(Tracker, SeedNotSatisfyingCriterionGrowsNothing) {
+  VolumeSequence seq(moving_box_source(1, 0), 2);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  TrackResult result = tracker.track(Index3{0, 0, 0}, 0);  // background
+  EXPECT_TRUE(result.masks.empty());
+}
+
+TEST(Tracker, FollowsOverlappingFeatureThroughTime) {
+  const int steps = 6;
+  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
+  for (int s = 0; s < steps; ++s) {
+    EXPECT_EQ(result.voxels_at(s), 64u) << "step " << s;
+  }
+  EXPECT_EQ(result.first_step(), 0);
+  EXPECT_EQ(result.last_step(), steps - 1);
+}
+
+TEST(Tracker, TracksBackwardFromLateSeed) {
+  const int steps = 5;
+  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  // Seed in the feature at the LAST step; 4D growing reaches step 0.
+  TrackResult result = tracker.track(Index3{2 + 2 * 4 + 1, 7, 7}, 4);
+  EXPECT_EQ(result.voxels_at(0), 64u);
+  EXPECT_EQ(result.voxels_at(4), 64u);
+}
+
+TEST(Tracker, LosesFeatureWithoutTemporalOverlap) {
+  // Speed 6 > box width 4: consecutive masks do not overlap, so the paper's
+  // assumption is violated and the track must stop after the seed step.
+  const int steps = 4;
+  VolumeSequence seq(moving_box_source(steps, 6), 4);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
+  EXPECT_EQ(result.voxels_at(0), 64u);
+  EXPECT_EQ(result.voxels_at(1), 0u);
+  EXPECT_FALSE(result.reached(1));
+}
+
+TEST(Tracker, RespectsStepWindow) {
+  const int steps = 8;
+  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  TrackerConfig cfg;
+  cfg.min_step = 2;
+  cfg.max_step = 5;
+  Tracker tracker(seq, criterion, cfg);
+  TrackResult result = tracker.track(Index3{2 + 2 * 3 + 1, 7, 7}, 3);
+  EXPECT_FALSE(result.reached(1));
+  EXPECT_FALSE(result.reached(6));
+  EXPECT_TRUE(result.reached(2));
+  EXPECT_TRUE(result.reached(5));
+}
+
+TEST(Tracker, MaxVoxelCapStopsGrowth) {
+  VolumeSequence seq(moving_box_source(3, 0), 4);
+  FixedRangeCriterion criterion(0.0, 1.0);  // accepts everything
+  TrackerConfig cfg;
+  cfg.max_voxels = 100;
+  Tracker tracker(seq, criterion, cfg);
+  TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
+  std::size_t total = 0;
+  for (const auto& [step, mask] : result.masks) total += mask_count(mask);
+  EXPECT_LE(total, 110u);  // cap plus at most one BFS wave of slack
+}
+
+TEST(Tracker, TrackFromMaskValidatesDims) {
+  VolumeSequence seq(moving_box_source(2, 0), 2);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  Mask wrong(Dims{4, 4, 4});
+  EXPECT_THROW(tracker.track_from_mask(wrong, 0), Error);
+  EXPECT_THROW(tracker.track(Index3{99, 0, 0}, 0), Error);
+}
+
+TEST(Tracker, AdaptiveCriterionFollowsDecayingFeature) {
+  // Fig 10 in miniature via the real SwirlingFlow source.
+  SwirlingFlowConfig scfg;
+  scfg.dims = Dims{24, 24, 24};
+  scfg.num_steps = 40;
+  // Decay fast enough that by the last step the peak falls below the fixed
+  // criterion's lower bound (peak0 * 0.55) while staying above background.
+  scfg.peak_decay = 0.012;
+  auto source = std::make_shared<SwirlingFlowSource>(scfg);
+  VolumeSequence seq(source, 6);
+
+  // Key frames: bands around the decaying peak at steps 0 and 39.
+  Iatf iatf(seq);
+  auto band_at = [&](int step) {
+    TransferFunction1D tf(0.0, 1.0);
+    double peak = source->peak_value(step);
+    tf.add_band(peak * 0.55, std::min(1.0, peak * 1.05), 1.0, 0.02);
+    return tf;
+  };
+  iatf.add_key_frame(0, band_at(0));
+  iatf.add_key_frame(39, band_at(39));
+  iatf.train(1200);
+
+  // Seed at the feature center at step 0.
+  Vec3 c = source->feature_center(0);
+  Index3 seed{static_cast<int>(c.x * 24), static_cast<int>(c.y * 24),
+              static_cast<int>(c.z * 24)};
+
+  AdaptiveTfCriterion adaptive(iatf, 0.3);
+  Tracker tracker(seq, adaptive);
+  TrackResult adaptive_result = tracker.track(seed, 0);
+
+  double p0 = source->peak_value(0);
+  FixedRangeCriterion fixed(p0 * 0.55, 1.0);
+  Tracker fixed_tracker(seq, fixed);
+  TrackResult fixed_result = fixed_tracker.track(seed, 0);
+
+  // Fixed criterion loses the feature before the end; adaptive keeps it.
+  EXPECT_EQ(fixed_result.voxels_at(39), 0u);
+  EXPECT_GT(adaptive_result.voxels_at(39), 0u);
+}
+
+TEST(TrackEvents, ContinuationChain) {
+  const int steps = 4;
+  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  FeatureHistory history =
+      build_feature_history(tracker.track(Index3{3, 7, 7}, 0));
+  EXPECT_EQ(static_cast<int>(history.nodes.size()), steps);
+  for (int s = 0; s < steps; ++s) {
+    EXPECT_EQ(history.component_count(s), 1);
+  }
+  EXPECT_EQ(history.events_of(EventType::kContinuation).size(),
+            static_cast<std::size_t>(steps - 2));
+  EXPECT_TRUE(history.events_of(EventType::kSplit).empty());
+  EXPECT_TRUE(history.events_of(EventType::kBirth).empty());
+  EXPECT_TRUE(history.events_of(EventType::kDeath).empty());
+}
+
+TEST(TrackEvents, DetectsSplitOnVortexData) {
+  TurbulentVortexConfig vcfg;
+  vcfg.dims = Dims{32, 32, 32};
+  vcfg.num_steps = 25;
+  vcfg.split_step = 18;
+  auto source = std::make_shared<TurbulentVortexSource>(vcfg);
+  VolumeSequence seq(source, 6);
+  // The tracked band: above the distractors (0.5), covering the feature.
+  FixedRangeCriterion criterion(0.55, 1.0);
+  Tracker tracker(seq, criterion);
+  auto centers = source->lobe_centers(0);
+  Index3 seed{static_cast<int>(centers[0].x * 32),
+              static_cast<int>(centers[0].y * 32),
+              static_cast<int>(centers[0].z * 32)};
+  FeatureHistory history = build_feature_history(tracker.track(seed, 0));
+
+  EXPECT_EQ(history.component_count(17), 1);
+  EXPECT_EQ(history.component_count(20), 2);
+  auto splits = history.events_of(EventType::kSplit);
+  ASSERT_FALSE(splits.empty());
+  EXPECT_EQ(splits[0].step, 17);  // the step whose component has 2 children
+}
+
+TEST(TrackEvents, DetectsMergeOnApproachingBlobs) {
+  // Two blobs drift towards each other and fuse — the mirror image of the
+  // Fig 9 split, driven through the full generator/tracker path.
+  Dims d{40, 16, 16};
+  const int steps = 8;
+  auto source = std::make_shared<CallbackSource>(
+      d, steps, std::pair<double, double>{0.0, 1.0}, [d](int step) {
+        VolumeF v(d, 0.05f);
+        auto blob = [&](double cx) {
+          for (int k = 0; k < d.z; ++k) {
+            for (int j = 0; j < d.y; ++j) {
+              for (int i = 0; i < d.x; ++i) {
+                double dx = i - cx, dy = j - 8.0, dz = k - 8.0;
+                double r2 = dx * dx + dy * dy + dz * dz;
+                float val = static_cast<float>(0.9 * std::exp(-r2 / 18.0));
+                std::size_t li = v.linear_index(i, j, k);
+                v[li] = std::max(v[li], val);
+              }
+            }
+          }
+        };
+        blob(10.0 + 1.5 * step);   // left blob moves right
+        blob(30.0 - 1.5 * step);   // right blob moves left
+        return v;
+      });
+  VolumeSequence seq(source, 4);
+  FixedRangeCriterion criterion(0.45, 1.0);
+  Tracker tracker(seq, criterion);
+  TrackResult track = tracker.track(Index3{10, 8, 8}, 0);
+  FeatureHistory history = build_feature_history(track);
+  EXPECT_EQ(history.component_count(0), 2);  // 4D growing reaches both
+  EXPECT_EQ(history.component_count(steps - 1), 1);
+  auto merges = history.events_of(EventType::kMerge);
+  ASSERT_GE(merges.size(), 1u);
+  // The merge is observed at the first single-component step.
+  int merge_step = merges.front().step;
+  EXPECT_EQ(history.component_count(merge_step), 1);
+  EXPECT_EQ(history.component_count(merge_step - 1), 2);
+}
+
+TEST(TrackEvents, FormatTreeListsSteps) {
+  VolumeSequence seq(moving_box_source(3, 2), 4);
+  FixedRangeCriterion criterion(0.5, 1.0);
+  Tracker tracker(seq, criterion);
+  FeatureHistory history =
+      build_feature_history(tracker.track(Index3{3, 7, 7}, 0));
+  std::string tree = format_feature_tree(history);
+  EXPECT_NE(tree.find("t=0:"), std::string::npos);
+  EXPECT_NE(tree.find("t=2:"), std::string::npos);
+  EXPECT_NE(tree.find("size=64"), std::string::npos);
+}
+
+TEST(TrackEvents, EmptyTrackYieldsEmptyHistory) {
+  TrackResult empty;
+  FeatureHistory history = build_feature_history(empty);
+  EXPECT_TRUE(history.nodes.empty());
+  EXPECT_TRUE(history.events.empty());
+}
+
+TEST(TrackEvents, MergeDetectedOnConstructedMasks) {
+  // Hand-build a track: two components at step 0 merging into one at step 1.
+  Dims d{16, 8, 8};
+  TrackResult track;
+  Mask step0(d);
+  for (int i = 2; i < 5; ++i) step0.at(i, 4, 4) = 1;
+  for (int i = 9; i < 12; ++i) step0.at(i, 4, 4) = 1;
+  Mask step1(d);
+  for (int i = 2; i < 12; ++i) step1.at(i, 4, 4) = 1;
+  track.masks.emplace(0, std::move(step0));
+  track.masks.emplace(1, std::move(step1));
+
+  FeatureHistory history = build_feature_history(track);
+  EXPECT_EQ(history.component_count(0), 2);
+  EXPECT_EQ(history.component_count(1), 1);
+  auto merges = history.events_of(EventType::kMerge);
+  ASSERT_EQ(merges.size(), 1u);
+  EXPECT_EQ(merges[0].step, 1);
+}
+
+TEST(TrackEvents, BirthAndDeathDetected) {
+  Dims d{8, 8, 8};
+  TrackResult track;
+  // Step 0: one blob; step 1: the same blob plus a NEW disjoint blob (birth);
+  // step 2: only the new blob (the old one dies at step 1... it has no
+  // child at step 2).
+  Mask m0(d), m1(d), m2(d);
+  m0.at(1, 1, 1) = 1;
+  m1.at(1, 1, 1) = 1;
+  m1.at(6, 6, 6) = 1;
+  m2.at(6, 6, 6) = 1;
+  track.masks.emplace(0, m0);
+  track.masks.emplace(1, m1);
+  track.masks.emplace(2, m2);
+  FeatureHistory history = build_feature_history(track);
+  auto births = history.events_of(EventType::kBirth);
+  auto deaths = history.events_of(EventType::kDeath);
+  ASSERT_EQ(births.size(), 1u);
+  EXPECT_EQ(births[0].step, 1);
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0].step, 1);
+}
+
+}  // namespace
+}  // namespace ifet

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ifet {
+namespace {
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    IFET_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(IFET_REQUIRE(2 + 2 == 4, "math works"));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(10);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  // The split stream should not replay the parent stream.
+  Rng c(5);
+  c.next_u64();  // advance past the state consumed by split()
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (b.next_u64() == c.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/ifet_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    csv.row(1, 2.5, "x");
+    csv.row(3, 4.5, "y");
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4.5,y");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
+}
+
+TEST(Cli, ParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog", "--steps=12", "--verbose", "input.vol",
+                        "--rate=0.5"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.has("steps"));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_int("steps", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.vol");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(w.seconds(), 0.0);
+  EXPECT_GE(w.milliseconds(), w.seconds() * 1000.0 * 0.99);
+}
+
+}  // namespace
+}  // namespace ifet
