@@ -1,0 +1,41 @@
+# Sanitizer instrumentation for the whole tree.
+#
+# IFET_SANITIZE is a semicolon list drawn from {address;undefined;thread},
+# e.g. -DIFET_SANITIZE="address;undefined". The asan-ubsan and tsan entries
+# in CMakePresets.json are the intended front doors. Flags are applied
+# globally (compile + link) so every library, test, bench, and tool in the
+# build is instrumented consistently — mixing instrumented and plain TUs
+# produces false negatives.
+
+set(IFET_SANITIZE "" CACHE STRING
+    "Sanitizers to build with (semicolon list of: address;undefined;thread)")
+
+if(IFET_SANITIZE)
+  if("address" IN_LIST IFET_SANITIZE AND "thread" IN_LIST IFET_SANITIZE)
+    message(FATAL_ERROR
+        "IFET_SANITIZE: 'address' and 'thread' cannot be combined; "
+        "use the asan-ubsan and tsan presets as separate builds")
+  endif()
+  foreach(san IN LISTS IFET_SANITIZE)
+    if(san STREQUAL "address")
+      # Frame pointers and disabled sibling calls keep ASan stack traces
+      # exact through the inlined hot loops.
+      add_compile_options(-fsanitize=address -fno-omit-frame-pointer
+                          -fno-optimize-sibling-calls)
+      add_link_options(-fsanitize=address)
+    elseif(san STREQUAL "undefined")
+      # Recover disabled: any UB report fails the process (and thus ctest)
+      # instead of printing and continuing.
+      add_compile_options(-fsanitize=undefined -fno-sanitize-recover=all)
+      add_link_options(-fsanitize=undefined)
+    elseif(san STREQUAL "thread")
+      add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+      add_link_options(-fsanitize=thread)
+    else()
+      message(FATAL_ERROR
+          "IFET_SANITIZE: unknown sanitizer '${san}' "
+          "(expected address, undefined, or thread)")
+    endif()
+  endforeach()
+  message(STATUS "ifet: sanitizers enabled: ${IFET_SANITIZE}")
+endif()

@@ -73,6 +73,23 @@ double Mlp::activate_derivative(double fx, Activation a) const {
 Mlp::ForwardState Mlp::run_forward(std::span<const double> input) const {
   IFET_REQUIRE(static_cast<int>(input.size()) == num_inputs(),
                "Mlp::forward: input size mismatch");
+  // Layer-shape invariants: one weight matrix and bias vector per link,
+  // with fan-out rows of fan-in columns. Guards against external mutation
+  // through mutable_weights()/mutable_biases() corrupting the topology.
+  IFET_DEBUG_ASSERT(weights_.size() + 1 == layer_sizes_.size() &&
+                        biases_.size() == weights_.size(),
+                    "Mlp: weight/bias layer count mismatch");
+  for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    IFET_DEBUG_ASSERT(
+        weights_[l].size() == static_cast<std::size_t>(layer_sizes_[l + 1]) &&
+            biases_[l].size() == weights_[l].size(),
+        "Mlp: layer fan-out does not match layer_sizes()");
+    IFET_DEBUG_ASSERT(
+        weights_[l].empty() ||
+            weights_[l].front().size() ==
+                static_cast<std::size_t>(layer_sizes_[l]),
+        "Mlp: layer fan-in does not match layer_sizes()");
+  }
   ForwardState state;
   state.activations.resize(layer_sizes_.size());
   state.activations[0].assign(input.begin(), input.end());
@@ -236,6 +253,8 @@ Mlp Mlp::load(std::istream& is) {
   for (auto& s : sizes) is >> s;
   int act = 0;
   is >> act;
+  IFET_REQUIRE(act >= 0 && act <= static_cast<int>(Activation::kTanh),
+               "Mlp::load: unknown activation id");
   Rng dummy(0);
   Mlp mlp(sizes, dummy, static_cast<Activation>(act));
   for (std::size_t l = 0; l < mlp.weights_.size(); ++l) {

@@ -58,7 +58,7 @@ void ThreadPool::run_tasks(std::vector<std::function<void()>> tasks) {
       queue_.push(Task{[&, fn = std::move(t)] {
         try {
           fn();
-        } catch (...) {
+        } catch (...) {  // ifet-lint: allow(catch-all) — captured for rethrow
           std::lock_guard<std::mutex> elock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
@@ -92,6 +92,16 @@ void ThreadPool::run_tasks(std::vector<std::function<void()>> tasks) {
   std::unique_lock<std::mutex> dlock(done_mutex);
   done_cv.wait(dlock, [&] { return remaining.load() == 0; });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  IFET_REQUIRE(static_cast<bool>(fn), "ThreadPool::post: empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IFET_REQUIRE(!stopping_, "ThreadPool::post: pool is shutting down");
+    queue_.push(Task{std::move(fn)});
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::parallel_for_static(

@@ -48,6 +48,13 @@ class ThreadPool {
       std::size_t begin, std::size_t end, std::size_t chunk,
       const std::function<void(std::size_t, std::size_t)>& range_body);
 
+  /// Fire-and-forget: enqueue `fn` to run on a worker thread and return
+  /// immediately. The destructor drains the queue before joining, so every
+  /// posted task runs exactly once even if the pool is destroyed right
+  /// after posting. `fn` must not throw — there is no caller to rethrow
+  /// to (a throwing fn terminates the process).
+  void post(std::function<void()> fn);
+
   /// Process-wide default pool (lazily constructed, sized to hardware).
   static ThreadPool& global();
 

@@ -33,3 +33,20 @@ namespace detail {
       ::ifet::detail::throw_error(__FILE__, __LINE__, #expr, (message));  \
     }                                                                     \
   } while (false)
+
+/// Internal consistency check for hot paths (unchecked indexing, frontier
+/// bookkeeping, layer-shape invariants). Compiled out entirely in ordinary
+/// builds; enabled by the IFET_CHECKED_ITERATORS CMake option (on in the
+/// asan-ubsan and tsan presets). Failures throw ifet::Error exactly like
+/// IFET_REQUIRE, so tests can observe them with EXPECT_THROW.
+#if defined(IFET_CHECKED_ITERATORS) && IFET_CHECKED_ITERATORS
+#define IFET_DEBUG_ASSERT(expr, message) IFET_REQUIRE(expr, message)
+#else
+// sizeof keeps the operands syntactically checked (and silences
+// "unused variable" warnings for assert-only locals) without evaluating.
+#define IFET_DEBUG_ASSERT(expr, message) \
+  do {                                   \
+    (void)sizeof((expr) ? 1 : 0);        \
+    (void)sizeof(message);               \
+  } while (false)
+#endif

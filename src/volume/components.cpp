@@ -51,6 +51,16 @@ Labeling label_components(const Mask& mask, const VolumeF* values) {
     while (!frontier.empty()) {
       Index3 p = frontier.front();
       frontier.pop_front();
+      // Frontier bookkeeping invariants: every queued voxel is in bounds,
+      // set in the input mask, and was claimed for this component when it
+      // was enqueued (so no voxel is ever counted twice).
+      IFET_DEBUG_ASSERT(d.contains(p), "label_components: frontier voxel "
+                                       "out of bounds");
+      IFET_DEBUG_ASSERT(mask[mask.linear_index(p.x, p.y, p.z)] != 0,
+                        "label_components: frontier voxel not in mask");
+      IFET_DEBUG_ASSERT(
+          result.labels[mask.linear_index(p.x, p.y, p.z)] == label,
+          "label_components: frontier voxel not claimed by this component");
       ++info.voxel_count;
       cx += p.x;
       cy += p.y;
@@ -74,6 +84,8 @@ Labeling label_components(const Mask& mask, const VolumeF* values) {
       }
     }
     double n = static_cast<double>(info.voxel_count);
+    IFET_DEBUG_ASSERT(info.voxel_count > 0,
+                      "label_components: component with no voxels");
     info.centroid = Vec3{cx / n, cy / n, cz / n};
     result.components.push_back(info);
   }

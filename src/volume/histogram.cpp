@@ -19,18 +19,27 @@ Histogram Histogram::of(const VolumeF& volume, int bins, double lo,
 }
 
 int Histogram::bin_of(double value) const {
+  // Clamp in double before the int cast: for values far outside [lo, hi]
+  // (or NaN) the cast itself would be UB, not merely out of range.
   double t = (value - lo_) / (hi_ - lo_);
-  int bin = static_cast<int>(std::floor(t * bins()));
-  return std::clamp(bin, 0, bins() - 1);
+  double scaled = std::floor(t * bins());
+  if (!(scaled > 0.0)) return 0;  // below range or NaN
+  if (scaled >= static_cast<double>(bins())) return bins() - 1;
+  return static_cast<int>(scaled);
 }
 
 double Histogram::bin_center(int bin) const {
+  IFET_DEBUG_ASSERT(bin >= 0 && bin < bins(),
+                    "Histogram::bin_center bin out of range");
   double width = (hi_ - lo_) / bins();
   return lo_ + (bin + 0.5) * width;
 }
 
 void Histogram::add(double value) {
-  ++counts_[static_cast<std::size_t>(bin_of(value))];
+  const int bin = bin_of(value);
+  IFET_DEBUG_ASSERT(bin >= 0 && bin < bins(),
+                    "Histogram::add produced an out-of-range bin");
+  ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
 }
 
@@ -69,11 +78,13 @@ CumulativeHistogram CumulativeHistogram::of(const VolumeF& volume, int bins,
 }
 
 double CumulativeHistogram::fraction_at(double value) const {
+  // Same pre-cast clamping as Histogram::bin_of: the int cast is UB for
+  // inputs far outside [lo, hi] or NaN.
   double t = (value - lo_) / (hi_ - lo_);
-  int bin = static_cast<int>(std::floor(t * bins()));
-  if (bin < 0) return 0.0;
-  if (bin >= bins()) return 1.0;
-  return cumulative_[static_cast<std::size_t>(bin)];
+  double scaled = std::floor(t * bins());
+  if (!(scaled >= 0.0)) return 0.0;  // below range or NaN
+  if (scaled >= static_cast<double>(bins())) return 1.0;
+  return cumulative_[static_cast<std::size_t>(static_cast<int>(scaled))];
 }
 
 double CumulativeHistogram::value_at_fraction(double fraction) const {

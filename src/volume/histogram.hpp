@@ -36,9 +36,14 @@ class Histogram {
 
   /// Bin index of a value (clamped).
   int bin_of(double value) const;
-  /// Center value of a bin.
+  /// Center value of a bin. `bin` must be in [0, bins()) (checked under
+  /// IFET_CHECKED_ITERATORS).
   double bin_center(int bin) const;
-  std::size_t count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  std::size_t count(int bin) const {
+    IFET_DEBUG_ASSERT(bin >= 0 && bin < bins(),
+                      "Histogram::count bin out of range");
+    return counts_[static_cast<size_t>(bin)];
+  }
   const std::vector<std::size_t>& counts() const { return counts_; }
 
   /// Bin with the largest count inside [bin_lo, bin_hi] (inclusive).

@@ -58,8 +58,11 @@ class Volume {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  /// Linear index of voxel (i,j,k); x varies fastest.
+  /// Linear index of voxel (i,j,k); x varies fastest. The coordinate must
+  /// be in bounds (checked only under IFET_CHECKED_ITERATORS).
   std::size_t linear_index(int i, int j, int k) const {
+    IFET_DEBUG_ASSERT(dims_.contains(i, j, k),
+                      "Volume::linear_index out of range");
     return static_cast<std::size_t>(i) +
            static_cast<std::size_t>(dims_.x) *
                (static_cast<std::size_t>(j) +
@@ -68,6 +71,7 @@ class Volume {
 
   /// Voxel coordinate of a linear index.
   Index3 coord_of(std::size_t linear) const {
+    IFET_DEBUG_ASSERT(linear < data_.size(), "Volume::coord_of out of range");
     const auto dx = static_cast<std::size_t>(dims_.x);
     const auto dy = static_cast<std::size_t>(dims_.y);
     return Index3{static_cast<int>(linear % dx),
@@ -86,9 +90,18 @@ class Volume {
   T& at(const Index3& p) { return at(p.x, p.y, p.z); }
   const T& at(const Index3& p) const { return at(p.x, p.y, p.z); }
 
-  /// Unchecked access for hot loops (callers guarantee bounds).
-  T& operator[](std::size_t linear) { return data_[linear]; }
-  const T& operator[](std::size_t linear) const { return data_[linear]; }
+  /// Unchecked access for hot loops (callers guarantee bounds); bounds are
+  /// verified, throwing ifet::Error, when IFET_CHECKED_ITERATORS is on.
+  T& operator[](std::size_t linear) {
+    IFET_DEBUG_ASSERT(linear < data_.size(),
+                      "Volume::operator[] out of range");
+    return data_[linear];
+  }
+  const T& operator[](std::size_t linear) const {
+    IFET_DEBUG_ASSERT(linear < data_.size(),
+                      "Volume::operator[] out of range");
+    return data_[linear];
+  }
 
   /// Clamp-to-edge voxel fetch (any integer coordinate allowed).
   T clamped(int i, int j, int k) const {
@@ -100,6 +113,13 @@ class Volume {
 
   /// Trilinear sample at continuous voxel coordinates (clamp-to-edge).
   double sample(double x, double y, double z) const {
+    // Pre-clamp into the grid so the int casts below are defined for any
+    // input, including NaN and values beyond int range; clamp-to-edge
+    // already makes all out-of-range coordinates sample the boundary, so
+    // results are unchanged for every previously-defined input.
+    x = clamp_sample_coord(x, dims_.x - 1);
+    y = clamp_sample_coord(y, dims_.y - 1);
+    z = clamp_sample_coord(z, dims_.z - 1);
     int i0 = static_cast<int>(std::floor(x));
     int j0 = static_cast<int>(std::floor(y));
     int k0 = static_cast<int>(std::floor(z));
@@ -128,6 +148,14 @@ class Volume {
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
  private:
+  // NaN-safe clamp of a sample coordinate into [0, max_index] (the !>=
+  // test is true for NaN, which std::clamp would pass through).
+  static double clamp_sample_coord(double v, int max_index) {
+    if (!(v >= 0.0)) return 0.0;
+    const double m = static_cast<double>(max_index);
+    return v > m ? m : v;
+  }
+
   Dims dims_{};
   std::vector<T> data_;
 };

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "test_helpers.hpp"
 #include "util/error.hpp"
 #include "volume/histogram.hpp"
@@ -45,10 +47,43 @@ TEST(Histogram, PeakBinFindsMaximum) {
   EXPECT_EQ(h.peak_bin(5, 7), 6);
 }
 
+TEST(Histogram, ExtremeAndNanValuesClampIntoEdgeBins) {
+  // Values far outside the range (where the naive double->int cast would
+  // be UB) and NaN must land in the edge bins, not corrupt memory.
+  Histogram h(8, 0.0, 1.0);
+  EXPECT_EQ(h.bin_of(1e300), 7);
+  EXPECT_EQ(h.bin_of(-1e300), 0);
+  EXPECT_EQ(h.bin_of(std::numeric_limits<double>::infinity()), 7);
+  EXPECT_EQ(h.bin_of(-std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(h.bin_of(std::numeric_limits<double>::quiet_NaN()), 0);
+  h.add(1e300);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 2u);
+
+  CumulativeHistogram c(Histogram::of(
+      VolumeF(Dims{4, 4, 4}, 0.5f), 8, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(c.fraction_at(1e300), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at(-1e300), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at(std::numeric_limits<double>::quiet_NaN()),
+                   0.0);
+}
+
 TEST(Histogram, InvalidConstructionThrows) {
   EXPECT_THROW(Histogram(0, 0.0, 1.0), Error);
   EXPECT_THROW(Histogram(8, 1.0, 1.0), Error);
 }
+
+#if defined(IFET_CHECKED_ITERATORS) && IFET_CHECKED_ITERATORS
+TEST(Histogram, BinIndexingThrowsWhenCheckedIteratorsOn) {
+  Histogram h(8, 0.0, 1.0);
+  EXPECT_THROW(h.count(-1), Error);
+  EXPECT_THROW(h.count(8), Error);
+  EXPECT_THROW(h.bin_center(-1), Error);
+  EXPECT_THROW(h.bin_center(8), Error);
+  EXPECT_NO_THROW(h.count(0));
+  EXPECT_NO_THROW(h.bin_center(7));
+}
+#endif
 
 TEST(CumulativeHistogram, MonotoneNonDecreasingToOne) {
   VolumeF v = random_volume(Dims{16, 16, 16}, 31, 0.0, 2.0);

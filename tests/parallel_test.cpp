@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -108,6 +112,93 @@ TEST(ParallelReduce, MaxReduction) {
 TEST(ThreadPool, SizeMatchesRequest) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsPostedTasks) {
+  // Destroy the pool while posted tasks are still queued and mid-flight;
+  // the destructor contract is that every accepted task runs exactly once
+  // before the workers join.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.post([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, PostRejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.post(std::function<void()>{}), Error);
+}
+
+TEST(ThreadPool, DynamicPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_dynamic(0, 100, 5,
+                                [&](std::size_t lo, std::size_t) {
+                                  if (lo >= 50) throw Error("dynamic failure");
+                                }),
+      Error);
+}
+
+TEST(ThreadPool, ExceptionMessageSurvivesPropagation) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for_static(0, 10, [](std::size_t, std::size_t) {
+      throw Error("specific failure detail");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("specific failure detail"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsIsRethrown) {
+  // Every range throws; exactly one Error must reach the caller and the
+  // pool must swallow the rest without terminating.
+  ThreadPool pool(4);
+  std::atomic<int> throws{0};
+  EXPECT_THROW(pool.parallel_for_static(0, 64,
+                                        [&](std::size_t, std::size_t) {
+                                          throws.fetch_add(1);
+                                          throw Error("range failure");
+                                        }),
+               Error);
+  EXPECT_GT(throws.load(), 0);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_static(
+                   0, 8, [](std::size_t, std::size_t) { throw Error("boom"); }),
+               Error);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for_static(0, hits.size(),
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               hits[i].fetch_add(1);
+                             }
+                           });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughOuterLoop) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_static(0, 4,
+                               [&](std::size_t, std::size_t) {
+                                 pool.parallel_for_static(
+                                     0, 4, [](std::size_t, std::size_t) {
+                                       throw Error("inner failure");
+                                     });
+                               }),
+      Error);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Concurrent histogram construction and classifier (MLP) evaluation
+// stress tests for the tsan preset.
+//
+// The paper's idle-loop trains while the UI classifies, so concurrent
+// read-only evaluation of one shared network against a shared volume is
+// the steady state of the whole system; these tests make that access
+// pattern TSan-visible at small scale.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+#include "volume/histogram.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+namespace {
+
+VolumeF deterministic_volume() {
+  VolumeF v(Dims{24, 24, 12});
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>((i * 2654435761u % 1000u)) / 1000.0f;
+  }
+  return v;
+}
+
+TEST(ClassifierStress, ConcurrentHistogramsOverSharedVolume) {
+  const VolumeF volume = deterministic_volume();
+  const Histogram reference = Histogram::of(volume, 64, 0.0, 1.0);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const Histogram h = Histogram::of(volume, 64, 0.0, 1.0);
+      if (h.total() != reference.total()) mismatches.fetch_add(1);
+      for (int b = 0; b < h.bins(); ++b) {
+        if (h.count(b) != reference.count(b)) mismatches.fetch_add(1);
+      }
+      const CumulativeHistogram c(h);
+      if (std::abs(c.fraction_at(1.0) - 1.0) > 1e-12) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ClassifierStress, SharedMlpEvaluatedFromManyThreads) {
+  Rng rng(1234);
+  Mlp net({3, 8, 1}, rng);
+  // A little training first so the weights are not the fresh init.
+  BackpropConfig config;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    for (double x = 0.0; x <= 1.0; x += 0.25) {
+      const double in[3] = {x, 1.0 - x, 0.5};
+      const double target[1] = {x > 0.5 ? 1.0 : 0.0};
+      net.train_sample(in, target, config);
+    }
+  }
+  const Mlp& shared = net;
+
+  constexpr int kThreads = 6;
+  constexpr int kEvals = 500;
+  std::vector<std::vector<double>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& out = per_thread[static_cast<std::size_t>(t)];
+      out.reserve(kEvals);
+      for (int e = 0; e < kEvals; ++e) {
+        const double x = static_cast<double>(e) / kEvals;
+        const double in[3] = {x, 1.0 - x, 0.5};
+        out.push_back(shared.forward_scalar(in));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Read-only concurrent evaluation must be deterministic across threads.
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(per_thread[static_cast<std::size_t>(t)], per_thread[0]);
+  }
+}
+
+TEST(ClassifierStress, ParallelPerVoxelClassificationWritesDisjoint) {
+  const VolumeF volume = deterministic_volume();
+  Rng rng(99);
+  const Mlp net({1, 4, 1}, rng);
+  VolumeF opacity(volume.dims(), 0.0f);
+  ThreadPool pool(4);
+  pool.parallel_for_dynamic(0, volume.size(), 128,
+                            [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) {
+                                const double in[1] = {volume[i]};
+                                opacity[i] = static_cast<float>(
+                                    net.forward_scalar(in));
+                              }
+                            });
+  // Spot-check against a serial evaluation.
+  for (std::size_t i = 0; i < volume.size(); i += 997) {
+    const double in[1] = {volume[i]};
+    EXPECT_FLOAT_EQ(opacity[i], static_cast<float>(net.forward_scalar(in)));
+  }
+}
+
+}  // namespace
+}  // namespace ifet

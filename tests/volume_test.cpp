@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "test_helpers.hpp"
 #include "util/error.hpp"
 #include "volume/ops.hpp"
@@ -52,6 +54,36 @@ TEST(Volume, AtThrowsOutOfRange) {
   EXPECT_THROW(v.at(4, 0, 0), Error);
   EXPECT_THROW(v.at(-1, 0, 0), Error);
   EXPECT_THROW(v.at(0, 0, 4), Error);
+  EXPECT_THROW(v.at(Index3{0, 4, 0}), Error);
+  const VolumeF& cv = v;
+  EXPECT_THROW(cv.at(4, 0, 0), Error);
+  EXPECT_THROW(cv.at(Index3{-1, 0, 0}), Error);
+}
+
+#if defined(IFET_CHECKED_ITERATORS) && IFET_CHECKED_ITERATORS
+// The normally-unchecked fast paths throw under IFET_CHECKED_ITERATORS
+// (the asan-ubsan / tsan presets); in release builds they compile out.
+TEST(Volume, UncheckedAccessThrowsWhenCheckedIteratorsOn) {
+  VolumeF v(Dims{2, 2, 2});
+  EXPECT_THROW(v[8], Error);
+  EXPECT_THROW(v[static_cast<std::size_t>(-1)], Error);
+  const VolumeF& cv = v;
+  EXPECT_THROW(cv[8], Error);
+  EXPECT_THROW(v.linear_index(2, 0, 0), Error);
+  EXPECT_THROW(v.coord_of(8), Error);
+  EXPECT_NO_THROW(v[7]);
+  EXPECT_NO_THROW(v.coord_of(7));
+}
+#endif
+
+TEST(Volume, SampleClampsExtremeAndNanCoordinates) {
+  VolumeF v(Dims{3, 3, 3}, 1.0f);
+  v.at(0, 0, 0) = 5.0f;
+  v.at(2, 2, 2) = 9.0f;
+  EXPECT_DOUBLE_EQ(v.sample(-1e300, -1e300, -1e300), 5.0);
+  EXPECT_DOUBLE_EQ(v.sample(1e300, 1e300, 1e300), 9.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(v.sample(nan, 0.0, 0.0), 5.0);  // NaN clamps to 0
 }
 
 TEST(Volume, ClampedExtendsEdges) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command tier-1 verification (docs/CORRECTNESS.md):
+#   1. default preset: configure, build, full ctest (includes ifet_lint)
+#   2. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
+#      with IFET_DEBUG_ASSERT checks on
+#   3. clang-tidy over the hardened directories (skips if not installed)
+#
+# Usage: tools/ci_check.sh          # everything
+#        JOBS=8 tools/ci_check.sh   # override build parallelism
+#        SKIP_ASAN=1 tools/ci_check.sh   # fast local loop, default only
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+cd "$ROOT"
+
+echo "== ci_check [1/3] default preset: configure + build + ctest =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+if [ "${SKIP_ASAN:-0}" != "1" ]; then
+  echo "== ci_check [2/3] asan-ubsan preset: configure + build + ctest =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$JOBS"
+  ctest --preset asan-ubsan -j "$JOBS"
+else
+  echo "== ci_check [2/3] skipped (SKIP_ASAN=1) =="
+fi
+
+echo "== ci_check [3/3] clang-tidy (graceful skip when absent) =="
+"$ROOT/tools/run_clang_tidy.sh"
+
+echo "ci_check: all green"

@@ -1,0 +1,200 @@
+// ifet_lint — repo-convention static checks for the ifet source tree.
+//
+// Registered as a ctest (see tools/CMakeLists.txt) so CI fails when a
+// convention regresses. Each rule exists because the violation it catches
+// has silently corrupted results in systems like this one before it ever
+// crashed; docs/CORRECTNESS.md explains every rule and how to suppress a
+// finding with a `// ifet-lint: allow(<rule>)` marker on the offending
+// line or the line above (file-wide: `// ifet-lint: allow-file(<rule>)`).
+//
+// Rules:
+//   voxel-raw-access   `.data()[` / `data_[` raw voxel indexing outside
+//                      src/volume — everything else must use at(),
+//                      operator[] (debug-checked), clamped(), or sample().
+//   extent-unchecked   a .cpp file takes Dims extent parameters but never
+//                      validates anything with IFET_REQUIRE /
+//                      IFET_DEBUG_ASSERT.
+//   iostream-in-header `#include <iostream>` in a header (drags static
+//                      init of the standard streams into every TU; use
+//                      <iosfwd> in headers, <iostream> in .cpp files).
+//   raw-rand           rand()/srand()/time(NULL) randomness — every
+//                      stochastic component must take an explicit
+//                      ifet::Rng seed so runs are reproducible.
+//   catch-all          `catch (...)` swallows sanitizer-unfriendly
+//                      unknown state; catch concrete types (allowed with
+//                      a marker when capturing to rethrow).
+//
+// Usage: ifet_lint <dir-or-file>...   (typically: ifet_lint <repo>/src)
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based; 0 = whole file
+  std::string rule;
+  std::string message;
+};
+
+bool is_header(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+bool is_source_file(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+bool in_volume_dir(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "volume") return true;
+  }
+  return false;
+}
+
+bool is_comment_line(const std::string& line) {
+  const auto pos = line.find_first_not_of(" \t");
+  return pos != std::string::npos && line.compare(pos, 2, "//") == 0;
+}
+
+/// True when `lines[i]` or the line above carries an allow marker for
+/// `rule`, e.g. `// ifet-lint: allow(catch-all)`.
+bool suppressed(const std::vector<std::string>& lines, std::size_t i,
+                const std::string& rule) {
+  const std::string marker = "ifet-lint: allow(" + rule + ")";
+  if (lines[i].find(marker) != std::string::npos) return true;
+  return i > 0 && lines[i - 1].find(marker) != std::string::npos;
+}
+
+bool file_suppressed(const std::vector<std::string>& lines,
+                     const std::string& rule) {
+  const std::string marker = "ifet-lint: allow-file(" + rule + ")";
+  for (const auto& l : lines) {
+    if (l.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io-error", "cannot read file"});
+    return;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  static const std::regex raw_rand_re(R"(\b(rand|srand)\s*\()");
+  static const std::regex raw_time_re(R"(\btime\s*\(\s*(NULL|nullptr|0)\s*\))");
+  static const std::regex catch_all_re(R"(catch\s*\(\s*\.\.\.\s*\))");
+  static const std::regex data_member_re(R"(\bdata_\s*\[)");
+  static const std::regex dims_param_re(
+      R"([(,]\s*(const\s+)?(ifet::)?Dims\s*[&)\s,])");
+
+  const bool header = is_header(path);
+  const bool volume_dir = in_volume_dir(path);
+  bool has_contract_check = false;
+  bool has_dims_param = false;
+  std::size_t first_dims_line = 0;
+
+  auto report = [&](std::size_t i, const char* rule, const char* message) {
+    if (suppressed(lines, i, rule)) return;
+    findings.push_back({path.string(), i + 1, rule, message});
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find("IFET_REQUIRE") != std::string::npos ||
+        line.find("IFET_DEBUG_ASSERT") != std::string::npos) {
+      has_contract_check = true;
+    }
+    if (!has_dims_param && !is_comment_line(line) &&
+        std::regex_search(line, dims_param_re)) {
+      has_dims_param = true;
+      first_dims_line = i + 1;
+    }
+    if (is_comment_line(line)) continue;
+
+    if (header && line.find("#include <iostream>") != std::string::npos) {
+      report(i, "iostream-in-header",
+             "headers must use <iosfwd>; include <iostream> in the .cpp");
+    }
+    if (std::regex_search(line, raw_rand_re) ||
+        std::regex_search(line, raw_time_re)) {
+      report(i, "raw-rand",
+             "use an explicitly seeded ifet::Rng (util/rng.hpp); "
+             "rand()/time() seeding breaks reproducibility");
+    }
+    if (std::regex_search(line, catch_all_re)) {
+      report(i, "catch-all",
+             "catch concrete exception types; a bare catch (...) hides "
+             "corruption the sanitizers would otherwise surface");
+    }
+    if (!volume_dir && (line.find(".data()[") != std::string::npos ||
+                        std::regex_search(line, data_member_re))) {
+      report(i, "voxel-raw-access",
+             "raw voxel indexing outside src/volume; use at(), the "
+             "debug-checked operator[], clamped(), or sample()");
+    }
+  }
+
+  const auto ext = path.extension().string();
+  if ((ext == ".cpp" || ext == ".cc") && has_dims_param &&
+      !has_contract_check && !file_suppressed(lines, "extent-unchecked")) {
+    findings.push_back(
+        {path.string(), first_dims_line, "extent-unchecked",
+         "file handles Dims extents but contains no IFET_REQUIRE / "
+         "IFET_DEBUG_ASSERT validating them"});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: ifet_lint <dir-or-file>...\n";
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  for (int a = 1; a < argc; ++a) {
+    fs::path root(argv[a]);
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      ++files_scanned;
+      scan_file(root, findings);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::cerr << "ifet_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
+      ++files_scanned;
+      scan_file(it->path(), findings);
+    }
+  }
+  for (const auto& f : findings) {
+    std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "ifet_lint: " << findings.size() << " finding(s) in "
+              << files_scanned << " file(s)\n";
+    return 1;
+  }
+  std::cout << "ifet_lint: OK (" << files_scanned << " files scanned)\n";
+  return 0;
+}

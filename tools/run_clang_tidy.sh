@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the given
+# directories, defaulting to the tier-1 hardened ones (src/util, src/volume).
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not
+# installed, so CI scripts can call it unconditionally.
+#
+# Usage: tools/run_clang_tidy.sh [dir ...]
+#   BUILD_DIR=<path>  compile-commands dir (default: <repo>/build)
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (not an error)" >&2
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; configure one if missing
+# (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in the root CMakeLists).
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: generating compile_commands.json in $BUILD_DIR" >&2
+  cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [ "$#" -gt 0 ]; then
+  DIRS=("$@")
+else
+  DIRS=("$ROOT/src/util" "$ROOT/src/volume")
+fi
+
+FILES=()
+while IFS= read -r f; do FILES+=("$f"); done \
+  < <(find "${DIRS[@]}" -name '*.cpp' | sort)
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no sources under: ${DIRS[*]}" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: checking ${#FILES[@]} files" >&2
+exec clang-tidy -p "$BUILD_DIR" --quiet "${FILES[@]}"
