@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inputs.dir/bench_ablation_inputs.cpp.o"
+  "CMakeFiles/bench_ablation_inputs.dir/bench_ablation_inputs.cpp.o.d"
+  "bench_ablation_inputs"
+  "bench_ablation_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

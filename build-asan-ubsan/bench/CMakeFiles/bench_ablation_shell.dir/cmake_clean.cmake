@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shell.dir/bench_ablation_shell.cpp.o"
+  "CMakeFiles/bench_ablation_shell.dir/bench_ablation_shell.cpp.o.d"
+  "bench_ablation_shell"
+  "bench_ablation_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cumhist.dir/bench_fig2_cumhist.cpp.o"
+  "CMakeFiles/bench_fig2_cumhist.dir/bench_fig2_cumhist.cpp.o.d"
+  "bench_fig2_cumhist"
+  "bench_fig2_cumhist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cumhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

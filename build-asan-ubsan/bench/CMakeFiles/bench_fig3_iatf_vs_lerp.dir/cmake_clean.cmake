@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_iatf_vs_lerp.dir/bench_fig3_iatf_vs_lerp.cpp.o"
+  "CMakeFiles/bench_fig3_iatf_vs_lerp.dir/bench_fig3_iatf_vs_lerp.cpp.o.d"
+  "bench_fig3_iatf_vs_lerp"
+  "bench_fig3_iatf_vs_lerp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_iatf_vs_lerp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_argon_sequence.dir/bench_fig4_argon_sequence.cpp.o"
+  "CMakeFiles/bench_fig4_argon_sequence.dir/bench_fig4_argon_sequence.cpp.o.d"
+  "bench_fig4_argon_sequence"
+  "bench_fig4_argon_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_argon_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

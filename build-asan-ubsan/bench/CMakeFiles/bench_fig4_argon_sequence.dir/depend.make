@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_argon_sequence.
+# This may be replaced when dependencies are built.

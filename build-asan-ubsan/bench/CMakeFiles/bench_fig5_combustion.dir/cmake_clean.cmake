@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_combustion.dir/bench_fig5_combustion.cpp.o"
+  "CMakeFiles/bench_fig5_combustion.dir/bench_fig5_combustion.cpp.o.d"
+  "bench_fig5_combustion"
+  "bench_fig5_combustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_combustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dataspace.dir/bench_fig7_dataspace.cpp.o"
+  "CMakeFiles/bench_fig7_dataspace.dir/bench_fig7_dataspace.cpp.o.d"
+  "bench_fig7_dataspace"
+  "bench_fig7_dataspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dataspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_generalize.dir/bench_fig8_generalize.cpp.o"
+  "CMakeFiles/bench_fig8_generalize.dir/bench_fig8_generalize.cpp.o.d"
+  "bench_fig8_generalize"
+  "bench_fig8_generalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_generalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_vortex_track.dir/bench_fig9_vortex_track.cpp.o"
+  "CMakeFiles/bench_fig9_vortex_track.dir/bench_fig9_vortex_track.cpp.o.d"
+  "bench_fig9_vortex_track"
+  "bench_fig9_vortex_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vortex_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_engines.dir/bench_ml_engines.cpp.o"
+  "CMakeFiles/bench_ml_engines.dir/bench_ml_engines.cpp.o.d"
+  "bench_ml_engines"
+  "bench_ml_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

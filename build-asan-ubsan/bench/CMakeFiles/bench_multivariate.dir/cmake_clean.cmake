@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivariate.dir/bench_multivariate.cpp.o"
+  "CMakeFiles/bench_multivariate.dir/bench_multivariate.cpp.o.d"
+  "bench_multivariate"
+  "bench_multivariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_classify.cpp" "bench/CMakeFiles/bench_perf_classify.dir/bench_perf_classify.cpp.o" "gcc" "bench/CMakeFiles/bench_perf_classify.dir/bench_perf_classify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/ml/CMakeFiles/ifet_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/core/CMakeFiles/ifet_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/flowsim/CMakeFiles/ifet_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/render/CMakeFiles/ifet_render.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/session/CMakeFiles/ifet_session.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/eval/CMakeFiles/ifet_eval.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/io/CMakeFiles/ifet_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/nn/CMakeFiles/ifet_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

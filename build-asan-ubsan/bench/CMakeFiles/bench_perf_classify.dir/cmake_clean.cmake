@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_classify.dir/bench_perf_classify.cpp.o"
+  "CMakeFiles/bench_perf_classify.dir/bench_perf_classify.cpp.o.d"
+  "bench_perf_classify"
+  "bench_perf_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_io.dir/bench_perf_io.cpp.o"
+  "CMakeFiles/bench_perf_io.dir/bench_perf_io.cpp.o.d"
+  "bench_perf_io"
+  "bench_perf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_render.dir/bench_perf_render.cpp.o"
+  "CMakeFiles/bench_perf_render.dir/bench_perf_render.cpp.o.d"
+  "bench_perf_render"
+  "bench_perf_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

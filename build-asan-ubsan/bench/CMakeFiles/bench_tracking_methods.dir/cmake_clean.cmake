@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracking_methods.dir/bench_tracking_methods.cpp.o"
+  "CMakeFiles/bench_tracking_methods.dir/bench_tracking_methods.cpp.o.d"
+  "bench_tracking_methods"
+  "bench_tracking_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracking_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tf_combustion.dir/adaptive_tf_combustion.cpp.o"
+  "CMakeFiles/adaptive_tf_combustion.dir/adaptive_tf_combustion.cpp.o.d"
+  "adaptive_tf_combustion"
+  "adaptive_tf_combustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tf_combustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_workflow.dir/advisor_workflow.cpp.o"
+  "CMakeFiles/advisor_workflow.dir/advisor_workflow.cpp.o.d"
+  "advisor_workflow"
+  "advisor_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

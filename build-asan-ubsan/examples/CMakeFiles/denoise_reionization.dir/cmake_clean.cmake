@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denoise_reionization.dir/denoise_reionization.cpp.o"
+  "CMakeFiles/denoise_reionization.dir/denoise_reionization.cpp.o.d"
+  "denoise_reionization"
+  "denoise_reionization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denoise_reionization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivariate_jet.dir/multivariate_jet.cpp.o"
+  "CMakeFiles/multivariate_jet.dir/multivariate_jet.cpp.o.d"
+  "multivariate_jet"
+  "multivariate_jet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivariate_jet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

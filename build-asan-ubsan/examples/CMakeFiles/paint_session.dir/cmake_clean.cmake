@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paint_session.dir/paint_session.cpp.o"
+  "CMakeFiles/paint_session.dir/paint_session.cpp.o.d"
+  "paint_session"
+  "paint_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paint_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

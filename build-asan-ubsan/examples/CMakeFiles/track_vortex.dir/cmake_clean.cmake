@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_vortex.dir/track_vortex.cpp.o"
+  "CMakeFiles/track_vortex.dir/track_vortex.cpp.o.d"
+  "track_vortex"
+  "track_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

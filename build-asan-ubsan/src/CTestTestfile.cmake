@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan-ubsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("parallel")
+subdirs("math")
+subdirs("volume")
+subdirs("nn")
+subdirs("ml")
+subdirs("tf")
+subdirs("io")
+subdirs("flowsim")
+subdirs("core")
+subdirs("render")
+subdirs("session")
+subdirs("eval")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_core.dir/batch.cpp.o"
+  "CMakeFiles/ifet_core.dir/batch.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/dataspace.cpp.o"
+  "CMakeFiles/ifet_core.dir/dataspace.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/feature_vector.cpp.o"
+  "CMakeFiles/ifet_core.dir/feature_vector.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/iatf.cpp.o"
+  "CMakeFiles/ifet_core.dir/iatf.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/keyframe_advisor.cpp.o"
+  "CMakeFiles/ifet_core.dir/keyframe_advisor.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/multiclass.cpp.o"
+  "CMakeFiles/ifet_core.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/multivariate.cpp.o"
+  "CMakeFiles/ifet_core.dir/multivariate.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/predictive_tracker.cpp.o"
+  "CMakeFiles/ifet_core.dir/predictive_tracker.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/track_events.cpp.o"
+  "CMakeFiles/ifet_core.dir/track_events.cpp.o.d"
+  "CMakeFiles/ifet_core.dir/tracking.cpp.o"
+  "CMakeFiles/ifet_core.dir/tracking.cpp.o.d"
+  "libifet_core.a"
+  "libifet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_eval.dir/metrics.cpp.o"
+  "CMakeFiles/ifet_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/ifet_eval.dir/validation.cpp.o"
+  "CMakeFiles/ifet_eval.dir/validation.cpp.o.d"
+  "libifet_eval.a"
+  "libifet_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowsim/argon_bubble.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/argon_bubble.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/argon_bubble.cpp.o.d"
+  "/root/repo/src/flowsim/combustion_jet.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/combustion_jet.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/combustion_jet.cpp.o.d"
+  "/root/repo/src/flowsim/fluid_solver.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/fluid_solver.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/fluid_solver.cpp.o.d"
+  "/root/repo/src/flowsim/noise.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/noise.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/noise.cpp.o.d"
+  "/root/repo/src/flowsim/reionization.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/reionization.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/reionization.cpp.o.d"
+  "/root/repo/src/flowsim/streamline.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/streamline.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/streamline.cpp.o.d"
+  "/root/repo/src/flowsim/swirling_flow.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/swirling_flow.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/swirling_flow.cpp.o.d"
+  "/root/repo/src/flowsim/turbulent_vortex.cpp" "src/flowsim/CMakeFiles/ifet_flowsim.dir/turbulent_vortex.cpp.o" "gcc" "src/flowsim/CMakeFiles/ifet_flowsim.dir/turbulent_vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

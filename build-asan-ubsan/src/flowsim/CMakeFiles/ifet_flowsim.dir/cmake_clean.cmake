@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_flowsim.dir/argon_bubble.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/argon_bubble.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/combustion_jet.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/combustion_jet.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/fluid_solver.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/fluid_solver.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/noise.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/noise.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/reionization.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/reionization.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/streamline.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/streamline.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/swirling_flow.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/swirling_flow.cpp.o.d"
+  "CMakeFiles/ifet_flowsim.dir/turbulent_vortex.cpp.o"
+  "CMakeFiles/ifet_flowsim.dir/turbulent_vortex.cpp.o.d"
+  "libifet_flowsim.a"
+  "libifet_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/compressed.cpp" "src/io/CMakeFiles/ifet_io.dir/compressed.cpp.o" "gcc" "src/io/CMakeFiles/ifet_io.dir/compressed.cpp.o.d"
+  "/root/repo/src/io/image_io.cpp" "src/io/CMakeFiles/ifet_io.dir/image_io.cpp.o" "gcc" "src/io/CMakeFiles/ifet_io.dir/image_io.cpp.o.d"
+  "/root/repo/src/io/volume_io.cpp" "src/io/CMakeFiles/ifet_io.dir/volume_io.cpp.o" "gcc" "src/io/CMakeFiles/ifet_io.dir/volume_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

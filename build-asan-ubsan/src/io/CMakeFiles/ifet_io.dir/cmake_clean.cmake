@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_io.dir/compressed.cpp.o"
+  "CMakeFiles/ifet_io.dir/compressed.cpp.o.d"
+  "CMakeFiles/ifet_io.dir/image_io.cpp.o"
+  "CMakeFiles/ifet_io.dir/image_io.cpp.o.d"
+  "CMakeFiles/ifet_io.dir/volume_io.cpp.o"
+  "CMakeFiles/ifet_io.dir/volume_io.cpp.o.d"
+  "libifet_io.a"
+  "libifet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_math.dir/mat4.cpp.o"
+  "CMakeFiles/ifet_math.dir/mat4.cpp.o.d"
+  "CMakeFiles/ifet_math.dir/stats.cpp.o"
+  "CMakeFiles/ifet_math.dir/stats.cpp.o.d"
+  "libifet_math.a"
+  "libifet_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

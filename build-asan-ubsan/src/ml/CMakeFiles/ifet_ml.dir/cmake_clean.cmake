@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_ml.dir/classifier.cpp.o"
+  "CMakeFiles/ifet_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/ifet_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/ifet_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/ifet_ml.dir/svm.cpp.o"
+  "CMakeFiles/ifet_ml.dir/svm.cpp.o.d"
+  "libifet_ml.a"
+  "libifet_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/ifet_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/ifet_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/normalizer.cpp" "src/nn/CMakeFiles/ifet_nn.dir/normalizer.cpp.o" "gcc" "src/nn/CMakeFiles/ifet_nn.dir/normalizer.cpp.o.d"
+  "/root/repo/src/nn/training.cpp" "src/nn/CMakeFiles/ifet_nn.dir/training.cpp.o" "gcc" "src/nn/CMakeFiles/ifet_nn.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_nn.dir/mlp.cpp.o"
+  "CMakeFiles/ifet_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/ifet_nn.dir/normalizer.cpp.o"
+  "CMakeFiles/ifet_nn.dir/normalizer.cpp.o.d"
+  "CMakeFiles/ifet_nn.dir/training.cpp.o"
+  "CMakeFiles/ifet_nn.dir/training.cpp.o.d"
+  "libifet_nn.a"
+  "libifet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

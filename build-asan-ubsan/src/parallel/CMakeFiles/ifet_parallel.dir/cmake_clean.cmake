@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/ifet_parallel.dir/thread_pool.cpp.o.d"
+  "libifet_parallel.a"
+  "libifet_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

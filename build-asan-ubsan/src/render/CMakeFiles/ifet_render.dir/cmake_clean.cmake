@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_render.dir/camera.cpp.o"
+  "CMakeFiles/ifet_render.dir/camera.cpp.o.d"
+  "CMakeFiles/ifet_render.dir/raycaster.cpp.o"
+  "CMakeFiles/ifet_render.dir/raycaster.cpp.o.d"
+  "libifet_render.a"
+  "libifet_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

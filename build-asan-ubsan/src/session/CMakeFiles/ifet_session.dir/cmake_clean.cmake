@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_session.dir/session.cpp.o"
+  "CMakeFiles/ifet_session.dir/session.cpp.o.d"
+  "CMakeFiles/ifet_session.dir/tf_session.cpp.o"
+  "CMakeFiles/ifet_session.dir/tf_session.cpp.o.d"
+  "libifet_session.a"
+  "libifet_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

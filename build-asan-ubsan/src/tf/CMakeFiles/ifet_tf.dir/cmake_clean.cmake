@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_tf.dir/transfer_function.cpp.o"
+  "CMakeFiles/ifet_tf.dir/transfer_function.cpp.o.d"
+  "libifet_tf.a"
+  "libifet_tf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_tf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

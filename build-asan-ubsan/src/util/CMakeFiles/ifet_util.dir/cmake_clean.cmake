@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_util.dir/cli.cpp.o"
+  "CMakeFiles/ifet_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ifet_util.dir/csv.cpp.o"
+  "CMakeFiles/ifet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ifet_util.dir/error.cpp.o"
+  "CMakeFiles/ifet_util.dir/error.cpp.o.d"
+  "CMakeFiles/ifet_util.dir/rng.cpp.o"
+  "CMakeFiles/ifet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ifet_util.dir/table.cpp.o"
+  "CMakeFiles/ifet_util.dir/table.cpp.o.d"
+  "libifet_util.a"
+  "libifet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/volume/components.cpp" "src/volume/CMakeFiles/ifet_volume.dir/components.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/components.cpp.o.d"
+  "/root/repo/src/volume/filters.cpp" "src/volume/CMakeFiles/ifet_volume.dir/filters.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/filters.cpp.o.d"
+  "/root/repo/src/volume/histogram.cpp" "src/volume/CMakeFiles/ifet_volume.dir/histogram.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/histogram.cpp.o.d"
+  "/root/repo/src/volume/histogram2d.cpp" "src/volume/CMakeFiles/ifet_volume.dir/histogram2d.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/histogram2d.cpp.o.d"
+  "/root/repo/src/volume/octree.cpp" "src/volume/CMakeFiles/ifet_volume.dir/octree.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/octree.cpp.o.d"
+  "/root/repo/src/volume/ops.cpp" "src/volume/CMakeFiles/ifet_volume.dir/ops.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/ops.cpp.o.d"
+  "/root/repo/src/volume/resample.cpp" "src/volume/CMakeFiles/ifet_volume.dir/resample.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/resample.cpp.o.d"
+  "/root/repo/src/volume/sequence.cpp" "src/volume/CMakeFiles/ifet_volume.dir/sequence.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/sequence.cpp.o.d"
+  "/root/repo/src/volume/volume.cpp" "src/volume/CMakeFiles/ifet_volume.dir/volume.cpp.o" "gcc" "src/volume/CMakeFiles/ifet_volume.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan-ubsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-asan-ubsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_volume.dir/components.cpp.o"
+  "CMakeFiles/ifet_volume.dir/components.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/filters.cpp.o"
+  "CMakeFiles/ifet_volume.dir/filters.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/histogram.cpp.o"
+  "CMakeFiles/ifet_volume.dir/histogram.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/histogram2d.cpp.o"
+  "CMakeFiles/ifet_volume.dir/histogram2d.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/octree.cpp.o"
+  "CMakeFiles/ifet_volume.dir/octree.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/ops.cpp.o"
+  "CMakeFiles/ifet_volume.dir/ops.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/resample.cpp.o"
+  "CMakeFiles/ifet_volume.dir/resample.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/sequence.cpp.o"
+  "CMakeFiles/ifet_volume.dir/sequence.cpp.o.d"
+  "CMakeFiles/ifet_volume.dir/volume.cpp.o"
+  "CMakeFiles/ifet_volume.dir/volume.cpp.o.d"
+  "libifet_volume.a"
+  "libifet_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

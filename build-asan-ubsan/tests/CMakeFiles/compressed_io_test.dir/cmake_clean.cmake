@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_io_test.dir/compressed_io_test.cpp.o"
+  "CMakeFiles/compressed_io_test.dir/compressed_io_test.cpp.o.d"
+  "compressed_io_test"
+  "compressed_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_io_batch_test.dir/eval_io_batch_test.cpp.o"
+  "CMakeFiles/eval_io_batch_test.dir/eval_io_batch_test.cpp.o.d"
+  "eval_io_batch_test"
+  "eval_io_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_io_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

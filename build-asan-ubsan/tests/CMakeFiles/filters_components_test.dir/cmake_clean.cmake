@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_components_test.dir/filters_components_test.cpp.o"
+  "CMakeFiles/filters_components_test.dir/filters_components_test.cpp.o.d"
+  "filters_components_test"
+  "filters_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram2d_streamline_test.dir/histogram2d_streamline_test.cpp.o"
+  "CMakeFiles/histogram2d_streamline_test.dir/histogram2d_streamline_test.cpp.o.d"
+  "histogram2d_streamline_test"
+  "histogram2d_streamline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram2d_streamline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

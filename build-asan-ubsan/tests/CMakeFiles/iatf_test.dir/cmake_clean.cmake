@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iatf_test.dir/iatf_test.cpp.o"
+  "CMakeFiles/iatf_test.dir/iatf_test.cpp.o.d"
+  "iatf_test"
+  "iatf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iatf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyframe_advisor_test.dir/keyframe_advisor_test.cpp.o"
+  "CMakeFiles/keyframe_advisor_test.dir/keyframe_advisor_test.cpp.o.d"
+  "keyframe_advisor_test"
+  "keyframe_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyframe_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

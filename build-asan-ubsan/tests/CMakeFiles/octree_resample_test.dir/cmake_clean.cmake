@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octree_resample_test.dir/octree_resample_test.cpp.o"
+  "CMakeFiles/octree_resample_test.dir/octree_resample_test.cpp.o.d"
+  "octree_resample_test"
+  "octree_resample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octree_resample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_tracker_test.dir/predictive_tracker_test.cpp.o"
+  "CMakeFiles/predictive_tracker_test.dir/predictive_tracker_test.cpp.o.d"
+  "predictive_tracker_test"
+  "predictive_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

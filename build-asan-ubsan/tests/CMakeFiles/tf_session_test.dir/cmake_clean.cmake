@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_session_test.dir/tf_session_test.cpp.o"
+  "CMakeFiles/tf_session_test.dir/tf_session_test.cpp.o.d"
+  "tf_session_test"
+  "tf_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

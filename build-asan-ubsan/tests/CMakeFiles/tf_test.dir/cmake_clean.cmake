@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_test.dir/tf_test.cpp.o"
+  "CMakeFiles/tf_test.dir/tf_test.cpp.o.d"
+  "tf_test"
+  "tf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

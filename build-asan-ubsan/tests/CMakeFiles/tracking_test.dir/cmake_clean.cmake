@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_test.dir/tracking_test.cpp.o"
+  "CMakeFiles/tracking_test.dir/tracking_test.cpp.o.d"
+  "tracking_test"
+  "tracking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_test.dir/volume_test.cpp.o"
+  "CMakeFiles/volume_test.dir/volume_test.cpp.o.d"
+  "volume_test"
+  "volume_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

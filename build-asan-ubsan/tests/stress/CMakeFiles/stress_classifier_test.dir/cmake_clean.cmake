@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_classifier_test.dir/stress_classifier_test.cpp.o"
+  "CMakeFiles/stress_classifier_test.dir/stress_classifier_test.cpp.o.d"
+  "stress_classifier_test"
+  "stress_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_region_grow_test.dir/stress_region_grow_test.cpp.o"
+  "CMakeFiles/stress_region_grow_test.dir/stress_region_grow_test.cpp.o.d"
+  "stress_region_grow_test"
+  "stress_region_grow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_region_grow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_thread_pool_test.dir/stress_thread_pool_test.cpp.o"
+  "CMakeFiles/stress_thread_pool_test.dir/stress_thread_pool_test.cpp.o.d"
+  "stress_thread_pool_test"
+  "stress_thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_lint.dir/ifet_lint.cpp.o"
+  "CMakeFiles/ifet_lint.dir/ifet_lint.cpp.o.d"
+  "ifet_lint"
+  "ifet_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifet_tool.dir/ifet_tool.cpp.o"
+  "CMakeFiles/ifet_tool.dir/ifet_tool.cpp.o.d"
+  "ifet_tool"
+  "ifet_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifet_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

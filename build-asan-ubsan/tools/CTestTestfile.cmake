@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan-ubsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ifet_lint "/root/repo/build-asan-ubsan/tools/ifet_lint" "/root/repo/src")
+set_tests_properties(ifet_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ifet_tool_gen "/root/repo/build-asan-ubsan/tools/ifet_tool" "gen" "--dataset=swirl" "--size=16" "--cvol=/root/repo/build-asan-ubsan/tools/smoke.cvol")
+set_tests_properties(ifet_tool_gen PROPERTIES  FIXTURES_SETUP "tool_cvol" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ifet_tool_info "/root/repo/build-asan-ubsan/tools/ifet_tool" "info" "/root/repo/build-asan-ubsan/tools/smoke.cvol")
+set_tests_properties(ifet_tool_info PROPERTIES  FIXTURES_REQUIRED "tool_cvol" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ifet_tool_track "/root/repo/build-asan-ubsan/tools/ifet_tool" "track" "/root/repo/build-asan-ubsan/tools/smoke.cvol" "--seed=12,8,8" "--band=0.4:1.0")
+set_tests_properties(ifet_tool_track PROPERTIES  FIXTURES_REQUIRED "tool_cvol" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ifet_tool_gen_vol "/root/repo/build-asan-ubsan/tools/ifet_tool" "gen" "--dataset=argon" "--size=16" "--steps=100" "--out=/root/repo/build-asan-ubsan/tools/smoke_argon")
+set_tests_properties(ifet_tool_gen_vol PROPERTIES  FIXTURES_SETUP "tool_vol" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ifet_tool_render "/root/repo/build-asan-ubsan/tools/ifet_tool" "render" "/root/repo/build-asan-ubsan/tools/smoke_argon_t100.vol" "--out=/root/repo/build-asan-ubsan/tools/smoke.ppm" "--image=48")
+set_tests_properties(ifet_tool_render PROPERTIES  FIXTURES_REQUIRED "tool_vol" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ifet_tool_usage_error "/root/repo/build-asan-ubsan/tools/ifet_tool")
+set_tests_properties(ifet_tool_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/ifet_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/dataspace.cpp" "src/core/CMakeFiles/ifet_core.dir/dataspace.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/dataspace.cpp.o.d"
+  "/root/repo/src/core/feature_vector.cpp" "src/core/CMakeFiles/ifet_core.dir/feature_vector.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/feature_vector.cpp.o.d"
+  "/root/repo/src/core/iatf.cpp" "src/core/CMakeFiles/ifet_core.dir/iatf.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/iatf.cpp.o.d"
+  "/root/repo/src/core/keyframe_advisor.cpp" "src/core/CMakeFiles/ifet_core.dir/keyframe_advisor.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/keyframe_advisor.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/core/CMakeFiles/ifet_core.dir/multiclass.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/multiclass.cpp.o.d"
+  "/root/repo/src/core/multivariate.cpp" "src/core/CMakeFiles/ifet_core.dir/multivariate.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/multivariate.cpp.o.d"
+  "/root/repo/src/core/predictive_tracker.cpp" "src/core/CMakeFiles/ifet_core.dir/predictive_tracker.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/predictive_tracker.cpp.o.d"
+  "/root/repo/src/core/track_events.cpp" "src/core/CMakeFiles/ifet_core.dir/track_events.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/track_events.cpp.o.d"
+  "/root/repo/src/core/tracking.cpp" "src/core/CMakeFiles/ifet_core.dir/tracking.cpp.o" "gcc" "src/core/CMakeFiles/ifet_core.dir/tracking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nn/CMakeFiles/ifet_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/ifet_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/camera.cpp" "src/render/CMakeFiles/ifet_render.dir/camera.cpp.o" "gcc" "src/render/CMakeFiles/ifet_render.dir/camera.cpp.o.d"
+  "/root/repo/src/render/raycaster.cpp" "src/render/CMakeFiles/ifet_render.dir/raycaster.cpp.o" "gcc" "src/render/CMakeFiles/ifet_render.dir/raycaster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/ifet_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

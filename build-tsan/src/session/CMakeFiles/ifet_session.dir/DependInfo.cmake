@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/session/session.cpp" "src/session/CMakeFiles/ifet_session.dir/session.cpp.o" "gcc" "src/session/CMakeFiles/ifet_session.dir/session.cpp.o.d"
+  "/root/repo/src/session/tf_session.cpp" "src/session/CMakeFiles/ifet_session.dir/tf_session.cpp.o" "gcc" "src/session/CMakeFiles/ifet_session.dir/tf_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/ifet_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/render/CMakeFiles/ifet_render.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/ifet_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/ifet_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ifet_tf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for histogram2d_streamline_test.
+# This may be replaced when dependencies are built.

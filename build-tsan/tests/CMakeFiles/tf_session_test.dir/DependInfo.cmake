@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tf_session_test.cpp" "tests/CMakeFiles/tf_session_test.dir/tf_session_test.cpp.o" "gcc" "tests/CMakeFiles/tf_session_test.dir/tf_session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ml/CMakeFiles/ifet_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/ifet_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/flowsim/CMakeFiles/ifet_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/render/CMakeFiles/ifet_render.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/session/CMakeFiles/ifet_session.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/eval/CMakeFiles/ifet_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/io/CMakeFiles/ifet_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/ifet_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tf/CMakeFiles/ifet_tf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/volume/CMakeFiles/ifet_volume.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/math/CMakeFiles/ifet_math.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/ifet_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ifet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

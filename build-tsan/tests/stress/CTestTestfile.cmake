@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stress
+# Build directory: /root/repo/build-tsan/tests/stress
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(stress_thread_pool_test "/root/repo/build-tsan/tests/stress/stress_thread_pool_test")
+set_tests_properties(stress_thread_pool_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/stress/CMakeLists.txt;4;ifet_add_test;/root/repo/tests/stress/CMakeLists.txt;0;")
+add_test(stress_region_grow_test "/root/repo/build-tsan/tests/stress/stress_region_grow_test")
+set_tests_properties(stress_region_grow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/stress/CMakeLists.txt;5;ifet_add_test;/root/repo/tests/stress/CMakeLists.txt;0;")
+add_test(stress_classifier_test "/root/repo/build-tsan/tests/stress/stress_classifier_test")
+set_tests_properties(stress_classifier_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/stress/CMakeLists.txt;6;ifet_add_test;/root/repo/tests/stress/CMakeLists.txt;0;")
