@@ -89,7 +89,7 @@ int main() {
   cfg.dims = Dims{48, 48, 48};
   cfg.num_steps = 360;
   auto source = std::make_shared<ArgonBubbleSource>(cfg);
-  VolumeSequence seq(source, 8, 256);
+  CachedSequence seq(source, 8, 256);
   auto [vlo, vhi] = seq.value_range();
 
   auto ring_tf = [&](int step) {

@@ -27,7 +27,7 @@ struct RenderFixture {
     cfg.dims = Dims{64, 64, 64};
     cfg.num_steps = 360;
     source = std::make_shared<ArgonBubbleSource>(cfg);
-    sequence = std::make_unique<VolumeSequence>(source, 4, 256);
+    sequence = std::make_unique<CachedSequence>(source, 4, 256);
     volume = source->generate(225);
 
     auto [vlo, vhi] = sequence->value_range();

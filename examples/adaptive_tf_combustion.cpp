@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   config.num_steps = 21;
   config.solver_steps_per_snapshot = 3;
   auto source = std::make_shared<CombustionJetSource>(config);
-  VolumeSequence sequence(source, 8);
+  CachedSequence sequence(source, 8);
   auto [vlo, vhi] = sequence.value_range();
   std::cout << "vorticity range grows " << source->max_vorticity(0)
             << " -> " << source->max_vorticity(20) << " over the run\n";

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   auto source = std::make_shared<CallbackSource>(
       argon->dims(), last - first + 1, argon->value_range(),
       [argon, first](int step) { return argon->generate(first + step); });
-  VolumeSequence sequence(source, 16);
+  CachedSequence sequence(source, 16);
   auto [vlo, vhi] = sequence.value_range();
 
   auto ring_tf = [&](int step) {

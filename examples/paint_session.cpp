@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   config.num_steps = 400;
   config.num_small_features = 80;
   auto source = std::make_shared<ReionizationSource>(config);
-  VolumeSequence sequence(source, 4);
+  CachedSequence sequence(source, 4);
   PaintingSession session(sequence);
   const int t = 310;
 

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   config.dims = Dims{size, size, size};
   config.num_steps = 360;
   auto source = std::make_shared<ArgonBubbleSource>(config);
-  VolumeSequence sequence(source, 6);
+  CachedSequence sequence(source, 6);
   std::cout << "data set: argon bubble, " << size << "^3 x "
             << sequence.num_steps() << " steps\n";
 

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   config.num_steps = 25;
   config.split_step = 18;
   auto source = std::make_shared<TurbulentVortexSource>(config);
-  VolumeSequence sequence(source, 6);
+  CachedSequence sequence(source, 6);
 
   // Track from a seed inside the vortex at the first step.
   FixedRangeCriterion criterion(0.48, 1.0);

@@ -34,9 +34,9 @@ FeatureContext DataSpaceClassifier::context_for(const VolumeF& volume,
   return ctx;
 }
 
-void DataSpaceClassifier::add_samples(
-    const VolumeF& volume, int step,
-    const std::vector<PaintedVoxel>& painted) {
+void DataSpaceClassifier::add_samples_impl(
+    const VolumeF& volume, int step, const std::vector<PaintedVoxel>& painted,
+    const VolumeSequence* sequence) {
   IFET_REQUIRE(step >= 0 && step < num_steps_,
                "DataSpaceClassifier: step out of range");
   FeatureContext ctx = context_for(volume, step);
@@ -52,7 +52,7 @@ void DataSpaceClassifier::add_samples(
     training_set_.add(raw.input, {p.certainty});
     raw_samples_.push_back(std::move(raw));
   }
-  // Keep the key-frame volume for later re-assembly (one copy per step).
+  // Keep the key frame for later re-assembly (one record per step).
   bool seen = false;
   for (const auto& sv : sample_volumes_) {
     if (sv.step == step) {
@@ -60,25 +60,41 @@ void DataSpaceClassifier::add_samples(
       break;
     }
   }
-  if (!seen) sample_volumes_.push_back(StepVolume{step, volume});
+  if (seen) return;
+  StepVolume sv;
+  sv.step = step;
+  sv.sequence = sequence;
+  if (sequence == nullptr) sv.volume = volume;
+  sample_volumes_.push_back(std::move(sv));
+}
+
+void DataSpaceClassifier::add_samples(
+    const VolumeF& volume, int step,
+    const std::vector<PaintedVoxel>& painted) {
+  add_samples_impl(volume, step, painted, nullptr);
+}
+
+void DataSpaceClassifier::add_samples(
+    const VolumeSequence& sequence, int step,
+    const std::vector<PaintedVoxel>& painted) {
+  add_samples_impl(sequence.step(step), step, painted, &sequence);
 }
 
 void DataSpaceClassifier::rebuild_training_set() {
   training_set_.clear();
-  for (auto& raw : raw_samples_) {
-    const VolumeF* volume = nullptr;
-    for (const auto& sv : sample_volumes_) {
-      if (sv.step == raw.painted.step) {
-        volume = &sv.volume;
-        break;
-      }
+  // Group by step so each key frame is fetched once even when it has to be
+  // re-read through an out-of-core sequence.
+  for (const auto& sv : sample_volumes_) {
+    const VolumeF& volume = sv.get();
+    FeatureContext ctx = context_for(volume, sv.step);
+    for (auto& raw : raw_samples_) {
+      if (raw.painted.step != sv.step) continue;
+      raw.input =
+          assemble_feature_vector(config_.spec, ctx, raw.painted.voxel.x,
+                                  raw.painted.voxel.y, raw.painted.voxel.z);
     }
-    IFET_REQUIRE(volume != nullptr,
-                 "DataSpaceClassifier: missing key-frame volume");
-    FeatureContext ctx = context_for(*volume, raw.painted.step);
-    raw.input =
-        assemble_feature_vector(config_.spec, ctx, raw.painted.voxel.x,
-                                raw.painted.voxel.y, raw.painted.voxel.z);
+  }
+  for (const auto& raw : raw_samples_) {
     training_set_.add(raw.input, {raw.painted.certainty});
   }
 }
@@ -134,6 +150,14 @@ VolumeF DataSpaceClassifier::classify(const VolumeF& volume, int step) const {
   return out;
 }
 
+VolumeF DataSpaceClassifier::classify(const VolumeSequence& sequence,
+                                      int step) const {
+  // Overlap the next step's decode with this step's classification — the
+  // common access pattern is a forward sweep over the sequence.
+  sequence.prefetch_hint(step + 1);
+  return classify(sequence.step(step), step);
+}
+
 Mask DataSpaceClassifier::classify_mask(const VolumeF& volume, int step,
                                         double cut) const {
   VolumeF certainty = classify(volume, step);
@@ -142,6 +166,12 @@ Mask DataSpaceClassifier::classify_mask(const VolumeF& volume, int step,
     out[i] = certainty[i] >= cut ? 1 : 0;
   }
   return out;
+}
+
+Mask DataSpaceClassifier::classify_mask(const VolumeSequence& sequence,
+                                        int step, double cut) const {
+  sequence.prefetch_hint(step + 1);
+  return classify_mask(sequence.step(step), step, cut);
 }
 
 std::vector<float> DataSpaceClassifier::classify_slice(const VolumeF& volume,
@@ -174,6 +204,11 @@ std::vector<float> DataSpaceClassifier::classify_slice(const VolumeF& volume,
     }
   });
   return out;
+}
+
+std::vector<float> DataSpaceClassifier::classify_slice(
+    const VolumeSequence& sequence, int step, int axis, int slice) const {
+  return classify_slice(sequence.step(step), step, axis, slice);
 }
 
 std::unique_ptr<DataSpaceClassifier> DataSpaceClassifier::with_spec(

@@ -17,6 +17,7 @@
 #include "core/feature_vector.hpp"
 #include "nn/mlp.hpp"
 #include "nn/training.hpp"
+#include "volume/sequence.hpp"
 #include "volume/volume.hpp"
 
 namespace ifet {
@@ -47,8 +48,17 @@ class DataSpaceClassifier {
 
   const FeatureVectorSpec& spec() const { return config_.spec; }
 
-  /// Add painted voxels from `volume` (the key frame at `step`).
+  /// Add painted voxels from `volume` (the key frame at `step`). The volume
+  /// is copied for later training-set re-assembly.
   void add_samples(const VolumeF& volume, int step,
+                   const std::vector<PaintedVoxel>& painted);
+
+  /// Out-of-core form: read the key frame through `sequence` and keep only
+  /// a (sequence, step) reference for re-assembly — the step is re-fetched
+  /// through the sequence's cache instead of pinned in a private copy.
+  /// `sequence` must outlive the classifier (or at least every later call
+  /// that re-assembles samples).
+  void add_samples(const VolumeSequence& sequence, int step,
                    const std::vector<PaintedVoxel>& painted);
 
   /// Re-derive the shell radius from all positive samples painted so far
@@ -69,18 +79,26 @@ class DataSpaceClassifier {
   /// Per-voxel certainty in [0,1] for the entire step (thread-parallel).
   VolumeF classify(const VolumeF& volume, int step) const;
 
+  /// Streamed form: fetch the step through the sequence and hint the next
+  /// step so its decode overlaps this step's classification.
+  VolumeF classify(const VolumeSequence& sequence, int step) const;
+
   /// Certainty of a single voxel.
   double classify_voxel(const VolumeF& volume, int step, int i, int j,
                         int k) const;
 
   /// classify() thresholded at `cut`.
   Mask classify_mask(const VolumeF& volume, int step, double cut = 0.5) const;
+  Mask classify_mask(const VolumeSequence& sequence, int step,
+                     double cut = 0.5) const;
 
   /// Classify only one axis-aligned slice (the interface's fast feedback
   /// path, Sec 6). Axis: 0=X (slice index i), 1=Y, 2=Z. Returns a
   /// width*height row-major certainty image.
   std::vector<float> classify_slice(const VolumeF& volume, int step, int axis,
                                     int slice) const;
+  std::vector<float> classify_slice(const VolumeSequence& sequence, int step,
+                                    int axis, int slice) const;
 
   /// Sec 6 property toggling: rebuild the classifier for a new spec,
   /// transferring hidden/output weights and the first-layer weights of the
@@ -111,11 +129,21 @@ class DataSpaceClassifier {
   // we keep a copy of each sampled input so re-deriving only needs dims.
   std::vector<RawSample> raw_samples_;
   // Source volumes seen by add_samples, kept per (step) for re-assembly.
+  // Either an owned copy (in-memory path) or a sequence reference the step
+  // is re-fetched through on demand (out-of-core path).
   struct StepVolume {
-    int step;
+    int step = 0;
     VolumeF volume;
+    const VolumeSequence* sequence = nullptr;
+    const VolumeF& get() const {
+      return sequence != nullptr ? sequence->step(step) : volume;
+    }
   };
   std::vector<StepVolume> sample_volumes_;
+
+  void add_samples_impl(const VolumeF& volume, int step,
+                        const std::vector<PaintedVoxel>& painted,
+                        const VolumeSequence* sequence);
 
   FeatureContext context_for(const VolumeF& volume, int step) const;
 };

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "stream/derived_cache.hpp"
 #include "util/error.hpp"
 
 namespace ifet {
@@ -143,6 +144,22 @@ TransferFunction1D Iatf::evaluate(int step) const {
                make_input(value, ch.fraction_at(value), step)));
   }
   return tf;
+}
+
+std::uint64_t Iatf::params_hash() const {
+  std::uint64_t h = config_.seed;
+  h = hash_combine(h, static_cast<std::uint64_t>(config_.hidden_units));
+  h = hash_combine(h, (static_cast<std::uint64_t>(config_.use_value) << 2) |
+                          (static_cast<std::uint64_t>(
+                               config_.use_cumulative_histogram)
+                           << 1) |
+                          static_cast<std::uint64_t>(config_.use_time));
+  h = hash_combine(h, hash_double(config_.backprop.learning_rate));
+  h = hash_combine(h, hash_double(config_.backprop.momentum));
+  h = hash_combine(h, static_cast<std::uint64_t>(trainer_.epochs_run()));
+  h = hash_combine(h, static_cast<std::uint64_t>(training_set_.size()));
+  h = hash_combine(h, static_cast<std::uint64_t>(key_frames_.size()));
+  return h;
 }
 
 double Iatf::opacity(double value, int step) const {

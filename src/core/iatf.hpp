@@ -81,6 +81,12 @@ class Iatf {
   int epochs_run() const { return trainer_.epochs_run(); }
   double last_mse() const { return trainer_.last_mse(); }
 
+  /// Hash of everything evaluate() depends on besides the step: network
+  /// configuration and training state. Two Iatfs with equal hashes
+  /// synthesize the same TFs; further training changes the hash, so
+  /// DerivedCache entries keyed by it invalidate naturally.
+  std::uint64_t params_hash() const;
+
   /// Serialize the trained IATF — network, input configuration, and
   /// normalization — so it can be shipped to other machines: the paper's
   /// Sec 4.2.3 workflow is to "create an IATF that is suitable for all the

@@ -6,15 +6,27 @@
 
 namespace ifet {
 
-AdaptiveTfCriterion::AdaptiveTfCriterion(const Iatf& iatf, double opacity_cut)
-    : iatf_(iatf), opacity_cut_(opacity_cut) {}
+AdaptiveTfCriterion::AdaptiveTfCriterion(const Iatf& iatf, double opacity_cut,
+                                         DerivedCache* derived)
+    : iatf_(iatf), opacity_cut_(opacity_cut), derived_(derived) {}
 
-bool AdaptiveTfCriterion::accept(int step, double value) const {
+const TransferFunction1D& AdaptiveTfCriterion::tf_for(int step) const {
   auto it = tf_cache_.find(step);
   if (it == tf_cache_.end()) {
-    it = tf_cache_.emplace(step, iatf_.evaluate(step)).first;
+    std::shared_ptr<const TransferFunction1D> tf;
+    if (derived_ != nullptr) {
+      tf = derived_->transfer_function(step, iatf_.params_hash(),
+                                       [&] { return iatf_.evaluate(step); });
+    } else {
+      tf = std::make_shared<const TransferFunction1D>(iatf_.evaluate(step));
+    }
+    it = tf_cache_.emplace(step, std::move(tf)).first;
   }
-  return it->second.opacity(value) >= opacity_cut_;
+  return *it->second;
+}
+
+bool AdaptiveTfCriterion::accept(int step, double value) const {
+  return tf_for(step).opacity(value) >= opacity_cut_;
 }
 
 std::size_t TrackResult::voxels_at(int step) const {
@@ -90,6 +102,10 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
     std::vector<Index3> candidates = std::move(chosen->second);
     pending.erase(chosen);
 
+    // Out-of-core: pin {t-1, t, t+1} so the reference below stays valid
+    // and the temporal neighbors this step will seed are already loading
+    // while we grow within the step.
+    sequence_.hint_window(step - 1, step + 1);
     const VolumeF& volume = sequence_.step(step);
     auto [mask_it, inserted] = result.masks.try_emplace(step, d);
     (void)inserted;

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "core/iatf.hpp"
+#include "stream/derived_cache.hpp"
 #include "volume/sequence.hpp"
 #include "volume/volume.hpp"
 
@@ -47,15 +48,25 @@ class FixedRangeCriterion final : public TrackingCriterion {
 /// Adaptive tracking: accept where the IATF's opacity for (value, step)
 /// exceeds `opacity_cut`. The per-step 1D transfer functions are
 /// synthesized once and cached (sub-second per step, paper Sec 5).
+///
+/// When a DerivedCache is supplied the synthesized TFs are memoized there,
+/// keyed by (step, Iatf::params_hash()) — shared across criteria and runs,
+/// and naturally invalidated by further training (the hash changes).
 class AdaptiveTfCriterion final : public TrackingCriterion {
  public:
-  AdaptiveTfCriterion(const Iatf& iatf, double opacity_cut = 0.25);
+  AdaptiveTfCriterion(const Iatf& iatf, double opacity_cut = 0.25,
+                      DerivedCache* derived = nullptr);
   bool accept(int step, double value) const override;
 
  private:
+  const TransferFunction1D& tf_for(int step) const;
+
   const Iatf& iatf_;
   double opacity_cut_;
-  mutable std::map<int, TransferFunction1D> tf_cache_;
+  DerivedCache* derived_;
+  /// Per-criterion memo; holds shared_ptrs from `derived_` (or privately
+  /// synthesized TFs) so the per-voxel hot path is one map lookup.
+  mutable std::map<int, std::shared_ptr<const TransferFunction1D>> tf_cache_;
 };
 
 /// Per-step output of a tracking run.

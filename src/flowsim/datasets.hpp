@@ -255,7 +255,7 @@ class SwirlingFlowSource final : public LabeledSource {
 };
 
 /// Convenience: wrap any source in a cached sequence.
-VolumeSequence make_sequence(std::shared_ptr<const VolumeSource> source,
+CachedSequence make_sequence(std::shared_ptr<const VolumeSource> source,
                              std::size_t cache_capacity = 4,
                              int histogram_bins = 256);
 

@@ -18,13 +18,18 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // idempotent; workers already joined or joining
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -96,12 +101,22 @@ void ThreadPool::run_tasks(std::vector<std::function<void()>> tasks) {
 
 void ThreadPool::post(std::function<void()> fn) {
   IFET_REQUIRE(static_cast<bool>(fn), "ThreadPool::post: empty task");
+  if (!try_post(std::move(fn))) {
+    throw PoolShutdownError(
+        "ThreadPool::post: pool is shutting down; the task was rejected "
+        "and will not run (use try_post to race shutdown tolerantly)");
+  }
+}
+
+bool ThreadPool::try_post(std::function<void()> fn) {
+  IFET_REQUIRE(static_cast<bool>(fn), "ThreadPool::try_post: empty task");
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    IFET_REQUIRE(!stopping_, "ThreadPool::post: pool is shutting down");
+    if (stopping_) return false;
     queue_.push(Task{std::move(fn)});
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::parallel_for_static(

@@ -20,7 +20,19 @@
 #include <thread>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace ifet {
+
+/// Thrown by ThreadPool::post when the pool is shutting down: a task
+/// enqueued during shutdown would otherwise be silently dropped, which is
+/// exactly the failure mode that loses prefetch work without a trace.
+/// Callers that legitimately race shutdown (e.g. the streaming
+/// Prefetcher's best-effort lookahead) should use try_post instead.
+class PoolShutdownError : public Error {
+ public:
+  explicit PoolShutdownError(const std::string& what) : Error(what) {}
+};
 
 class ThreadPool {
  public:
@@ -53,7 +65,20 @@ class ThreadPool {
   /// posted task runs exactly once even if the pool is destroyed right
   /// after posting. `fn` must not throw — there is no caller to rethrow
   /// to (a throwing fn terminates the process).
+  ///
+  /// Posting to a pool that is shutting down fails LOUDLY with
+  /// PoolShutdownError: accepting the task could never run it. Use
+  /// try_post when racing shutdown is expected.
   void post(std::function<void()> fn);
+
+  /// Like post, but returns false instead of throwing when the pool is
+  /// shutting down (the task is NOT enqueued and will never run).
+  [[nodiscard]] bool try_post(std::function<void()> fn);
+
+  /// Begin shutdown explicitly: drains already-queued tasks, joins all
+  /// workers, and makes further post() calls throw PoolShutdownError.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
 
   /// Process-wide default pool (lazily constructed, sized to hardware).
   static ThreadPool& global();

@@ -43,6 +43,16 @@ inline std::uint8_t to_byte(double v) {
 
 }  // namespace
 
+ImageRgb8 Raycaster::render_step(const VolumeSequence& sequence, int step,
+                                 const TransferFunction1D& tf,
+                                 const ColorMap& colors, const Camera& camera,
+                                 const HighlightLayer* highlight,
+                                 RenderStats* stats,
+                                 bool prefetch_next) const {
+  if (prefetch_next) sequence.prefetch_hint(step + 1);
+  return render(sequence.step(step), tf, colors, camera, highlight, stats);
+}
+
 Raycaster::Raycaster(const RenderSettings& settings) : settings_(settings) {
   IFET_REQUIRE(settings_.width > 0 && settings_.height > 0,
                "Raycaster: image dimensions must be positive");

@@ -20,6 +20,7 @@
 #include "io/image_io.hpp"
 #include "render/camera.hpp"
 #include "tf/transfer_function.hpp"
+#include "volume/sequence.hpp"
 #include "volume/volume.hpp"
 
 namespace ifet {
@@ -76,6 +77,16 @@ class Raycaster {
                    const ColorMap& colors, const Camera& camera,
                    const HighlightLayer* highlight = nullptr,
                    RenderStats* stats = nullptr) const;
+
+  /// Streamed form for animation sweeps: fetch `step` through the sequence
+  /// and (when `prefetch_next`) hint step+1 so an out-of-core sequence
+  /// decodes the next frame while this one rasterizes.
+  ImageRgb8 render_step(const VolumeSequence& sequence, int step,
+                        const TransferFunction1D& tf, const ColorMap& colors,
+                        const Camera& camera,
+                        const HighlightLayer* highlight = nullptr,
+                        RenderStats* stats = nullptr,
+                        bool prefetch_next = true) const;
 
  private:
   RenderSettings settings_;

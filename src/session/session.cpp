@@ -16,9 +16,10 @@ PaintingSession::PaintingSession(const VolumeSequence& sequence,
           sequence.value_range().second, config.classifier)) {}
 
 void PaintingSession::add_to_classifier(
-    const VolumeF& volume, int step,
-    const std::vector<PaintedVoxel>& painted) {
-  classifier_->add_samples(volume, step, painted);
+    int step, const std::vector<PaintedVoxel>& painted) {
+  // Sequence overload: out-of-core sequences keep only a (sequence, step)
+  // reference instead of a private copy of the key frame.
+  classifier_->add_samples(sequence_, step, painted);
   painted_.insert(painted_.end(), painted.begin(), painted.end());
 }
 
@@ -27,7 +28,6 @@ std::size_t PaintingSession::paint(int step, const PaintStroke& stroke) {
                "paint: axis must be 0..2");
   IFET_REQUIRE(stroke.radius >= 0.0, "paint: negative brush radius");
   const Dims d = sequence_.dims();
-  const VolumeF& volume = sequence_.step(step);
   const int r = static_cast<int>(std::ceil(stroke.radius));
   std::vector<PaintedVoxel> painted;
   for (int dv = -r; dv <= r; ++dv) {
@@ -45,7 +45,7 @@ std::size_t PaintingSession::paint(int step, const PaintStroke& stroke) {
       painted.push_back(PaintedVoxel{p, step, stroke.certainty});
     }
   }
-  add_to_classifier(volume, step, painted);
+  add_to_classifier(step, painted);
   return painted.size();
 }
 
@@ -57,7 +57,6 @@ std::size_t PaintingSession::select_unwanted_region(int step, Index3 box_lo,
   IFET_REQUIRE(box_lo.x <= box_hi.x && box_lo.y <= box_hi.y &&
                    box_lo.z <= box_hi.z,
                "select_unwanted_region: inverted box");
-  const VolumeF& volume = sequence_.step(step);
   std::vector<PaintedVoxel> painted;
   for (int k = box_lo.z; k <= box_hi.z; ++k) {
     for (int j = box_lo.y; j <= box_hi.y; ++j) {
@@ -66,7 +65,7 @@ std::size_t PaintingSession::select_unwanted_region(int step, Index3 box_lo,
       }
     }
   }
-  add_to_classifier(volume, step, painted);
+  add_to_classifier(step, painted);
   return painted.size();
 }
 
@@ -80,11 +79,11 @@ double PaintingSession::train_epochs(int epochs) {
 
 std::vector<float> PaintingSession::feedback_slice(int step, int axis,
                                                    int slice) const {
-  return classifier_->classify_slice(sequence_.step(step), step, axis, slice);
+  return classifier_->classify_slice(sequence_, step, axis, slice);
 }
 
 VolumeF PaintingSession::feedback_volume(int step) const {
-  return classifier_->classify(sequence_.step(step), step);
+  return classifier_->classify(sequence_, step);
 }
 
 ImageRgb8 PaintingSession::feedback_image(int step, int axis,
@@ -143,7 +142,7 @@ void PaintingSession::set_properties(const FeatureVectorSpec& spec) {
     for (const auto& p : painted_) {
       if (p.step == step) group.push_back(p);
     }
-    classifier_->add_samples(sequence_.step(step), step, group);
+    classifier_->add_samples(sequence_, step, group);
   }
 }
 

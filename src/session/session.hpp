@@ -81,8 +81,7 @@ class PaintingSession {
   std::size_t samples_painted() const { return painted_.size(); }
 
  private:
-  void add_to_classifier(const VolumeF& volume, int step,
-                         const std::vector<PaintedVoxel>& painted);
+  void add_to_classifier(int step, const std::vector<PaintedVoxel>& painted);
 
   const VolumeSequence& sequence_;
   SessionConfig config_;

@@ -1,0 +1,192 @@
+#include "stream/cache_manager.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+CacheManager::CacheManager(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+bool CacheManager::pinned_locked(int step, const Entry& e) const {
+  return e.pin_count > 0 || (step >= window_lo_ && step <= window_hi_);
+}
+
+std::shared_ptr<const VolumeF> CacheManager::lookup(int step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(step);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (it->second.prefetched) {
+    it->second.prefetched = false;
+    ++stats_.prefetch_hits;
+  }
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(step);
+  it->second.lru_it = lru_.begin();
+  return it->second.volume;
+}
+
+std::shared_ptr<const VolumeF> CacheManager::lookup_quiet(int step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(step);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.prefetched) {
+    it->second.prefetched = false;
+    ++stats_.prefetch_hits;
+  }
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(step);
+  it->second.lru_it = lru_.begin();
+  return it->second.volume;
+}
+
+bool CacheManager::resident(int step) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(step) != 0;
+}
+
+std::shared_ptr<const VolumeF> CacheManager::insert(int step, VolumeF volume,
+                                                    bool from_prefetch) {
+  IFET_REQUIRE(!volume.empty(), "CacheManager::insert: empty volume");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(step);
+  if (it != entries_.end()) {
+    // Lost a benign load race; keep the resident entry.
+    return it->second.volume;
+  }
+  Entry entry;
+  entry.bytes = volume.size() * sizeof(float);
+  entry.volume = std::make_shared<const VolumeF>(std::move(volume));
+  entry.prefetched = from_prefetch;
+  auto pending = pending_pins_.find(step);
+  if (pending != pending_pins_.end()) {
+    entry.pin_count = pending->second;
+    pending_pins_.erase(pending);
+  }
+  lru_.push_front(step);
+  entry.lru_it = lru_.begin();
+  resident_bytes_ += entry.bytes;
+  ++stats_.inserts;
+  auto stored = entries_.emplace(step, std::move(entry)).first->second.volume;
+  evict_over_budget_locked();
+  stats_.peak_bytes_resident =
+      std::max(stats_.peak_bytes_resident, resident_bytes_);
+  return stored;
+}
+
+void CacheManager::evict_over_budget_locked() {
+  if (budget_bytes_ == 0) return;
+  auto it = lru_.end();
+  while (resident_bytes_ > budget_bytes_ && it != lru_.begin()) {
+    --it;
+    const int victim = *it;
+    auto e = entries_.find(victim);
+    IFET_REQUIRE(e != entries_.end(), "CacheManager: LRU/entry desync");
+    if (pinned_locked(victim, e->second)) continue;  // skip, try next-older
+    resident_bytes_ -= e->second.bytes;
+    ++stats_.evictions;
+    it = lru_.erase(it);
+    entries_.erase(e);
+  }
+}
+
+void CacheManager::pin(int step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(step);
+  if (it != entries_.end()) {
+    ++it->second.pin_count;
+  } else {
+    ++pending_pins_[step];
+  }
+}
+
+void CacheManager::unpin(int step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(step);
+  if (it != entries_.end()) {
+    IFET_REQUIRE(it->second.pin_count > 0,
+                 "CacheManager::unpin: step is not pinned");
+    --it->second.pin_count;
+    return;
+  }
+  auto pending = pending_pins_.find(step);
+  IFET_REQUIRE(pending != pending_pins_.end(),
+               "CacheManager::unpin: step is not pinned");
+  if (--pending->second == 0) pending_pins_.erase(pending);
+}
+
+void CacheManager::pin_window(int lo, int hi) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_lo_ = lo;
+  window_hi_ = hi;
+  // Entries that just left the window may now push the cache over budget.
+  evict_over_budget_locked();
+}
+
+std::pair<int, int> CacheManager::pinned_window() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {window_lo_, window_hi_};
+}
+
+void CacheManager::set_budget(std::size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = budget_bytes;
+  evict_over_budget_locked();
+}
+
+std::size_t CacheManager::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_bytes_;
+}
+
+std::size_t CacheManager::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+std::size_t CacheManager::resident_steps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<int> CacheManager::lru_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+void CacheManager::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto e = entries_.find(*it);
+    IFET_REQUIRE(e != entries_.end(), "CacheManager: LRU/entry desync");
+    if (pinned_locked(*it, e->second)) {
+      ++it;
+      continue;
+    }
+    resident_bytes_ -= e->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(e);
+    it = lru_.erase(it);
+  }
+}
+
+StreamStats CacheManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamStats out = stats_;
+  out.budget_bytes = budget_bytes_;
+  out.bytes_resident = resident_bytes_;
+  out.steps_resident = entries_.size();
+  std::size_t pinned = 0;
+  for (const auto& [step, entry] : entries_) {
+    if (pinned_locked(step, entry)) ++pinned;
+  }
+  out.pinned_steps = pinned;
+  return out;
+}
+
+}  // namespace ifet

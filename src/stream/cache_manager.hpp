@@ -1,0 +1,110 @@
+// Memory-budgeted, pinned-aware LRU cache over decoded timesteps.
+//
+// The residency policy of the out-of-core subsystem lives here and only
+// here: VolumeStore decides *what* to load, CacheManager decides *what
+// stays*. Entries are shared_ptr<const VolumeF> so an eviction never
+// invalidates data a reader still holds — the bytes leave the budget
+// accounting when evicted and are freed when the last reader drops its
+// reference (the StreamedSequence window holds at most a few steps).
+//
+// Pinning has two forms:
+//  * pin(step)/unpin(step)   — explicit, counted; an entry with a nonzero
+//    pin count is never evicted.
+//  * pin_window(lo, hi)      — the sliding window of 4D region growing:
+//    steps in [lo, hi] are protected as a group and the window is replaced
+//    wholesale by the next call, so {t-1, t, t+1} stays put while the rest
+//    of the sequence evicts.
+//
+// Thread safety: every method is internally synchronized; the stress suite
+// (tests/stress/stress_cache_manager_test.cpp) hammers it under TSan.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stream/stream_stats.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+class CacheManager {
+ public:
+  /// `budget_bytes` caps the decoded payload bytes held by *unpinned +
+  /// pinned* entries together; 0 means unlimited (the fully-resident
+  /// path). Pinned entries are never evicted, so a window wider than the
+  /// budget temporarily overshoots it — by design, loudly visible in
+  /// stats().
+  explicit CacheManager(std::size_t budget_bytes = 0);
+
+  /// Resident volume for `step`, or nullptr. A hit refreshes LRU order and
+  /// counts toward stats; entries inserted by prefetch count a prefetch
+  /// hit on their first lookup.
+  std::shared_ptr<const VolumeF> lookup(int step);
+
+  /// Like lookup, but does not count a hit/miss — used by VolumeStore when
+  /// re-checking after waiting on an in-flight prefetch, so one fetch never
+  /// counts as both a miss and a hit. Still refreshes LRU order and
+  /// consumes the prefetched flag (counting the prefetch hit).
+  std::shared_ptr<const VolumeF> lookup_quiet(int step);
+
+  /// True when `step` is resident; no LRU/stat side effects (tests).
+  bool resident(int step) const;
+
+  /// Admit a decoded step (most-recently-used position) and evict LRU
+  /// unpinned entries until the budget holds. Returns the (shared) stored
+  /// volume — when `step` was concurrently inserted by another thread the
+  /// existing entry wins and `volume` is discarded.
+  std::shared_ptr<const VolumeF> insert(int step, VolumeF volume,
+                                        bool from_prefetch = false);
+
+  /// Explicit pin: `step` survives eviction until unpinned. Pinning a
+  /// non-resident step is remembered (applies when it is inserted).
+  void pin(int step);
+  void unpin(int step);
+
+  /// Replace the pinned window with [lo, hi] (inclusive; lo > hi clears).
+  void pin_window(int lo, int hi);
+  std::pair<int, int> pinned_window() const;
+
+  void set_budget(std::size_t budget_bytes);
+  std::size_t budget_bytes() const;
+  std::size_t resident_bytes() const;
+  std::size_t resident_steps() const;
+
+  /// Steps in most-recently-used -> least-recently-used order (tests).
+  std::vector<int> lru_order() const;
+
+  /// Drop every unpinned entry (budget debugging; stats count evictions).
+  void clear();
+
+  /// Counter snapshot (cache-level fields only).
+  StreamStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const VolumeF> volume;
+    std::size_t bytes = 0;
+    int pin_count = 0;
+    bool prefetched = false;  ///< Set by prefetch insert, cleared on first
+                              ///< lookup (counts one prefetch hit).
+    std::list<int>::iterator lru_it;
+  };
+
+  bool pinned_locked(int step, const Entry& e) const;
+  void evict_over_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t budget_bytes_;
+  std::size_t resident_bytes_ = 0;
+  int window_lo_ = 0, window_hi_ = -1;  // empty window
+  std::list<int> lru_;                  // front = most recent
+  std::unordered_map<int, Entry> entries_;
+  std::unordered_map<int, int> pending_pins_;  // pins on non-resident steps
+  StreamStats stats_;
+};
+
+}  // namespace ifet

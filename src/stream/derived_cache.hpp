@@ -1,0 +1,101 @@
+// Memoization store for per-timestep derived products.
+//
+// Recomputing a histogram or a synthesized IATF transfer function after
+// its source volume was evicted would force a reload of the whole step —
+// the worst possible amplification of a cache miss. Derived products are
+// tiny (a few KiB against MiBs of voxels), so the streaming subsystem
+// keeps them all: histograms, cumulative histograms, and synthesized 1D
+// transfer functions, each keyed by (timestep, params-hash). The params
+// hash captures everything the product depends on besides the step — bin
+// count and value range for histograms, network state for IATFs — so a
+// retrained network or a re-binned histogram never collides with a stale
+// entry.
+//
+// Values are held by shared_ptr: returned references stay valid for the
+// cache's lifetime even while new products are added (maps are node
+// based; entries are never dropped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "stream/stream_stats.hpp"
+#include "tf/transfer_function.hpp"
+#include "volume/histogram.hpp"
+
+namespace ifet {
+
+/// FNV-1a style combiner for building params hashes.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+inline std::uint64_t hash_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+class DerivedCache {
+ public:
+  DerivedCache() = default;
+  DerivedCache(const DerivedCache&) = delete;
+  DerivedCache& operator=(const DerivedCache&) = delete;
+
+  /// Histogram for (step, params) — `compute` runs once per distinct key.
+  std::shared_ptr<const Histogram> histogram(
+      int step, std::uint64_t params_hash,
+      const std::function<Histogram()>& compute);
+
+  /// Cumulative histogram for (step, params).
+  std::shared_ptr<const CumulativeHistogram> cumulative_histogram(
+      int step, std::uint64_t params_hash,
+      const std::function<CumulativeHistogram()>& compute);
+
+  /// Synthesized transfer function for (step, params) — params must hash
+  /// the network/training state (see Iatf::params_hash), so further
+  /// training naturally invalidates by changing the key.
+  std::shared_ptr<const TransferFunction1D> transfer_function(
+      int step, std::uint64_t params_hash,
+      const std::function<TransferFunction1D()>& compute);
+
+  std::size_t size() const;
+
+  /// Counter snapshot (derived_hits / derived_misses).
+  StreamStats stats() const;
+
+ private:
+  struct Key {
+    int step;
+    std::uint64_t params;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          hash_combine(static_cast<std::uint64_t>(k.step) * 0x100000001b3ULL,
+                       k.params));
+    }
+  };
+
+  template <typename T>
+  std::shared_ptr<const T> get_or_compute(
+      std::unordered_map<Key, std::shared_ptr<const T>, KeyHash>& map,
+      int step, std::uint64_t params_hash,
+      const std::function<T()>& compute);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const Histogram>, KeyHash> hists_;
+  std::unordered_map<Key, std::shared_ptr<const CumulativeHistogram>, KeyHash>
+      cumhists_;
+  std::unordered_map<Key, std::shared_ptr<const TransferFunction1D>, KeyHash>
+      tfs_;
+  StreamStats stats_;
+};
+
+}  // namespace ifet

@@ -1,0 +1,78 @@
+#include "stream/prefetcher.hpp"
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace ifet {
+
+Prefetcher::Prefetcher(ThreadPool& pool, CacheManager& cache,
+                       std::function<VolumeF(int)> load)
+    : pool_(pool), cache_(cache), load_(std::move(load)) {
+  IFET_REQUIRE(static_cast<bool>(load_), "Prefetcher: empty load function");
+}
+
+Prefetcher::~Prefetcher() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_.empty(); });
+}
+
+void Prefetcher::schedule(int step) {
+  if (cache_.resident(step)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!in_flight_.insert(step).second) return;  // already in flight
+    ++issued_;
+  }
+  auto task = [this, step] {
+    // Worker-thread context: errors may not escape (ThreadPool::post tasks
+    // must not throw). A failed load just leaves the in-flight set; the
+    // next synchronous fetch reloads on the caller's thread and reports.
+    double seconds = 0.0;
+    bool loaded = false;
+    try {
+      Stopwatch timer;
+      VolumeF volume = load_(step);
+      seconds = timer.seconds();
+      cache_.insert(step, std::move(volume), /*from_prefetch=*/true);
+      loaded = true;
+    } catch (const std::exception&) {
+      // Swallowed by design; see above.
+    }
+    // notify_all must happen under the lock: ~Prefetcher may destroy the
+    // condition variable the moment it observes in_flight_ empty, so the
+    // erase and the notify have to be atomic with respect to that wait.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (loaded) decode_seconds_ += seconds;
+    in_flight_.erase(step);
+    done_cv_.notify_all();
+  };
+  if (!pool_.try_post(task)) {
+    // Pool is shutting down: prefetch silently degrades to demand loading.
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(step);
+    --issued_;
+    done_cv_.notify_all();
+  }
+}
+
+bool Prefetcher::wait(int step) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (in_flight_.count(step) == 0) return false;
+  done_cv_.wait(lock, [this, step] { return in_flight_.count(step) == 0; });
+  return true;
+}
+
+bool Prefetcher::in_flight(int step) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_.count(step) != 0;
+}
+
+StreamStats Prefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamStats out;
+  out.prefetch_issued = issued_;
+  out.prefetch_decode_seconds = decode_seconds_;
+  return out;
+}
+
+}  // namespace ifet

@@ -1,0 +1,67 @@
+// Asynchronous lookahead scheduler for the streaming subsystem.
+//
+// Overlaps timestep decode with the caller's compute: schedule(step) posts
+// a load to the shared ThreadPool and returns immediately; the decoded
+// volume lands in the CacheManager marked `from_prefetch` so its first
+// consumer counts a prefetch hit. A synchronous fetch that finds its step
+// in flight waits for that load instead of issuing a duplicate — the
+// latency is partially hidden, and it still counts as a prefetch hit.
+//
+// Load errors are not thrown from worker threads (ThreadPool::post tasks
+// must not throw): the failed step simply leaves the in-flight set and the
+// next synchronous fetch repeats the load on the caller's thread, where
+// the error surfaces normally.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_set>
+
+#include "parallel/thread_pool.hpp"
+#include "stream/cache_manager.hpp"
+
+namespace ifet {
+
+class Prefetcher {
+ public:
+  /// `load` decodes one timestep (called on worker threads; must be
+  /// thread-safe). Decoded steps are inserted into `cache`; both must
+  /// outlive the Prefetcher.
+  Prefetcher(ThreadPool& pool, CacheManager& cache,
+             std::function<VolumeF(int)> load);
+
+  /// Drains: blocks until every in-flight load has completed.
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Schedule an async load of `step`; no-op when the step is already
+  /// resident or in flight, or when the pool is shutting down.
+  void schedule(int step);
+
+  /// Block until `step` is no longer in flight. Returns true when the call
+  /// actually waited on (or raced with) a scheduled load — the caller
+  /// should re-check the cache before loading itself.
+  bool wait(int step);
+
+  bool in_flight(int step) const;
+
+  /// Counter snapshot (prefetch_issued / prefetch decode latency).
+  StreamStats stats() const;
+
+ private:
+  ThreadPool& pool_;
+  CacheManager& cache_;
+  std::function<VolumeF(int)> load_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::unordered_set<int> in_flight_;
+  std::uint64_t issued_ = 0;
+  double decode_seconds_ = 0.0;
+};
+
+}  // namespace ifet

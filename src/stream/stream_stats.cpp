@@ -1,0 +1,47 @@
+#include "stream/stream_stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ifet {
+
+std::string StreamStats::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "stream: " << hits << " hits / " << misses << " misses ("
+     << 100.0 * hit_rate() << "% hit rate), " << evictions << " evictions, ";
+  if (budget_bytes == 0) {
+    os << bytes_resident / 1024 << " KiB resident (unlimited budget), ";
+  } else {
+    os << bytes_resident / 1024 << " / " << budget_bytes / 1024
+       << " KiB resident (peak " << peak_bytes_resident / 1024 << "), ";
+  }
+  os << "prefetch " << prefetch_hits << "/" << (prefetch_hits + demand_loads)
+     << " (" << 100.0 * prefetch_hit_rate() << "% of loads), derived "
+     << derived_hits << "/" << (derived_hits + derived_misses) << " memoized";
+  return os.str();
+}
+
+StreamStats& StreamStats::merge(const StreamStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  inserts += other.inserts;
+  evictions += other.evictions;
+  prefetch_issued += other.prefetch_issued;
+  prefetch_hits += other.prefetch_hits;
+  demand_loads += other.demand_loads;
+  derived_hits += other.derived_hits;
+  derived_misses += other.derived_misses;
+  if (other.budget_bytes != 0) budget_bytes = other.budget_bytes;
+  if (other.bytes_resident != 0) bytes_resident = other.bytes_resident;
+  peak_bytes_resident = std::max(peak_bytes_resident,
+                                 other.peak_bytes_resident);
+  if (other.steps_resident != 0) steps_resident = other.steps_resident;
+  if (other.pinned_steps != 0) pinned_steps = other.pinned_steps;
+  demand_decode_seconds += other.demand_decode_seconds;
+  prefetch_decode_seconds += other.prefetch_decode_seconds;
+  return *this;
+}
+
+}  // namespace ifet

@@ -1,0 +1,73 @@
+// Counters surfaced by the out-of-core streaming subsystem.
+//
+// Every layer of src/stream/ feeds one shared StreamStats snapshot so a
+// single struct answers "is the budget sized right, is prefetch hiding the
+// decode latency, and how much is resident right now". ifet_tool prints
+// the summary() line after streamed runs; bench_perf_stream reports the
+// fields as benchmark counters. docs/STREAMING.md explains how to read
+// each field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ifet {
+
+struct StreamStats {
+  // Cache traffic.
+  std::uint64_t hits = 0;        ///< Accesses served from resident entries.
+  std::uint64_t misses = 0;      ///< Accesses that required a load (demand
+                                 ///< or waiting on an in-flight prefetch).
+  std::uint64_t inserts = 0;     ///< Entries admitted into the cache.
+  std::uint64_t evictions = 0;   ///< Entries dropped to respect the budget.
+
+  // Prefetch effectiveness.
+  std::uint64_t prefetch_issued = 0;  ///< Async loads scheduled.
+  std::uint64_t prefetch_hits = 0;    ///< Misses covered by a prefetch
+                                      ///< (completed or awaited in flight).
+  std::uint64_t demand_loads = 0;     ///< Misses the caller decoded itself.
+
+  // Derived-product memoization (histograms, cumulative histograms,
+  // synthesized transfer functions).
+  std::uint64_t derived_hits = 0;
+  std::uint64_t derived_misses = 0;
+
+  // Residency (bytes of decoded volume payload).
+  std::size_t budget_bytes = 0;         ///< 0 = unlimited.
+  std::size_t bytes_resident = 0;
+  std::size_t peak_bytes_resident = 0;
+  std::size_t steps_resident = 0;
+  std::size_t pinned_steps = 0;
+
+  // Decode latency (seconds spent in VolumeSource::generate / decompress).
+  double demand_decode_seconds = 0.0;
+  double prefetch_decode_seconds = 0.0;
+
+  /// Fraction of accesses served without any load.
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  /// Fraction of non-resident accesses that a prefetch covered — the
+  /// headline "is lookahead working" number (acceptance target >= 0.5 for
+  /// a sequential scan with lookahead >= 2).
+  double prefetch_hit_rate() const {
+    const std::uint64_t loads = prefetch_hits + demand_loads;
+    return loads == 0 ? 0.0
+                      : static_cast<double>(prefetch_hits) /
+                            static_cast<double>(loads);
+  }
+
+  /// One-line human-readable summary (ifet_tool).
+  std::string summary() const;
+
+  /// Merge counters from another snapshot (residency fields take the
+  /// other's values only when nonzero; used to combine cache + derived
+  /// layers into one report).
+  StreamStats& merge(const StreamStats& other);
+};
+
+}  // namespace ifet

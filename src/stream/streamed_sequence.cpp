@@ -1,0 +1,110 @@
+#include "stream/streamed_sequence.hpp"
+
+#include <algorithm>
+
+#include "io/compressed.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+
+namespace {
+VolumeStoreConfig store_config(const StreamConfig& c) {
+  VolumeStoreConfig out;
+  out.budget_bytes = c.budget_bytes;
+  out.lookahead = c.lookahead;
+  out.async_prefetch = c.async_prefetch;
+  return out;
+}
+}  // namespace
+
+StreamedSequence::StreamedSequence(std::shared_ptr<const VolumeSource> source,
+                                   const StreamConfig& config)
+    : config_(config),
+      store_(std::make_unique<VolumeStore>(std::move(source),
+                                           store_config(config))) {
+  IFET_REQUIRE(config_.histogram_bins > 0,
+               "StreamedSequence: need histogram bins");
+  IFET_REQUIRE(config_.pin_radius >= 0,
+               "StreamedSequence: pin_radius must be >= 0");
+  auto [lo, hi] = store_->value_range();
+  hist_params_ = hash_combine(
+      hash_combine(static_cast<std::uint64_t>(config_.histogram_bins),
+                   hash_double(lo)),
+      hash_double(hi));
+}
+
+std::unique_ptr<StreamedSequence> StreamedSequence::open_cvol(
+    const std::string& path, const StreamConfig& config) {
+  return std::make_unique<StreamedSequence>(
+      std::make_shared<CompressedFileSource>(path), config);
+}
+
+void StreamedSequence::set_window_locked(int lo, int hi) const {
+  lo = std::max(lo, 0);
+  hi = std::min(hi, num_steps() - 1);
+  window_lo_ = lo;
+  window_hi_ = hi;
+  store_->pin_window(lo, hi);
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->first < lo || it->first > hi) {
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const VolumeF& StreamedSequence::step(int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "StreamedSequence: step out of range");
+  auto volume = store_->fetch(step);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (step < window_lo_ || step > window_hi_) {
+    set_window_locked(step - config_.pin_radius, step + config_.pin_radius);
+  }
+  auto& slot = held_[step];
+  slot = std::move(volume);
+  return *slot;
+}
+
+const CumulativeHistogram& StreamedSequence::cumulative_histogram(
+    int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "StreamedSequence: step out of range");
+  auto [lo, hi] = store_->value_range();
+  auto cumhist = derived_.cumulative_histogram(
+      step, hist_params_, [&]() -> CumulativeHistogram {
+        auto volume = store_->fetch(step);
+        return CumulativeHistogram(
+            Histogram::of(*volume, config_.histogram_bins, lo, hi));
+      });
+  // DerivedCache never evicts, so the reference outlives any eviction of
+  // the source volume.
+  return *cumhist;
+}
+
+Histogram StreamedSequence::histogram(int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "StreamedSequence: step out of range");
+  auto [lo, hi] = store_->value_range();
+  auto hist =
+      derived_.histogram(step, hist_params_, [&]() -> Histogram {
+        auto volume = store_->fetch(step);
+        return Histogram::of(*volume, config_.histogram_bins, lo, hi);
+      });
+  return *hist;
+}
+
+void StreamedSequence::hint_window(int lo, int hi) const {
+  IFET_REQUIRE(lo <= hi, "StreamedSequence::hint_window: inverted window");
+  std::lock_guard<std::mutex> lock(mutex_);
+  set_window_locked(lo, hi);
+}
+
+StreamStats StreamedSequence::stats() const {
+  StreamStats out = store_->stats();
+  out.merge(derived_.stats());
+  return out;
+}
+
+}  // namespace ifet

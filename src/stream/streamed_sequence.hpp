@@ -1,0 +1,97 @@
+// Out-of-core VolumeSequence: the drop-in streamed counterpart of
+// CachedSequence.
+//
+// Every consumer of VolumeSequence (IATF synthesis, dataspace
+// classification, 4D region growing, rendering, the painting session)
+// works unchanged on a StreamedSequence; what changes is the residency
+// contract: decoded steps live in a byte-budgeted CacheManager, lookahead
+// decodes overlap compute via the Prefetcher, and derived products
+// (histograms, cumulative histograms) are memoized in a DerivedCache so an
+// evicted volume never has to come back just to answer a histogram query.
+//
+// Reference validity: step(t) auto-pins a window of `pin_radius` steps
+// around t (recentring only when t falls outside the current window, so
+// the {t-1, t, t+1} access pattern of 4D region growing never thrashes).
+// References returned for steps inside the window stay valid until the
+// window moves away from them; hint_window() sets the window explicitly.
+// Cumulative-histogram references are memoized and stay valid for the
+// sequence's lifetime.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "stream/derived_cache.hpp"
+#include "stream/volume_store.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+struct StreamConfig {
+  /// Byte budget for decoded steps; 0 = unlimited (fully resident — the
+  /// trivial cache the in-memory path reduces to).
+  std::size_t budget_bytes = 0;
+  /// Steps prefetched ahead of each access in the scan direction.
+  int lookahead = 2;
+  /// Auto-pinned window half-width around the last accessed step; 1 keeps
+  /// {t-1, t, t+1} resident for 4D region growing.
+  int pin_radius = 1;
+  /// Overlap prefetch decode with compute on the shared thread pool; off =
+  /// synchronous lookahead (deterministic, for tests).
+  bool async_prefetch = true;
+  int histogram_bins = 256;
+};
+
+class StreamedSequence final : public VolumeSequence {
+ public:
+  StreamedSequence(std::shared_ptr<const VolumeSource> source,
+                   const StreamConfig& config = {});
+
+  /// Stream a compressed .cvol sequence from disk.
+  static std::unique_ptr<StreamedSequence> open_cvol(
+      const std::string& path, const StreamConfig& config = {});
+
+  Dims dims() const override { return store_->dims(); }
+  int num_steps() const override { return store_->num_steps(); }
+  std::pair<double, double> value_range() const override {
+    return store_->value_range();
+  }
+  int histogram_bins() const override { return config_.histogram_bins; }
+
+  const VolumeF& step(int step) const override;
+  const CumulativeHistogram& cumulative_histogram(int step) const override;
+  Histogram histogram(int step) const override;
+
+  /// Source loads so far (demand + prefetch).
+  std::size_t generation_count() const override {
+    return store_->load_count();
+  }
+
+  void hint_window(int lo, int hi) const override;
+  void prefetch_hint(int step) const override { store_->prefetch(step); }
+
+  /// Combined counters: cache + prefetch + derived memoization.
+  StreamStats stats() const;
+
+  VolumeStore& store() const { return *store_; }
+  DerivedCache& derived_cache() const { return derived_; }
+
+ private:
+  /// Pin [lo, hi] and drop held references outside it. Caller holds
+  /// mutex_.
+  void set_window_locked(int lo, int hi) const;
+
+  StreamConfig config_;
+  std::uint64_t hist_params_ = 0;  ///< hash(bins, value range)
+  mutable std::unique_ptr<VolumeStore> store_;
+  mutable DerivedCache derived_;
+
+  mutable std::mutex mutex_;  // guards window bounds + held_
+  mutable int window_lo_ = 0, window_hi_ = -1;
+  /// Steps of the active window whose references callers may hold; the
+  /// shared_ptrs keep the data alive even across eviction.
+  mutable std::map<int, std::shared_ptr<const VolumeF>> held_;
+};
+
+}  // namespace ifet

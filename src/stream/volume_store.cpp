@@ -1,0 +1,157 @@
+#include "stream/volume_store.hpp"
+
+#include <algorithm>
+
+#include "io/compressed.hpp"
+#include "io/volume_io.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+#include "volume/ops.hpp"
+
+namespace ifet {
+
+VolFileSetSource::VolFileSetSource(std::vector<std::string> paths)
+    : paths_(std::move(paths)) {
+  IFET_REQUIRE(!paths_.empty(), "VolFileSetSource: no files");
+  float lo = 0.0f, hi = 0.0f;
+  bool first = true;
+  for (const auto& path : paths_) {
+    VolumeF v = read_vol(path);
+    if (first) {
+      dims_ = v.dims();
+    } else {
+      IFET_REQUIRE(v.dims() == dims_,
+                   "VolFileSetSource: inconsistent dims in " + path);
+    }
+    auto [flo, fhi] = ifet::value_range(v);
+    lo = first ? flo : std::min(lo, flo);
+    hi = first ? fhi : std::max(hi, fhi);
+    first = false;
+  }
+  range_ = {static_cast<double>(lo), static_cast<double>(hi)};
+}
+
+VolFileSetSource::VolFileSetSource(std::vector<std::string> paths,
+                                   std::pair<double, double> value_range)
+    : paths_(std::move(paths)), range_(value_range) {
+  IFET_REQUIRE(!paths_.empty(), "VolFileSetSource: no files");
+  IFET_REQUIRE(range_.second > range_.first,
+               "VolFileSetSource: degenerate value range");
+  VolumeF first = read_vol(paths_.front());
+  dims_ = first.dims();
+}
+
+VolumeF VolFileSetSource::generate(int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "VolFileSetSource: step out of range");
+  VolumeF v = read_vol(paths_[static_cast<std::size_t>(step)]);
+  IFET_REQUIRE(v.dims() == dims_,
+               "VolFileSetSource: file changed dims on re-read: " +
+                   paths_[static_cast<std::size_t>(step)]);
+  return v;
+}
+
+VolumeStore::VolumeStore(std::shared_ptr<const VolumeSource> source,
+                         const VolumeStoreConfig& config)
+    : source_(std::move(source)),
+      config_(config),
+      cache_(config.budget_bytes),
+      prefetcher_(ThreadPool::global(), cache_,
+                  [this](int step) {
+                    return timed_load(step, /*prefetch_context=*/true);
+                  }) {
+  IFET_REQUIRE(source_ != nullptr, "VolumeStore requires a source");
+  IFET_REQUIRE(source_->num_steps() > 0, "VolumeStore: empty source");
+  IFET_REQUIRE(config_.lookahead >= 0,
+               "VolumeStore: lookahead must be >= 0");
+}
+
+std::unique_ptr<VolumeStore> VolumeStore::open_cvol(
+    const std::string& path, const VolumeStoreConfig& config) {
+  return std::make_unique<VolumeStore>(
+      std::make_shared<CompressedFileSource>(path), config);
+}
+
+std::unique_ptr<VolumeStore> VolumeStore::open_vol_files(
+    std::vector<std::string> paths, const VolumeStoreConfig& config) {
+  return std::make_unique<VolumeStore>(
+      std::make_shared<VolFileSetSource>(std::move(paths)), config);
+}
+
+VolumeF VolumeStore::timed_load(int step, bool prefetch_context) {
+  Stopwatch timer;
+  VolumeF v = source_->generate(step);
+  IFET_REQUIRE(v.dims() == source_->dims(),
+               "VolumeStore: source produced wrong dimensions");
+  const double seconds = timer.seconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_loads_;
+  if (!prefetch_context) {
+    ++demand_loads_;
+    demand_decode_seconds_ += seconds;
+  }
+  return v;
+}
+
+std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "VolumeStore::fetch: step out of range");
+  auto volume = cache_.lookup(step);
+  if (!volume && prefetcher_.wait(step)) {
+    // An in-flight prefetch covered this step; don't re-count hit/miss.
+    volume = cache_.lookup_quiet(step);
+  }
+  if (!volume) {
+    volume = cache_.insert(step, timed_load(step, /*prefetch_context=*/false),
+                           /*from_prefetch=*/false);
+  }
+
+  int direction;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    direction = step >= last_fetched_step_ ? 1 : -1;
+    last_fetched_step_ = step;
+  }
+  for (int k = 1; k <= config_.lookahead; ++k) {
+    prefetch(step + direction * k);
+  }
+  return volume;
+}
+
+void VolumeStore::prefetch(int step) {
+  if (step < 0 || step >= num_steps()) return;
+  if (config_.async_prefetch) {
+    prefetcher_.schedule(step);
+    return;
+  }
+  // Synchronous lookahead: deterministic single-threaded path for tests.
+  if (cache_.resident(step)) return;
+  cache_.insert(step, timed_load(step, /*prefetch_context=*/true),
+                /*from_prefetch=*/true);
+}
+
+void VolumeStore::pin_window(int lo, int hi) {
+  lo = std::max(lo, 0);
+  hi = std::min(hi, num_steps() - 1);
+  cache_.pin_window(lo, hi);
+  if (lo > hi) return;
+  for (int s = lo; s <= hi; ++s) {
+    if (!cache_.resident(s)) prefetch(s);
+  }
+}
+
+std::size_t VolumeStore::load_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_loads_;
+}
+
+StreamStats VolumeStore::stats() const {
+  StreamStats out = cache_.stats();
+  out.merge(prefetcher_.stats());
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.demand_loads = demand_loads_;
+  out.demand_decode_seconds = demand_decode_seconds_;
+  return out;
+}
+
+}  // namespace ifet

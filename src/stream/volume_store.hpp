@@ -1,0 +1,120 @@
+// Paged, lazily-loading backend over the volume I/O layer.
+//
+// VolumeStore is the single choke point between the 4D pipelines and the
+// disk: it owns a VolumeSource (a compressed .cvol sequence, a set of .vol
+// files, or any procedural source), a CacheManager enforcing the byte
+// budget, and a Prefetcher overlapping decode with compute. Consumers must
+// not call io read functions directly (enforced by the ifet_lint
+// `direct-volume-load` rule) — fetch() is the only way to a decoded step,
+// so every byte that enters memory is accounted, evictable, and
+// prefetchable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/cache_manager.hpp"
+#include "stream/prefetcher.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+/// VolumeSource over one self-describing .vol file per timestep (the
+/// layout the public flow data sets ship in). The global value range is
+/// scanned once at open time unless supplied.
+class VolFileSetSource final : public VolumeSource {
+ public:
+  /// `paths[t]` is the file of step t. When `value_range` is not supplied
+  /// every file is read once to establish the sequence-global range (one
+  /// full pass — pass the range explicitly for terascale inputs).
+  explicit VolFileSetSource(std::vector<std::string> paths);
+  VolFileSetSource(std::vector<std::string> paths,
+                   std::pair<double, double> value_range);
+
+  Dims dims() const override { return dims_; }
+  int num_steps() const override {
+    return static_cast<int>(paths_.size());
+  }
+  std::pair<double, double> value_range() const override { return range_; }
+  VolumeF generate(int step) const override;
+
+ private:
+  std::vector<std::string> paths_;
+  Dims dims_{};
+  std::pair<double, double> range_{0.0, 1.0};
+};
+
+struct VolumeStoreConfig {
+  /// Byte budget for decoded steps; 0 = unlimited (fully resident).
+  std::size_t budget_bytes = 0;
+  /// Steps scheduled ahead of each fetch in the scan direction; 0 disables
+  /// prefetch.
+  int lookahead = 2;
+  /// Run lookahead asynchronously on the shared thread pool. When false,
+  /// lookahead steps are loaded synchronously on the calling thread
+  /// (deterministic; used by tests).
+  bool async_prefetch = true;
+};
+
+class VolumeStore {
+ public:
+  VolumeStore(std::shared_ptr<const VolumeSource> source,
+              const VolumeStoreConfig& config = {});
+
+  /// Open a compressed sequence container (io/compressed).
+  static std::unique_ptr<VolumeStore> open_cvol(
+      const std::string& path, const VolumeStoreConfig& config = {});
+
+  /// Open a set of per-step .vol files (io/volume_io).
+  static std::unique_ptr<VolumeStore> open_vol_files(
+      std::vector<std::string> paths, const VolumeStoreConfig& config = {});
+
+  const VolumeSource& source() const { return *source_; }
+  Dims dims() const { return source_->dims(); }
+  int num_steps() const { return source_->num_steps(); }
+  std::pair<double, double> value_range() const {
+    return source_->value_range();
+  }
+  const VolumeStoreConfig& config() const { return config_; }
+
+  /// Decoded volume for `step`: cache hit, wait on an in-flight prefetch,
+  /// or demand-load — then schedule lookahead in the current scan
+  /// direction. The returned data stays valid while the shared_ptr is
+  /// held, independent of eviction.
+  std::shared_ptr<const VolumeF> fetch(int step);
+
+  /// Schedule an async load of `step` without blocking (bounds-clamped
+  /// no-op outside the sequence).
+  void prefetch(int step);
+
+  /// Pin [lo, hi] (clamped) as the active window and start loading any
+  /// non-resident window step in the background.
+  void pin_window(int lo, int hi);
+
+  CacheManager& cache() { return cache_; }
+  const CacheManager& cache() const { return cache_; }
+
+  /// Total source loads (demand + prefetch); the out-of-core analogue of
+  /// CachedSequence::generation_count.
+  std::size_t load_count() const;
+
+  /// Combined snapshot: cache + prefetcher counters.
+  StreamStats stats() const;
+
+ private:
+  VolumeF timed_load(int step, bool prefetch_context);
+
+  std::shared_ptr<const VolumeSource> source_;
+  VolumeStoreConfig config_;
+  CacheManager cache_;
+  Prefetcher prefetcher_;
+
+  mutable std::mutex mutex_;
+  int last_fetched_step_ = -1;
+  std::uint64_t demand_loads_ = 0;
+  std::uint64_t total_loads_ = 0;
+  double demand_decode_seconds_ = 0.0;
+};
+
+}  // namespace ifet

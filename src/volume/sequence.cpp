@@ -4,19 +4,19 @@
 
 namespace ifet {
 
-VolumeSequence::VolumeSequence(std::shared_ptr<const VolumeSource> source,
+CachedSequence::CachedSequence(std::shared_ptr<const VolumeSource> source,
                                std::size_t cache_capacity, int histogram_bins)
     : source_(std::move(source)),
       capacity_(std::max<std::size_t>(1, cache_capacity)),
       histogram_bins_(histogram_bins) {
-  IFET_REQUIRE(source_ != nullptr, "VolumeSequence requires a source");
-  IFET_REQUIRE(source_->num_steps() > 0, "VolumeSequence: empty source");
-  IFET_REQUIRE(histogram_bins_ > 0, "VolumeSequence: need histogram bins");
+  IFET_REQUIRE(source_ != nullptr, "CachedSequence requires a source");
+  IFET_REQUIRE(source_->num_steps() > 0, "CachedSequence: empty source");
+  IFET_REQUIRE(histogram_bins_ > 0, "CachedSequence: need histogram bins");
 }
 
-VolumeSequence::Entry& VolumeSequence::fetch(int step) const {
+CachedSequence::Entry& CachedSequence::fetch(int step) const {
   IFET_REQUIRE(step >= 0 && step < num_steps(),
-               "VolumeSequence: step out of range");
+               "CachedSequence: step out of range");
   // Serializes cache bookkeeping AND generation: simple and safe; see the
   // class comment for the concurrent-reader sizing contract.
   std::lock_guard<std::mutex> lock(mutex_);
@@ -36,7 +36,7 @@ VolumeSequence::Entry& VolumeSequence::fetch(int step) const {
   entry.volume = source_->generate(step);
   ++generations_;
   IFET_REQUIRE(entry.volume.dims() == source_->dims(),
-               "VolumeSequence: source produced wrong dimensions");
+               "CachedSequence: source produced wrong dimensions");
   auto [lo, hi] = source_->value_range();
   entry.cumhist = std::make_unique<CumulativeHistogram>(
       Histogram::of(entry.volume, histogram_bins_, lo, hi));
@@ -46,16 +46,16 @@ VolumeSequence::Entry& VolumeSequence::fetch(int step) const {
   return pos->second;
 }
 
-const VolumeF& VolumeSequence::step(int step) const {
+const VolumeF& CachedSequence::step(int step) const {
   return fetch(step).volume;
 }
 
-const CumulativeHistogram& VolumeSequence::cumulative_histogram(
+const CumulativeHistogram& CachedSequence::cumulative_histogram(
     int step) const {
   return *fetch(step).cumhist;
 }
 
-Histogram VolumeSequence::histogram(int step) const {
+Histogram CachedSequence::histogram(int step) const {
   auto [lo, hi] = source_->value_range();
   return Histogram::of(fetch(step).volume, histogram_bins_, lo, hi);
 }

@@ -3,10 +3,16 @@
 // Terascale sequences do not fit in core (paper Sec 4.2.2: "when the volume
 // size is large or many time steps are used, it can be time consuming to
 // load the volumes for training since not all the data can fit in core").
-// A VolumeSequence therefore produces steps on demand from a source
-// (procedural generator or file reader) and keeps only a small LRU-cached
-// working set resident — mirroring the out-of-core constraint that
-// motivates training from key frames only.
+// VolumeSequence is therefore an *interface*: consumers (IATF synthesis,
+// dataspace classification, 4D region growing, rendering) ask for steps and
+// per-step cumulative histograms without knowing whether the data is fully
+// resident, LRU-cached, or streamed from disk under a byte budget.
+//
+// Implementations:
+//  * CachedSequence (this file)     — count-capped LRU over a VolumeSource;
+//    with capacity >= num_steps it is the trivial fully-resident path.
+//  * StreamedSequence (src/stream/) — out-of-core: byte-budgeted cache,
+//    async prefetch, windowed pinning, derived-product memoization.
 #pragma once
 
 #include <functional>
@@ -55,7 +61,53 @@ class CallbackSource final : public VolumeSource {
   std::function<VolumeF(int)> generate_;
 };
 
-/// LRU-cached view over a VolumeSource, plus per-step histogram access.
+/// Interface every 4D pipeline consumes: per-step volumes plus per-step
+/// cumulative histograms over the sequence-global value range.
+///
+/// Reference validity: the VolumeF& returned by step() stays valid until a
+/// later access lets the implementation recycle the entry — for
+/// CachedSequence that is LRU eviction past the capacity, for
+/// StreamedSequence it is the pinned window sliding away. Callers that
+/// interleave accesses to several steps (e.g. 4D region growing) declare
+/// the steps they hold with hint_window().
+class VolumeSequence {
+ public:
+  virtual ~VolumeSequence() = default;
+
+  virtual Dims dims() const = 0;
+  virtual int num_steps() const = 0;
+  virtual std::pair<double, double> value_range() const = 0;
+  virtual int histogram_bins() const = 0;
+
+  /// Volume at `step` (loaded/generated on miss; cached).
+  virtual const VolumeF& step(int step) const = 0;
+
+  /// Cumulative histogram of `step` over the sequence-global value range.
+  virtual const CumulativeHistogram& cumulative_histogram(int step) const = 0;
+
+  /// Histogram of `step` over the sequence-global value range.
+  virtual Histogram histogram(int step) const = 0;
+
+  /// Number of source loads so far (cache-miss count; for tests).
+  virtual std::size_t generation_count() const = 0;
+
+  // --- Streaming hooks (no-ops on fully-resident implementations) ---
+
+  /// Declare that the caller will interleave accesses to steps in
+  /// [lo, hi] (clamped to the sequence): out-of-core implementations pin
+  /// that window so references stay valid while the rest evicts.
+  virtual void hint_window(int lo, int hi) const {
+    (void)lo;
+    (void)hi;
+  }
+
+  /// Advise that `step` will likely be needed soon; out-of-core
+  /// implementations overlap its decode with the caller's compute.
+  virtual void prefetch_hint(int step) const { (void)step; }
+};
+
+/// Count-capped LRU implementation of VolumeSequence, plus the trivial
+/// fully-resident path (capacity >= num_steps).
 ///
 /// Thread safety: cache bookkeeping is internally synchronized, so
 /// concurrent step()/cumulative_histogram() calls are safe — but the
@@ -63,30 +115,23 @@ class CallbackSource final : public VolumeSource {
 /// reading from several threads (e.g. run_batch_render with a shared
 /// sequence), size `cache_capacity` to at least the number of concurrent
 /// readers, or have each worker generate() its own volume.
-class VolumeSequence {
+class CachedSequence final : public VolumeSequence {
  public:
   /// Keeps at most `cache_capacity` decoded steps in memory.
-  VolumeSequence(std::shared_ptr<const VolumeSource> source,
+  CachedSequence(std::shared_ptr<const VolumeSource> source,
                  std::size_t cache_capacity = 4, int histogram_bins = 256);
 
-  Dims dims() const { return source_->dims(); }
-  int num_steps() const { return source_->num_steps(); }
-  std::pair<double, double> value_range() const {
+  Dims dims() const override { return source_->dims(); }
+  int num_steps() const override { return source_->num_steps(); }
+  std::pair<double, double> value_range() const override {
     return source_->value_range();
   }
-  int histogram_bins() const { return histogram_bins_; }
+  int histogram_bins() const override { return histogram_bins_; }
 
-  /// Volume at `step` (generated on miss; cached).
-  const VolumeF& step(int step) const;
-
-  /// Cumulative histogram of `step` over the sequence-global value range.
-  const CumulativeHistogram& cumulative_histogram(int step) const;
-
-  /// Histogram of `step` over the sequence-global value range.
-  Histogram histogram(int step) const;
-
-  /// Number of generate() calls so far (cache-miss count; for tests).
-  std::size_t generation_count() const { return generations_; }
+  const VolumeF& step(int step) const override;
+  const CumulativeHistogram& cumulative_histogram(int step) const override;
+  Histogram histogram(int step) const override;
+  std::size_t generation_count() const override { return generations_; }
 
  private:
   struct Entry {

@@ -129,7 +129,7 @@ TEST(CompressedSequence, PlugsIntoVolumeSequence) {
   write_compressed_sequence(source, path);
 
   auto disk_source = std::make_shared<CompressedFileSource>(path);
-  VolumeSequence seq(disk_source, 2);  // streams with a 2-step window
+  CachedSequence seq(disk_source, 2);  // streams with a 2-step window
   EXPECT_NEAR(seq.step(5).at(3, 3, 3), 0.25f, 1e-2);
   EXPECT_NEAR(seq.step(0).at(3, 3, 3), 0.0f, 1e-2);
   EXPECT_NEAR(seq.step(1).at(3, 3, 3), 0.05f, 1e-2);  // evicts step 5

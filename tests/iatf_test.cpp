@@ -39,13 +39,13 @@ TransferFunction1D band_tf(double lo, double hi) {
 }
 
 TEST(Iatf, RequiresKeyFramesBeforeTraining) {
-  VolumeSequence seq(drifting_source(10), 4);
+  CachedSequence seq(drifting_source(10), 4);
   Iatf iatf(seq);
   EXPECT_THROW(iatf.train(1), Error);
 }
 
 TEST(Iatf, KeyFrameMustMatchValueRange) {
-  VolumeSequence seq(drifting_source(10), 4);
+  CachedSequence seq(drifting_source(10), 4);
   Iatf iatf(seq);
   TransferFunction1D wrong(0.0, 2.0);
   EXPECT_THROW(iatf.add_key_frame(0, wrong), Error);
@@ -53,7 +53,7 @@ TEST(Iatf, KeyFrameMustMatchValueRange) {
 }
 
 TEST(Iatf, TrainingSetGrowsPerKeyFrame) {
-  VolumeSequence seq(drifting_source(10), 4);
+  CachedSequence seq(drifting_source(10), 4);
   Iatf iatf(seq);
   iatf.add_key_frame(0, band_tf(0.3, 0.4));
   EXPECT_EQ(iatf.training_samples(),
@@ -64,7 +64,7 @@ TEST(Iatf, TrainingSetGrowsPerKeyFrame) {
 }
 
 TEST(Iatf, ReproducesKeyFrameTransferFunctions) {
-  VolumeSequence seq(drifting_source(10), 4);
+  CachedSequence seq(drifting_source(10), 4);
   IatfConfig cfg;
   cfg.hidden_units = 12;
   Iatf iatf(seq, cfg);
@@ -87,7 +87,7 @@ TEST(Iatf, AdaptsBetterThanLinearInterpolationUnderDrift) {
   // open near 0.50; lerp of the two key-frame TFs opens at 0.35 and 0.65
   // instead.
   const int steps = 11;
-  VolumeSequence seq(drifting_source(steps), 6);
+  CachedSequence seq(drifting_source(steps), 6);
   IatfConfig cfg;
   cfg.hidden_units = 12;
   Iatf iatf(seq, cfg);
@@ -107,7 +107,7 @@ TEST(Iatf, AdaptsBetterThanLinearInterpolationUnderDrift) {
 }
 
 TEST(Iatf, TrainForAdvancesEpochs) {
-  VolumeSequence seq(drifting_source(5), 4);
+  CachedSequence seq(drifting_source(5), 4);
   Iatf iatf(seq);
   iatf.add_key_frame(0, band_tf(0.3, 0.4));
   iatf.train_for(5.0);
@@ -115,7 +115,7 @@ TEST(Iatf, TrainForAdvancesEpochs) {
 }
 
 TEST(Iatf, OpacityAgreesWithEvaluatedTf) {
-  VolumeSequence seq(drifting_source(5), 4);
+  CachedSequence seq(drifting_source(5), 4);
   Iatf iatf(seq);
   iatf.add_key_frame(0, band_tf(0.3, 0.4));
   iatf.train(100);
@@ -131,7 +131,7 @@ TEST(Iatf, OpacityAgreesWithEvaluatedTf) {
 }
 
 TEST(Iatf, InputAblationChangesNetworkWidth) {
-  VolumeSequence seq(drifting_source(5), 4);
+  CachedSequence seq(drifting_source(5), 4);
   IatfConfig value_only;
   value_only.use_cumulative_histogram = false;
   value_only.use_time = false;
@@ -142,7 +142,7 @@ TEST(Iatf, InputAblationChangesNetworkWidth) {
 }
 
 TEST(Iatf, AllInputsDisabledThrows) {
-  VolumeSequence seq(drifting_source(5), 4);
+  CachedSequence seq(drifting_source(5), 4);
   IatfConfig none;
   none.use_value = false;
   none.use_cumulative_histogram = false;
@@ -155,7 +155,7 @@ TEST(Iatf, ValueOnlyCannotFollowDrift) {
   // histogram and time, one network cannot open different value bands at
   // different steps — it averages the two key frames.
   const int steps = 11;
-  VolumeSequence seq(drifting_source(steps), 6);
+  CachedSequence seq(drifting_source(steps), 6);
   IatfConfig value_only;
   value_only.use_cumulative_histogram = false;
   value_only.use_time = false;

@@ -42,7 +42,7 @@ TransferFunction1D band(double lo, double hi) {
 
 TEST(IatfTransfer, SaveLoadReproducesEveryStepsTf) {
   const int steps = 7;
-  VolumeSequence seq(drift_source(steps), 8, 256);
+  CachedSequence seq(drift_source(steps), 8, 256);
   Iatf trained(seq);
   trained.add_key_frame(0, band(0.35, 0.45));
   trained.add_key_frame(6, band(0.65, 0.75));
@@ -52,7 +52,7 @@ TEST(IatfTransfer, SaveLoadReproducesEveryStepsTf) {
   trained.save(stream);
 
   // The "remote machine" opens its own sequence over the same data.
-  VolumeSequence remote_seq(drift_source(steps), 8, 256);
+  CachedSequence remote_seq(drift_source(steps), 8, 256);
   auto loaded = Iatf::load(stream, remote_seq);
   for (int step = 0; step < steps; ++step) {
     TransferFunction1D a = trained.evaluate(step);
@@ -65,7 +65,7 @@ TEST(IatfTransfer, SaveLoadReproducesEveryStepsTf) {
 }
 
 TEST(IatfTransfer, LoadedIatfCanContinueTraining) {
-  VolumeSequence seq(drift_source(5), 8, 256);
+  CachedSequence seq(drift_source(5), 8, 256);
   Iatf trained(seq);
   trained.add_key_frame(0, band(0.35, 0.45));
   trained.train(200);
@@ -78,13 +78,13 @@ TEST(IatfTransfer, LoadedIatfCanContinueTraining) {
 }
 
 TEST(IatfTransfer, LoadValidatesCompatibility) {
-  VolumeSequence seq(drift_source(5), 8, 256);
+  CachedSequence seq(drift_source(5), 8, 256);
   Iatf trained(seq);
   trained.add_key_frame(0, band(0.35, 0.45));
   std::stringstream stream;
   trained.save(stream);
 
-  VolumeSequence wrong_steps(drift_source(9), 8, 256);
+  CachedSequence wrong_steps(drift_source(9), 8, 256);
   EXPECT_THROW(Iatf::load(stream, wrong_steps), Error);
 
   std::stringstream garbage("not-an-iatf 1\n");
@@ -92,7 +92,7 @@ TEST(IatfTransfer, LoadValidatesCompatibility) {
 }
 
 TEST(IatfTransfer, AblatedConfigSurvivesRoundTrip) {
-  VolumeSequence seq(drift_source(5), 8, 256);
+  CachedSequence seq(drift_source(5), 8, 256);
   IatfConfig cfg;
   cfg.use_time = false;
   Iatf trained(seq, cfg);
@@ -111,7 +111,7 @@ TEST(IatfTransfer, AblatedConfigSurvivesRoundTrip) {
 TEST(BatchRender, RendersEveryStepWithTheShippedIatf) {
   const int steps = 6;
   auto source = drift_source(steps);
-  VolumeSequence seq(source, 8, 256);
+  CachedSequence seq(source, 8, 256);
   Iatf iatf(seq);
   iatf.add_key_frame(0, band(0.35, 0.45));
   iatf.add_key_frame(steps - 1, band(0.6, 0.7));

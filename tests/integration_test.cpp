@@ -38,7 +38,7 @@ TEST(Integration, FullPipelineOnSwirlingFlow) {
   // 2. Stream it back from disk with a small out-of-core window.
   auto disk = std::make_shared<CompressedFileSource>(path);
   ASSERT_EQ(disk->num_steps(), sim.num_steps);
-  VolumeSequence sequence(disk, 6);
+  CachedSequence sequence(disk, 6);
 
   // 3. Key-frame TFs at both ends; train the IATF.
   auto band_tf = [&](int step) {
@@ -147,7 +147,7 @@ TEST(Integration, DataSpacePipelineOnReionization) {
   cfg.num_steps = 400;
   cfg.num_small_features = 80;
   auto source = std::make_shared<ReionizationSource>(cfg);
-  VolumeSequence sequence(source, 4);
+  CachedSequence sequence(source, 4);
 
   SessionConfig scfg;
   scfg.classifier.spec.shell_radius = 3.0;
@@ -228,7 +228,7 @@ TEST(Integration, BatchExtractionMatchesInteractivePath) {
   cfg.dims = Dims{24, 24, 24};
   cfg.num_steps = 12;
   ArgonBubbleSource source(cfg);
-  VolumeSequence sequence(std::make_shared<ArgonBubbleSource>(cfg), 4);
+  CachedSequence sequence(std::make_shared<ArgonBubbleSource>(cfg), 4);
 
   auto extract = [&](const VolumeF& v, int step) {
     (void)step;

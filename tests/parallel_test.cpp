@@ -136,6 +136,34 @@ TEST(ThreadPool, PostRejectsEmptyTask) {
   EXPECT_THROW(pool.post(std::function<void()>{}), Error);
 }
 
+TEST(ThreadPool, PostAfterShutdownThrowsLoudly) {
+  // Tasks enqueued during/after shutdown must fail loudly, not vanish: a
+  // silently dropped task is a lost prefetch or a hung waiter.
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.post([&ran] { ran.fetch_add(1); }), PoolShutdownError);
+  EXPECT_EQ(ran.load(), 0);
+  // PoolShutdownError is an Error, so existing catch sites stay correct.
+  EXPECT_THROW(pool.post([] {}), Error);
+}
+
+TEST(ThreadPool, TryPostReportsShutdownWithoutThrowing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.try_post([&ran] { ran.fetch_add(1); }));
+  pool.shutdown();
+  EXPECT_FALSE(pool.try_post([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 1);  // accepted task ran, rejected one did not
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  EXPECT_THROW(pool.post([] {}), PoolShutdownError);
+}
+
 TEST(ThreadPool, DynamicPropagatesExceptions) {
   ThreadPool pool(2);
   EXPECT_THROW(

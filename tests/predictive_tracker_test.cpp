@@ -29,7 +29,7 @@ std::shared_ptr<CallbackSource> moving_box_source(int steps, int speed) {
 
 TEST(PredictiveTracker, FollowsUniformMotion) {
   const int steps = 8;
-  VolumeSequence seq(moving_box_source(steps, 3), 4);
+  CachedSequence seq(moving_box_source(steps, 3), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTracker tracker(seq, criterion);
   PredictiveTrack track = tracker.track(Index3{3, 7, 7}, 0, steps - 1);
@@ -54,7 +54,7 @@ TEST(PredictiveTracker, FollowsFastFeatureThatRegionGrowingLoses) {
   // that); prediction-verification follows it anyway — the complementary
   // strength of the cited scheme.
   const int steps = 6;
-  VolumeSequence seq(moving_box_source(steps, 6), 4);
+  CachedSequence seq(moving_box_source(steps, 6), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTracker tracker(seq, criterion);
   PredictiveTrack track = tracker.track(Index3{3, 7, 7}, 0, steps - 1);
@@ -62,7 +62,7 @@ TEST(PredictiveTracker, FollowsFastFeatureThatRegionGrowingLoses) {
 }
 
 TEST(PredictiveTracker, SeedOutsideFeatureIsLostImmediately) {
-  VolumeSequence seq(moving_box_source(3, 2), 4);
+  CachedSequence seq(moving_box_source(3, 2), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTracker tracker(seq, criterion);
   PredictiveTrack track = tracker.track(Index3{30, 2, 2}, 0, 2);
@@ -85,7 +85,7 @@ TEST(PredictiveTracker, LosesFeatureWhenItDisappears) {
         }
         return v;
       });
-  VolumeSequence seq(source, 4);
+  CachedSequence seq(source, 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTracker tracker(seq, criterion);
   PredictiveTrack track = tracker.track(Index3{5, 7, 7}, 0, 5);
@@ -115,7 +115,7 @@ TEST(PredictiveTracker, SizeToleranceRejectsWrongFeature) {
         }
         return v;
       });
-  VolumeSequence seq(source, 2);
+  CachedSequence seq(source, 2);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTrackerConfig config;
   config.size_ratio_tolerance = 2.0;
@@ -130,7 +130,7 @@ TEST(PredictiveTracker, ReportsAmbiguityAtSplit) {
   cfg.num_steps = 25;
   cfg.split_step = 18;
   auto source = std::make_shared<TurbulentVortexSource>(cfg);
-  VolumeSequence seq(source, 6);
+  CachedSequence seq(source, 6);
   FixedRangeCriterion criterion(0.48, 1.0);
   PredictiveTrackerConfig config;
   config.centroid_tolerance = 10.0;
@@ -154,7 +154,7 @@ TEST(PredictiveTracker, ReportsAmbiguityAtSplit) {
 }
 
 TEST(PredictiveTracker, ComponentsAtFiltersNoise) {
-  VolumeSequence seq(moving_box_source(2, 0), 2);
+  CachedSequence seq(moving_box_source(2, 0), 2);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTrackerConfig config;
   config.min_component_voxels = 100;  // bigger than the 64-voxel box
@@ -166,7 +166,7 @@ TEST(PredictiveTracker, ComponentsAtFiltersNoise) {
 }
 
 TEST(PredictiveTracker, ValidatesConfigAndRange) {
-  VolumeSequence seq(moving_box_source(3, 1), 2);
+  CachedSequence seq(moving_box_source(3, 1), 2);
   FixedRangeCriterion criterion(0.5, 1.0);
   PredictiveTrackerConfig bad;
   bad.centroid_tolerance = -1.0;

@@ -24,7 +24,7 @@ std::shared_ptr<CallbackSource> cube_source() {
 }
 
 TEST(PaintingSession, PaintCoversBrushDisk) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke stroke;
   stroke.axis = 2;
@@ -39,7 +39,7 @@ TEST(PaintingSession, PaintCoversBrushDisk) {
 }
 
 TEST(PaintingSession, PaintClipsAtVolumeBorder) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke stroke;
   stroke.axis = 2;
@@ -53,7 +53,7 @@ TEST(PaintingSession, PaintClipsAtVolumeBorder) {
 }
 
 TEST(PaintingSession, PaintValidatesAxis) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke stroke;
   stroke.axis = 7;
@@ -61,7 +61,7 @@ TEST(PaintingSession, PaintValidatesAxis) {
 }
 
 TEST(PaintingSession, SelectUnwantedRegionAddsNegatives) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   std::size_t n = session.select_unwanted_region(0, {0, 0, 0}, {2, 2, 2});
   EXPECT_EQ(n, 27u);
@@ -72,7 +72,7 @@ TEST(PaintingSession, SelectUnwantedRegionAddsNegatives) {
 }
 
 TEST(PaintingSession, TrainingImprovesFeedback) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   SessionConfig cfg;
   cfg.classifier.spec.use_position = false;
   cfg.classifier.spec.use_time = false;
@@ -103,7 +103,7 @@ TEST(PaintingSession, TrainingImprovesFeedback) {
 }
 
 TEST(PaintingSession, TrainIdleRunsAtLeastOneEpoch) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke s;
   s.axis = 2;
@@ -115,7 +115,7 @@ TEST(PaintingSession, TrainIdleRunsAtLeastOneEpoch) {
 }
 
 TEST(PaintingSession, FeedbackImageHasOverlay) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke s;
   s.axis = 2;
@@ -135,7 +135,7 @@ TEST(PaintingSession, FeedbackImageHasOverlay) {
 }
 
 TEST(PaintingSession, SetPropertiesReplaysSamples) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke s;
   s.axis = 2;
@@ -154,7 +154,7 @@ TEST(PaintingSession, SetPropertiesReplaysSamples) {
 }
 
 TEST(PaintingSession, DeriveShellRadiusUsesPaintedFeatures) {
-  VolumeSequence seq(cube_source(), 2);
+  CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);
   PaintStroke wide;
   wide.axis = 2;

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dataspace.hpp"
+#include "core/iatf.hpp"
+#include "core/tracking.hpp"
+#include "math/vec.hpp"
+#include "stream/cache_manager.hpp"
+#include "stream/derived_cache.hpp"
+#include "stream/streamed_sequence.hpp"
+#include "stream/volume_store.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+namespace {
+
+constexpr Dims kDims{4, 4, 4};
+constexpr std::size_t kStepBytes = 64 * sizeof(float);  // 4*4*4 floats
+
+VolumeF step_volume(int step) {
+  VolumeF v(kDims);
+  v.fill(static_cast<float>(step) / 100.0f);
+  return v;
+}
+
+std::shared_ptr<CallbackSource> counter_source(int steps) {
+  return std::make_shared<CallbackSource>(
+      kDims, steps, std::pair<double, double>{0.0, 1.0},
+      [](int step) { return step_volume(step); });
+}
+
+/// A source with spatial structure: a blob drifting +x by one voxel per
+/// step, so IATF / classification / tracking all have something to find.
+std::shared_ptr<CallbackSource> blob_source(Dims d, int steps) {
+  return std::make_shared<CallbackSource>(
+      d, steps, std::pair<double, double>{0.0, 1.0}, [d](int step) {
+        VolumeF v(d);
+        for (int k = 0; k < d.z; ++k) {
+          for (int j = 0; j < d.y; ++j) {
+            for (int i = 0; i < d.x; ++i) {
+              const double dx = i - (d.x / 4 + step);
+              const double dy = j - d.y / 2;
+              const double dz = k - d.z / 2;
+              const double r2 = dx * dx + dy * dy + dz * dz;
+              v.at(i, j, k) = static_cast<float>(
+                  clamp(1.0 - r2 / 9.0, 0.0, 1.0));
+            }
+          }
+        }
+        return v;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// CacheManager
+
+TEST(CacheManager, LruEvictionOrder) {
+  CacheManager cache(3 * kStepBytes);
+  cache.insert(0, step_volume(0));
+  cache.insert(1, step_volume(1));
+  cache.insert(2, step_volume(2));
+  EXPECT_EQ(cache.lru_order(), (std::vector<int>{2, 1, 0}));
+
+  // A hit moves the step to the front.
+  EXPECT_NE(cache.lookup(0), nullptr);
+  EXPECT_EQ(cache.lru_order(), (std::vector<int>{0, 2, 1}));
+
+  // Over budget: the least recently used unpinned step (1) goes.
+  cache.insert(3, step_volume(3));
+  EXPECT_EQ(cache.lru_order(), (std::vector<int>{3, 0, 2}));
+  EXPECT_FALSE(cache.resident(1));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheManager, ByteAccounting) {
+  CacheManager cache(3 * kStepBytes);
+  for (int s = 0; s < 8; ++s) cache.insert(s, step_volume(s));
+  EXPECT_EQ(cache.resident_steps(), 3u);
+  EXPECT_EQ(cache.resident_bytes(), 3 * kStepBytes);
+  EXPECT_LE(cache.stats().peak_bytes_resident, 3 * kStepBytes);
+  EXPECT_EQ(cache.stats().evictions, 5u);
+}
+
+TEST(CacheManager, UnlimitedBudgetNeverEvicts) {
+  CacheManager cache(0);
+  for (int s = 0; s < 32; ++s) cache.insert(s, step_volume(s));
+  EXPECT_EQ(cache.resident_steps(), 32u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheManager, PinnedEntrySurvivesEviction) {
+  CacheManager cache(2 * kStepBytes);
+  cache.insert(0, step_volume(0));
+  cache.pin(0);
+  cache.insert(1, step_volume(1));
+  cache.insert(2, step_volume(2));  // would evict 0 (LRU) were it unpinned
+  EXPECT_TRUE(cache.resident(0));
+  EXPECT_FALSE(cache.resident(1));
+
+  cache.unpin(0);
+  cache.insert(3, step_volume(3));  // now 0 is evictable again
+  EXPECT_FALSE(cache.resident(0));
+}
+
+TEST(CacheManager, PinOnNonResidentStepAppliesAtInsert) {
+  CacheManager cache(2 * kStepBytes);
+  cache.pin(5);
+  for (int s = 0; s < 8; ++s) cache.insert(s, step_volume(s));
+  EXPECT_TRUE(cache.resident(5));
+}
+
+TEST(CacheManager, WindowPinningProtectsTheWindow) {
+  CacheManager cache(3 * kStepBytes);
+  cache.pin_window(1, 3);
+  for (int s = 0; s < 6; ++s) cache.insert(s, step_volume(s));
+  EXPECT_TRUE(cache.resident(1));
+  EXPECT_TRUE(cache.resident(2));
+  EXPECT_TRUE(cache.resident(3));
+  EXPECT_EQ(cache.pinned_window(), (std::pair<int, int>{1, 3}));
+
+  // Moving the window releases the old steps to the LRU policy...
+  cache.pin_window(4, 5);
+  cache.insert(6, step_volume(6));
+  cache.insert(7, step_volume(7));
+  EXPECT_FALSE(cache.resident(1));
+
+  // ... and protects the new window steps once they are (re)inserted.
+  cache.insert(4, step_volume(4));
+  cache.insert(5, step_volume(5));
+  cache.insert(8, step_volume(8));
+  EXPECT_TRUE(cache.resident(4));
+  EXPECT_TRUE(cache.resident(5));
+}
+
+TEST(CacheManager, EvictionKeepsReaderReferencesAlive) {
+  CacheManager cache(1 * kStepBytes);
+  auto held = cache.insert(0, step_volume(0));
+  cache.insert(1, step_volume(1));  // evicts 0
+  EXPECT_FALSE(cache.resident(0));
+  ASSERT_NE(held, nullptr);
+  EXPECT_FLOAT_EQ(held->at(0, 0, 0), 0.0f);  // still readable
+}
+
+// ---------------------------------------------------------------------------
+// VolumeStore
+
+TEST(VolumeStore, EvictedStepReloadsWithIdenticalContent) {
+  auto source = counter_source(8);
+  VolumeStoreConfig cfg;
+  cfg.budget_bytes = 2 * kStepBytes;
+  cfg.lookahead = 0;
+  cfg.async_prefetch = false;
+  VolumeStore store(source, cfg);
+
+  auto first = store.fetch(0);
+  store.fetch(1);
+  store.fetch(2);  // evicts 0
+  auto reloaded = store.fetch(0);
+  ASSERT_NE(reloaded, nullptr);
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i], (*reloaded)[i]);
+  }
+  EXPECT_GT(store.stats().evictions, 0u);
+}
+
+TEST(VolumeStore, SequentialScanPrefetchHitRate) {
+  auto source = counter_source(8);
+  VolumeStoreConfig cfg;
+  cfg.budget_bytes = 3 * kStepBytes;
+  cfg.lookahead = 2;
+  cfg.async_prefetch = false;  // deterministic synchronous lookahead
+  VolumeStore store(source, cfg);
+
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_FLOAT_EQ(store.fetch(s)->at(0, 0, 0),
+                    static_cast<float>(s) / 100.0f);
+  }
+  const StreamStats stats = store.stats();
+  // Only step 0 is a demand load; lookahead 2 covers every later step.
+  EXPECT_EQ(stats.demand_loads, 1u);
+  EXPECT_EQ(stats.prefetch_hits, 7u);
+  EXPECT_DOUBLE_EQ(stats.prefetch_hit_rate(), 7.0 / 8.0);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(VolumeStore, AsyncPrefetchScanIsCorrectAndCovered) {
+  auto source = counter_source(12);
+  VolumeStoreConfig cfg;
+  cfg.budget_bytes = 3 * kStepBytes;
+  cfg.lookahead = 2;
+  cfg.async_prefetch = true;
+  VolumeStore store(source, cfg);
+
+  for (int s = 0; s < 12; ++s) {
+    EXPECT_FLOAT_EQ(store.fetch(s)->at(0, 0, 0),
+                    static_cast<float>(s) / 100.0f);
+  }
+  // fetch() waits on in-flight prefetches, so coverage is deterministic
+  // even with the decodes running on the pool.
+  const StreamStats stats = store.stats();
+  EXPECT_EQ(stats.demand_loads, 1u);
+  EXPECT_GE(stats.prefetch_hit_rate(), 0.5);
+}
+
+TEST(VolumeStore, PinWindowKeepsStepsResident) {
+  auto source = counter_source(8);
+  VolumeStoreConfig cfg;
+  cfg.budget_bytes = 3 * kStepBytes;
+  cfg.lookahead = 0;
+  cfg.async_prefetch = false;
+  VolumeStore store(source, cfg);
+
+  store.pin_window(2, 4);  // prefetches the window synchronously
+  for (int s : {2, 3, 4}) EXPECT_TRUE(store.cache().resident(s));
+  store.fetch(6);
+  store.fetch(7);
+  for (int s : {2, 3, 4}) EXPECT_TRUE(store.cache().resident(s));
+}
+
+// ---------------------------------------------------------------------------
+// DerivedCache
+
+TEST(DerivedCache, MemoizesPerStepAndParams) {
+  DerivedCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return Histogram::of(step_volume(1), 16, 0.0, 1.0);
+  };
+  auto a = cache.histogram(1, 42, compute);
+  auto b = cache.histogram(1, 42, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(a.get(), b.get());
+
+  cache.histogram(2, 42, compute);   // different step
+  cache.histogram(1, 43, compute);   // different params hash
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.stats().derived_hits, 1u);
+  EXPECT_EQ(cache.stats().derived_misses, 3u);
+}
+
+TEST(DerivedCache, TransferFunctionsShareAcrossCriteria) {
+  auto source = blob_source(Dims{8, 8, 8}, 4);
+  CachedSequence sequence(source, 4);
+  Iatf iatf(sequence);
+  TransferFunction1D key(0.0, 1.0);
+  key.add_band(0.5, 1.0, 0.9, 0.05);
+  iatf.add_key_frame(0, key);
+  iatf.train(5);
+
+  DerivedCache derived;
+  AdaptiveTfCriterion a(iatf, 0.25, &derived);
+  AdaptiveTfCriterion b(iatf, 0.25, &derived);
+  a.accept(1, 0.7);
+  b.accept(1, 0.7);  // second criterion reuses the memoized TF
+  EXPECT_EQ(derived.stats().derived_hits, 1u);
+}
+
+TEST(Iatf, ParamsHashChangesWithTraining) {
+  auto source = blob_source(Dims{8, 8, 8}, 4);
+  CachedSequence sequence(source, 4);
+  Iatf iatf(sequence);
+  TransferFunction1D key(0.0, 1.0);
+  key.add_band(0.5, 1.0, 0.9, 0.05);
+  iatf.add_key_frame(0, key);
+  const std::uint64_t before = iatf.params_hash();
+  iatf.train(3);
+  EXPECT_NE(iatf.params_hash(), before);
+  iatf.add_key_frame(3, key);
+  EXPECT_NE(iatf.params_hash(), before);
+}
+
+// ---------------------------------------------------------------------------
+// StreamedSequence
+
+TEST(StreamedSequence, MatchesSourceUnderTightBudget) {
+  const int steps = 10;
+  auto source = counter_source(steps);
+  StreamConfig cfg;
+  cfg.budget_bytes = 3 * kStepBytes;
+  cfg.async_prefetch = false;
+  StreamedSequence seq(source, cfg);
+
+  for (int s = 0; s < steps; ++s) {
+    EXPECT_FLOAT_EQ(seq.step(s).at(1, 2, 3), static_cast<float>(s) / 100.0f);
+  }
+  EXPECT_GT(seq.stats().evictions, 0u);
+}
+
+TEST(StreamedSequence, WindowReferencesStayValid) {
+  auto source = counter_source(10);
+  StreamConfig cfg;
+  cfg.budget_bytes = 2 * kStepBytes;  // tighter than the pinned window
+  cfg.pin_radius = 1;
+  cfg.async_prefetch = false;
+  StreamedSequence seq(source, cfg);
+
+  seq.hint_window(3, 5);
+  const VolumeF& a = seq.step(3);
+  const VolumeF& b = seq.step(4);
+  const VolumeF& c = seq.step(5);
+  // All three window references remain readable together.
+  EXPECT_FLOAT_EQ(a.at(0, 0, 0), 0.03f);
+  EXPECT_FLOAT_EQ(b.at(0, 0, 0), 0.04f);
+  EXPECT_FLOAT_EQ(c.at(0, 0, 0), 0.05f);
+}
+
+TEST(StreamedSequence, HistogramsMemoizedAcrossEviction) {
+  auto source = counter_source(8);
+  StreamConfig cfg;
+  cfg.budget_bytes = 2 * kStepBytes;
+  cfg.async_prefetch = false;
+  StreamedSequence seq(source, cfg);
+
+  const CumulativeHistogram& ch = seq.cumulative_histogram(0);
+  const double f = ch.fraction_at(0.5);
+  for (int s = 0; s < 8; ++s) seq.step(s);  // evicts step 0's voxels
+  const std::size_t loads = seq.generation_count();
+  // Asking again must hit the derived cache, not reload the volume.
+  EXPECT_DOUBLE_EQ(seq.cumulative_histogram(0).fraction_at(0.5), f);
+  EXPECT_EQ(seq.generation_count(), loads);
+  EXPECT_GT(seq.stats().derived_hits, 0u);
+}
+
+TEST(StreamedSequence, RejectsInvertedWindowHint) {
+  auto source = counter_source(4);
+  StreamedSequence seq(source);
+  EXPECT_THROW(seq.hint_window(3, 1), Error);
+}
+
+/// The acceptance bar: IATF, classification, and tracking produce
+/// bit-identical results with budget = unlimited and budget = 3 steps.
+class StreamedEquivalence : public ::testing::Test {
+ protected:
+  static constexpr int kSteps = 6;
+  Dims dims_{8, 8, 8};
+
+  void SetUp() override {
+    source_ = blob_source(dims_, kSteps);
+    resident_ = std::make_unique<CachedSequence>(source_, kSteps);
+    StreamConfig cfg;
+    cfg.budget_bytes = 3 * dims_.count() * sizeof(float);
+    cfg.async_prefetch = false;
+    streamed_ = std::make_unique<StreamedSequence>(source_, cfg);
+  }
+
+  std::shared_ptr<CallbackSource> source_;
+  std::unique_ptr<CachedSequence> resident_;
+  std::unique_ptr<StreamedSequence> streamed_;
+};
+
+TEST_F(StreamedEquivalence, IatfTransferFunctionsIdentical) {
+  auto train = [&](const VolumeSequence& seq) {
+    Iatf iatf(seq);
+    TransferFunction1D key(0.0, 1.0);
+    key.add_band(0.5, 1.0, 0.9, 0.05);
+    iatf.add_key_frame(0, key);
+    iatf.add_key_frame(kSteps - 1, key);
+    iatf.train(30);
+    return iatf.evaluate(kSteps / 2);
+  };
+  TransferFunction1D a = train(*resident_);
+  TransferFunction1D b = train(*streamed_);
+  for (int e = 0; e < TransferFunction1D::kEntries; ++e) {
+    ASSERT_EQ(a.opacity_entry(e), b.opacity_entry(e)) << "entry " << e;
+  }
+}
+
+TEST_F(StreamedEquivalence, ClassifierCertaintyIdentical) {
+  auto classify = [&](const VolumeSequence& seq) {
+    DataSpaceClassifier c(seq.num_steps(), 0.0, 1.0);
+    std::vector<PaintedVoxel> painted;
+    painted.push_back({Index3{2, 4, 4}, 0, 1.0});  // on the blob
+    painted.push_back({Index3{7, 0, 0}, 0, 0.0});  // background
+    c.add_samples(seq, 0, painted);
+    c.train(20);
+    return c.classify(seq, 1);
+  };
+  VolumeF a = classify(*resident_);
+  VolumeF b = classify(*streamed_);
+  ASSERT_TRUE(a.dims() == b.dims());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_F(StreamedEquivalence, TrackingMasksIdentical) {
+  FixedRangeCriterion criterion(0.5, 1.0);
+  const Index3 seed{2, 4, 4};
+  TrackResult a = Tracker(*resident_, criterion).track(seed, 0);
+  TrackResult b = Tracker(*streamed_, criterion).track(seed, 0);
+  ASSERT_FALSE(a.masks.empty());
+  ASSERT_EQ(a.masks.size(), b.masks.size());
+  for (const auto& [step, mask] : a.masks) {
+    auto it = b.masks.find(step);
+    ASSERT_NE(it, b.masks.end()) << "step " << step;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      ASSERT_EQ(mask[i], it->second[i]) << "step " << step << " voxel " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifet

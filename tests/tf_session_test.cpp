@@ -36,7 +36,7 @@ TransferFunction1D band(double lo, double hi) {
 }
 
 TEST(TfSession, RequiresKeyFrameBeforeUse) {
-  VolumeSequence seq(drift_source(8), 4);
+  CachedSequence seq(drift_source(8), 4);
   TfSession session(seq);
   EXPECT_THROW(session.idle(1.0), Error);
   EXPECT_THROW(session.advise(), Error);
@@ -45,7 +45,7 @@ TEST(TfSession, RequiresKeyFrameBeforeUse) {
 
 TEST(TfSession, LearnsAndAdaptsAcrossTheLoop) {
   const int steps = 9;
-  VolumeSequence seq(drift_source(steps), 6, 512);
+  CachedSequence seq(drift_source(steps), 6, 512);
   TfSession session(seq);
   session.set_key_frame(0, band(0.35, 0.45));
   session.set_key_frame(8, band(0.65, 0.75));
@@ -60,7 +60,7 @@ TEST(TfSession, LearnsAndAdaptsAcrossTheLoop) {
 }
 
 TEST(TfSession, ReviseKeyFrameChangesResult) {
-  VolumeSequence seq(drift_source(4), 4);
+  CachedSequence seq(drift_source(4), 4);
   TfSession session(seq);
   session.set_key_frame(0, band(0.2, 0.3));
   session.train_epochs(600);
@@ -73,7 +73,7 @@ TEST(TfSession, ReviseKeyFrameChangesResult) {
 }
 
 TEST(TfSession, RemoveKeyFrame) {
-  VolumeSequence seq(drift_source(4), 4);
+  CachedSequence seq(drift_source(4), 4);
   TfSession session(seq);
   session.set_key_frame(0, band(0.3, 0.4));
   session.set_key_frame(3, band(0.5, 0.6));
@@ -85,7 +85,7 @@ TEST(TfSession, RemoveKeyFrame) {
 
 TEST(TfSession, AdviseCoversTheDrift) {
   const int steps = 11;
-  VolumeSequence seq(drift_source(steps), 12, 512);
+  CachedSequence seq(drift_source(steps), 12, 512);
   TfSessionConfig cfg;
   cfg.advisor_threshold = 0.01;
   TfSession session(seq, cfg);
@@ -101,7 +101,7 @@ TEST(TfSession, AdviseCoversTheDrift) {
 }
 
 TEST(TfSession, PreviewRendersThroughAdaptiveTf) {
-  VolumeSequence seq(drift_source(4), 4);
+  CachedSequence seq(drift_source(4), 4);
   TfSession session(seq);
   session.set_key_frame(0, band(0.35, 0.45));
   session.train_epochs(400);

@@ -39,7 +39,7 @@ TEST(FixedRangeCriterion, AcceptsInsideRange) {
 }
 
 TEST(Tracker, GrowsWithinOneStep) {
-  VolumeSequence seq(moving_box_source(1, 0), 2);
+  CachedSequence seq(moving_box_source(1, 0), 2);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
@@ -47,7 +47,7 @@ TEST(Tracker, GrowsWithinOneStep) {
 }
 
 TEST(Tracker, SeedNotSatisfyingCriterionGrowsNothing) {
-  VolumeSequence seq(moving_box_source(1, 0), 2);
+  CachedSequence seq(moving_box_source(1, 0), 2);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   TrackResult result = tracker.track(Index3{0, 0, 0}, 0);  // background
@@ -56,7 +56,7 @@ TEST(Tracker, SeedNotSatisfyingCriterionGrowsNothing) {
 
 TEST(Tracker, FollowsOverlappingFeatureThroughTime) {
   const int steps = 6;
-  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  CachedSequence seq(moving_box_source(steps, 2), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
@@ -69,7 +69,7 @@ TEST(Tracker, FollowsOverlappingFeatureThroughTime) {
 
 TEST(Tracker, TracksBackwardFromLateSeed) {
   const int steps = 5;
-  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  CachedSequence seq(moving_box_source(steps, 2), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   // Seed in the feature at the LAST step; 4D growing reaches step 0.
@@ -82,7 +82,7 @@ TEST(Tracker, LosesFeatureWithoutTemporalOverlap) {
   // Speed 6 > box width 4: consecutive masks do not overlap, so the paper's
   // assumption is violated and the track must stop after the seed step.
   const int steps = 4;
-  VolumeSequence seq(moving_box_source(steps, 6), 4);
+  CachedSequence seq(moving_box_source(steps, 6), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   TrackResult result = tracker.track(Index3{3, 7, 7}, 0);
@@ -93,7 +93,7 @@ TEST(Tracker, LosesFeatureWithoutTemporalOverlap) {
 
 TEST(Tracker, RespectsStepWindow) {
   const int steps = 8;
-  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  CachedSequence seq(moving_box_source(steps, 2), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   TrackerConfig cfg;
   cfg.min_step = 2;
@@ -107,7 +107,7 @@ TEST(Tracker, RespectsStepWindow) {
 }
 
 TEST(Tracker, MaxVoxelCapStopsGrowth) {
-  VolumeSequence seq(moving_box_source(3, 0), 4);
+  CachedSequence seq(moving_box_source(3, 0), 4);
   FixedRangeCriterion criterion(0.0, 1.0);  // accepts everything
   TrackerConfig cfg;
   cfg.max_voxels = 100;
@@ -119,7 +119,7 @@ TEST(Tracker, MaxVoxelCapStopsGrowth) {
 }
 
 TEST(Tracker, TrackFromMaskValidatesDims) {
-  VolumeSequence seq(moving_box_source(2, 0), 2);
+  CachedSequence seq(moving_box_source(2, 0), 2);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   Mask wrong(Dims{4, 4, 4});
@@ -136,7 +136,7 @@ TEST(Tracker, AdaptiveCriterionFollowsDecayingFeature) {
   // criterion's lower bound (peak0 * 0.55) while staying above background.
   scfg.peak_decay = 0.012;
   auto source = std::make_shared<SwirlingFlowSource>(scfg);
-  VolumeSequence seq(source, 6);
+  CachedSequence seq(source, 6);
 
   // Key frames: bands around the decaying peak at steps 0 and 39.
   Iatf iatf(seq);
@@ -171,7 +171,7 @@ TEST(Tracker, AdaptiveCriterionFollowsDecayingFeature) {
 
 TEST(TrackEvents, ContinuationChain) {
   const int steps = 4;
-  VolumeSequence seq(moving_box_source(steps, 2), 4);
+  CachedSequence seq(moving_box_source(steps, 2), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   FeatureHistory history =
@@ -193,7 +193,7 @@ TEST(TrackEvents, DetectsSplitOnVortexData) {
   vcfg.num_steps = 25;
   vcfg.split_step = 18;
   auto source = std::make_shared<TurbulentVortexSource>(vcfg);
-  VolumeSequence seq(source, 6);
+  CachedSequence seq(source, 6);
   // The tracked band: above the distractors (0.5), covering the feature.
   FixedRangeCriterion criterion(0.55, 1.0);
   Tracker tracker(seq, criterion);
@@ -235,7 +235,7 @@ TEST(TrackEvents, DetectsMergeOnApproachingBlobs) {
         blob(30.0 - 1.5 * step);   // right blob moves left
         return v;
       });
-  VolumeSequence seq(source, 4);
+  CachedSequence seq(source, 4);
   FixedRangeCriterion criterion(0.45, 1.0);
   Tracker tracker(seq, criterion);
   TrackResult track = tracker.track(Index3{10, 8, 8}, 0);
@@ -251,7 +251,7 @@ TEST(TrackEvents, DetectsMergeOnApproachingBlobs) {
 }
 
 TEST(TrackEvents, FormatTreeListsSteps) {
-  VolumeSequence seq(moving_box_source(3, 2), 4);
+  CachedSequence seq(moving_box_source(3, 2), 4);
   FixedRangeCriterion criterion(0.5, 1.0);
   Tracker tracker(seq, criterion);
   FeatureHistory history =

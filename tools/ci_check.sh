@@ -3,11 +3,14 @@
 #   1. default preset: configure, build, full ctest (includes ifet_lint)
 #   2. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
 #      with IFET_DEBUG_ASSERT checks on
-#   3. clang-tidy over the hardened directories (skips if not installed)
+#   3. tsan preset: build + run the streaming/concurrency stress tests
+#      (the CacheManager/Prefetcher and thread-pool race detectors)
+#   4. clang-tidy over the hardened directories (skips if not installed)
 #
 # Usage: tools/ci_check.sh          # everything
 #        JOBS=8 tools/ci_check.sh   # override build parallelism
 #        SKIP_ASAN=1 tools/ci_check.sh   # fast local loop, default only
+#        SKIP_TSAN=1 tools/ci_check.sh   # skip the TSan stress stage
 
 set -euo pipefail
 
@@ -15,21 +18,32 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 cd "$ROOT"
 
-echo "== ci_check [1/3] default preset: configure + build + ctest =="
+echo "== ci_check [1/4] default preset: configure + build + ctest =="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
 
 if [ "${SKIP_ASAN:-0}" != "1" ]; then
-  echo "== ci_check [2/3] asan-ubsan preset: configure + build + ctest =="
+  echo "== ci_check [2/4] asan-ubsan preset: configure + build + ctest =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$JOBS"
   ctest --preset asan-ubsan -j "$JOBS"
 else
-  echo "== ci_check [2/3] skipped (SKIP_ASAN=1) =="
+  echo "== ci_check [2/4] skipped (SKIP_ASAN=1) =="
 fi
 
-echo "== ci_check [3/3] clang-tidy (graceful skip when absent) =="
+if [ "${SKIP_TSAN:-0}" != "1" ]; then
+  echo "== ci_check [3/4] tsan preset: streaming/concurrency stress =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS" --target \
+    stress_cache_manager_test stress_thread_pool_test
+  ctest --preset tsan -j "$JOBS" -R \
+    'stress_cache_manager_test|stress_thread_pool_test'
+else
+  echo "== ci_check [3/4] skipped (SKIP_TSAN=1) =="
+fi
+
+echo "== ci_check [4/4] clang-tidy (graceful skip when absent) =="
 "$ROOT/tools/run_clang_tidy.sh"
 
 echo "ci_check: all green"

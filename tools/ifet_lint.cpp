@@ -23,6 +23,10 @@
 //   catch-all          `catch (...)` swallows sanitizer-unfriendly
 //                      unknown state; catch concrete types (allowed with
 //                      a marker when capturing to rethrow).
+//   direct-volume-load read_vol()/read_raw() calls outside src/io and
+//                      src/stream — pipelines must go through the
+//                      streaming layer (VolumeStore / StreamedSequence)
+//                      so every decoded byte is budgeted and accounted.
 //
 // Usage: ifet_lint <dir-or-file>...   (typically: ifet_lint <repo>/src)
 
@@ -58,6 +62,15 @@ bool is_source_file(const fs::path& p) {
 bool in_volume_dir(const fs::path& p) {
   for (const auto& part : p) {
     if (part == "volume") return true;
+  }
+  return false;
+}
+
+/// Directories whose files may call the raw volume-load functions: the I/O
+/// layer defines them, the streaming layer is the one sanctioned caller.
+bool may_load_volumes(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "io" || part == "stream") return true;
   }
   return false;
 }
@@ -98,11 +111,13 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
   static const std::regex raw_time_re(R"(\btime\s*\(\s*(NULL|nullptr|0)\s*\))");
   static const std::regex catch_all_re(R"(catch\s*\(\s*\.\.\.\s*\))");
   static const std::regex data_member_re(R"(\bdata_\s*\[)");
+  static const std::regex volume_load_re(R"(\b(read_vol|read_raw)\s*\()");
   static const std::regex dims_param_re(
       R"([(,]\s*(const\s+)?(ifet::)?Dims\s*[&)\s,])");
 
   const bool header = is_header(path);
   const bool volume_dir = in_volume_dir(path);
+  const bool loader_dir = may_load_volumes(path);
   bool has_contract_check = false;
   bool has_dims_param = false;
   std::size_t first_dims_line = 0;
@@ -145,6 +160,12 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
       report(i, "voxel-raw-access",
              "raw voxel indexing outside src/volume; use at(), the "
              "debug-checked operator[], clamped(), or sample()");
+    }
+    if (!loader_dir && std::regex_search(line, volume_load_re)) {
+      report(i, "direct-volume-load",
+             "load volumes through the streaming layer (VolumeStore / "
+             "StreamedSequence) so the bytes are budgeted; direct "
+             "read_vol()/read_raw() is reserved for src/io and src/stream");
     }
   }
 

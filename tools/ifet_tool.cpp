@@ -8,9 +8,11 @@
 //   ifet_tool render   FILE.vol --out=IMG.ppm [--band=lo:hi] [--image=N]
 //                      [--azimuth=R] [--elevation=R]
 //   ifet_tool track    FILE.cvol --seed=x,y,z [--step=S] [--band=lo:hi]
+//                      [--budget-mb=N] [--lookahead=K]
 //                      [--out=PREFIX]         4D region growing over the
-//                                             sequence; prints the feature
-//                                             tree and per-step counts
+//                                             out-of-core sequence; prints
+//                                             the feature tree, per-step
+//                                             counts, and streaming stats
 //
 // The tool works on the library's self-describing formats so a user can
 // run the full extract-and-track pipeline on their own converted data.
@@ -23,6 +25,7 @@
 #include "core/tracking.hpp"
 #include "flowsim/datasets.hpp"
 #include "io/compressed.hpp"
+#include "stream/streamed_sequence.hpp"
 #include "io/image_io.hpp"
 #include "io/volume_io.hpp"
 #include "render/raycaster.hpp"
@@ -170,9 +173,15 @@ int cmd_render(const CliArgs& args) {
 
 int cmd_track(const CliArgs& args) {
   if (args.positional().size() < 2) return usage();
-  auto source =
-      std::make_shared<CompressedFileSource>(args.positional()[1]);
-  VolumeSequence sequence(source, 6);
+  StreamConfig stream_config;
+  // 0 (the default) keeps the whole sequence resident; a tight budget
+  // tracks out-of-core with the same results.
+  stream_config.budget_bytes =
+      static_cast<std::size_t>(args.get_int("budget-mb", 0)) * 1024 * 1024;
+  stream_config.lookahead = args.get_int("lookahead", 2);
+  auto sequence_ptr =
+      StreamedSequence::open_cvol(args.positional()[1], stream_config);
+  StreamedSequence& sequence = *sequence_ptr;
   auto [vlo, vhi] = sequence.value_range();
   auto [blo, bhi] = parse_band(args.get("band", ""),
                                lerp(vlo, vhi, 0.5), vhi);
@@ -200,6 +209,7 @@ int cmd_track(const CliArgs& args) {
                 << " at t=" << event.step << "\n";
     }
   }
+  std::cout << sequence.stats().summary() << "\n";
   return 0;
 }
 
