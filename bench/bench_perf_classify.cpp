@@ -9,10 +9,17 @@
 // path, which must be far cheaper than the full volume).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "core/dataspace.hpp"
 #include "flowsim/datasets.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -55,6 +62,30 @@ void BM_ClassifyVolume(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ClassifyVolume)->Arg(16)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Scalar baseline: one Mlp forward per voxel (the pre-flat-engine path,
+/// kept as classify_scalar). The ratio against BM_ClassifyVolume is the
+/// speedup of the batched FlatMlp engine.
+void BM_ClassifyVolumeScalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ReionizationConfig cfg;
+  cfg.dims = Dims{n, n, n};
+  cfg.num_steps = 400;
+  cfg.num_small_features = 60;
+  ReionizationSource source(cfg);
+  VolumeF volume = source.generate(310);
+  auto clf = make_trained_classifier(volume, 14);
+  for (auto _ : state) {
+    VolumeF certainty = clf->classify_scalar(volume, 0);
+    benchmark::DoNotOptimize(certainty.data().data());
+  }
+  state.counters["voxels_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(volume.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClassifyVolumeScalar)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 /// Shell-size ablation of the classification cost (Sec 6: fewer properties
@@ -108,6 +139,93 @@ void BM_TrainEpoch(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainEpoch)->Unit(benchmark::kMicrosecond);
 
+/// Direct scalar-vs-flat comparison on the 64^3 reionization case. Verifies
+/// the batched classify() is bit-comparable with the classify_scalar()
+/// reference (nonzero exit on mismatch) and writes a machine-readable
+/// summary with both throughputs, the speedup, and the engine parameters.
+int write_classify_report(const char* path) {
+  ReionizationConfig cfg;
+  cfg.dims = Dims{64, 64, 64};
+  cfg.num_steps = 400;
+  cfg.num_small_features = 60;
+  ReionizationSource source(cfg);
+  VolumeF volume = source.generate(310);
+  auto clf = make_trained_classifier(volume, 14);
+
+  // Bit-comparability first; this also warms the FlatMlp cache so the
+  // timed passes below measure steady-state throughput.
+  VolumeF scalar_out = clf->classify_scalar(volume, 0);
+  VolumeF flat_out = clf->classify(volume, 0);
+  const bool identical =
+      scalar_out.size() == flat_out.size() &&
+      std::memcmp(scalar_out.data().data(), flat_out.data().data(),
+                  scalar_out.size() * sizeof(float)) == 0;
+  if (!identical) {
+    std::cerr << "bench_perf_classify: batched classify() is NOT bitwise "
+                 "identical to classify_scalar() on the 64^3 case\n";
+    return 1;
+  }
+
+  const double voxels = static_cast<double>(volume.size());
+  Stopwatch timer;
+  VolumeF warm = clf->classify_scalar(volume, 0);
+  benchmark::DoNotOptimize(warm.data().data());
+  const double scalar_s = timer.seconds();
+
+  constexpr int kFlatReps = 5;
+  timer.reset();
+  for (int r = 0; r < kFlatReps; ++r) {
+    VolumeF out = clf->classify(volume, 0);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  const double flat_s = timer.seconds() / kFlatReps;
+
+  const double scalar_rate = voxels / scalar_s;
+  const double flat_rate = voxels / flat_s;
+  const double speedup = scalar_s / flat_s;
+
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"case\": \"reionization_64\",\n"
+       << "  \"voxels\": " << volume.size() << ",\n"
+       << "  \"voxels_per_s_scalar\": " << scalar_rate << ",\n"
+       << "  \"voxels_per_s_flat\": " << flat_rate << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"batch_size\": " << DataSpaceClassifier::kClassifyBatchSize
+       << ",\n"
+       << "  \"threads\": " << ThreadPool::global().size() << ",\n"
+       << "  \"bitwise_identical\": true\n"
+       << "}\n";
+  std::cout << "classify report: scalar " << scalar_rate << " voxels/s, flat "
+            << flat_rate << " voxels/s, speedup " << speedup << "x -> " << path
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run
+// (skippable with --classify-report-only) the binary always performs the
+// scalar-vs-flat parity check and writes BENCH_classify.json, so CI can
+// gate on both the speedup and the bit-comparability contract.
+int main(int argc, char** argv) {
+  bool report_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--classify-report-only") {
+      report_only = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!report_only) {
+    int filtered = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return write_classify_report("BENCH_classify.json");
+}

@@ -136,13 +136,62 @@ double DataSpaceClassifier::classify_voxel(const VolumeF& volume, int step,
 VolumeF DataSpaceClassifier::classify(const VolumeF& volume, int step) const {
   const Dims d = volume.dims();
   VolumeF out(d);
+  const FeatureContext ctx = context_for(volume, step);
+  const FeatureBlockAssembler assembler(config_.spec, ctx);
+  const std::shared_ptr<const FlatMlp> flat = flat_cache_.get(network_);
+  const int width = assembler.width();
+  parallel_for_ranges(
+      0, static_cast<std::size_t>(d.z), [&](std::size_t k0, std::size_t k1) {
+        // Per-worker batch buffers: allocated once per range and reused for
+        // every batch in it — zero heap traffic per voxel.
+        FlatMlp::Scratch scratch;
+        std::vector<Index3> coords(kClassifyBatchSize);
+        std::vector<double> features(
+            static_cast<std::size_t>(kClassifyBatchSize) * width);
+        std::vector<double> certainty(kClassifyBatchSize);
+        int pending = 0;
+        // The k,j,i sweep below visits consecutive linear indices (the
+        // volume is x-fastest), so each flush writes one contiguous span.
+        std::size_t flush_base = out.linear_index(0, 0, static_cast<int>(k0));
+        auto flush = [&] {
+          if (pending == 0) return;
+          // Column-major batch: assembler writes feature columns, the
+          // engine reads them in place — no per-tile transpose.
+          assembler.assemble_feature_cols(coords.data(), pending,
+                                          features.data(), kClassifyBatchSize);
+          flat->forward_batch_cols(features.data(), kClassifyBatchSize,
+                                   pending, certainty.data(), scratch);
+          for (int r = 0; r < pending; ++r) {
+            out[flush_base + static_cast<std::size_t>(r)] =
+                static_cast<float>(certainty[r]);
+          }
+          flush_base += static_cast<std::size_t>(pending);
+          pending = 0;
+        };
+        for (int k = static_cast<int>(k0); k < static_cast<int>(k1); ++k) {
+          for (int j = 0; j < d.y; ++j) {
+            for (int i = 0; i < d.x; ++i) {
+              coords[pending] = {i, j, k};
+              if (++pending == kClassifyBatchSize) flush();
+            }
+          }
+        }
+        flush();
+      });
+  return out;
+}
+
+VolumeF DataSpaceClassifier::classify_scalar(const VolumeF& volume,
+                                             int step) const {
+  const Dims d = volume.dims();
+  VolumeF out(d);
   FeatureContext ctx = context_for(volume, step);
   parallel_for(0, static_cast<std::size_t>(d.z), [&](std::size_t kz) {
     int k = static_cast<int>(kz);
     for (int j = 0; j < d.y; ++j) {
       for (int i = 0; i < d.x; ++i) {
         out[out.linear_index(i, j, k)] =
-            static_cast<float>(network_.forward_scalar(
+            static_cast<float>(network_.forward_scalar(  // ifet-lint: allow(scalar-forward-in-hot-loop)
                 assemble_feature_vector(config_.spec, ctx, i, j, k)));
       }
     }
@@ -179,30 +228,60 @@ std::vector<float> DataSpaceClassifier::classify_slice(const VolumeF& volume,
                                                        int slice) const {
   IFET_REQUIRE(axis >= 0 && axis <= 2, "classify_slice: axis must be 0..2");
   const Dims d = volume.dims();
-  FeatureContext ctx = context_for(volume, step);
-  int width = 0, height = 0;
+  const FeatureContext ctx = context_for(volume, step);
+  int width = 0, height = 0, extent = 0;
   switch (axis) {
-    case 0: width = d.y; height = d.z; break;
-    case 1: width = d.x; height = d.z; break;
-    default: width = d.x; height = d.y; break;
+    case 0: width = d.y; height = d.z; extent = d.x; break;
+    case 1: width = d.x; height = d.z; extent = d.y; break;
+    default: width = d.x; height = d.y; extent = d.z; break;
   }
+  // Validate once, before fanning out: a throw inside a pool worker is the
+  // wrong failure path for a caller-supplied argument.
+  IFET_REQUIRE(slice >= 0 && slice < extent,
+               "classify_slice: slice out of range");
   std::vector<float> out(static_cast<std::size_t>(width) *
                          static_cast<std::size_t>(height));
-  parallel_for(0, static_cast<std::size_t>(height), [&](std::size_t row) {
-    for (int col = 0; col < width; ++col) {
-      int i = 0, j = 0, k = 0;
-      switch (axis) {
-        case 0: i = slice; j = col; k = static_cast<int>(row); break;
-        case 1: i = col; j = slice; k = static_cast<int>(row); break;
-        default: i = col; j = static_cast<int>(row); k = slice; break;
-      }
-      IFET_REQUIRE(d.contains(i, j, k), "classify_slice: slice out of range");
-      out[row * static_cast<std::size_t>(width) +
-          static_cast<std::size_t>(col)] =
-          static_cast<float>(network_.forward_scalar(
-              assemble_feature_vector(config_.spec, ctx, i, j, k)));
-    }
-  });
+  const FeatureBlockAssembler assembler(config_.spec, ctx);
+  const std::shared_ptr<const FlatMlp> flat = flat_cache_.get(network_);
+  const int feat_width = assembler.width();
+  parallel_for_ranges(
+      0, static_cast<std::size_t>(height),
+      [&](std::size_t row0, std::size_t row1) {
+        FlatMlp::Scratch scratch;
+        std::vector<Index3> coords(kClassifyBatchSize);
+        std::vector<double> features(
+            static_cast<std::size_t>(kClassifyBatchSize) * feat_width);
+        std::vector<double> certainty(kClassifyBatchSize);
+        int pending = 0;
+        // Row-major sweep over the slice image: consecutive output indices.
+        std::size_t flush_base = row0 * static_cast<std::size_t>(width);
+        auto flush = [&] {
+          if (pending == 0) return;
+          assembler.assemble_feature_cols(coords.data(), pending,
+                                          features.data(), kClassifyBatchSize);
+          flat->forward_batch_cols(features.data(), kClassifyBatchSize,
+                                   pending, certainty.data(), scratch);
+          for (int r = 0; r < pending; ++r) {
+            out[flush_base + static_cast<std::size_t>(r)] =
+                static_cast<float>(certainty[r]);
+          }
+          flush_base += static_cast<std::size_t>(pending);
+          pending = 0;
+        };
+        for (std::size_t row = row0; row < row1; ++row) {
+          for (int col = 0; col < width; ++col) {
+            int i = 0, j = 0, k = 0;
+            switch (axis) {
+              case 0: i = slice; j = col; k = static_cast<int>(row); break;
+              case 1: i = col; j = slice; k = static_cast<int>(row); break;
+              default: i = col; j = static_cast<int>(row); k = slice; break;
+            }
+            coords[pending] = {i, j, k};
+            if (++pending == kClassifyBatchSize) flush();
+          }
+        }
+        flush();
+      });
   return out;
 }
 

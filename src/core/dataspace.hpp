@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/feature_vector.hpp"
+#include "nn/flat_mlp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/training.hpp"
 #include "volume/sequence.hpp"
@@ -76,12 +77,24 @@ class DataSpaceClassifier {
   std::size_t training_samples() const { return training_set_.size(); }
   double last_mse() const { return trainer_.last_mse(); }
 
+  /// Voxels fed to the flat inference engine per forward_batch call. Large
+  /// enough to amortize the batch setup, small enough that the per-worker
+  /// feature matrix (kClassifyBatchSize x spec width doubles) stays in
+  /// cache.
+  static constexpr int kClassifyBatchSize = 256;
+
   /// Per-voxel certainty in [0,1] for the entire step (thread-parallel).
+  /// Voxels are batched through a FlatMlp rebuilt from the live network on
+  /// weight change; output is bitwise identical to classify_scalar().
   VolumeF classify(const VolumeF& volume, int step) const;
 
   /// Streamed form: fetch the step through the sequence and hint the next
   /// step so its decode overlaps this step's classification.
   VolumeF classify(const VolumeSequence& sequence, int step) const;
+
+  /// Reference implementation: one scalar forward per voxel. Kept for the
+  /// parity tests and the bench baseline; prefer classify().
+  VolumeF classify_scalar(const VolumeF& volume, int step) const;
 
   /// Certainty of a single voxel.
   double classify_voxel(const VolumeF& volume, int step, int i, int j,
@@ -140,6 +153,9 @@ class DataSpaceClassifier {
     }
   };
   std::vector<StepVolume> sample_volumes_;
+  // Flat inference engine rebuilt from network_ whenever its params hash
+  // changes (i.e. after training); shared by all classify paths.
+  FlatMlpCache flat_cache_;
 
   void add_samples_impl(const VolumeF& volume, int step,
                         const std::vector<PaintedVoxel>& painted,

@@ -77,6 +77,19 @@ std::vector<Vec3> shell_directions(int count) {
   return {kAll.begin(), kAll.begin() + count};
 }
 
+std::vector<Vec3> shell_offsets(double radius, int count) {
+  std::vector<Vec3> offsets = shell_directions(count);
+  // 1/256 voxel is an exact binary fraction: the rounded offsets and all
+  // voxel+offset sums are exactly representable, which pins the trilinear
+  // weights to per-direction constants (see the header for why).
+  for (Vec3& o : offsets) {
+    o.x = std::round(radius * o.x * 256.0) / 256.0;
+    o.y = std::round(radius * o.y * 256.0) / 256.0;
+    o.z = std::round(radius * o.z * 256.0) / 256.0;
+  }
+  return offsets;
+}
+
 std::vector<double> assemble_feature_vector(const FeatureVectorSpec& spec,
                                             const FeatureContext& context,
                                             int i, int j, int k) {
@@ -94,12 +107,9 @@ std::vector<double> assemble_feature_vector(const FeatureVectorSpec& spec,
     out.push_back(norm_value(vol.clamped(i, j, k)));
   }
   if (spec.use_shell) {
-    const auto& dirs = shell_directions(spec.shell_samples);
-    for (const Vec3& dir : dirs) {
-      double x = i + spec.shell_radius * dir.x;
-      double y = j + spec.shell_radius * dir.y;
-      double z = k + spec.shell_radius * dir.z;
-      out.push_back(norm_value(vol.sample(x, y, z)));
+    const auto offsets = shell_offsets(spec.shell_radius, spec.shell_samples);
+    for (const Vec3& off : offsets) {
+      out.push_back(norm_value(vol.sample(i + off.x, j + off.y, k + off.z)));
     }
   }
   if (spec.use_position) {
@@ -117,6 +127,228 @@ std::vector<double> assemble_feature_vector(const FeatureVectorSpec& spec,
     out.push_back(clamp(gradient_at(vol, i, j, k).norm() / span, 0.0, 1.0));
   }
   return out;
+}
+
+FeatureBlockAssembler::FeatureBlockAssembler(const FeatureVectorSpec& spec,
+                                             const FeatureContext& context)
+    : spec_(spec), context_(context), width_(spec.width()) {
+  IFET_REQUIRE(context_.volume != nullptr, "FeatureBlockAssembler: null volume");
+  span_ = std::max(1e-12, context_.value_hi - context_.value_lo);
+  const Dims d = context_.volume->dims();
+  if (spec_.use_shell) {
+    const auto offsets = shell_offsets(spec_.shell_radius, spec_.shell_samples);
+    // Per-axis padding so every tap's floor corner and its +1 neighbour
+    // index straight into the padded grid for any voxel of the volume.
+    int klo_x = 0, khi_x = 0, klo_y = 0, khi_y = 0, klo_z = 0, khi_z = 0;
+    taps_.reserve(offsets.size());
+    for (const Vec3& off : offsets) {
+      ShellTap tap;
+      const int kx = static_cast<int>(std::floor(off.x));
+      const int ky = static_cast<int>(std::floor(off.y));
+      const int kz = static_cast<int>(std::floor(off.z));
+      // Exact: off - floor(off) is a multiple of 1/256, and it equals the
+      // (i + off) - floor(i + off) the scalar path computes (both sums are
+      // exact). These are the voxel-independent trilinear weights.
+      tap.fx = off.x - static_cast<double>(kx);
+      tap.fy = off.y - static_cast<double>(ky);
+      tap.fz = off.z - static_cast<double>(kz);
+      taps_.push_back(tap);
+      klo_x = std::min(klo_x, kx);
+      khi_x = std::max(khi_x, kx);
+      klo_y = std::min(klo_y, ky);
+      khi_y = std::max(khi_y, ky);
+      klo_z = std::min(klo_z, kz);
+      khi_z = std::max(khi_z, kz);
+    }
+    const int plx = -klo_x, phx = khi_x + 1;
+    const int ply = -klo_y, phy = khi_y + 1;
+    const int plz = -klo_z, phz = khi_z + 1;
+    const int px = d.x + plx + phx;
+    const int py = d.y + ply + phy;
+    const int pz = d.z + plz + phz;
+    pdx_ = px;
+    pdxy_ = static_cast<std::ptrdiff_t>(px) * py;
+    padded_.resize(pdxy_ * static_cast<std::ptrdiff_t>(pz));
+    const VolumeF& vol = *context_.volume;
+    std::ptrdiff_t w = 0;
+    for (int c = 0; c < pz; ++c) {
+      for (int b = 0; b < py; ++b) {
+        for (int a = 0; a < px; ++a) {
+          padded_[w++] = vol.clamped(a - plx, b - ply, c - plz);
+        }
+      }
+    }
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      const Vec3& off = offsets[t];
+      const int kx = static_cast<int>(std::floor(off.x));
+      const int ky = static_cast<int>(std::floor(off.y));
+      const int kz = static_cast<int>(std::floor(off.z));
+      taps_[t].base = (kx + plx) + pdx_ * (ky + ply) + pdxy_ * (kz + plz);
+    }
+  }
+  // Denominators (not reciprocals) so the division matches the scalar
+  // path bit for bit.
+  den_x_ = static_cast<double>(std::max(1, d.x - 1));
+  den_y_ = static_cast<double>(std::max(1, d.y - 1));
+  den_z_ = static_cast<double>(std::max(1, d.z - 1));
+  time_value_ = static_cast<double>(context_.step) /
+                std::max(1, context_.num_steps - 1);
+}
+
+void FeatureBlockAssembler::assemble_feature_block(const Index3* voxels,
+                                                   int count,
+                                                   double* out) const {
+  IFET_REQUIRE(count == 0 || (voxels != nullptr && out != nullptr),
+               "assemble_feature_block: null block buffer");
+  const VolumeF& vol = *context_.volume;
+  const double lo = context_.value_lo;
+  const double span = span_;
+  const float* pad = padded_.data();
+  const std::ptrdiff_t pdx = pdx_;
+  const std::ptrdiff_t pdxy = pdxy_;
+  for (int v = 0; v < count; ++v) {
+    const int i = voxels[v].x;
+    const int j = voxels[v].y;
+    const int k = voxels[v].z;
+    double* row = out + static_cast<std::size_t>(v) * width_;
+    if (spec_.use_value) {
+      *row++ = clamp((vol.clamped(i, j, k) - lo) / span, 0.0, 1.0);
+    }
+    if (spec_.use_shell) {
+      // Clamp-free trilinear taps on the padded grid: the same lerp chain
+      // as Volume::sample with the per-direction constant weights.
+      const std::ptrdiff_t vbase = i + pdx * j + pdxy * k;
+      for (const ShellTap& tap : taps_) {
+        const float* c = pad + vbase + tap.base;
+        const double c000 = c[0], c100 = c[1];
+        const double c010 = c[pdx], c110 = c[pdx + 1];
+        const double c001 = c[pdxy], c101 = c[pdxy + 1];
+        const double c011 = c[pdxy + pdx], c111 = c[pdxy + pdx + 1];
+        const double c00 = lerp(c000, c100, tap.fx);
+        const double c10 = lerp(c010, c110, tap.fx);
+        const double c01 = lerp(c001, c101, tap.fx);
+        const double c11 = lerp(c011, c111, tap.fx);
+        const double s =
+            lerp(lerp(c00, c10, tap.fy), lerp(c01, c11, tap.fy), tap.fz);
+        *row++ = clamp((s - lo) / span, 0.0, 1.0);
+      }
+    }
+    if (spec_.use_position) {
+      *row++ = static_cast<double>(i) / den_x_;
+      *row++ = static_cast<double>(j) / den_y_;
+      *row++ = static_cast<double>(k) / den_z_;
+    }
+    if (spec_.use_time) {
+      *row++ = time_value_;
+    }
+    if (spec_.use_gradient) {
+      *row++ = clamp(gradient_at(vol, i, j, k).norm() / span, 0.0, 1.0);
+    }
+  }
+}
+
+void FeatureBlockAssembler::assemble_feature_cols(const Index3* voxels,
+                                                  int count, double* out,
+                                                  int ld) const {
+  IFET_REQUIRE(count == 0 || (voxels != nullptr && out != nullptr),
+               "assemble_feature_cols: null block buffer");
+  IFET_REQUIRE(ld >= count, "assemble_feature_cols: ld shorter than batch");
+  const VolumeF& vol = *context_.volume;
+  const double lo = context_.value_lo;
+  const double span = span_;
+  const float* pad = padded_.data();
+  const std::ptrdiff_t pdx = pdx_;
+  const std::ptrdiff_t pdxy = pdxy_;
+  // Chunk so the hoisted per-voxel base offsets live on the stack; within
+  // a chunk every column write is one tight loop over voxels.
+  constexpr int kChunk = 256;
+  std::ptrdiff_t vb[kChunk];
+  for (int v0 = 0; v0 < count; v0 += kChunk) {
+    const int n = std::min(kChunk, count - v0);
+    const Index3* vx = voxels + v0;
+    if (spec_.use_shell) {
+      for (int v = 0; v < n; ++v) {
+        vb[v] = vx[v].x + pdx * vx[v].y + pdxy * vx[v].z;
+      }
+    }
+    int comp = 0;
+    auto col_at = [&](int c) {
+      return out + static_cast<std::size_t>(c) * ld + v0;
+    };
+    if (spec_.use_value) {
+      double* col = col_at(comp++);
+      for (int v = 0; v < n; ++v) {
+        col[v] =
+            clamp((vol.clamped(vx[v].x, vx[v].y, vx[v].z) - lo) / span, 0.0,
+                  1.0);
+      }
+    }
+    if (spec_.use_shell) {
+      // The classify sweeps feed x-fastest voxel lists, so a chunk is a
+      // handful of maximal unit-stride runs (whole x-rows). Splitting the
+      // chunk into those runs turns every tap's eight corner loads into
+      // contiguous float loads (c[u], c[u+1], c[u+pdx], ...), which the
+      // vectorizer handles — the indirect vb[v] gather it cannot.
+      int run_start[kChunk];
+      int run_len[kChunk];
+      int nruns = 0;
+      for (int v = 0; v < n;) {
+        const int s = v++;
+        while (v < n && vb[v] == vb[v - 1] + 1) ++v;
+        run_start[nruns] = s;
+        run_len[nruns] = v - s;
+        ++nruns;
+      }
+      // Direction-outer: one tap's constant base offset and trilinear
+      // weights stay in registers while the loop streams voxels. Same
+      // arithmetic per (voxel, tap) as assemble_feature_block.
+      for (const ShellTap& tap : taps_) {
+        double* col = col_at(comp++);
+        const std::ptrdiff_t tb = tap.base;
+        const double fx = tap.fx, fy = tap.fy, fz = tap.fz;
+        for (int rr = 0; rr < nruns; ++rr) {
+          const int rs = run_start[rr];
+          const int len = run_len[rr];
+          const float* c = pad + vb[rs] + tb;
+          double* o = col + rs;
+          for (int u = 0; u < len; ++u) {
+            const double c000 = c[u], c100 = c[u + 1];
+            const double c010 = c[u + pdx], c110 = c[u + pdx + 1];
+            const double c001 = c[u + pdxy], c101 = c[u + pdxy + 1];
+            const double c011 = c[u + pdxy + pdx], c111 = c[u + pdxy + pdx + 1];
+            const double c00 = lerp(c000, c100, fx);
+            const double c10 = lerp(c010, c110, fx);
+            const double c01 = lerp(c001, c101, fx);
+            const double c11 = lerp(c011, c111, fx);
+            const double s = lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz);
+            o[u] = clamp((s - lo) / span, 0.0, 1.0);
+          }
+        }
+      }
+    }
+    if (spec_.use_position) {
+      double* cx = col_at(comp++);
+      double* cy = col_at(comp++);
+      double* cz = col_at(comp++);
+      for (int v = 0; v < n; ++v) {
+        cx[v] = static_cast<double>(vx[v].x) / den_x_;
+        cy[v] = static_cast<double>(vx[v].y) / den_y_;
+        cz[v] = static_cast<double>(vx[v].z) / den_z_;
+      }
+    }
+    if (spec_.use_time) {
+      double* col = col_at(comp++);
+      for (int v = 0; v < n; ++v) col[v] = time_value_;
+    }
+    if (spec_.use_gradient) {
+      double* col = col_at(comp++);
+      for (int v = 0; v < n; ++v) {
+        col[v] = clamp(
+            gradient_at(vol, vx[v].x, vx[v].y, vx[v].z).norm() / span, 0.0,
+            1.0);
+      }
+    }
+  }
 }
 
 double derive_shell_radius(const Mask& positive_samples) {

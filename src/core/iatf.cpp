@@ -1,9 +1,11 @@
 #include "core/iatf.hpp"
 
+#include <array>
 #include <cmath>
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <span>
 
 #include "stream/derived_cache.hpp"
 #include "util/error.hpp"
@@ -137,11 +139,33 @@ TransferFunction1D Iatf::evaluate(int step) const {
   auto [vlo, vhi] = sequence_.value_range();
   TransferFunction1D tf(vlo, vhi);
   const CumulativeHistogram& ch = sequence_.cumulative_histogram(step);
-  for (int e = 0; e < TransferFunction1D::kEntries; ++e) {
+  const std::shared_ptr<const FlatMlp> flat = flat_cache_.get(network_);
+  // All 256 entries form one inference batch. The scratch is stack-local —
+  // TF synthesis is per step, not per voxel, and a member scratch would
+  // race concurrent const evaluate() calls.
+  FlatMlp::Scratch scratch;
+  constexpr int kEntries = TransferFunction1D::kEntries;
+  std::vector<double> inputs(static_cast<std::size_t>(kEntries) *
+                             static_cast<std::size_t>(input_width_));
+  std::vector<double> opacities(kEntries);
+  for (int e = 0; e < kEntries; ++e) {
     const double value = tf.entry_value(e);
-    tf.set_opacity_entry(
-        e, network_.forward_scalar(
-               make_input(value, ch.fraction_at(value), step)));
+    std::array<double, 3> raw{};
+    int n = 0;
+    if (config_.use_value) raw[static_cast<std::size_t>(n++)] = value;
+    if (config_.use_cumulative_histogram) {
+      raw[static_cast<std::size_t>(n++)] = ch.fraction_at(value);
+    }
+    if (config_.use_time) {
+      raw[static_cast<std::size_t>(n++)] = static_cast<double>(step);
+    }
+    normalizer_.apply_into(
+        std::span<const double>(raw.data(), static_cast<std::size_t>(n)),
+        inputs.data() + static_cast<std::size_t>(e) * input_width_);
+  }
+  flat->forward_batch(inputs.data(), kEntries, opacities.data(), scratch);
+  for (int e = 0; e < kEntries; ++e) {
+    tf.set_opacity_entry(e, opacities[e]);
   }
   return tf;
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 
+#include "nn/flat_mlp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/normalizer.hpp"
 #include "nn/training.hpp"
@@ -117,6 +118,10 @@ class Iatf {
   TrainingSet training_set_;
   Trainer trainer_;
   KeyFrameSet key_frames_;
+  // Flat inference engine rebuilt on weight change; evaluate() runs all
+  // 256 TF entries as one batch through it. (Scratch is stack-local per
+  // evaluate() call so concurrent const evaluations stay race-free.)
+  FlatMlpCache flat_cache_;
 };
 
 }  // namespace ifet

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/feature_vector.hpp"
+#include "nn/flat_mlp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/training.hpp"
 #include "volume/volume.hpp"
@@ -74,6 +75,9 @@ class MultiClassClassifier {
   Mlp network_;
   TrainingSet training_set_;
   Trainer trainer_;
+  // Flat inference engine rebuilt from network_ on weight change; both
+  // volume passes (class_certainty, label_volume) batch through it.
+  FlatMlpCache flat_cache_;
 };
 
 }  // namespace ifet

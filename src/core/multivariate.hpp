@@ -19,6 +19,7 @@
 
 #include "core/dataspace.hpp"  // PaintedVoxel
 #include "core/feature_vector.hpp"
+#include "nn/flat_mlp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/training.hpp"
 #include "volume/volume.hpp"
@@ -49,6 +50,33 @@ struct MultiFeatureContext {
 std::vector<double> assemble_multivariate_vector(
     const MultivariateSpec& spec, const MultiFeatureContext& context, int i,
     int j, int k);
+
+/// Batched multivariate feature assembly — FeatureBlockAssembler's
+/// multivariate sibling. Construction hoists the shell-direction table and
+/// the per-variable normalization lo/span out of the voxel loop; each row
+/// written by assemble_feature_block is bitwise identical to
+/// assemble_multivariate_vector for the same voxel. Borrows the context's
+/// volumes; they must outlive the assembler. Const and thread-sharable.
+class MultivariateBlockAssembler {
+ public:
+  MultivariateBlockAssembler(const MultivariateSpec& spec,
+                             const MultiFeatureContext& context);
+
+  int width() const { return width_; }
+
+  /// Assemble `count` voxels into `out`, a count x width() row-major block.
+  void assemble_feature_block(const Index3* voxels, int count,
+                              double* out) const;
+
+ private:
+  MultivariateSpec spec_;
+  MultiFeatureContext context_;
+  std::vector<Vec3> shell_dirs_;       ///< hoisted quantized shell offsets
+  std::vector<double> lo_, span_;      ///< per-variable normalization
+  int width_ = 0;
+  double den_x_ = 1.0, den_y_ = 1.0, den_z_ = 1.0;
+  double time_value_ = 0.0;
+};
 
 struct MultivariateConfig {
   MultivariateSpec spec;
@@ -93,6 +121,8 @@ class MultivariateClassifier {
   Mlp network_;
   TrainingSet training_set_;
   Trainer trainer_;
+  // Flat inference engine rebuilt from network_ on weight change.
+  FlatMlpCache flat_cache_;
 };
 
 }  // namespace ifet

@@ -1,0 +1,83 @@
+// Deterministic, branch-free exponential for neural-network activations.
+//
+// std::exp dominates per-voxel classification cost (a sigmoid per network
+// unit, ~13 calls per voxel for the default data-space topology), and the
+// libm call cannot be vectorized across a batch. fast_exp is a fixed
+// sequence of IEEE-754 double operations — clamp, Cody–Waite range
+// reduction, degree-11 Taylor polynomial, exponent-bit scaling — with no
+// data-dependent branches, so the compiler can evaluate it lane-parallel
+// inside batched loops while the scalar reference path computes the very
+// same bits one value at a time.
+//
+// Determinism contract: every operation below is an IEEE basic operation
+// (+, -, *, /, min, max) or a bit-level reinterpretation, so the result is
+// bit-identical across scalar and SIMD evaluation of the same input — as
+// long as the translation unit does not contract a*b + c into fused
+// multiply-adds (build with -ffp-contract=off when targeting FMA-capable
+// ISAs; see src/nn/CMakeLists.txt and docs/PERFORMANCE.md).
+//
+// Accuracy: |fast_exp(x)/exp(x) - 1| < 1e-13 over the non-saturated range
+// (Cody–Waite reduction to |r| <= ln(2)/2; the degree-11 Taylor tail is
+// ~6e-15 there). This is an activation-function exponential, NOT a libm
+// replacement: inputs are clamped to ±700 first, so fast_exp(x) saturates
+// at exp(±700) (~9.9e-305 / 1.0e304) instead of reaching subnormals or
+// infinity. Sigmoids built on it are exact to ~1 ulp of 0/1 at the clamp,
+// which is far below any effect on training or classification.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ifet {
+
+/// Branch-free exp(x) clamped to x in [-700, 700]; NaN propagates.
+inline double fast_exp(double x) {
+  // Saturate so the 2^k exponent scaling below stays in the normal range
+  // (|k| <= 1010 < 1022). Value ternaries rather than std::min/max: the
+  // reference-returning forms block the vectorizer's if-conversion, these
+  // compile to minsd/maxsd. NaN fails both comparisons and propagates.
+  x = x > 700.0 ? 700.0 : x;
+  x = x < -700.0 ? -700.0 : x;
+
+  // Round x/ln(2) to the nearest integer k with the shift trick: adding
+  // 1.5*2^52 forces round-to-nearest into the mantissa's low bits, and the
+  // integer drops out of the bit pattern by subtraction.
+  constexpr double kLog2e = 1.4426950408889634074;  // 1/ln(2)
+  constexpr double kShift = 6755399441055744.0;     // 1.5 * 2^52
+  const double t = x * kLog2e + kShift;
+  const double k = t - kShift;
+  const std::int64_t ki =
+      std::bit_cast<std::int64_t>(t) - std::bit_cast<std::int64_t>(kShift);
+
+  // Cody–Waite: r = x - k*ln(2) in two exact-ish steps. kLn2Hi has enough
+  // trailing zero bits that k*kLn2Hi is exact for |k| <= 2^20.
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  double r = x - k * kLn2Hi;
+  r = r - k * kLn2Lo;
+
+  // exp(r) via degree-11 Taylor (Horner), |r| <= ln(2)/2 = 0.3466.
+  double p = 1.0 / 39916800.0;            // 1/11!
+  p = p * r + 1.0 / 3628800.0;            // 1/10!
+  p = p * r + 1.0 / 362880.0;             // 1/9!
+  p = p * r + 1.0 / 40320.0;              // 1/8!
+  p = p * r + 1.0 / 5040.0;               // 1/7!
+  p = p * r + 1.0 / 720.0;                // 1/6!
+  p = p * r + 1.0 / 120.0;                // 1/5!
+  p = p * r + 1.0 / 24.0;                 // 1/4!
+  p = p * r + 1.0 / 6.0;                  // 1/3!
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+
+  // Scale by 2^k through the exponent field (k is in the normal range by
+  // the clamp above, so no subnormal handling is needed).
+  const double scale = std::bit_cast<double>((ki + 1023) << 52);
+  return p * scale;
+}
+
+/// Logistic sigmoid built on fast_exp; shared by the scalar Mlp forward
+/// pass and the batched FlatMlp engine so both produce identical bits.
+inline double fast_sigmoid(double x) { return 1.0 / (1.0 + fast_exp(-x)); }
+
+}  // namespace ifet

@@ -1,0 +1,133 @@
+// Flat batched MLP inference engine.
+//
+// Mlp::forward is the right shape for training (per-sample backprop needs
+// per-layer activations) but the wrong shape for classification: every call
+// heap-allocates a ForwardState — one std::vector per layer — and walks
+// weights stored as vector<vector<vector<double>>>, so classifying a volume
+// costs millions of allocations over cache-hostile pointers. FlatMlp is the
+// inference-only mirror: weights copied once into contiguous row-major
+// buffers (bias fused as a trailing column), batches of inputs evaluated
+// tile-by-tile with inner loops the compiler vectorizes across batch rows,
+// and all temporaries in caller-owned Scratch so steady-state inference
+// performs zero heap allocations.
+//
+// Numerical contract: forward_batch is BITWISE IDENTICAL to calling
+// Mlp::forward on each row. Each output unit accumulates bias first, then
+// the weighted inputs in ascending input order — the exact double-addition
+// chain of Mlp::run_forward — and applies the same activation formulas.
+// Vectorization happens ACROSS batch rows (independent accumulator chains),
+// never inside one row's dot product, so per-sample rounding is unchanged.
+// tests/flat_mlp_test.cpp pins this equivalence.
+//
+// FlatMlpCache layers the rebuild policy on top: get() rehashes the live
+// Mlp (Mlp::params_hash) and rebuilds the flat engine only when training
+// changed the weights — the same (step, params-hash) invalidation scheme
+// DerivedCache uses — so the paper's interactive train-a-little /
+// classify-a-little loop pays one rebuild per training burst, not per call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace ifet {
+
+class FlatMlp {
+ public:
+  /// Rows per internal batch tile. Activations of a tile are held
+  /// column-major ([unit][row]) so the inner accumulation loops are
+  /// unit-stride across rows; one tile of the widest layer stays
+  /// cache-resident (kTileRows * width doubles).
+  static constexpr int kTileRows = 64;
+
+  /// Caller-owned inference temporaries. Reusable across calls and across
+  /// differing batch sizes (tile buffers are sized by the network's widest
+  /// layer, not by the batch); after the first forward_batch no further
+  /// allocations happen. Not shareable between concurrent callers — one
+  /// Scratch per worker thread.
+  struct Scratch {
+   private:
+    friend class FlatMlp;
+    std::vector<double> a, b;  // ping-pong column-major activation tiles
+  };
+
+  FlatMlp() = default;
+
+  /// Snapshot `source`'s weights into flat buffers. The FlatMlp is
+  /// independent of `source` afterwards (training it does NOT update the
+  /// flat copy — rebuild via FlatMlpCache).
+  explicit FlatMlp(const Mlp& source);
+
+  bool valid() const { return !layer_sizes_.empty(); }
+  int num_inputs() const;
+  int num_outputs() const;
+  const std::vector<int>& layer_sizes() const { return layer_sizes_; }
+
+  /// params_hash() of the Mlp this engine was built from.
+  std::uint64_t source_params_hash() const { return source_hash_; }
+
+  /// Evaluate `n` inputs. `in` is n x num_inputs() row-major; `out` is
+  /// n x num_outputs() row-major. Bitwise identical to Mlp::forward per
+  /// row; zero heap allocations once `scratch` is warm.
+  void forward_batch(const double* in, int n, double* out,
+                     Scratch& scratch) const;
+
+  /// Column-major variant: `in` holds feature c contiguously at
+  /// in[c*ld + row] (ld >= n), the layout FeatureBlockAssembler's cols
+  /// path emits. Skips forward_batch's tile transpose — the accumulation
+  /// kernel reads the columns in place — and is otherwise the same bitwise
+  /// contract. `out` stays n x num_outputs() row-major.
+  void forward_batch_cols(const double* in, int ld, int n, double* out,
+                          Scratch& scratch) const;
+
+ private:
+  /// Run the layer stack over one tile whose input activations are the
+  /// columns cols[c*col_stride + r], r < rows; scatter the output layer
+  /// into `dst` (rows x num_outputs() row-major). Uses scratch.a/b as
+  /// ping-pong buffers; `cols` may alias scratch.a (the transpose path).
+  void run_tile(const double* cols, std::size_t col_stride, int rows,
+                double* dst, Scratch& scratch) const;
+
+  struct Layer {
+    int fan_in = 0;
+    int fan_out = 0;
+    Activation activation = Activation::kSigmoid;
+    /// fan_out rows of (fan_in + 1) doubles; the bias is the trailing
+    /// column of each row.
+    std::vector<double> weights;
+  };
+
+  std::vector<int> layer_sizes_;
+  std::vector<Layer> layers_;
+  int max_width_ = 0;
+  std::uint64_t source_hash_ = 0;
+};
+
+/// Rebuild-on-params-hash-change holder: get() returns a flat engine for
+/// the Mlp's current weights, rebuilding only when the hash changed (i.e.
+/// the network was trained, resized, or reloaded since the last call).
+/// Entries are shared_ptr so a caller's engine stays valid even if another
+/// thread triggers a rebuild mid-use (same lifetime rule as DerivedCache).
+class FlatMlpCache {
+ public:
+  FlatMlpCache() = default;
+  FlatMlpCache(const FlatMlpCache&) = delete;
+  FlatMlpCache& operator=(const FlatMlpCache&) = delete;
+
+  std::shared_ptr<const FlatMlp> get(const Mlp& network) const;
+
+  /// Number of flat rebuilds performed so far (test / perf introspection).
+  std::size_t rebuilds() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::shared_ptr<const FlatMlp> flat_;
+  mutable std::uint64_t hash_ = 0;
+  mutable std::size_t rebuilds_ = 0;
+};
+
+}  // namespace ifet

@@ -6,7 +6,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "math/fastexp.hpp"
 #include "util/error.hpp"
+#include "util/hashing.hpp"
 
 namespace ifet {
 
@@ -52,7 +54,10 @@ int Mlp::num_outputs() const {
 double Mlp::activate(double x, Activation a) const {
   switch (a) {
     case Activation::kSigmoid:
-      return 1.0 / (1.0 + std::exp(-x));
+      // Shared with FlatMlp: both paths evaluate the identical IEEE op
+      // sequence (math/fastexp.hpp), which keeps batched classification
+      // bitwise equal to this scalar reference.
+      return fast_sigmoid(x);
     case Activation::kTanh:
       return std::tanh(x);
   }
@@ -71,6 +76,13 @@ double Mlp::activate_derivative(double fx, Activation a) const {
 }
 
 Mlp::ForwardState Mlp::run_forward(std::span<const double> input) const {
+  ForwardState state;
+  run_forward_into(input, state);
+  return state;
+}
+
+void Mlp::run_forward_into(std::span<const double> input,
+                           ForwardState& state) const {
   IFET_REQUIRE(static_cast<int>(input.size()) == num_inputs(),
                "Mlp::forward: input size mismatch");
   // Layer-shape invariants: one weight matrix and bias vector per link,
@@ -90,7 +102,6 @@ Mlp::ForwardState Mlp::run_forward(std::span<const double> input) const {
                 static_cast<std::size_t>(layer_sizes_[l]),
         "Mlp: layer fan-in does not match layer_sizes()");
   }
-  ForwardState state;
   state.activations.resize(layer_sizes_.size());
   state.activations[0].assign(input.begin(), input.end());
   for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
@@ -107,7 +118,6 @@ Mlp::ForwardState Mlp::run_forward(std::span<const double> input) const {
       next[j] = activate(z, act);
     }
   }
-  return state;
 }
 
 std::vector<double> Mlp::forward(std::span<const double> input) const {
@@ -175,8 +185,10 @@ double Mlp::evaluate_mse(const std::vector<std::vector<double>>& inputs,
   if (inputs.empty()) return 0.0;
   double total = 0.0;
   std::size_t terms = 0;
+  ForwardState state;  // one scratch reused by every sample
   for (std::size_t s = 0; s < inputs.size(); ++s) {
-    auto out = forward(inputs[s]);
+    run_forward_into(inputs[s], state);
+    const auto& out = state.activations.back();
     for (std::size_t j = 0; j < out.size(); ++j) {
       double err = out[j] - targets[s][j];
       total += err * err;
@@ -184,6 +196,21 @@ double Mlp::evaluate_mse(const std::vector<std::vector<double>>& inputs,
     }
   }
   return total / static_cast<double>(terms);
+}
+
+std::uint64_t Mlp::params_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = hash_combine(h, static_cast<std::uint64_t>(hidden_activation_));
+  for (int s : layer_sizes_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(s));
+  }
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    for (std::size_t j = 0; j < weights_[l].size(); ++j) {
+      for (double w : weights_[l][j]) h = hash_combine(h, hash_double(w));
+      h = hash_combine(h, hash_double(biases_[l][j]));
+    }
+  }
+  return h;
 }
 
 Mlp Mlp::resized_inputs(const std::vector<int>& kept_inputs, Rng& rng) const {

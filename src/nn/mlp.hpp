@@ -61,9 +61,16 @@ class Mlp {
                       std::span<const double> target,
                       const BackpropConfig& config);
 
-  /// Mean squared error over a batch without updating weights.
+  /// Mean squared error over a batch without updating weights. Reuses one
+  /// forward-state scratch across samples (no per-sample allocations).
   double evaluate_mse(const std::vector<std::vector<double>>& inputs,
                       const std::vector<std::vector<double>>& targets) const;
+
+  /// Hash of everything a forward pass depends on: topology, activation,
+  /// weights, and biases. Training changes the hash, so caches keyed by it
+  /// (FlatMlpCache, DerivedCache entries) invalidate naturally — the same
+  /// scheme DerivedCache uses for IATF products.
+  std::uint64_t params_hash() const;
 
   /// Sec 6: derive a network whose input layer holds `kept_inputs.size()`
   /// units; entry i of `kept_inputs` names the old input feeding new input i
@@ -97,6 +104,10 @@ class Mlp {
   };
 
   ForwardState run_forward(std::span<const double> input) const;
+  /// Fills `state` in place, reusing its buffers' capacity — the
+  /// allocation-free form evaluate_mse loops over.
+  void run_forward_into(std::span<const double> input,
+                        ForwardState& state) const;
   double activate(double x, Activation a) const;
   double activate_derivative(double fx, Activation a) const;
 

@@ -31,16 +31,21 @@ InputNormalizer InputNormalizer::fit(
 }
 
 std::vector<double> InputNormalizer::apply(std::span<const double> raw) const {
+  std::vector<double> out(raw.size());
+  apply_into(raw, out.data());
+  return out;
+}
+
+void InputNormalizer::apply_into(std::span<const double> raw,
+                                 double* out) const {
   IFET_REQUIRE(raw.size() == lo_.size(),
                "InputNormalizer::apply: width mismatch");
-  std::vector<double> out(raw.size());
   for (std::size_t f = 0; f < raw.size(); ++f) {
     double span = hi_[f] - lo_[f];
     out[f] = span > 0.0
                  ? std::clamp((raw[f] - lo_[f]) / span, 0.0, 1.0)
                  : 0.5;
   }
-  return out;
 }
 
 }  // namespace ifet

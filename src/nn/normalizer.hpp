@@ -27,6 +27,11 @@ class InputNormalizer {
   /// Map a raw feature vector into [0,1]^d (clamped).
   std::vector<double> apply(std::span<const double> raw) const;
 
+  /// Allocation-free form: writes width() doubles at `out`. Bitwise
+  /// identical to apply() (the batched IATF synthesis path uses this to
+  /// fill the inference batch matrix directly).
+  void apply_into(std::span<const double> raw, double* out) const;
+
   double lo(std::size_t feature) const { return lo_[feature]; }
   double hi(std::size_t feature) const { return hi_[feature]; }
 

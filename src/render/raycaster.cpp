@@ -65,6 +65,29 @@ ImageRgb8 Raycaster::render(const VolumeF& volume,
                             const ColorMap& colors, const Camera& camera,
                             const HighlightLayer* highlight,
                             RenderStats* stats) const {
+  return render_impl(volume, tf, colors, camera, highlight, nullptr, stats);
+}
+
+ImageRgb8 Raycaster::render_classified(const VolumeF& volume,
+                                       const VolumeF& certainty,
+                                       const TransferFunction1D& tf,
+                                       const ColorMap& colors,
+                                       const Camera& camera,
+                                       RenderStats* stats) const {
+  IFET_REQUIRE(certainty.dims() == volume.dims(),
+               "Raycaster: certainty volume dimension mismatch");
+  IFET_REQUIRE(settings_.mode == CompositingMode::kFrontToBack,
+               "Raycaster: the pre-classified render requires "
+               "emission-absorption compositing");
+  return render_impl(volume, tf, colors, camera, nullptr, &certainty, stats);
+}
+
+ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
+                                 const TransferFunction1D& tf,
+                                 const ColorMap& colors, const Camera& camera,
+                                 const HighlightLayer* highlight,
+                                 const VolumeF* certainty,
+                                 RenderStats* stats) const {
   if (highlight != nullptr) {
     IFET_REQUIRE(highlight->mask != nullptr && highlight->tf != nullptr,
                  "Raycaster: highlight layer needs mask and TF");
@@ -158,6 +181,11 @@ ImageRgb8 Raycaster::render(const VolumeF& volume,
                   color = highlight->color;
                 } else {
                   a = tf.opacity(value);
+                  if (certainty != nullptr) {
+                    // Pre-classified pass: the network's certainty gates
+                    // the opacity, color stays tied to the data value.
+                    a *= certainty->sample(vox);
+                  }
                   double norm =
                       value_span > 0.0
                           ? clamp((value - tf.value_lo()) / value_span, 0.0,

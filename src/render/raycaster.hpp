@@ -88,7 +88,25 @@ class Raycaster {
                         RenderStats* stats = nullptr,
                         bool prefetch_next = true) const;
 
+  /// Pre-classified render: a per-voxel certainty volume (the data-space
+  /// classifier's output, computed once up front rather than per sample)
+  /// modulates the transfer-function opacity —
+  /// a = tf.opacity(value) * certainty — so only voxels the network deems
+  /// part of the feature stay visible. Color still comes from the original
+  /// data value. A certainty of one everywhere reproduces render() exactly.
+  /// Requires front-to-back compositing; `certainty` must match `volume`'s
+  /// dimensions.
+  ImageRgb8 render_classified(const VolumeF& volume, const VolumeF& certainty,
+                              const TransferFunction1D& tf,
+                              const ColorMap& colors, const Camera& camera,
+                              RenderStats* stats = nullptr) const;
+
  private:
+  ImageRgb8 render_impl(const VolumeF& volume, const TransferFunction1D& tf,
+                        const ColorMap& colors, const Camera& camera,
+                        const HighlightLayer* highlight,
+                        const VolumeF* certainty, RenderStats* stats) const;
+
   RenderSettings settings_;
 };
 

@@ -127,6 +127,20 @@ ImageRgb8 PaintingSession::feedback_image(int step, int axis,
   return image;
 }
 
+ImageRgb8 PaintingSession::render_classified(int step,
+                                             const TransferFunction1D& tf,
+                                             const ColorMap& colors,
+                                             const Camera& camera,
+                                             const RenderSettings& settings,
+                                             RenderStats* stats) const {
+  // Classify once up front (batched, step+1 prefetch hinted), then let the
+  // certainty volume gate the TF opacity during compositing.
+  VolumeF certainty = classifier_->classify(sequence_, step);
+  Raycaster caster(settings);
+  return caster.render_classified(sequence_.step(step), certainty, tf,
+                                  colors, camera, stats);
+}
+
 void PaintingSession::set_properties(const FeatureVectorSpec& spec) {
   classifier_ = classifier_->with_spec(spec);
   // Replay the stroke history under the new spec (grouped per step so each

@@ -17,6 +17,7 @@
 
 #include "core/dataspace.hpp"
 #include "io/image_io.hpp"
+#include "render/raycaster.hpp"
 #include "tf/transfer_function.hpp"
 #include "volume/sequence.hpp"
 
@@ -69,6 +70,15 @@ class PaintingSession {
   /// Feedback rendered to an 8-bit image (certainty as grayscale with the
   /// painted samples overlaid in green/red).
   ImageRgb8 feedback_image(int step, int axis, int slice) const;
+
+  /// 3D feedback: classify the step with the current network (the batched
+  /// pre-classification pass), then volume-render it with the certainty
+  /// modulating the transfer function's opacity (Sec 7: learned methods
+  /// modulate opacity only; color stays tied to the data value).
+  ImageRgb8 render_classified(int step, const TransferFunction1D& tf,
+                              const ColorMap& colors, const Camera& camera,
+                              const RenderSettings& settings = {},
+                              RenderStats* stats = nullptr) const;
 
   /// Sec 6 property toggling: rebuild the classifier for `spec` (weights of
   /// shared inputs transferred) and replay all recorded paint samples under

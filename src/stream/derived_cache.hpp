@@ -24,22 +24,10 @@
 
 #include "stream/stream_stats.hpp"
 #include "tf/transfer_function.hpp"
+#include "util/hashing.hpp"  // hash_combine / hash_double (moved to util)
 #include "volume/histogram.hpp"
 
 namespace ifet {
-
-/// FNV-1a style combiner for building params hashes.
-inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
-  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-  return seed;
-}
-
-inline std::uint64_t hash_double(double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  __builtin_memcpy(&bits, &v, sizeof(bits));
-  return bits;
-}
 
 class DerivedCache {
  public:

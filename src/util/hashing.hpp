@@ -1,0 +1,28 @@
+// Small hash combiners shared across layers.
+//
+// Originally private to the streaming DerivedCache; hoisted to util so
+// lower layers (nn: Mlp::params_hash) can build params hashes without
+// depending on the streaming subsystem. The combiner style is FNV-1a-like
+// mixing, good enough for cache keys — these hashes gate memoization and
+// rebuild checks, not security.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ifet {
+
+/// FNV-1a style combiner for building params hashes.
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+inline std::uint64_t hash_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace ifet

@@ -161,6 +161,54 @@ TEST(Raycaster, HighlightTurnsMaskRegionRed) {
   EXPECT_GT(red_pixels, 400);
 }
 
+TEST(Raycaster, ClassifiedRenderWithUnitCertaintyMatchesRender) {
+  VolumeF v = blob_volume(Dims{16, 16, 16}, {8, 8, 8}, 3.0, 1.0f);
+  VolumeF certainty(v.dims(), 1.0f);
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.4, 1.0, 0.8);
+  Raycaster caster(small_settings());
+  Camera cam(0.4, 0.3, 2.5);
+  ImageRgb8 plain = caster.render(v, tf, ColorMap(), cam);
+  ImageRgb8 classified =
+      caster.render_classified(v, certainty, tf, ColorMap(), cam);
+  // certainty == 1 everywhere multiplies every opacity by exactly 1.0, so
+  // the pre-classified pass must reproduce render() pixel for pixel.
+  EXPECT_EQ(plain.pixels, classified.pixels);
+}
+
+TEST(Raycaster, ZeroCertaintyHidesTheVolume) {
+  VolumeF v = blob_volume(Dims{16, 16, 16}, {8, 8, 8}, 3.0, 1.0f);
+  VolumeF certainty(v.dims(), 0.0f);
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.0, 1.0, 1.0);
+  RenderSettings s = small_settings();
+  s.background = Rgb{0.25, 0.5, 0.75};
+  Raycaster caster(s);
+  Camera cam(0.4, 0.3, 2.5);
+  ImageRgb8 img = caster.render_classified(v, certainty, tf, ColorMap(), cam);
+  for (std::size_t p = 0; p < img.pixels.size(); p += 3) {
+    EXPECT_EQ(img.pixels[p], 64);
+    EXPECT_EQ(img.pixels[p + 1], 128);
+    EXPECT_EQ(img.pixels[p + 2], 191);
+  }
+}
+
+TEST(Raycaster, ClassifiedRenderValidatesInputs) {
+  VolumeF v(Dims{8, 8, 8}, 0.5f);
+  TransferFunction1D tf(0.0, 1.0);
+  Camera cam(0.4, 0.3, 2.5);
+  VolumeF wrong_dims(Dims{4, 4, 4}, 1.0f);
+  Raycaster caster(small_settings());
+  EXPECT_THROW(caster.render_classified(v, wrong_dims, tf, ColorMap(), cam),
+               Error);
+  RenderSettings mip = small_settings();
+  mip.mode = CompositingMode::kMaximumIntensity;
+  VolumeF certainty(v.dims(), 1.0f);
+  Raycaster mip_caster(mip);
+  EXPECT_THROW(
+      mip_caster.render_classified(v, certainty, tf, ColorMap(), cam), Error);
+}
+
 TEST(Raycaster, HighlightValidatesInputs) {
   VolumeF v(Dims{8, 8, 8}, 0.5f);
   TransferFunction1D tf(0.0, 1.0);

@@ -134,6 +134,38 @@ TEST(PaintingSession, FeedbackImageHasOverlay) {
   EXPECT_EQ(img.pixels[o + 1], 220);
 }
 
+TEST(PaintingSession, RenderClassifiedProducesImage) {
+  CachedSequence seq(cube_source(), 2);
+  PaintingSession session(seq);
+  PaintStroke feature;
+  feature.axis = 2;
+  feature.slice = 12;
+  feature.u = 12;
+  feature.v = 12;
+  feature.radius = 2.0;
+  session.paint(0, feature);
+  PaintStroke background = feature;
+  background.slice = 2;
+  background.u = 3;
+  background.v = 3;
+  background.certainty = 0.0;
+  session.paint(0, background);
+  session.train_epochs(20);
+
+  TransferFunction1D tf(0.0, 1.0);
+  tf.add_band(0.5, 1.0, 0.9);
+  RenderSettings settings;
+  settings.width = 32;
+  settings.height = 32;
+  Camera cam(0.4, 0.3, 2.5);
+  RenderStats stats;
+  ImageRgb8 img =
+      session.render_classified(0, tf, ColorMap(), cam, settings, &stats);
+  EXPECT_EQ(img.width, 32);
+  EXPECT_EQ(img.height, 32);
+  EXPECT_EQ(stats.rays, 32u * 32u);
+}
+
 TEST(PaintingSession, SetPropertiesReplaysSamples) {
   CachedSequence seq(cube_source(), 2);
   PaintingSession session(seq);

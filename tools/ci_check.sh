@@ -36,9 +36,9 @@ if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "== ci_check [3/4] tsan preset: streaming/concurrency stress =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target \
-    stress_cache_manager_test stress_thread_pool_test
+    stress_cache_manager_test stress_thread_pool_test flat_mlp_test
   ctest --preset tsan -j "$JOBS" -R \
-    'stress_cache_manager_test|stress_thread_pool_test'
+    'stress_cache_manager_test|stress_thread_pool_test|flat_mlp_test'
 else
   echo "== ci_check [3/4] skipped (SKIP_TSAN=1) =="
 fi

@@ -27,6 +27,13 @@
 //                      src/stream — pipelines must go through the
 //                      streaming layer (VolumeStore / StreamedSequence)
 //                      so every decoded byte is budgeted and accounted.
+//   scalar-forward-in-hot-loop
+//                      Mlp::forward()/forward_scalar() called inside a
+//                      loop body in src/core or src/render — per-voxel
+//                      passes must batch through FlatMlp::forward_batch
+//                      (nn/flat_mlp.hpp); the scalar path allocates per
+//                      call. Single-voxel probes (classify_voxel) are
+//                      loop-free and remain fine.
 //
 // Usage: ifet_lint <dir-or-file>...   (typically: ifet_lint <repo>/src)
 
@@ -75,6 +82,15 @@ bool may_load_volumes(const fs::path& p) {
   return false;
 }
 
+/// Directories whose per-voxel passes must use the flat batched inference
+/// engine (the scalar-forward-in-hot-loop rule's scope).
+bool in_hot_dir(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "core" || part == "render") return true;
+  }
+  return false;
+}
+
 bool is_comment_line(const std::string& line) {
   const auto pos = line.find_first_not_of(" \t");
   return pos != std::string::npos && line.compare(pos, 2, "//") == 0;
@@ -114,13 +130,26 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
   static const std::regex volume_load_re(R"(\b(read_vol|read_raw)\s*\()");
   static const std::regex dims_param_re(
       R"([(,]\s*(const\s+)?(ifet::)?Dims\s*[&)\s,])");
+  // Longest alternatives first: std::regex picks the leftmost alternative,
+  // and `parallel_for` followed by `_ranges` must not stop the match.
+  static const std::regex loop_re(
+      R"(\b(parallel_for_ranges|parallel_for_dynamic|parallel_for_static|parallel_for|for|while)\s*\()");
+  static const std::regex scalar_forward_re(
+      R"((\.|->)\s*forward(_scalar)?\s*\()");
 
   const bool header = is_header(path);
   const bool volume_dir = in_volume_dir(path);
   const bool loader_dir = may_load_volumes(path);
+  const bool hot_dir = in_hot_dir(path);
   bool has_contract_check = false;
   bool has_dims_param = false;
   std::size_t first_dims_line = 0;
+  // Loop-body tracking for scalar-forward-in-hot-loop: brace depth plus the
+  // depths at which a loop (or parallel_for lambda) body opened. A pending
+  // loop header adopts the next `{` as its body.
+  int depth = 0;
+  std::vector<int> loop_body_depths;
+  bool pending_loop = false;
 
   auto report = [&](std::size_t i, const char* rule, const char* message) {
     if (suppressed(lines, i, rule)) return;
@@ -166,6 +195,38 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
              "load volumes through the streaming layer (VolumeStore / "
              "StreamedSequence) so the bytes are budgeted; direct "
              "read_vol()/read_raw() is reserved for src/io and src/stream");
+    }
+    if (hot_dir) {
+      std::ptrdiff_t call_pos = -1;
+      std::smatch m;
+      if (std::regex_search(line, m, scalar_forward_re)) {
+        call_pos = m.position(0);
+      }
+      if (std::regex_search(line, loop_re)) pending_loop = true;
+      for (std::size_t c = 0; c < line.size(); ++c) {
+        if (call_pos == static_cast<std::ptrdiff_t>(c) &&
+            !loop_body_depths.empty()) {
+          report(i, "scalar-forward-in-hot-loop",
+                 "scalar Mlp forward inside a loop body; per-voxel passes "
+                 "must batch through FlatMlp::forward_batch "
+                 "(nn/flat_mlp.hpp) — the scalar path allocates per call");
+        }
+        if (line[c] == '/' && c + 1 < line.size() && line[c + 1] == '/') {
+          break;  // trailing comment: braces in prose must not count
+        }
+        if (line[c] == '{') {
+          ++depth;
+          if (pending_loop) {
+            loop_body_depths.push_back(depth);
+            pending_loop = false;
+          }
+        } else if (line[c] == '}') {
+          if (!loop_body_depths.empty() && loop_body_depths.back() == depth) {
+            loop_body_depths.pop_back();
+          }
+          --depth;
+        }
+      }
     }
   }
 
