@@ -184,9 +184,16 @@ void FlatMlp::forward_batch_cols(const double* in, int ld, int n, double* out,
 
 std::shared_ptr<const FlatMlp> FlatMlpCache::get(const Mlp& network) const {
   const std::uint64_t h = network.params_hash();
-  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    OrderedMutexLock lock(mutex_);
+    if (flat_ != nullptr && hash_ == h) return flat_;
+  }
+  // Snapshot outside the lock (see the header comment): the weight copy
+  // reads caller-owned state and can be milliseconds for a wide network.
+  auto built = std::make_shared<const FlatMlp>(network);
+  OrderedMutexLock lock(mutex_);
   if (flat_ == nullptr || hash_ != h) {
-    flat_ = std::make_shared<const FlatMlp>(network);
+    flat_ = std::move(built);
     hash_ = h;
     ++rebuilds_;
   }
@@ -194,7 +201,7 @@ std::shared_ptr<const FlatMlp> FlatMlpCache::get(const Mlp& network) const {
 }
 
 std::size_t FlatMlpCache::rebuilds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return rebuilds_;
 }
 

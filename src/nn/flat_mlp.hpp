@@ -29,10 +29,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "nn/mlp.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace ifet {
 
@@ -118,16 +118,22 @@ class FlatMlpCache {
   FlatMlpCache(const FlatMlpCache&) = delete;
   FlatMlpCache& operator=(const FlatMlpCache&) = delete;
 
-  std::shared_ptr<const FlatMlp> get(const Mlp& network) const;
+  /// The snapshot (weight copy) runs with mutex_ released — `network` is
+  /// caller-owned state, and reading it under this cache's lock would
+  /// nest a foreign object's synchronization inside ours (and stall every
+  /// concurrent classify thread for the rebuild). Two threads racing a
+  /// cold/stale slot may both snapshot; the losing copy is discarded.
+  std::shared_ptr<const FlatMlp> get(const Mlp& network) const
+      IFET_EXCLUDES(mutex_);
 
   /// Number of flat rebuilds performed so far (test / perf introspection).
-  std::size_t rebuilds() const;
+  std::size_t rebuilds() const IFET_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  mutable std::shared_ptr<const FlatMlp> flat_;
-  mutable std::uint64_t hash_ = 0;
-  mutable std::size_t rebuilds_ = 0;
+  mutable OrderedMutex mutex_{MutexRank::kFlatMlpCache};
+  mutable std::shared_ptr<const FlatMlp> flat_ IFET_GUARDED_BY(mutex_);
+  mutable std::uint64_t hash_ IFET_GUARDED_BY(mutex_) = 0;
+  mutable std::size_t rebuilds_ IFET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ifet

@@ -22,7 +22,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     if (stopping_) return;  // idempotent; workers already joined or joining
     stopping_ = true;
   }
@@ -36,12 +36,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      OrderedMutexLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload): the condition
+      // reads guarded state, and this form keeps those reads visibly
+      // inside the guarded scope for the thread-safety analysis.
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+      if (queue_.empty()) return;  // woken for shutdown with nothing queued
       task = std::move(queue_.front());
       queue_.pop();
     }
@@ -58,7 +58,7 @@ void ThreadPool::run_tasks(std::vector<std::function<void()>> tasks) {
   std::mutex error_mutex;
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     for (auto& t : tasks) {
       queue_.push(Task{[&, fn = std::move(t)] {
         try {
@@ -81,7 +81,7 @@ void ThreadPool::run_tasks(std::vector<std::function<void()>> tasks) {
   for (;;) {
     Task task;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      OrderedMutexLock lock(mutex_);
       if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop();
@@ -111,7 +111,7 @@ void ThreadPool::post(std::function<void()> fn) {
 bool ThreadPool::try_post(std::function<void()> fn) {
   IFET_REQUIRE(static_cast<bool>(fn), "ThreadPool::try_post: empty task");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     if (stopping_) return false;
     queue_.push(Task{std::move(fn)});
   }

@@ -15,12 +15,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/ordered_mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ifet {
 
@@ -69,16 +70,16 @@ class ThreadPool {
   /// Posting to a pool that is shutting down fails LOUDLY with
   /// PoolShutdownError: accepting the task could never run it. Use
   /// try_post when racing shutdown is expected.
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn) IFET_EXCLUDES(mutex_);
 
   /// Like post, but returns false instead of throwing when the pool is
   /// shutting down (the task is NOT enqueued and will never run).
-  [[nodiscard]] bool try_post(std::function<void()> fn);
+  [[nodiscard]] bool try_post(std::function<void()> fn) IFET_EXCLUDES(mutex_);
 
   /// Begin shutdown explicitly: drains already-queued tasks, joins all
   /// workers, and makes further post() calls throw PoolShutdownError.
   /// Idempotent; the destructor calls it.
-  void shutdown();
+  void shutdown() IFET_EXCLUDES(mutex_);
 
   /// Process-wide default pool (lazily constructed, sized to hardware).
   static ThreadPool& global();
@@ -88,14 +89,19 @@ class ThreadPool {
     std::function<void()> fn;
   };
 
-  void worker_loop();
-  void run_tasks(std::vector<std::function<void()>> tasks);
+  void worker_loop() IFET_EXCLUDES(mutex_);
+  void run_tasks(std::vector<std::function<void()>> tasks)
+      IFET_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  // Innermost-rank mutex (MutexRank::kThreadPool): tasks always run with
+  // the queue lock dropped, so no other ifet mutex is ever acquired while
+  // this one is held. condition_variable_any because the annotated
+  // OrderedMutex is BasicLockable, not std::mutex.
+  OrderedMutex mutex_{MutexRank::kThreadPool};
+  std::condition_variable_any cv_;
+  std::queue<Task> queue_ IFET_GUARDED_BY(mutex_);
+  bool stopping_ IFET_GUARDED_BY(mutex_) = false;
 };
 
 /// Convenience: per-index parallel loop on the global pool, static schedule.

@@ -14,7 +14,7 @@ bool CacheManager::pinned_locked(int step, const Entry& e) const {
 }
 
 std::shared_ptr<const VolumeF> CacheManager::lookup(int step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -32,7 +32,7 @@ std::shared_ptr<const VolumeF> CacheManager::lookup(int step) {
 }
 
 std::shared_ptr<const VolumeF> CacheManager::lookup_quiet(int step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it == entries_.end()) return nullptr;
   if (it->second.prefetched) {
@@ -46,14 +46,15 @@ std::shared_ptr<const VolumeF> CacheManager::lookup_quiet(int step) {
 }
 
 bool CacheManager::resident(int step) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return entries_.count(step) != 0;
 }
 
 std::shared_ptr<const VolumeF> CacheManager::insert(int step, VolumeF volume,
                                                     bool from_prefetch) {
   IFET_REQUIRE(!volume.empty(), "CacheManager::insert: empty volume");
-  std::lock_guard<std::mutex> lock(mutex_);
+  EvictedPayloads evicted;  // declared before the lock: destroyed after it
+  OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it != entries_.end()) {
     // Lost a benign load race; keep the resident entry.
@@ -73,13 +74,13 @@ std::shared_ptr<const VolumeF> CacheManager::insert(int step, VolumeF volume,
   resident_bytes_ += entry.bytes;
   ++stats_.inserts;
   auto stored = entries_.emplace(step, std::move(entry)).first->second.volume;
-  evict_over_budget_locked();
+  evict_over_budget_locked(evicted);
   stats_.peak_bytes_resident =
       std::max(stats_.peak_bytes_resident, resident_bytes_);
   return stored;
 }
 
-void CacheManager::evict_over_budget_locked() {
+void CacheManager::evict_over_budget_locked(EvictedPayloads& evicted) {
   if (budget_bytes_ == 0) return;
   auto it = lru_.end();
   while (resident_bytes_ > budget_bytes_ && it != lru_.begin()) {
@@ -90,13 +91,16 @@ void CacheManager::evict_over_budget_locked() {
     if (pinned_locked(victim, e->second)) continue;  // skip, try next-older
     resident_bytes_ -= e->second.bytes;
     ++stats_.evictions;
+    // Hand the payload to the caller's frame: if this was the last
+    // reference, the VolumeF deallocation must not run under the mutex.
+    evicted.push_back(std::move(e->second.volume));
     it = lru_.erase(it);
     entries_.erase(e);
   }
 }
 
 void CacheManager::pin(int step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it != entries_.end()) {
     ++it->second.pin_count;
@@ -106,7 +110,7 @@ void CacheManager::pin(int step) {
 }
 
 void CacheManager::unpin(int step) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it != entries_.end()) {
     IFET_REQUIRE(it->second.pin_count > 0,
@@ -121,46 +125,49 @@ void CacheManager::unpin(int step) {
 }
 
 void CacheManager::pin_window(int lo, int hi) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  EvictedPayloads evicted;
+  OrderedMutexLock lock(mutex_);
   window_lo_ = lo;
   window_hi_ = hi;
   // Entries that just left the window may now push the cache over budget.
-  evict_over_budget_locked();
+  evict_over_budget_locked(evicted);
 }
 
 std::pair<int, int> CacheManager::pinned_window() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return {window_lo_, window_hi_};
 }
 
 void CacheManager::set_budget(std::size_t budget_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  EvictedPayloads evicted;
+  OrderedMutexLock lock(mutex_);
   budget_bytes_ = budget_bytes;
-  evict_over_budget_locked();
+  evict_over_budget_locked(evicted);
 }
 
 std::size_t CacheManager::budget_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return budget_bytes_;
 }
 
 std::size_t CacheManager::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return resident_bytes_;
 }
 
 std::size_t CacheManager::resident_steps() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::vector<int> CacheManager::lru_order() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return {lru_.begin(), lru_.end()};
 }
 
 void CacheManager::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  EvictedPayloads evicted;
+  OrderedMutexLock lock(mutex_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     auto e = entries_.find(*it);
     IFET_REQUIRE(e != entries_.end(), "CacheManager: LRU/entry desync");
@@ -170,13 +177,14 @@ void CacheManager::clear() {
     }
     resident_bytes_ -= e->second.bytes;
     ++stats_.evictions;
+    evicted.push_back(std::move(e->second.volume));
     entries_.erase(e);
     it = lru_.erase(it);
   }
 }
 
 StreamStats CacheManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   StreamStats out = stats_;
   out.budget_bytes = budget_bytes_;
   out.bytes_resident = resident_bytes_;

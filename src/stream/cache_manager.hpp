@@ -16,17 +16,21 @@
 //    of the sequence evicts.
 //
 // Thread safety: every method is internally synchronized; the stress suite
-// (tests/stress/stress_cache_manager_test.cpp) hammers it under TSan.
+// (tests/stress/stress_cache_manager_test.cpp) hammers it under TSan, the
+// Clang thread-safety annotations prove the locking discipline at compile
+// time (docs/STATIC_ANALYSIS.md), and the mutex is a leaf in the rank
+// order — evicted payloads are destroyed after the lock is released, so
+// no multi-megabyte deallocation (or anything else) ever runs under it.
 #pragma once
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "stream/stream_stats.hpp"
+#include "util/ordered_mutex.hpp"
 #include "volume/volume.hpp"
 
 namespace ifet {
@@ -43,46 +47,48 @@ class CacheManager {
   /// Resident volume for `step`, or nullptr. A hit refreshes LRU order and
   /// counts toward stats; entries inserted by prefetch count a prefetch
   /// hit on their first lookup.
-  std::shared_ptr<const VolumeF> lookup(int step);
+  std::shared_ptr<const VolumeF> lookup(int step) IFET_EXCLUDES(mutex_);
 
   /// Like lookup, but does not count a hit/miss — used by VolumeStore when
   /// re-checking after waiting on an in-flight prefetch, so one fetch never
   /// counts as both a miss and a hit. Still refreshes LRU order and
   /// consumes the prefetched flag (counting the prefetch hit).
-  std::shared_ptr<const VolumeF> lookup_quiet(int step);
+  std::shared_ptr<const VolumeF> lookup_quiet(int step)
+      IFET_EXCLUDES(mutex_);
 
   /// True when `step` is resident; no LRU/stat side effects (tests).
-  bool resident(int step) const;
+  bool resident(int step) const IFET_EXCLUDES(mutex_);
 
   /// Admit a decoded step (most-recently-used position) and evict LRU
   /// unpinned entries until the budget holds. Returns the (shared) stored
   /// volume — when `step` was concurrently inserted by another thread the
   /// existing entry wins and `volume` is discarded.
   std::shared_ptr<const VolumeF> insert(int step, VolumeF volume,
-                                        bool from_prefetch = false);
+                                        bool from_prefetch = false)
+      IFET_EXCLUDES(mutex_);
 
   /// Explicit pin: `step` survives eviction until unpinned. Pinning a
   /// non-resident step is remembered (applies when it is inserted).
-  void pin(int step);
-  void unpin(int step);
+  void pin(int step) IFET_EXCLUDES(mutex_);
+  void unpin(int step) IFET_EXCLUDES(mutex_);
 
   /// Replace the pinned window with [lo, hi] (inclusive; lo > hi clears).
-  void pin_window(int lo, int hi);
-  std::pair<int, int> pinned_window() const;
+  void pin_window(int lo, int hi) IFET_EXCLUDES(mutex_);
+  std::pair<int, int> pinned_window() const IFET_EXCLUDES(mutex_);
 
-  void set_budget(std::size_t budget_bytes);
-  std::size_t budget_bytes() const;
-  std::size_t resident_bytes() const;
-  std::size_t resident_steps() const;
+  void set_budget(std::size_t budget_bytes) IFET_EXCLUDES(mutex_);
+  std::size_t budget_bytes() const IFET_EXCLUDES(mutex_);
+  std::size_t resident_bytes() const IFET_EXCLUDES(mutex_);
+  std::size_t resident_steps() const IFET_EXCLUDES(mutex_);
 
   /// Steps in most-recently-used -> least-recently-used order (tests).
-  std::vector<int> lru_order() const;
+  std::vector<int> lru_order() const IFET_EXCLUDES(mutex_);
 
   /// Drop every unpinned entry (budget debugging; stats count evictions).
-  void clear();
+  void clear() IFET_EXCLUDES(mutex_);
 
   /// Counter snapshot (cache-level fields only).
-  StreamStats stats() const;
+  StreamStats stats() const IFET_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -94,17 +100,28 @@ class CacheManager {
     std::list<int>::iterator lru_it;
   };
 
-  bool pinned_locked(int step, const Entry& e) const;
-  void evict_over_budget_locked();
+  /// Payloads evicted while the lock was held; the vector is always a
+  /// local in the caller's frame declared BEFORE its lock guard, so the
+  /// shared_ptrs (and any final VolumeF deallocation) are released after
+  /// the mutex — destroying megabytes under a hot lock stalls every
+  /// concurrent fetch.
+  using EvictedPayloads = std::vector<std::shared_ptr<const VolumeF>>;
 
-  mutable std::mutex mutex_;
-  std::size_t budget_bytes_;
-  std::size_t resident_bytes_ = 0;
-  int window_lo_ = 0, window_hi_ = -1;  // empty window
-  std::list<int> lru_;                  // front = most recent
-  std::unordered_map<int, Entry> entries_;
-  std::unordered_map<int, int> pending_pins_;  // pins on non-resident steps
-  StreamStats stats_;
+  bool pinned_locked(int step, const Entry& e) const IFET_REQUIRES(mutex_);
+  void evict_over_budget_locked(EvictedPayloads& evicted)
+      IFET_REQUIRES(mutex_);
+
+  mutable OrderedMutex mutex_{MutexRank::kCacheManager};
+  std::size_t budget_bytes_ IFET_GUARDED_BY(mutex_);
+  std::size_t resident_bytes_ IFET_GUARDED_BY(mutex_) = 0;
+  // Pinned window [window_lo_, window_hi_]; empty when lo > hi.
+  int window_lo_ IFET_GUARDED_BY(mutex_) = 0;
+  int window_hi_ IFET_GUARDED_BY(mutex_) = -1;
+  std::list<int> lru_ IFET_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<int, Entry> entries_ IFET_GUARDED_BY(mutex_);
+  /// Pins on non-resident steps (applied on insert).
+  std::unordered_map<int, int> pending_pins_ IFET_GUARDED_BY(mutex_);
+  StreamStats stats_ IFET_GUARDED_BY(mutex_);
 };
 
 }  // namespace ifet

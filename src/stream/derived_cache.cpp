@@ -5,26 +5,28 @@ namespace ifet {
 // The lock is NOT held while `compute` runs: synthesis of one derived
 // product routinely consults another (an IATF transfer function reads the
 // step's cumulative histogram through this same cache), so computing under
-// the lock would self-deadlock. Two threads racing the same cold key may
-// both compute; the first insert wins and the duplicate is discarded —
-// wasted work, never wrong results.
+// the lock would self-deadlock — in checked builds the OrderedMutex
+// re-entry validator turns that mistake into an immediate ifet::Error
+// (tests/concurrency_regression_test.cpp pins the re-entrant case). Two
+// threads racing the same cold key may both compute; the first insert wins
+// and the duplicate is discarded — wasted work, never wrong results.
 template <typename T>
 std::shared_ptr<const T> DerivedCache::get_or_compute(
-    std::unordered_map<Key, std::shared_ptr<const T>, KeyHash>& map, int step,
-    std::uint64_t params_hash, const std::function<T()>& compute) {
+    MemoMap<T> DerivedCache::* map, int step, std::uint64_t params_hash,
+    const std::function<T()>& compute) {
   const Key key{step, params_hash};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map.find(key);
-    if (it != map.end()) {
+    OrderedMutexLock lock(mutex_);
+    auto it = (this->*map).find(key);
+    if (it != (this->*map).end()) {
       ++stats_.derived_hits;
       return it->second;
     }
     ++stats_.derived_misses;
   }
   auto value = std::make_shared<const T>(compute());
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = map.emplace(key, std::move(value));
+  OrderedMutexLock lock(mutex_);
+  auto [it, inserted] = (this->*map).emplace(key, std::move(value));
   (void)inserted;
   return it->second;
 }
@@ -32,28 +34,28 @@ std::shared_ptr<const T> DerivedCache::get_or_compute(
 std::shared_ptr<const Histogram> DerivedCache::histogram(
     int step, std::uint64_t params_hash,
     const std::function<Histogram()>& compute) {
-  return get_or_compute(hists_, step, params_hash, compute);
+  return get_or_compute(&DerivedCache::hists_, step, params_hash, compute);
 }
 
 std::shared_ptr<const CumulativeHistogram> DerivedCache::cumulative_histogram(
     int step, std::uint64_t params_hash,
     const std::function<CumulativeHistogram()>& compute) {
-  return get_or_compute(cumhists_, step, params_hash, compute);
+  return get_or_compute(&DerivedCache::cumhists_, step, params_hash, compute);
 }
 
 std::shared_ptr<const TransferFunction1D> DerivedCache::transfer_function(
     int step, std::uint64_t params_hash,
     const std::function<TransferFunction1D()>& compute) {
-  return get_or_compute(tfs_, step, params_hash, compute);
+  return get_or_compute(&DerivedCache::tfs_, step, params_hash, compute);
 }
 
 std::size_t DerivedCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return hists_.size() + cumhists_.size() + tfs_.size();
 }
 
 StreamStats DerivedCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return stats_;
 }
 

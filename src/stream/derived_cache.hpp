@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "stream/stream_stats.hpp"
 #include "tf/transfer_function.hpp"
 #include "util/hashing.hpp"  // hash_combine / hash_double (moved to util)
+#include "util/ordered_mutex.hpp"
 #include "volume/histogram.hpp"
 
 namespace ifet {
@@ -38,24 +38,26 @@ class DerivedCache {
   /// Histogram for (step, params) — `compute` runs once per distinct key.
   std::shared_ptr<const Histogram> histogram(
       int step, std::uint64_t params_hash,
-      const std::function<Histogram()>& compute);
+      const std::function<Histogram()>& compute) IFET_EXCLUDES(mutex_);
 
   /// Cumulative histogram for (step, params).
   std::shared_ptr<const CumulativeHistogram> cumulative_histogram(
       int step, std::uint64_t params_hash,
-      const std::function<CumulativeHistogram()>& compute);
+      const std::function<CumulativeHistogram()>& compute)
+      IFET_EXCLUDES(mutex_);
 
   /// Synthesized transfer function for (step, params) — params must hash
   /// the network/training state (see Iatf::params_hash), so further
   /// training naturally invalidates by changing the key.
   std::shared_ptr<const TransferFunction1D> transfer_function(
       int step, std::uint64_t params_hash,
-      const std::function<TransferFunction1D()>& compute);
+      const std::function<TransferFunction1D()>& compute)
+      IFET_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const IFET_EXCLUDES(mutex_);
 
   /// Counter snapshot (derived_hits / derived_misses).
-  StreamStats stats() const;
+  StreamStats stats() const IFET_EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -72,18 +74,23 @@ class DerivedCache {
   };
 
   template <typename T>
-  std::shared_ptr<const T> get_or_compute(
-      std::unordered_map<Key, std::shared_ptr<const T>, KeyHash>& map,
-      int step, std::uint64_t params_hash,
-      const std::function<T()>& compute);
+  using MemoMap = std::unordered_map<Key, std::shared_ptr<const T>, KeyHash>;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const Histogram>, KeyHash> hists_;
-  std::unordered_map<Key, std::shared_ptr<const CumulativeHistogram>, KeyHash>
-      cumhists_;
-  std::unordered_map<Key, std::shared_ptr<const TransferFunction1D>, KeyHash>
-      tfs_;
-  StreamStats stats_;
+  /// `compute` is a user callback: it MUST run with mutex_ released (it
+  /// routinely re-enters this cache for another product — see the .cpp).
+  /// The map is addressed by member pointer so the guarded member is only
+  /// dereferenced inside the locked scopes (passing it by reference from
+  /// the unlocked public methods would leak guarded state).
+  template <typename T>
+  std::shared_ptr<const T> get_or_compute(
+      MemoMap<T> DerivedCache::* map, int step, std::uint64_t params_hash,
+      const std::function<T()>& compute) IFET_EXCLUDES(mutex_);
+
+  mutable OrderedMutex mutex_{MutexRank::kDerivedCache};
+  MemoMap<Histogram> hists_ IFET_GUARDED_BY(mutex_);
+  MemoMap<CumulativeHistogram> cumhists_ IFET_GUARDED_BY(mutex_);
+  MemoMap<TransferFunction1D> tfs_ IFET_GUARDED_BY(mutex_);
+  StreamStats stats_ IFET_GUARDED_BY(mutex_);
 };
 
 }  // namespace ifet

@@ -12,14 +12,14 @@ Prefetcher::Prefetcher(ThreadPool& pool, CacheManager& cache,
 }
 
 Prefetcher::~Prefetcher() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_.empty(); });
+  OrderedMutexLock lock(mutex_);
+  while (!in_flight_.empty()) done_cv_.wait(mutex_);
 }
 
 void Prefetcher::schedule(int step) {
   if (cache_.resident(step)) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     if (!in_flight_.insert(step).second) return;  // already in flight
     ++issued_;
   }
@@ -41,14 +41,14 @@ void Prefetcher::schedule(int step) {
     // notify_all must happen under the lock: ~Prefetcher may destroy the
     // condition variable the moment it observes in_flight_ empty, so the
     // erase and the notify have to be atomic with respect to that wait.
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     if (loaded) decode_seconds_ += seconds;
     in_flight_.erase(step);
     done_cv_.notify_all();
   };
   if (!pool_.try_post(task)) {
     // Pool is shutting down: prefetch silently degrades to demand loading.
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     in_flight_.erase(step);
     --issued_;
     done_cv_.notify_all();
@@ -56,19 +56,19 @@ void Prefetcher::schedule(int step) {
 }
 
 bool Prefetcher::wait(int step) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   if (in_flight_.count(step) == 0) return false;
-  done_cv_.wait(lock, [this, step] { return in_flight_.count(step) == 0; });
+  while (in_flight_.count(step) != 0) done_cv_.wait(mutex_);
   return true;
 }
 
 bool Prefetcher::in_flight(int step) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return in_flight_.count(step) != 0;
 }
 
 StreamStats Prefetcher::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   StreamStats out;
   out.prefetch_issued = issued_;
   out.prefetch_decode_seconds = decode_seconds_;

@@ -16,11 +16,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_set>
 
 #include "parallel/thread_pool.hpp"
 #include "stream/cache_manager.hpp"
+#include "util/ordered_mutex.hpp"
 
 namespace ifet {
 
@@ -40,28 +40,30 @@ class Prefetcher {
 
   /// Schedule an async load of `step`; no-op when the step is already
   /// resident or in flight, or when the pool is shutting down.
-  void schedule(int step);
+  void schedule(int step) IFET_EXCLUDES(mutex_);
 
   /// Block until `step` is no longer in flight. Returns true when the call
   /// actually waited on (or raced with) a scheduled load — the caller
   /// should re-check the cache before loading itself.
-  bool wait(int step);
+  bool wait(int step) IFET_EXCLUDES(mutex_);
 
-  bool in_flight(int step) const;
+  bool in_flight(int step) const IFET_EXCLUDES(mutex_);
 
   /// Counter snapshot (prefetch_issued / prefetch decode latency).
-  StreamStats stats() const;
+  StreamStats stats() const IFET_EXCLUDES(mutex_);
 
  private:
   ThreadPool& pool_;
   CacheManager& cache_;
+  /// User callback; always invoked with mutex_ released (it performs disk
+  /// decode and may call back into the cache or the pool).
   std::function<VolumeF(int)> load_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;
-  std::unordered_set<int> in_flight_;
-  std::uint64_t issued_ = 0;
-  double decode_seconds_ = 0.0;
+  mutable OrderedMutex mutex_{MutexRank::kPrefetcher};
+  std::condition_variable_any done_cv_;
+  std::unordered_set<int> in_flight_ IFET_GUARDED_BY(mutex_);
+  std::uint64_t issued_ IFET_GUARDED_BY(mutex_) = 0;
+  double decode_seconds_ IFET_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace ifet

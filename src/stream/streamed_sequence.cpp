@@ -39,32 +39,53 @@ std::unique_ptr<StreamedSequence> StreamedSequence::open_cvol(
       std::make_shared<CompressedFileSource>(path), config);
 }
 
-void StreamedSequence::set_window_locked(int lo, int hi) const {
+std::pair<int, int> StreamedSequence::set_window_locked(
+    int lo, int hi, int last_step,
+    std::vector<std::shared_ptr<const VolumeF>>& dropped) const {
   lo = std::max(lo, 0);
-  hi = std::min(hi, num_steps() - 1);
+  hi = std::min(hi, last_step);
   window_lo_ = lo;
   window_hi_ = hi;
-  store_->pin_window(lo, hi);
   for (auto it = held_.begin(); it != held_.end();) {
     if (it->first < lo || it->first > hi) {
+      dropped.push_back(std::move(it->second));
       it = held_.erase(it);
     } else {
       ++it;
     }
   }
+  return {lo, hi};
 }
 
 const VolumeF& StreamedSequence::step(int step) const {
   IFET_REQUIRE(step >= 0 && step < num_steps(),
                "StreamedSequence: step out of range");
   auto volume = store_->fetch(step);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (step < window_lo_ || step > window_hi_) {
-    set_window_locked(step - config_.pin_radius, step + config_.pin_radius);
+  const int last_step = num_steps() - 1;
+  bool moved = false;
+  std::pair<int, int> window{0, -1};
+  const VolumeF* ref = nullptr;
+  std::vector<std::shared_ptr<const VolumeF>> dropped;
+  {
+    OrderedMutexLock lock(mutex_);
+    if (step < window_lo_ || step > window_hi_) {
+      window = set_window_locked(step - config_.pin_radius,
+                                 step + config_.pin_radius, last_step,
+                                 dropped);
+      moved = true;
+    }
+    auto& slot = held_[step];
+    slot = std::move(volume);
+    ref = slot.get();
   }
-  auto& slot = held_[step];
-  slot = std::move(volume);
-  return *slot;
+  // Pinning (and the loads it triggers — synchronous decodes in
+  // deterministic test mode) runs with mutex_ released: the store and its
+  // loader are call-outs, never callees under this lock. Two racing
+  // window moves may pin in either order; held_ keeps every returned
+  // reference alive regardless, so the pin order is a residency hint, not
+  // a correctness contract.
+  if (moved) store_->pin_window(window.first, window.second);
+  return *ref;
 }
 
 const CumulativeHistogram& StreamedSequence::cumulative_histogram(
@@ -97,8 +118,14 @@ Histogram StreamedSequence::histogram(int step) const {
 
 void StreamedSequence::hint_window(int lo, int hi) const {
   IFET_REQUIRE(lo <= hi, "StreamedSequence::hint_window: inverted window");
-  std::lock_guard<std::mutex> lock(mutex_);
-  set_window_locked(lo, hi);
+  const int last_step = num_steps() - 1;
+  std::pair<int, int> window;
+  std::vector<std::shared_ptr<const VolumeF>> dropped;
+  {
+    OrderedMutexLock lock(mutex_);
+    window = set_window_locked(lo, hi, last_step, dropped);
+  }
+  store_->pin_window(window.first, window.second);
 }
 
 StreamStats StreamedSequence::stats() const {

@@ -20,10 +20,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "stream/derived_cache.hpp"
 #include "stream/volume_store.hpp"
+#include "util/ordered_mutex.hpp"
 #include "volume/sequence.hpp"
 
 namespace ifet {
@@ -59,7 +61,7 @@ class StreamedSequence final : public VolumeSequence {
   }
   int histogram_bins() const override { return config_.histogram_bins; }
 
-  const VolumeF& step(int step) const override;
+  const VolumeF& step(int step) const override IFET_EXCLUDES(mutex_);
   const CumulativeHistogram& cumulative_histogram(int step) const override;
   Histogram histogram(int step) const override;
 
@@ -68,7 +70,7 @@ class StreamedSequence final : public VolumeSequence {
     return store_->load_count();
   }
 
-  void hint_window(int lo, int hi) const override;
+  void hint_window(int lo, int hi) const override IFET_EXCLUDES(mutex_);
   void prefetch_hint(int step) const override { store_->prefetch(step); }
 
   /// Combined counters: cache + prefetch + derived memoization.
@@ -78,20 +80,31 @@ class StreamedSequence final : public VolumeSequence {
   DerivedCache& derived_cache() const { return derived_; }
 
  private:
-  /// Pin [lo, hi] and drop held references outside it. Caller holds
-  /// mutex_.
-  void set_window_locked(int lo, int hi) const;
+  /// Window bookkeeping only: clamp [lo, hi] to [0, last_step], record it,
+  /// and move held references outside it into `dropped` (the caller
+  /// declares `dropped` before its lock guard, so any final VolumeF
+  /// deallocation happens after mutex_ is released). Returns the clamped
+  /// window. The caller pins it on the store AFTER unlocking — pinning
+  /// triggers loads, and in synchronous-prefetch mode a load is a full
+  /// disk decode that must never run under this mutex (that exact defect
+  /// is pinned by tests/concurrency_regression_test.cpp).
+  std::pair<int, int> set_window_locked(
+      int lo, int hi, int last_step,
+      std::vector<std::shared_ptr<const VolumeF>>& dropped) const
+      IFET_REQUIRES(mutex_);
 
   StreamConfig config_;
   std::uint64_t hist_params_ = 0;  ///< hash(bins, value range)
   mutable std::unique_ptr<VolumeStore> store_;
   mutable DerivedCache derived_;
 
-  mutable std::mutex mutex_;  // guards window bounds + held_
-  mutable int window_lo_ = 0, window_hi_ = -1;
+  mutable OrderedMutex mutex_{MutexRank::kStreamedSequence};
+  mutable int window_lo_ IFET_GUARDED_BY(mutex_) = 0;
+  mutable int window_hi_ IFET_GUARDED_BY(mutex_) = -1;
   /// Steps of the active window whose references callers may hold; the
   /// shared_ptrs keep the data alive even across eviction.
-  mutable std::map<int, std::shared_ptr<const VolumeF>> held_;
+  mutable std::map<int, std::shared_ptr<const VolumeF>> held_
+      IFET_GUARDED_BY(mutex_);
 };
 
 }  // namespace ifet

@@ -84,7 +84,7 @@ VolumeF VolumeStore::timed_load(int step, bool prefetch_context) {
   IFET_REQUIRE(v.dims() == source_->dims(),
                "VolumeStore: source produced wrong dimensions");
   const double seconds = timer.seconds();
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   ++total_loads_;
   if (!prefetch_context) {
     ++demand_loads_;
@@ -108,7 +108,7 @@ std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
 
   int direction;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    OrderedMutexLock lock(mutex_);
     direction = step >= last_fetched_step_ ? 1 : -1;
     last_fetched_step_ = step;
   }
@@ -141,14 +141,14 @@ void VolumeStore::pin_window(int lo, int hi) {
 }
 
 std::size_t VolumeStore::load_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   return total_loads_;
 }
 
 StreamStats VolumeStore::stats() const {
   StreamStats out = cache_.stats();
   out.merge(prefetcher_.stats());
-  std::lock_guard<std::mutex> lock(mutex_);
+  OrderedMutexLock lock(mutex_);
   out.demand_loads = demand_loads_;
   out.demand_decode_seconds = demand_decode_seconds_;
   return out;

@@ -16,6 +16,7 @@
 
 #include "stream/cache_manager.hpp"
 #include "stream/prefetcher.hpp"
+#include "util/ordered_mutex.hpp"
 #include "volume/sequence.hpp"
 
 namespace ifet {
@@ -97,24 +98,27 @@ class VolumeStore {
 
   /// Total source loads (demand + prefetch); the out-of-core analogue of
   /// CachedSequence::generation_count.
-  std::size_t load_count() const;
+  std::size_t load_count() const IFET_EXCLUDES(mutex_);
 
   /// Combined snapshot: cache + prefetcher counters.
-  StreamStats stats() const;
+  StreamStats stats() const IFET_EXCLUDES(mutex_);
 
  private:
-  VolumeF timed_load(int step, bool prefetch_context);
+  /// Decodes one step via the source (mutex_ is only taken AFTER the
+  /// decode, to bump the counters — the source call is user code and runs
+  /// lock-free).
+  VolumeF timed_load(int step, bool prefetch_context) IFET_EXCLUDES(mutex_);
 
   std::shared_ptr<const VolumeSource> source_;
   VolumeStoreConfig config_;
   CacheManager cache_;
   Prefetcher prefetcher_;
 
-  mutable std::mutex mutex_;
-  int last_fetched_step_ = -1;
-  std::uint64_t demand_loads_ = 0;
-  std::uint64_t total_loads_ = 0;
-  double demand_decode_seconds_ = 0.0;
+  mutable OrderedMutex mutex_{MutexRank::kVolumeStore};
+  int last_fetched_step_ IFET_GUARDED_BY(mutex_) = -1;
+  std::uint64_t demand_loads_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_loads_ IFET_GUARDED_BY(mutex_) = 0;
+  double demand_decode_seconds_ IFET_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace ifet

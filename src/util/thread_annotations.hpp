@@ -1,0 +1,123 @@
+// Compile-time thread-safety annotations (docs/STATIC_ANALYSIS.md).
+//
+// Thin macro layer over Clang's capability analysis: when compiled with
+// clang and -Wthread-safety (the IFET_THREAD_SAFETY CMake option), the
+// compiler proves that every IFET_GUARDED_BY field is only touched with
+// its mutex held, that IFET_REQUIRES contracts hold at every call site,
+// and that locks acquired by an IFET_SCOPED_CAPABILITY guard are released
+// on every path. Under GCC (which has no such analysis) every macro
+// expands to nothing, so annotated code stays portable.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// a std::mutex member would teach the analysis nothing — lock sites go
+// through the annotated wrappers below instead:
+//
+//   * ifet::Mutex      — std::mutex with ACQUIRE/RELEASE-annotated
+//                        lock()/unlock(); the capability GUARDED_BY names.
+//   * ifet::MutexLock  — scoped RAII guard (the std::lock_guard shape).
+//   * condition-variable waits use std::condition_variable_any directly
+//     on the Mutex (it is BasicLockable); the analysis treats the lock as
+//     held across the wait, which matches the invariant at every
+//     statement a waiter can observe.
+//
+// The streaming classes use the rank-checked ifet::OrderedMutex
+// (util/ordered_mutex.hpp), which layers the runtime lock-order validator
+// on top of the same annotations.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IFET_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef IFET_THREAD_ANNOTATION
+#define IFET_THREAD_ANNOTATION(x)  // no-op: GCC and pre-capability clang
+#endif
+
+/// Class attribute: instances are capabilities (lockable resources).
+#define IFET_CAPABILITY(name) IFET_THREAD_ANNOTATION(capability(name))
+
+/// Class attribute: RAII guard that acquires at construction and releases
+/// at destruction.
+#define IFET_SCOPED_CAPABILITY IFET_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads/writes require holding `mutex`.
+#define IFET_GUARDED_BY(mutex) IFET_THREAD_ANNOTATION(guarded_by(mutex))
+
+/// Field attribute (pointer): the *pointee* is protected by `mutex`.
+#define IFET_PT_GUARDED_BY(mutex) IFET_THREAD_ANNOTATION(pt_guarded_by(mutex))
+
+/// Function attribute: caller must hold the listed capabilities.
+#define IFET_REQUIRES(...) \
+  IFET_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the listed capabilities
+/// (marks public entry points of internally-synchronized classes, so a
+/// re-entrant call that would self-deadlock is a compile error).
+#define IFET_EXCLUDES(...) \
+  IFET_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: acquires the listed capabilities (held on return).
+#define IFET_ACQUIRE(...) \
+  IFET_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the listed capabilities.
+#define IFET_RELEASE(...) \
+  IFET_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires on a `ret`-valued return (try_lock shape).
+#define IFET_TRY_ACQUIRE(ret, ...) \
+  IFET_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define IFET_RETURN_CAPABILITY(x) IFET_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — use only with a comment explaining why the analysis
+/// cannot see the invariant (docs/STATIC_ANALYSIS.md lists the accepted
+/// reasons).
+#define IFET_NO_THREAD_SAFETY_ANALYSIS \
+  IFET_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ifet {
+
+/// std::mutex with capability annotations: the lockable type every
+/// IFET_GUARDED_BY in the tree names. BasicLockable, so it works directly
+/// with std::condition_variable_any.
+class IFET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IFET_ACQUIRE() { m_.lock(); }
+  void unlock() IFET_RELEASE() { m_.unlock(); }
+  bool try_lock() IFET_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII scoped guard over any annotated mutex type (Mutex/OrderedMutex).
+/// The std::lock_guard shape, but carrying the scoped-capability
+/// attributes the analysis needs to know the lock is held until `}`.
+template <typename MutexT>
+class IFET_SCOPED_CAPABILITY GenericMutexLock {
+ public:
+  explicit GenericMutexLock(MutexT& mutex) IFET_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~GenericMutexLock() IFET_RELEASE() { mutex_.unlock(); }
+
+  GenericMutexLock(const GenericMutexLock&) = delete;
+  GenericMutexLock& operator=(const GenericMutexLock&) = delete;
+
+ private:
+  MutexT& mutex_;
+};
+
+using MutexLock = GenericMutexLock<Mutex>;
+
+}  // namespace ifet

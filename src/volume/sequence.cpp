@@ -19,7 +19,7 @@ CachedSequence::Entry& CachedSequence::fetch(int step) const {
                "CachedSequence: step out of range");
   // Serializes cache bookkeeping AND generation: simple and safe; see the
   // class comment for the concurrent-reader sizing contract.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = cache_.find(step);
   if (it != cache_.end()) {
     lru_.remove(step);

@@ -18,9 +18,9 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "util/thread_annotations.hpp"
 #include "volume/histogram.hpp"
 #include "volume/volume.hpp"
 
@@ -131,7 +131,13 @@ class CachedSequence final : public VolumeSequence {
   const VolumeF& step(int step) const override;
   const CumulativeHistogram& cumulative_histogram(int step) const override;
   Histogram histogram(int step) const override;
-  std::size_t generation_count() const override { return generations_; }
+  // Locked: generations_ is written by concurrent fetches; the old
+  // lock-free read here was a data race the thread-safety annotations
+  // refused to compile.
+  std::size_t generation_count() const override IFET_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return generations_;
+  }
 
  private:
   struct Entry {
@@ -139,15 +145,19 @@ class CachedSequence final : public VolumeSequence {
     std::unique_ptr<CumulativeHistogram> cumhist;
   };
 
-  Entry& fetch(int step) const;
+  Entry& fetch(int step) const IFET_EXCLUDES(mutex_);
 
   std::shared_ptr<const VolumeSource> source_;
   std::size_t capacity_;
   int histogram_bins_;
-  mutable std::mutex mutex_;
-  mutable std::list<int> lru_;  // front = most recent
-  mutable std::unordered_map<int, Entry> cache_;
-  mutable std::size_t generations_ = 0;
+  // Plain annotated Mutex (not rank-checked): fetch() deliberately runs
+  // source_->generate() under the lock — the documented serialize-
+  // generation contract of this legacy in-memory path — so it must stay
+  // out of the leaf-rank discipline the streaming classes follow.
+  mutable Mutex mutex_;
+  mutable std::list<int> lru_ IFET_GUARDED_BY(mutex_);  // front = recent
+  mutable std::unordered_map<int, Entry> cache_ IFET_GUARDED_BY(mutex_);
+  mutable std::size_t generations_ IFET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ifet

@@ -1,0 +1,8 @@
+// Fixture (should FAIL): catch (...) hides corruption from sanitizers.
+int guarded(int (*f)()) {
+  try {
+    return f();
+  } catch (...) {
+    return -1;
+  }
+}

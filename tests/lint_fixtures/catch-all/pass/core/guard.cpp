@@ -1,0 +1,10 @@
+// Fixture (should PASS): a concrete exception type is caught.
+#include <exception>
+
+int guarded(int (*f)()) {
+  try {
+    return f();
+  } catch (const std::exception&) {
+    return -1;
+  }
+}

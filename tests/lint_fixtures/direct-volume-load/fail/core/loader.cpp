@@ -1,0 +1,4 @@
+// Fixture (should FAIL): only src/io and src/stream may decode directly.
+#include <string>
+
+void warm(const std::string& path) { auto v = read_vol(path); }

@@ -1,0 +1,5 @@
+// Fixture (should PASS): src/stream is the sanctioned caller of the raw
+// decode functions.
+#include <string>
+
+void warm(const std::string& path) { auto v = read_vol(path); }

@@ -1,0 +1,6 @@
+// Fixture (should FAIL): Dims parameters with no IFET_REQUIRE anywhere.
+struct Dims {
+  int x, y, z;
+};
+
+int cells(const Dims& d) { return d.x * d.y * d.z; }

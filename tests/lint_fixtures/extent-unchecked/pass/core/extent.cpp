@@ -1,0 +1,9 @@
+// Fixture (should PASS): the extents are contract-checked.
+struct Dims {
+  int x, y, z;
+};
+
+int cells(const Dims& d) {
+  IFET_REQUIRE(d.x > 0 && d.y > 0 && d.z > 0, "degenerate extent");
+  return d.x * d.y * d.z;
+}

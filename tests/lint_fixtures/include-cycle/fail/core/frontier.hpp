@@ -1,0 +1,6 @@
+#pragma once
+#include "core/tracker.hpp"
+
+struct Frontier {
+  Tracker* tracker;
+};

@@ -1,0 +1,7 @@
+// Fixture (should FAIL): tracker.hpp and frontier.hpp include each other.
+#pragma once
+#include "core/frontier.hpp"
+
+struct Tracker {
+  Frontier* frontier;
+};

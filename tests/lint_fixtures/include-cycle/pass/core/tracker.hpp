@@ -1,0 +1,7 @@
+// Fixture (should PASS): a one-way include plus a forward declaration.
+#pragma once
+#include "core/frontier.hpp"
+
+struct Tracker {
+  Frontier* frontier;
+};

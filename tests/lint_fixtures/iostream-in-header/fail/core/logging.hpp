@@ -1,0 +1,6 @@
+// Fixture (should FAIL): <iostream> in a header drags stream static init
+// into every TU.
+#pragma once
+#include <iostream>
+
+void log_line(const char* msg);

@@ -1,0 +1,5 @@
+// Fixture (should PASS): headers forward-declare streams via <iosfwd>.
+#pragma once
+#include <iosfwd>
+
+void log_line(std::ostream& out, const char* msg);

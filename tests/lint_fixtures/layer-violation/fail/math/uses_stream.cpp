@@ -1,0 +1,4 @@
+// Fixture (should FAIL): math (layer 1) reaching up into stream (layer 5).
+#include "stream/window.hpp"
+
+int clamp_to_window(int x) { return x; }

@@ -1,0 +1,4 @@
+// Fixture (should PASS): stream (layer 5) may use math (layer 1).
+#include "math/vec.hpp"
+
+int clamp_to_window(int x) { return x; }

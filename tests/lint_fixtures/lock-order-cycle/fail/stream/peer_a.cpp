@@ -1,0 +1,10 @@
+#include "stream/peer_a.hpp"
+
+void PeerA::poke() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peer_->touch();
+}
+
+void PeerA::touch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+}

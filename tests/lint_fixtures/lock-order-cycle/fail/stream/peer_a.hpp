@@ -1,0 +1,16 @@
+// Fixture (should FAIL): PeerA and PeerB call each other's locking
+// methods while holding their own mutex — a cross-TU acquisition cycle.
+#pragma once
+#include <mutex>
+
+class PeerB;
+
+class PeerA {
+ public:
+  void poke();
+  void touch();
+
+ private:
+  std::mutex mutex_;
+  PeerB* peer_;
+};

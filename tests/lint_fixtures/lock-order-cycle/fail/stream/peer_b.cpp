@@ -1,0 +1,10 @@
+#include "stream/peer_b.hpp"
+
+void PeerB::poke() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peer_->touch();
+}
+
+void PeerB::touch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+}

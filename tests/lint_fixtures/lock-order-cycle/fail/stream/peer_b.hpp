@@ -1,0 +1,14 @@
+#pragma once
+#include <mutex>
+
+class PeerA;
+
+class PeerB {
+ public:
+  void poke();
+  void touch();
+
+ private:
+  std::mutex mutex_;
+  PeerA* peer_;
+};

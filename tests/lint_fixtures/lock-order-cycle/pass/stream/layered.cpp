@@ -1,0 +1,17 @@
+#include "stream/layered.hpp"
+
+void Worker::kick() {
+  OrderedMutexLock lock(mutex_);
+}
+
+void Worker::done() {
+  auto finish = [this] {
+    OrderedMutexLock lock(mutex_);
+  };
+  finish();
+}
+
+void Owner::run() {
+  OrderedMutexLock lock(mutex_);
+  worker_->kick();
+}

@@ -1,0 +1,25 @@
+// Fixture (should PASS): one-directional acquisition with strictly
+// increasing ranks; the lambda posted under the lock runs later, so its
+// own re-acquisition is not a held-context call.
+#pragma once
+#include <mutex>
+
+enum class MutexRank : int { kOwner = 10, kWorker = 20 };
+
+class Worker {
+ public:
+  void kick();
+  void done();
+
+ private:
+  OrderedMutex mutex_{MutexRank::kWorker};
+};
+
+class Owner {
+ public:
+  void run();
+
+ private:
+  OrderedMutex mutex_{MutexRank::kOwner};
+  Worker* worker_;
+};

@@ -1,0 +1,4 @@
+// Fixture (should FAIL): rand() breaks run reproducibility.
+#include <cstdlib>
+
+int jitter() { return rand() % 7; }

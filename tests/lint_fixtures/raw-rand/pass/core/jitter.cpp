@@ -1,0 +1,7 @@
+// Fixture (should PASS): explicitly seeded engine, reproducible runs.
+#include <random>
+
+int jitter(unsigned seed) {
+  std::mt19937 rng(seed);
+  return static_cast<int>(rng() % 7);
+}

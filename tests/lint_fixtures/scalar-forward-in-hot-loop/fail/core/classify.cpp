@@ -1,0 +1,6 @@
+// Fixture (should FAIL): per-voxel scalar forward inside a loop body.
+void classify(Mlp& mlp, const double* in, double* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = mlp.forward(in[i]);
+  }
+}

@@ -1,0 +1,8 @@
+// Fixture (should PASS): a loop-free single-voxel probe may use the
+// scalar path; batched passes go through forward_batch outside any loop.
+double probe(Mlp& mlp, double x) { return mlp.forward(x); }
+
+void classify(FlatMlp& engine, const double* in, double* out, int n,
+              Scratch& scratch) {
+  engine.forward_batch(in, n, out, scratch);
+}

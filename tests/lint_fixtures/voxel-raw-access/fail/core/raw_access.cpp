@@ -1,0 +1,4 @@
+// Fixture (should FAIL): raw voxel indexing outside src/volume.
+#include <vector>
+
+float peek(const std::vector<float>& voxels) { return voxels.data()[3]; }

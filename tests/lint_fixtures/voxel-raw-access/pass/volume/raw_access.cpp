@@ -1,0 +1,4 @@
+// Fixture (should PASS): src/volume owns the raw layout and may index it.
+#include <vector>
+
+float peek(const std::vector<float>& voxels) { return voxels.data()[3]; }

@@ -1,0 +1,122 @@
+// Regression fixtures for every ifet_lint rule (docs/STATIC_ANALYSIS.md).
+//
+// Each rule has a should-fail and a should-pass tree under
+// tests/lint_fixtures/<rule>/{fail,pass}; the trees mimic the src/ layer
+// directories because several rules are path-scoped (voxel-raw-access is
+// legal in volume/, direct-volume-load in stream/, ...). The linter runs
+// with --only=<rule> so a fixture crafted for one rule cannot fail the
+// suite through another rule's finding, and with --format=json so the
+// rule id is asserted structurally rather than by scraping prose.
+//
+// This pins three contracts at once: the rule still fires on its minimal
+// violation, it stays quiet on the corrected form, and the per-pass exit
+// bit (conventions=1, lock-order=2, layering=4) is stable for CI scripts.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(IFET_LINT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  LintRun run;
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+struct RuleCase {
+  const char* rule;
+  int exit_bit;
+};
+
+class LintFixturesTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(LintFixturesTest, FailFixtureTripsExactlyThisRule) {
+  const RuleCase& rc = GetParam();
+  const std::string dir =
+      std::string(IFET_LINT_FIXTURES) + "/" + rc.rule + "/fail";
+  const LintRun run =
+      run_lint("--format=json --only=" + std::string(rc.rule) + " " + dir);
+  EXPECT_EQ(run.exit_code, rc.exit_bit) << run.output;
+  EXPECT_NE(run.output.find("\"rule\": \"" + std::string(rc.rule) + "\""),
+            std::string::npos)
+      << run.output;
+}
+
+TEST_P(LintFixturesTest, PassFixtureIsClean) {
+  const RuleCase& rc = GetParam();
+  const std::string dir =
+      std::string(IFET_LINT_FIXTURES) + "/" + rc.rule + "/pass";
+  const LintRun run =
+      run_lint("--format=json --only=" + std::string(rc.rule) + " " + dir);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"findings\": []"), std::string::npos)
+      << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixturesTest,
+    ::testing::Values(RuleCase{"voxel-raw-access", 1},
+                      RuleCase{"extent-unchecked", 1},
+                      RuleCase{"iostream-in-header", 1},
+                      RuleCase{"raw-rand", 1},
+                      RuleCase{"catch-all", 1},
+                      RuleCase{"direct-volume-load", 1},
+                      RuleCase{"scalar-forward-in-hot-loop", 1},
+                      RuleCase{"lock-order-cycle", 2},
+                      RuleCase{"layer-violation", 4},
+                      RuleCase{"include-cycle", 4}),
+    [](const ::testing::TestParamInfo<RuleCase>& info) {
+      std::string name = info.param.rule;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(LintCliTest, ExitBitsCompose) {
+  // A fail tree tripping a conventions rule AND a layering rule at once
+  // must OR the bits; --only is dropped so both families report.
+  const std::string dirs =
+      std::string(IFET_LINT_FIXTURES) + "/raw-rand/fail " +
+      std::string(IFET_LINT_FIXTURES) + "/layer-violation/fail";
+  const LintRun run = run_lint("--format=json " + dirs);
+  EXPECT_EQ(run.exit_code, 1 | 4) << run.output;
+}
+
+TEST(LintCliTest, UsageErrorsExit64) {
+  EXPECT_EQ(run_lint("").exit_code, 64);
+  EXPECT_EQ(run_lint("--format=yaml .").exit_code, 64);
+  EXPECT_EQ(run_lint("/no/such/path/anywhere").exit_code, 64);
+}
+
+TEST(LintCliTest, JsonReportsScanCountAndExitCode) {
+  const std::string dir =
+      std::string(IFET_LINT_FIXTURES) + "/catch-all/pass";
+  const LintRun run = run_lint("--format=json " + dir);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"files_scanned\": 1"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"exit_code\": 0"), std::string::npos)
+      << run.output;
+}
+
+}  // namespace

@@ -4,10 +4,12 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/ordered_mutex.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -170,6 +172,64 @@ TEST(Timer, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
   EXPECT_GE(w.seconds(), 0.0);
   EXPECT_GE(w.milliseconds(), w.seconds() * 1000.0 * 0.99);
+}
+
+// Runtime lock-order validator (docs/STATIC_ANALYSIS.md). The checks live
+// behind IFET_CHECKED_ITERATORS (on in the asan-ubsan / tsan presets), so
+// plain builds only verify the mutex still locks.
+#if defined(IFET_CHECKED_ITERATORS) && IFET_CHECKED_ITERATORS
+constexpr bool kRankChecksOn = true;
+#else
+constexpr bool kRankChecksOn = false;
+#endif
+
+TEST(OrderedMutex, AscendingRanksNest) {
+  OrderedMutex outer(MutexRank::kStreamedSequence);
+  OrderedMutex inner(MutexRank::kThreadPool);
+  OrderedMutexLock lock_outer(outer);
+  OrderedMutexLock lock_inner(inner);  // 10 -> 90: legal strict increase
+  EXPECT_EQ(outer.rank(), MutexRank::kStreamedSequence);
+  EXPECT_EQ(inner.rank(), MutexRank::kThreadPool);
+}
+
+TEST(OrderedMutex, RankInversionThrows) {
+  if (!kRankChecksOn) GTEST_SKIP() << "needs IFET_CHECKED_ITERATORS";
+  OrderedMutex outer(MutexRank::kThreadPool);
+  OrderedMutex inner(MutexRank::kCacheManager);
+  OrderedMutexLock lock_outer(outer);
+  EXPECT_THROW({ OrderedMutexLock lock_inner(inner); }, Error);
+}
+
+TEST(OrderedMutex, ReentrantAcquisitionThrows) {
+  if (!kRankChecksOn) GTEST_SKIP() << "needs IFET_CHECKED_ITERATORS";
+  // Equal ranks never nest, so self-re-entry (a guaranteed std::mutex
+  // deadlock) reports deterministically instead of hanging.
+  OrderedMutex mutex(MutexRank::kDerivedCache);
+  OrderedMutex peer(MutexRank::kDerivedCache);
+  OrderedMutexLock lock(mutex);
+  EXPECT_THROW({ OrderedMutexLock again(peer); }, Error);
+}
+
+TEST(OrderedMutex, NonLifoUnlockThrows) {
+  if (!kRankChecksOn) GTEST_SKIP() << "needs IFET_CHECKED_ITERATORS";
+  OrderedMutex outer(MutexRank::kVolumeStore);
+  OrderedMutex inner(MutexRank::kPrefetcher);
+  outer.lock();
+  inner.lock();
+  EXPECT_THROW(outer.unlock(), Error);  // inner is still held
+  inner.unlock();
+  outer.unlock();
+}
+
+TEST(OrderedMutex, HeldStackIsPerThread) {
+  // A rank held on this thread must not constrain another thread.
+  OrderedMutex low(MutexRank::kStreamedSequence);
+  OrderedMutex high(MutexRank::kThreadPool);
+  OrderedMutexLock lock_high(high);
+  std::thread other([&] {
+    OrderedMutexLock lock_low(low);  // fresh thread, empty held stack
+  });
+  other.join();
 }
 
 }  // namespace

@@ -1,49 +1,123 @@
 #!/usr/bin/env bash
 # One-command tier-1 verification (docs/CORRECTNESS.md):
-#   1. default preset: configure, build, full ctest (includes ifet_lint)
+#   1. default preset: configure, build, full ctest (includes ifet_lint
+#      and the lint fixture regressions)
 #   2. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
-#      with IFET_DEBUG_ASSERT checks on
+#      with IFET_DEBUG_ASSERT checks and the OrderedMutex lock-order
+#      validator on
 #   3. tsan preset: build + run the streaming/concurrency stress tests
 #      (the CacheManager/Prefetcher and thread-pool race detectors)
-#   4. clang-tidy over the hardened directories (skips if not installed)
+#   4. thread-safety: clang build with -Wthread-safety promoted to errors
+#      over the IFET_GUARDED_BY annotations (docs/STATIC_ANALYSIS.md);
+#      skips if clang is not installed
+#   5. clang-tidy over the hardened directories (skips if not installed)
+#
+# Each stage records pass/fail/skip and the script prints a summary table
+# before exiting; the exit status is non-zero if ANY stage failed, so one
+# broken stage no longer hides the results of the others.
 #
 # Usage: tools/ci_check.sh          # everything
 #        JOBS=8 tools/ci_check.sh   # override build parallelism
 #        SKIP_ASAN=1 tools/ci_check.sh   # fast local loop, default only
 #        SKIP_TSAN=1 tools/ci_check.sh   # skip the TSan stress stage
+#        SKIP_THREAD_SAFETY=1 tools/ci_check.sh  # skip the clang stage
 
-set -euo pipefail
+set -uo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 cd "$ROOT"
 
-echo "== ci_check [1/4] default preset: configure + build + ctest =="
-cmake --preset default
-cmake --build --preset default -j "$JOBS"
-ctest --preset default -j "$JOBS"
+STAGE_NAMES=()
+STAGE_RESULTS=()
+FAILED=0
+
+record() {  # record <name> <pass|FAIL|skip>
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+  if [ "$2" = "FAIL" ]; then FAILED=1; fi
+}
+
+run_stage() {  # run_stage <name> <command...>
+  local name="$1"
+  shift
+  echo "== ci_check stage: $name =="
+  if "$@"; then
+    record "$name" "pass"
+  else
+    record "$name" "FAIL"
+  fi
+}
+
+stage_default() {
+  cmake --preset default &&
+    cmake --build --preset default -j "$JOBS" &&
+    ctest --preset default -j "$JOBS"
+}
+
+stage_asan() {
+  cmake --preset asan-ubsan &&
+    cmake --build --preset asan-ubsan -j "$JOBS" &&
+    ctest --preset asan-ubsan -j "$JOBS"
+}
+
+stage_tsan() {
+  cmake --preset tsan &&
+    cmake --build --preset tsan -j "$JOBS" --target \
+      stress_cache_manager_test stress_thread_pool_test flat_mlp_test &&
+    ctest --preset tsan -j "$JOBS" -R \
+      'stress_cache_manager_test|stress_thread_pool_test|flat_mlp_test'
+}
+
+stage_thread_safety() {
+  # A dedicated build tree: the analysis only exists under clang, and the
+  # default preset tree is configured for the host's default compiler.
+  local build_dir="$ROOT/build-thread-safety"
+  cmake -S "$ROOT" -B "$build_dir" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DIFET_THREAD_SAFETY=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    cmake --build "$build_dir" -j "$JOBS"
+}
+
+run_stage "default preset (build + ctest)" stage_default
 
 if [ "${SKIP_ASAN:-0}" != "1" ]; then
-  echo "== ci_check [2/4] asan-ubsan preset: configure + build + ctest =="
-  cmake --preset asan-ubsan
-  cmake --build --preset asan-ubsan -j "$JOBS"
-  ctest --preset asan-ubsan -j "$JOBS"
+  run_stage "asan-ubsan preset (build + ctest)" stage_asan
 else
-  echo "== ci_check [2/4] skipped (SKIP_ASAN=1) =="
+  record "asan-ubsan preset (build + ctest)" "skip"
 fi
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
-  echo "== ci_check [3/4] tsan preset: streaming/concurrency stress =="
-  cmake --preset tsan
-  cmake --build --preset tsan -j "$JOBS" --target \
-    stress_cache_manager_test stress_thread_pool_test flat_mlp_test
-  ctest --preset tsan -j "$JOBS" -R \
-    'stress_cache_manager_test|stress_thread_pool_test|flat_mlp_test'
+  run_stage "tsan preset (concurrency stress)" stage_tsan
 else
-  echo "== ci_check [3/4] skipped (SKIP_TSAN=1) =="
+  record "tsan preset (concurrency stress)" "skip"
 fi
 
-echo "== ci_check [4/4] clang-tidy (graceful skip when absent) =="
-"$ROOT/tools/run_clang_tidy.sh"
+if [ "${SKIP_THREAD_SAFETY:-0}" = "1" ]; then
+  record "clang thread-safety analysis" "skip"
+elif command -v clang++ >/dev/null 2>&1; then
+  run_stage "clang thread-safety analysis" stage_thread_safety
+else
+  echo "== ci_check: clang++ not installed, thread-safety stage skipped =="
+  record "clang thread-safety analysis" "skip"
+fi
 
+echo "== ci_check stage: clang-tidy (graceful skip when absent) =="
+if "$ROOT/tools/run_clang_tidy.sh"; then
+  record "clang-tidy" "pass"
+else
+  record "clang-tidy" "FAIL"
+fi
+
+echo
+echo "== ci_check summary =="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-40s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+
+if [ "$FAILED" != "0" ]; then
+  echo "ci_check: FAILED"
+  exit 1
+fi
 echo "ci_check: all green"

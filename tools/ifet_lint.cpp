@@ -1,272 +1,200 @@
-// ifet_lint — repo-convention static checks for the ifet source tree.
+// ifet_lint — multi-pass static analyzer for the ifet source tree.
 //
 // Registered as a ctest (see tools/CMakeLists.txt) so CI fails when a
-// convention regresses. Each rule exists because the violation it catches
-// has silently corrupted results in systems like this one before it ever
-// crashed; docs/CORRECTNESS.md explains every rule and how to suppress a
-// finding with a `// ifet-lint: allow(<rule>)` marker on the offending
-// line or the line above (file-wide: `// ifet-lint: allow-file(<rule>)`).
+// convention regresses; docs/STATIC_ANALYSIS.md documents every pass and
+// docs/CORRECTNESS.md the per-file convention rules. Suppress a finding
+// with `// ifet-lint: allow(<rule>)` on the offending line or the line
+// above (file-wide: `// ifet-lint: allow-file(<rule>)`).
 //
-// Rules:
-//   voxel-raw-access   `.data()[` / `data_[` raw voxel indexing outside
-//                      src/volume — everything else must use at(),
-//                      operator[] (debug-checked), clamped(), or sample().
-//   extent-unchecked   a .cpp file takes Dims extent parameters but never
-//                      validates anything with IFET_REQUIRE /
-//                      IFET_DEBUG_ASSERT.
-//   iostream-in-header `#include <iostream>` in a header (drags static
-//                      init of the standard streams into every TU; use
-//                      <iosfwd> in headers, <iostream> in .cpp files).
-//   raw-rand           rand()/srand()/time(NULL) randomness — every
-//                      stochastic component must take an explicit
-//                      ifet::Rng seed so runs are reproducible.
-//   catch-all          `catch (...)` swallows sanitizer-unfriendly
-//                      unknown state; catch concrete types (allowed with
-//                      a marker when capturing to rethrow).
-//   direct-volume-load read_vol()/read_raw() calls outside src/io and
-//                      src/stream — pipelines must go through the
-//                      streaming layer (VolumeStore / StreamedSequence)
-//                      so every decoded byte is budgeted and accounted.
-//   scalar-forward-in-hot-loop
-//                      Mlp::forward()/forward_scalar() called inside a
-//                      loop body in src/core or src/render — per-voxel
-//                      passes must batch through FlatMlp::forward_batch
-//                      (nn/flat_mlp.hpp); the scalar path allocates per
-//                      call. Single-voxel probes (classify_voxel) are
-//                      loop-free and remain fine.
+// Passes (each with its own exit-code bit, so CI logs show at a glance
+// which family regressed):
+//   conventions (bit 1)  per-file repo-convention rules: voxel-raw-access,
+//                        extent-unchecked, iostream-in-header, raw-rand,
+//                        catch-all, direct-volume-load,
+//                        scalar-forward-in-hot-loop.
+//   lock-order  (bit 2)  cross-TU mutex-acquisition graph; fails on
+//                        cycles, re-entrant acquisitions, and MutexRank
+//                        inversions (rule lock-order-cycle).
+//   layering    (bit 4)  include-layer DAG (rule layer-violation) and
+//                        header-dependency cycles (rule include-cycle).
+// I/O or usage errors exit 64.
 //
-// Usage: ifet_lint <dir-or-file>...   (typically: ifet_lint <repo>/src)
+// Usage: ifet_lint [--format=text|json] [--only=rule,rule...]
+//                  <dir-or-file>...
+//   (typically: ifet_lint <repo>/src)
 
-#include <cctype>
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <regex>
+#include <set>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/conventions_pass.hpp"
+#include "lint/layering_pass.hpp"
+#include "lint/lock_order_pass.hpp"
+#include "lint/tokenizer.hpp"
 
 namespace {
 
-struct Finding {
-  std::string path;
-  std::size_t line = 0;  // 1-based; 0 = whole file
-  std::string rule;
-  std::string message;
-};
+using ifet_lint::Finding;
+using ifet_lint::SourceFile;
+namespace fs = std::filesystem;
 
-bool is_header(const fs::path& p) {
-  const auto ext = p.extension().string();
-  return ext == ".hpp" || ext == ".h";
-}
+constexpr int kExitConventions = 1;
+constexpr int kExitLockOrder = 2;
+constexpr int kExitLayering = 4;
+constexpr int kExitError = 64;
 
-bool is_source_file(const fs::path& p) {
-  const auto ext = p.extension().string();
-  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
-}
-
-bool in_volume_dir(const fs::path& p) {
-  for (const auto& part : p) {
-    if (part == "volume") return true;
+int exit_bit_for(const std::string& rule) {
+  if (rule == "lock-order-cycle") return kExitLockOrder;
+  if (rule == "layer-violation" || rule == "include-cycle") {
+    return kExitLayering;
   }
-  return false;
+  if (rule == "io-error") return kExitError;
+  return kExitConventions;
 }
 
-/// Directories whose files may call the raw volume-load functions: the I/O
-/// layer defines them, the streaming layer is the one sanctioned caller.
-bool may_load_volumes(const fs::path& p) {
-  for (const auto& part : p) {
-    if (part == "io" || part == "stream") return true;
-  }
-  return false;
-}
-
-/// Directories whose per-voxel passes must use the flat batched inference
-/// engine (the scalar-forward-in-hot-loop rule's scope).
-bool in_hot_dir(const fs::path& p) {
-  for (const auto& part : p) {
-    if (part == "core" || part == "render") return true;
-  }
-  return false;
-}
-
-bool is_comment_line(const std::string& line) {
-  const auto pos = line.find_first_not_of(" \t");
-  return pos != std::string::npos && line.compare(pos, 2, "//") == 0;
-}
-
-/// True when `lines[i]` or the line above carries an allow marker for
-/// `rule`, e.g. `// ifet-lint: allow(catch-all)`.
-bool suppressed(const std::vector<std::string>& lines, std::size_t i,
-                const std::string& rule) {
-  const std::string marker = "ifet-lint: allow(" + rule + ")";
-  if (lines[i].find(marker) != std::string::npos) return true;
-  return i > 0 && lines[i - 1].find(marker) != std::string::npos;
-}
-
-bool file_suppressed(const std::vector<std::string>& lines,
-                     const std::string& rule) {
-  const std::string marker = "ifet-lint: allow-file(" + rule + ")";
-  for (const auto& l : lines) {
-    if (l.find(marker) != std::string::npos) return true;
-  }
-  return false;
-}
-
-void scan_file(const fs::path& path, std::vector<Finding>& findings) {
-  std::ifstream in(path);
-  if (!in) {
-    findings.push_back({path.string(), 0, "io-error", "cannot read file"});
-    return;
-  }
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) lines.push_back(line);
-
-  static const std::regex raw_rand_re(R"(\b(rand|srand)\s*\()");
-  static const std::regex raw_time_re(R"(\btime\s*\(\s*(NULL|nullptr|0)\s*\))");
-  static const std::regex catch_all_re(R"(catch\s*\(\s*\.\.\.\s*\))");
-  static const std::regex data_member_re(R"(\bdata_\s*\[)");
-  static const std::regex volume_load_re(R"(\b(read_vol|read_raw)\s*\()");
-  static const std::regex dims_param_re(
-      R"([(,]\s*(const\s+)?(ifet::)?Dims\s*[&)\s,])");
-  // Longest alternatives first: std::regex picks the leftmost alternative,
-  // and `parallel_for` followed by `_ranges` must not stop the match.
-  static const std::regex loop_re(
-      R"(\b(parallel_for_ranges|parallel_for_dynamic|parallel_for_static|parallel_for|for|while)\s*\()");
-  static const std::regex scalar_forward_re(
-      R"((\.|->)\s*forward(_scalar)?\s*\()");
-
-  const bool header = is_header(path);
-  const bool volume_dir = in_volume_dir(path);
-  const bool loader_dir = may_load_volumes(path);
-  const bool hot_dir = in_hot_dir(path);
-  bool has_contract_check = false;
-  bool has_dims_param = false;
-  std::size_t first_dims_line = 0;
-  // Loop-body tracking for scalar-forward-in-hot-loop: brace depth plus the
-  // depths at which a loop (or parallel_for lambda) body opened. A pending
-  // loop header adopts the next `{` as its body.
-  int depth = 0;
-  std::vector<int> loop_body_depths;
-  bool pending_loop = false;
-
-  auto report = [&](std::size_t i, const char* rule, const char* message) {
-    if (suppressed(lines, i, rule)) return;
-    findings.push_back({path.string(), i + 1, rule, message});
-  };
-
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    if (line.find("IFET_REQUIRE") != std::string::npos ||
-        line.find("IFET_DEBUG_ASSERT") != std::string::npos) {
-      has_contract_check = true;
-    }
-    if (!has_dims_param && !is_comment_line(line) &&
-        std::regex_search(line, dims_param_re)) {
-      has_dims_param = true;
-      first_dims_line = i + 1;
-    }
-    if (is_comment_line(line)) continue;
-
-    if (header && line.find("#include <iostream>") != std::string::npos) {
-      report(i, "iostream-in-header",
-             "headers must use <iosfwd>; include <iostream> in the .cpp");
-    }
-    if (std::regex_search(line, raw_rand_re) ||
-        std::regex_search(line, raw_time_re)) {
-      report(i, "raw-rand",
-             "use an explicitly seeded ifet::Rng (util/rng.hpp); "
-             "rand()/time() seeding breaks reproducibility");
-    }
-    if (std::regex_search(line, catch_all_re)) {
-      report(i, "catch-all",
-             "catch concrete exception types; a bare catch (...) hides "
-             "corruption the sanitizers would otherwise surface");
-    }
-    if (!volume_dir && (line.find(".data()[") != std::string::npos ||
-                        std::regex_search(line, data_member_re))) {
-      report(i, "voxel-raw-access",
-             "raw voxel indexing outside src/volume; use at(), the "
-             "debug-checked operator[], clamped(), or sample()");
-    }
-    if (!loader_dir && std::regex_search(line, volume_load_re)) {
-      report(i, "direct-volume-load",
-             "load volumes through the streaming layer (VolumeStore / "
-             "StreamedSequence) so the bytes are budgeted; direct "
-             "read_vol()/read_raw() is reserved for src/io and src/stream");
-    }
-    if (hot_dir) {
-      std::ptrdiff_t call_pos = -1;
-      std::smatch m;
-      if (std::regex_search(line, m, scalar_forward_re)) {
-        call_pos = m.position(0);
-      }
-      if (std::regex_search(line, loop_re)) pending_loop = true;
-      for (std::size_t c = 0; c < line.size(); ++c) {
-        if (call_pos == static_cast<std::ptrdiff_t>(c) &&
-            !loop_body_depths.empty()) {
-          report(i, "scalar-forward-in-hot-loop",
-                 "scalar Mlp forward inside a loop body; per-voxel passes "
-                 "must batch through FlatMlp::forward_batch "
-                 "(nn/flat_mlp.hpp) — the scalar path allocates per call");
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
         }
-        if (line[c] == '/' && c + 1 < line.size() && line[c + 1] == '/') {
-          break;  // trailing comment: braces in prose must not count
-        }
-        if (line[c] == '{') {
-          ++depth;
-          if (pending_loop) {
-            loop_body_depths.push_back(depth);
-            pending_loop = false;
-          }
-        } else if (line[c] == '}') {
-          if (!loop_body_depths.empty() && loop_body_depths.back() == depth) {
-            loop_body_depths.pop_back();
-          }
-          --depth;
-        }
-      }
     }
   }
+  return out;
+}
 
-  const auto ext = path.extension().string();
-  if ((ext == ".cpp" || ext == ".cc") && has_dims_param &&
-      !has_contract_check && !file_suppressed(lines, "extent-unchecked")) {
-    findings.push_back(
-        {path.string(), first_dims_line, "extent-unchecked",
-         "file handles Dims extents but contains no IFET_REQUIRE / "
-         "IFET_DEBUG_ASSERT validating them"});
+void print_json(const std::vector<Finding>& findings,
+                std::size_t files_scanned, int exit_code) {
+  std::cout << "{\n  \"files_scanned\": " << files_scanned
+            << ",\n  \"exit_code\": " << exit_code << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "    {\"path\": \"" << json_escape(f.path)
+              << "\", \"line\": " << f.line << ", \"rule\": \""
+              << json_escape(f.rule) << "\", \"message\": \""
+              << json_escape(f.message) << "\"}";
   }
+  std::cout << (findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: ifet_lint <dir-or-file>...\n";
-    return 2;
-  }
-  std::vector<Finding> findings;
-  std::size_t files_scanned = 0;
+  std::string format = "text";
+  std::set<std::string> only;
+  std::vector<fs::path> roots;
   for (int a = 1; a < argc; ++a) {
-    fs::path root(argv[a]);
+    const std::string arg = argv[a];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "ifet_lint: unknown format '" << format << "'\n";
+        return kExitError;
+      }
+    } else if (arg.rfind("--only=", 0) == 0) {
+      std::string rules = arg.substr(7);
+      std::size_t start = 0;
+      while (start <= rules.size()) {
+        const auto comma = rules.find(',', start);
+        const auto len =
+            (comma == std::string::npos ? rules.size() : comma) - start;
+        if (len > 0) only.insert(rules.substr(start, len));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (only.empty()) {
+        std::cerr << "ifet_lint: --only needs at least one rule\n";
+        return kExitError;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ifet_lint: unknown option '" << arg << "'\n";
+      return kExitError;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: ifet_lint [--format=text|json] "
+                 "[--only=rule,rule...] <dir-or-file>...\n";
+    return kExitError;
+  }
+
+  std::vector<SourceFile> files;
+  for (const auto& root : roots) {
     std::error_code ec;
     if (fs::is_regular_file(root, ec)) {
-      ++files_scanned;
-      scan_file(root, findings);
+      files.push_back(ifet_lint::load_file(root));
       continue;
     }
     if (!fs::is_directory(root, ec)) {
       std::cerr << "ifet_lint: no such file or directory: " << root << "\n";
-      return 2;
+      return kExitError;
     }
+    std::vector<fs::path> paths;
     for (auto it = fs::recursive_directory_iterator(root);
          it != fs::recursive_directory_iterator(); ++it) {
-      if (!it->is_regular_file() || !is_source_file(it->path())) continue;
-      ++files_scanned;
-      scan_file(it->path(), findings);
+      if (!it->is_regular_file() || !ifet_lint::is_source_file(it->path())) {
+        continue;
+      }
+      paths.push_back(it->path());
     }
+    // Directory iteration order is filesystem-dependent; sort so findings
+    // and include-graph traversal are stable across machines.
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) files.push_back(ifet_lint::load_file(p));
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& f : files) {
+    if (!f.ok) {
+      findings.push_back({f.path.string(), 0, "io-error", "cannot read file"});
+      continue;
+    }
+    ifet_lint::run_conventions_pass(f, findings);
+  }
+  ifet_lint::run_lock_order_pass(files, findings);
+  ifet_lint::run_layering_pass(files, findings);
+
+  if (!only.empty()) {
+    std::vector<Finding> kept;
+    for (auto& f : findings) {
+      if (only.count(f.rule) != 0 || f.rule == "io-error") {
+        kept.push_back(std::move(f));
+      }
+    }
+    findings.swap(kept);
+  }
+
+  int exit_code = 0;
+  for (const auto& f : findings) exit_code |= exit_bit_for(f.rule);
+
+  if (format == "json") {
+    print_json(findings, files.size(), exit_code);
+    return exit_code;
   }
   for (const auto& f : findings) {
     std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
@@ -274,9 +202,9 @@ int main(int argc, char** argv) {
   }
   if (!findings.empty()) {
     std::cerr << "ifet_lint: " << findings.size() << " finding(s) in "
-              << files_scanned << " file(s)\n";
-    return 1;
+              << files.size() << " file(s)\n";
+  } else {
+    std::cout << "ifet_lint: OK (" << files.size() << " files scanned)\n";
   }
-  std::cout << "ifet_lint: OK (" << files_scanned << " files scanned)\n";
-  return 0;
+  return exit_code;
 }

@@ -1,0 +1,163 @@
+// Layering pass: enforces the source-tree layer DAG and rejects include
+// cycles (rules `layer-violation` and `include-cycle`).
+//
+// The layer ranks (docs/STATIC_ANALYSIS.md) mirror how the tree actually
+// composes, bottom-up:
+//
+//   0 util        errors, rng, timers, lock-order/thread annotations
+//   1 math, parallel
+//   2 tf, nn
+//   3 volume, ml
+//   4 io, flowsim
+//   5 stream, render
+//   6 core
+//   7 eval, session
+//   8 tools
+//
+// A quoted include may only reach a strictly lower-ranked directory;
+// same-directory includes are always fine, and peers (math <-> parallel)
+// may not include each other — a dependency between peers means one of
+// them is no longer the layer it claims to be. Unknown directories are
+// skipped rather than guessed at.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/tokenizer.hpp"
+
+namespace ifet_lint {
+
+inline const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> ranks = {
+      {"util", 0},   {"math", 1},    {"parallel", 1}, {"tf", 2},
+      {"nn", 2},     {"volume", 3},  {"ml", 3},       {"io", 4},
+      {"flowsim", 4}, {"stream", 5}, {"render", 5},   {"core", 6},
+      {"eval", 7},   {"session", 7}, {"tools", 8}};
+  return ranks;
+}
+
+/// Module (layer directory) of a scanned file: the path component after
+/// `src` when present, otherwise the immediate parent directory — the
+/// latter keeps fixture trees (tests/lint_fixtures/<rule>/fail/math/x.cpp)
+/// working without a src/ root.
+inline std::string module_of(const fs::path& p) {
+  std::vector<std::string> parts;
+  for (const auto& part : p) parts.push_back(part.string());
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "src") return parts[i + 1];
+  }
+  return parts.size() >= 2 ? parts[parts.size() - 2] : std::string();
+}
+
+/// Node key in the include graph: the path a sibling would include it by
+/// ("stream/cache_manager.hpp").
+inline std::string include_key(const fs::path& p) {
+  return module_of(p) + "/" + p.filename().string();
+}
+
+inline void run_layering_pass(const std::vector<SourceFile>& files,
+                              std::vector<Finding>& findings) {
+  static const std::regex include_re(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+
+  struct IncludeEdge {
+    std::string target;  // quoted include path
+    std::size_t file_index;
+    std::size_t line;  // 1-based
+  };
+  std::map<std::string, std::vector<IncludeEdge>> graph;  // key -> edges
+  const auto& ranks = layer_ranks();
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const SourceFile& file = files[fi];
+    if (!file.ok) continue;
+    const std::string from_module = module_of(file.path);
+    const auto from_rank = ranks.find(from_module);
+    auto& edges = graph[include_key(file.path)];
+
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      std::smatch m;
+      // Includes survive in the raw view only (the code view blanks string
+      // literals, and the include path is one).
+      if (!std::regex_search(file.raw[i], m, include_re)) continue;
+      const std::string target = m[1].str();
+      edges.push_back({target, fi, i + 1});
+
+      const auto slash = target.find('/');
+      if (slash == std::string::npos) continue;  // same-dir relative form
+      const std::string to_module = target.substr(0, slash);
+      if (to_module == from_module) continue;
+      const auto to_rank = ranks.find(to_module);
+      if (from_rank == ranks.end() || to_rank == ranks.end()) continue;
+      if (to_rank->second >= from_rank->second &&
+          !suppressed(file.raw, i, "layer-violation")) {
+        findings.push_back(
+            {file.path.string(), i + 1, "layer-violation",
+             "src/" + from_module + " (layer " +
+                 std::to_string(from_rank->second) + ") must not include " +
+                 target + " (layer " + std::to_string(to_rank->second) +
+                 "); includes may only reach strictly lower layers — " +
+                 "move the shared piece down or invert the dependency"});
+      }
+    }
+  }
+
+  // Include-cycle detection over the quoted-include graph, restricted to
+  // scanned files (system headers and unscanned targets are absent nodes).
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto git = graph.find(node);
+    if (git != graph.end()) {
+      for (const auto& e : git->second) {
+        if (graph.find(e.target) == graph.end()) continue;
+        if (color[e.target] == 1) {
+          std::vector<std::string> cycle;
+          for (std::size_t s = stack.size(); s-- > 0;) {
+            cycle.push_back(stack[s]);
+            if (stack[s] == e.target) break;
+          }
+          std::vector<std::string> key_parts = cycle;
+          std::sort(key_parts.begin(), key_parts.end());
+          std::string key;
+          for (const auto& p : key_parts) key += p + "|";
+          const SourceFile& site = files[e.file_index];
+          if (reported.count(key) ||
+              suppressed(site.raw, e.line - 1, "include-cycle")) {
+            continue;
+          }
+          reported.insert(key);
+          std::string path_str = e.target;
+          for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) {
+            if (*it != e.target || it != cycle.rbegin()) {
+              path_str += " -> " + *it;
+            }
+          }
+          path_str += " -> " + e.target;
+          findings.push_back({site.path.string(), e.line, "include-cycle",
+                              "include cycle: " + path_str +
+                                  "; break it with a forward declaration "
+                                  "or by splitting the header"});
+        } else if (color[e.target] == 0) {
+          dfs(e.target);
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, edges] : graph) {
+    (void)edges;
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+}  // namespace ifet_lint

@@ -1,0 +1,500 @@
+// Lock-order pass: builds a per-class mutex-acquisition graph across every
+// scanned translation unit and fails on cycles and rank inversions
+// (rule `lock-order-cycle`).
+//
+// Model (docs/STATIC_ANALYSIS.md): each class owning a mutex member is a
+// node. An edge A -> B means "some method of A calls, while holding A's
+// mutex, a method that acquires B's mutex" — resolved through the repo's
+// member-naming convention (`recv_->method(...)` with `Type recv_;`
+// declared in A's class body) or an unqualified self-call. Lambda bodies
+// reset the held-lock context: a lambda defined under a lock runs later,
+// when the lock is no longer held (the `Prefetcher::schedule` pattern).
+// A cycle in this graph is a deadlock candidate no rank assignment can
+// fix; an edge from a higher-ranked OrderedMutex to a lower-ranked one is
+// an inversion the runtime validator (util/ordered_mutex.hpp) would throw
+// on. Both report as `lock-order-cycle`.
+//
+// This is a heuristic token-level analysis, not a compiler: it relies on
+// the repo conventions that members end in `_`, class types are
+// UpperCamelCase, and constructor initializer lists use parentheses. It is
+// deliberately edge-conservative — an unresolvable receiver produces no
+// edge — so its findings are worth acting on and its silence is not proof.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/tokenizer.hpp"
+
+namespace ifet_lint {
+
+struct ClassModel {
+  std::set<std::string> mutex_members;              // e.g. "mutex_"
+  std::map<std::string, std::string> member_types;  // "pool_" -> "ThreadPool"
+  std::set<std::string> locking_methods;
+  std::string rank_name;  // "kVolumeStore" when an OrderedMutex declares one
+};
+
+struct LockSite {
+  std::string cls;
+  std::string method;
+  std::string mutex;
+  std::string path;
+  std::size_t line = 0;
+};
+
+struct HeldLock {
+  int depth = 0;
+  int lambda_level = 0;
+  std::string cls;    // class context at acquisition
+  std::string mutex;  // member name of the locked mutex
+};
+
+struct CallSite {
+  std::string cls;     // class context of the calling method
+  std::string recv;    // "pool_" for pool_->f(); empty for bare f()
+  std::string callee;  // method name
+  std::string path;
+  std::size_t line = 0;
+  std::size_t file_index = 0;  // into the scanned-file vector
+  std::vector<HeldLock> held;  // locks active at this call
+};
+
+struct LockOrderModel {
+  std::map<std::string, ClassModel> classes;
+  std::map<std::string, int> rank_values;  // "kVolumeStore" -> 20
+  std::vector<LockSite> locks;
+  std::vector<CallSite> calls;
+};
+
+namespace detail {
+
+inline bool is_call_keyword(const std::string& name) {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",  "catch",    "return",
+      "sizeof", "new",    "delete", "defined", "decltype", "alignof",
+      "throw",  "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast", "assert"};
+  return kw.count(name) != 0 || name.rfind("IFET_", 0) == 0;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kMethod, kLambda, kOther };
+  Kind kind;
+  int depth;
+  std::string name;  // class name / method name
+  std::string cls;   // owning class for kMethod
+};
+
+/// Walks one file, growing `model` with class declarations, lock
+/// acquisitions, and held-context call sites.
+inline void walk_file(const SourceFile& file, std::size_t file_index,
+                      LockOrderModel& model) {
+  // `class X final : Base {` with optional attribute macros between the
+  // keyword and the name (class IFET_CAPABILITY("mutex") Mutex — the
+  // string argument is already blanked in the code view).
+  static const std::regex class_head_re(
+      R"(\b(class|struct)\s+((IFET_\w+\s*(\(\s*\))?\s*)*)(\w+))");
+  static const std::regex namespace_re(R"(\bnamespace\b)");
+  static const std::regex enum_head_re(R"(\benum\s+(class\s+)?MutexRank\b)");
+  static const std::regex enum_value_re(R"(\b(k\w+)\s*=\s*(\d+))");
+  static const std::regex qual_method_re(R"(\b(\w+)\s*::\s*(~?\w+)\s*\()");
+  static const std::regex inclass_method_re(R"(\b(~?\w+)\s*\()");
+  static const std::regex lambda_re(
+      R"(\]\s*(\(([^()]|\([^()]*\))*\))?\s*(mutable\s*)?(noexcept\s*)?(->[^={]*)?\{)");
+  // Lock acquisitions: the repo's annotated RAII guards, the std guards,
+  // and a direct member .lock() call.
+  static const std::regex raii_lock_re(
+      R"(\b(OrderedMutexLock|MutexLock|GenericMutexLock\s*<[^>]*>)\s+\w+\s*[({]\s*(\w+)\s*[)}])");
+  static const std::regex std_lock_re(
+      R"(\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s+\w+\s*[({]\s*(\w+)\s*[),}])");
+  static const std::regex direct_lock_re(R"(\b(\w+)\s*\.\s*lock\s*\(\s*\))");
+  static const std::regex member_call_re(
+      R"(\b(\w+_)\s*(->|\.)\s*(\w+)\s*\()");
+  static const std::regex bare_call_re(R"(\b([A-Za-z_]\w*)\s*\()");
+  // Class-body member declarations.
+  static const std::regex mutex_rank_decl_re(
+      R"(\bOrderedMutex\s+(\w+)\s*\{\s*MutexRank\s*::\s*(\w+)\s*\})");
+  static const std::regex mutex_decl_re(
+      R"(\b(OrderedMutex|Mutex|std\s*::\s*(mutex|recursive_mutex|shared_mutex|timed_mutex))\s+(\w+)\s*[;{=])");
+  static const std::regex smart_member_re(
+      R"(\bstd\s*::\s*(unique_ptr|shared_ptr)\s*<\s*(const\s+)?(\w+)\s*>\s+(\w+_)\s*[;={])");
+  static const std::regex plain_member_re(
+      R"(\b([A-Z]\w*)\s*[&*]?\s+(\w+_)\s*[;={])");
+
+  std::vector<Scope> scopes;
+  int depth = 0;
+  int lambda_level = 0;
+  bool pending_namespace = false;
+  std::string pending_class;
+  std::string pending_method_cls, pending_method_name;
+  bool in_rank_enum = false;
+  std::vector<HeldLock> held;
+
+  auto innermost = [&]() -> const Scope* {
+    return scopes.empty() ? nullptr : &scopes.back();
+  };
+  auto current_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kMethod) return it->cls;
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return {};
+  };
+  auto current_method = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kMethod) return it->name;
+    }
+    return {};
+  };
+  auto at_body_level = [&]() {
+    const Scope* s = innermost();
+    return s != nullptr &&
+           (s->kind == Scope::kMethod || s->kind == Scope::kLambda ||
+            s->kind == Scope::kOther);
+  };
+  auto at_namespace_level = [&]() {
+    const Scope* s = innermost();
+    return s == nullptr || s->kind == Scope::kNamespace;
+  };
+  auto active_held = [&]() {
+    std::vector<HeldLock> out;
+    for (const auto& h : held) {
+      if (h.lambda_level == lambda_level) out.push_back(h);
+    }
+    return out;
+  };
+
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+
+    // MutexRank enum: harvest the numeric rank table so inversions can be
+    // checked without hard-coding the ranks into the linter.
+    if (!in_rank_enum && std::regex_search(line, enum_head_re)) {
+      in_rank_enum = true;
+    }
+    if (in_rank_enum) {
+      for (std::sregex_iterator it(line.begin(), line.end(), enum_value_re),
+           end;
+           it != end; ++it) {
+        model.rank_values[(*it)[1].str()] = std::stoi((*it)[2].str());
+      }
+      if (line.find('}') != std::string::npos) in_rank_enum = false;
+      continue;
+    }
+
+    // Class-body member declarations (checked against the scope state at
+    // line start; a one-line inline method body does not disturb it).
+    const Scope* in = innermost();
+    if (in != nullptr && in->kind == Scope::kClass) {
+      std::smatch m;
+      const std::string& cls = in->name;
+      if (std::regex_search(line, m, mutex_rank_decl_re)) {
+        model.classes[cls].mutex_members.insert(m[1].str());
+        model.classes[cls].rank_name = m[2].str();
+      } else if (std::regex_search(line, m, mutex_decl_re)) {
+        model.classes[cls].mutex_members.insert(m[3].str());
+      } else if (std::regex_search(line, m, smart_member_re)) {
+        model.classes[cls].member_types[m[4].str()] = m[3].str();
+      } else if (std::regex_search(line, m, plain_member_re)) {
+        model.classes[cls].member_types[m[2].str()] = m[1].str();
+      }
+    }
+
+    // Position-tagged events, interleaved with the brace scan below.
+    std::map<std::size_t, std::pair<std::string, std::string>> class_heads;
+    std::map<std::size_t, std::pair<std::string, std::string>> method_heads;
+    std::set<std::size_t> lambda_braces;
+    std::map<std::size_t, std::string> lock_sites;
+    struct CallTok {
+      std::string recv, callee;
+    };
+    std::map<std::size_t, CallTok> call_sites;
+    std::set<std::size_t> claimed;  // positions consumed by richer matches
+
+    for (std::sregex_iterator it(line.begin(), line.end(), class_head_re),
+         end;
+         it != end; ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      // `enum class X` is not a class body we model.
+      const auto epos = line.rfind("enum", pos);
+      if (epos != std::string::npos && pos - epos <= 8) continue;
+      class_heads[pos] = {(*it)[1].str(), (*it)[5].str()};
+    }
+    if (std::regex_search(line, namespace_re)) pending_namespace = true;
+    for (std::sregex_iterator it(line.begin(), line.end(), lambda_re), end;
+         it != end; ++it) {
+      lambda_braces.insert(
+          static_cast<std::size_t>(it->position(0) + it->length(0)) - 1);
+    }
+    if (at_namespace_level()) {
+      // Qualified heads (`Foo::bar(...)`) only start definitions at
+      // namespace level; inside bodies they are calls, not heads.
+      std::smatch m;
+      if (std::regex_search(line, m, qual_method_re)) {
+        method_heads[static_cast<std::size_t>(m.position(0))] = {m[1].str(),
+                                                                 m[2].str()};
+      }
+    }
+    if (in != nullptr && in->kind == Scope::kClass &&
+        pending_method_name.empty() && method_heads.empty()) {
+      for (std::sregex_iterator it(line.begin(), line.end(),
+                                   inclass_method_re),
+           end;
+           it != end; ++it) {
+        const std::string name = (*it)[1].str();
+        if (is_call_keyword(name)) continue;
+        const auto pos = static_cast<std::size_t>(it->position(0));
+        if (pos > 0 && (line[pos - 1] == ':' || line[pos - 1] == '.' ||
+                        line[pos - 1] == '>')) {
+          continue;
+        }
+        method_heads[pos] = {in->name, name};
+        break;  // first plausible name is the declarator
+      }
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), raii_lock_re), end;
+         it != end; ++it) {
+      lock_sites[static_cast<std::size_t>(it->position(0))] = (*it)[2].str();
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), std_lock_re), end;
+         it != end; ++it) {
+      lock_sites[static_cast<std::size_t>(it->position(0))] = (*it)[2].str();
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), direct_lock_re),
+         end;
+         it != end; ++it) {
+      lock_sites[static_cast<std::size_t>(it->position(0))] = (*it)[1].str();
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), member_call_re),
+         end;
+         it != end; ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      call_sites[pos] = {(*it)[1].str(), (*it)[3].str()};
+      claimed.insert(pos);
+      claimed.insert(static_cast<std::size_t>(it->position(3)));
+    }
+    for (std::sregex_iterator it(line.begin(), line.end(), bare_call_re),
+         end;
+         it != end; ++it) {
+      const auto pos = static_cast<std::size_t>(it->position(0));
+      if (claimed.count(pos)) continue;
+      const std::string name = (*it)[1].str();
+      if (is_call_keyword(name)) continue;
+      if (pos > 0 && (line[pos - 1] == '.' || line[pos - 1] == ':' ||
+                      line[pos - 1] == '>' || line[pos - 1] == '~')) {
+        continue;
+      }
+      call_sites.emplace(pos, CallTok{std::string(), name});
+    }
+
+    // Character scan: fire events in source order so a lock declared
+    // mid-line guards only the calls after it.
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      if (auto ch = class_heads.find(c); ch != class_heads.end()) {
+        pending_class = ch->second.second;
+      }
+      if (auto mh = method_heads.find(c); mh != method_heads.end()) {
+        pending_method_cls = mh->second.first;
+        pending_method_name = mh->second.second;
+      }
+      if (auto lk = lock_sites.find(c); lk != lock_sites.end()) {
+        const std::string cls = current_class();
+        if (!cls.empty()) {
+          // Recorded unconditionally: this file may be walked before the
+          // header declaring the mutex member, so whether the name is a
+          // class mutex (vs. a local like ThreadPool::run_tasks's
+          // done_mutex) is decided in the resolution phase.
+          model.locks.push_back(
+              {cls, current_method(), lk->second, file.path.string(), i + 1});
+          held.push_back({depth, lambda_level, cls, lk->second});
+        }
+      }
+      if (auto cs = call_sites.find(c); cs != call_sites.end()) {
+        auto active = active_held();
+        if (!active.empty() && at_body_level()) {
+          model.calls.push_back({current_class(), cs->second.recv,
+                                 cs->second.callee, file.path.string(), i + 1,
+                                 file_index, std::move(active)});
+        }
+      }
+      if (line[c] == ';') {
+        // A `;` ends any declaration without a body: pure virtuals,
+        // forward declarations, `namespace x = y;`.
+        pending_class.clear();
+        pending_namespace = false;
+        pending_method_cls.clear();
+        pending_method_name.clear();
+      } else if (line[c] == '{') {
+        ++depth;
+        if (lambda_braces.count(c)) {
+          scopes.push_back({Scope::kLambda, depth, "", ""});
+          ++lambda_level;
+        } else if (!pending_class.empty()) {
+          scopes.push_back({Scope::kClass, depth, pending_class, ""});
+          pending_class.clear();
+        } else if (!pending_method_name.empty()) {
+          scopes.push_back({Scope::kMethod, depth, pending_method_name,
+                            pending_method_cls});
+          pending_method_cls.clear();
+          pending_method_name.clear();
+        } else if (pending_namespace) {
+          scopes.push_back({Scope::kNamespace, depth, "", ""});
+          pending_namespace = false;
+        } else {
+          scopes.push_back({Scope::kOther, depth, "", ""});
+        }
+      } else if (line[c] == '}') {
+        for (std::size_t h = held.size(); h-- > 0;) {
+          if (held[h].depth == depth) held.erase(held.begin() + h);
+        }
+        if (!scopes.empty() && scopes.back().depth == depth) {
+          if (scopes.back().kind == Scope::kLambda) --lambda_level;
+          scopes.pop_back();
+        }
+        if (depth > 0) --depth;
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+inline void run_lock_order_pass(const std::vector<SourceFile>& files,
+                                std::vector<Finding>& findings) {
+  LockOrderModel model;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].ok) detail::walk_file(files[i], i, model);
+  }
+
+  // Resolve which methods acquire their class's mutex (locks on locals —
+  // names that are not declared mutex members — don't count).
+  for (const auto& lock : model.locks) {
+    const auto cit = model.classes.find(lock.cls);
+    if (!lock.method.empty() && cit != model.classes.end() &&
+        cit->second.mutex_members.count(lock.mutex) != 0) {
+      model.classes[lock.cls].locking_methods.insert(lock.method);
+    }
+  }
+
+  // Resolve held-context calls into acquisition edges.
+  struct Edge {
+    std::string to;
+    std::string path;
+    std::size_t line;
+    std::size_t file_index;
+    std::string via;  // "B::method"
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  for (const auto& call : model.calls) {
+    const auto cit = model.classes.find(call.cls);
+    if (cit == model.classes.end()) continue;
+    std::string target;
+    if (!call.recv.empty()) {
+      const auto mt = cit->second.member_types.find(call.recv);
+      if (mt == cit->second.member_types.end()) continue;
+      target = mt->second;
+    } else {
+      target = call.cls;  // unqualified self-call
+    }
+    const auto tit = model.classes.find(target);
+    if (tit == model.classes.end() ||
+        tit->second.locking_methods.count(call.callee) == 0) {
+      continue;
+    }
+    for (const auto& h : call.held) {
+      if (model.classes[h.cls].mutex_members.count(h.mutex) == 0) continue;
+      graph[h.cls].push_back({target, call.path, call.line, call.file_index,
+                              target + "::" + call.callee});
+    }
+  }
+
+  auto edge_suppressed = [&](const Edge& e) {
+    const auto& f = files[e.file_index];
+    return e.line > 0 && e.line <= f.raw.size() &&
+           suppressed(f.raw, e.line - 1, "lock-order-cycle");
+  };
+
+  // Rank inversions: an edge from a higher (or equal) rank to a lower one
+  // breaks the strict-increase discipline the runtime validator enforces.
+  auto rank_of = [&](const std::string& cls) -> int {
+    const auto it = model.classes.find(cls);
+    if (it == model.classes.end() || it->second.rank_name.empty()) return -1;
+    const auto rv = model.rank_values.find(it->second.rank_name);
+    return rv == model.rank_values.end() ? -1 : rv->second;
+  };
+  for (const auto& [from, edges] : graph) {
+    for (const auto& e : edges) {
+      const int rf = rank_of(from);
+      const int rt = rank_of(e.to);
+      if (rf >= 0 && rt >= 0 && rf >= rt && from != e.to &&
+          !edge_suppressed(e)) {
+        findings.push_back(
+            {e.path, e.line, "lock-order-cycle",
+             "rank inversion: " + e.via + " (rank " + std::to_string(rt) +
+                 ") is acquired while holding the " + from +
+                 " mutex (rank " + std::to_string(rf) +
+                 "); MutexRank acquisition must strictly increase"});
+      }
+    }
+  }
+
+  // Cycle detection over the acquisition graph (self-edges included: a
+  // re-entrant acquisition is a length-1 cycle).
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto git = graph.find(node);
+    if (git != graph.end()) {
+      for (const auto& e : git->second) {
+        if (color[e.to] == 1) {
+          // Back edge: the cycle is the stack suffix from e.to plus this
+          // edge. Normalize (sorted member list) so each cycle reports once.
+          std::vector<std::string> cycle;
+          for (std::size_t s = stack.size(); s-- > 0;) {
+            cycle.push_back(stack[s]);
+            if (stack[s] == e.to) break;
+          }
+          std::vector<std::string> key_parts = cycle;
+          std::sort(key_parts.begin(), key_parts.end());
+          std::string key;
+          for (const auto& p : key_parts) key += p + "|";
+          if (reported.count(key) || edge_suppressed(e)) continue;
+          reported.insert(key);
+          std::string path_str = e.to;
+          for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) {
+            if (*it != e.to || it != cycle.rbegin()) path_str += " -> " + *it;
+          }
+          path_str += " -> " + e.to;
+          findings.push_back(
+              {e.path, e.line, "lock-order-cycle",
+               (e.to == node
+                    ? "re-entrant acquisition: " + e.via +
+                          " is called while the " + node +
+                          " mutex is already held (self-deadlock)"
+                    : "mutex acquisition cycle: " + path_str +
+                          " — no rank assignment can order these locks; " +
+                          "release before calling out or split the lock")});
+        } else if (color[e.to] == 0) {
+          dfs(e.to);
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, edges] : graph) {
+    (void)edges;
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+}  // namespace ifet_lint

@@ -1,0 +1,162 @@
+// Shared tokenizer for the ifet_lint passes (docs/STATIC_ANALYSIS.md).
+//
+// Every pass consumes the same SourceFile record: the raw lines (where
+// suppression markers live — they are comments) plus `code`, a parallel
+// vector with comments, string literals, and char literals blanked to
+// spaces. Blanking instead of deleting keeps line numbers and column
+// positions identical between the two views, so a pass can match against
+// `code` and report (or look up markers) against `raw` at the same index.
+#pragma once
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ifet_lint {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based; 0 = whole file
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;
+  std::vector<std::string> raw;   // verbatim, for markers and messages
+  std::vector<std::string> code;  // comments/strings blanked to spaces
+  bool ok = false;                // false: unreadable
+};
+
+inline bool is_header(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+inline bool is_source_file(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+/// True when `raw[i]` or the line above carries an allow marker for
+/// `rule`, e.g. `// ifet-lint: allow(catch-all)`.
+inline bool suppressed(const std::vector<std::string>& raw, std::size_t i,
+                       const std::string& rule) {
+  const std::string marker = "ifet-lint: allow(" + rule + ")";
+  if (raw[i].find(marker) != std::string::npos) return true;
+  return i > 0 && raw[i - 1].find(marker) != std::string::npos;
+}
+
+inline bool file_suppressed(const std::vector<std::string>& raw,
+                            const std::string& rule) {
+  const std::string marker = "ifet-lint: allow-file(" + rule + ")";
+  for (const auto& l : raw) {
+    if (l.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Blanks comments and literals across the whole file. A small state
+/// machine rather than regexes because block comments, raw strings, and
+/// escapes all span lines.
+inline std::vector<std::string> strip_to_code(
+    const std::vector<std::string>& raw) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  State state = State::kCode;
+  std::string raw_terminator;  // for kRawString: )delim"
+
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    if (state == State::kLineComment) state = State::kCode;
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      const char ch = line[c];
+      const char next = c + 1 < line.size() ? line[c + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (ch == '/' && next == '/') {
+            state = State::kLineComment;
+          } else if (ch == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++c;
+          } else if (ch == 'R' && next == '"' &&
+                     (c == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     line[c - 1])) &&
+                                 line[c - 1] != '_'))) {
+            // R"delim( ... )delim" — scan the delimiter.
+            std::size_t d = c + 2;
+            std::string delim;
+            while (d < line.size() && line[d] != '(' && delim.size() < 16) {
+              delim.push_back(line[d++]);
+            }
+            if (d < line.size() && line[d] == '(') {
+              state = State::kRawString;
+              raw_terminator = ")" + delim + "\"";
+              c = d;  // resume after the opening paren
+            } else {
+              code[c] = ch;  // not actually a raw string
+            }
+          } else if (ch == '"') {
+            state = State::kString;
+          } else if (ch == '\'') {
+            state = State::kChar;
+          } else {
+            code[c] = ch;
+          }
+          break;
+        case State::kLineComment:
+          break;  // rest of line is comment
+        case State::kBlockComment:
+          if (ch == '*' && next == '/') {
+            state = State::kCode;
+            ++c;
+          }
+          break;
+        case State::kString:
+          if (ch == '\\') {
+            ++c;
+          } else if (ch == '"') {
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (ch == '\\') {
+            ++c;
+          } else if (ch == '\'') {
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString:
+          if (line.compare(c, raw_terminator.size(), raw_terminator) == 0) {
+            c += raw_terminator.size() - 1;
+            state = State::kCode;
+          }
+          break;
+      }
+    }
+    // Unterminated ordinary string/char at EOL: literals do not span lines
+    // (the backslash-newline case is rare enough to ignore in a linter).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+inline SourceFile load_file(const fs::path& path) {
+  SourceFile f;
+  f.path = path;
+  std::ifstream in(path);
+  if (!in) return f;
+  for (std::string line; std::getline(in, line);) f.raw.push_back(line);
+  f.code = strip_to_code(f.raw);
+  f.ok = true;
+  return f;
+}
+
+}  // namespace ifet_lint
