@@ -10,7 +10,11 @@
 //     so the prefetch hit rate is >= 50%;
 //   - IATF transfer functions and 4D region-growing masks are identical
 //     between an unlimited-budget CachedSequence and a tight-budget
-//     StreamedSequence.
+//     StreamedSequence;
+//   - fault mode: with every step failing once transiently, the retry
+//     layer makes the scan bit-identical to the clean run (with nonzero
+//     retries in the stats), and a permanently corrupt step under
+//     --fail-policy=skip degrades to a gap instead of an abort.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -21,6 +25,7 @@
 #include "flowsim/datasets.hpp"
 #include "io/compressed.hpp"
 #include "math/vec.hpp"
+#include "stream/fault_injection.hpp"
 #include "stream/streamed_sequence.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -153,6 +158,60 @@ int main() {
   check.expect(masks_equal(track_resident, track_streamed),
                "4D region growing is identical under a 3-step budget");
   std::cout << "tracking: " << tight.stats().summary() << "\n";
+
+  // --- Fault mode: transient faults are invisible behind the retry layer.
+  auto flaky = std::make_shared<FaultInjectingSource>(
+      reader, std::vector<FaultSpec>{
+                  {FaultSpec::kAllSteps, FaultKind::kTransient, 1}});
+  StreamConfig fault_cfg;
+  fault_cfg.budget_bytes = budget;
+  fault_cfg.lookahead = 2;
+  fault_cfg.max_retries = 2;
+  StreamedSequence faulted(flaky, fault_cfg);
+  bool fault_correct = true;
+  for (int t = 0; t < cfg.num_steps; ++t) {
+    if (!volumes_equal(faulted.step(t), reader->generate(t))) {
+      fault_correct = false;
+    }
+  }
+  const StreamStats fault_stats = faulted.stats();
+  std::cout << "faulted scan: " << fault_stats.summary() << "\n";
+  check.expect(fault_correct,
+               "scan with one transient fault per step is bit-identical");
+  check.expect(fault_stats.retries >= static_cast<std::uint64_t>(
+                                          cfg.num_steps),
+               "every step's transient fault shows up as a retry");
+  check.expect(fault_stats.load_failures == 0,
+               "no step exhausts its retry budget");
+
+  // --- Fault mode: a permanently corrupt step degrades, not aborts.
+  auto corrupt = std::make_shared<FaultInjectingSource>(
+      reader, std::vector<FaultSpec>{
+                  {cfg.num_steps / 2, FaultKind::kCorrupt, 1}});
+  StreamConfig skip_cfg;
+  skip_cfg.budget_bytes = budget;
+  skip_cfg.lookahead = 2;
+  skip_cfg.max_retries = 1;
+  skip_cfg.fail_policy = FailPolicy::kSkipStep;
+  StreamedSequence degraded(corrupt, skip_cfg);
+  bool skip_correct = true;
+  int gaps = 0;
+  for (int t = 0; t < cfg.num_steps; ++t) {
+    const VolumeF* v = degraded.try_step(t);
+    if (v == nullptr) {
+      ++gaps;
+    } else if (!volumes_equal(*v, reader->generate(t))) {
+      skip_correct = false;
+    }
+  }
+  const StreamStats skip_stats = degraded.stats();
+  std::cout << "degraded scan: " << skip_stats.summary() << "\n";
+  std::cout << "degraded scan: " << degraded.store().step_health().summary()
+            << "\n";
+  check.expect(skip_correct && gaps == 1,
+               "skip policy yields exactly one gap, all other steps exact");
+  check.expect(skip_stats.quarantined_steps == 1,
+               "the corrupt step is quarantined");
 
   std::remove(cvol_path.c_str());
   return check.exit_code();

@@ -1,6 +1,7 @@
 #include "core/tracking.hpp"
 
 #include <deque>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -106,7 +107,32 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
     // and the temporal neighbors this step will seed are already loading
     // while we grow within the step.
     sequence_.hint_window(step - 1, step + 1);
-    const VolumeF& volume = sequence_.step(step);
+    const VolumeF* volume_ptr = sequence_.try_step(step);
+    if (volume_ptr == nullptr) {
+      // Quarantined data under FailPolicy::kSkipStep: the step contributes
+      // zero overlap and no mask. Forward the candidates one step further
+      // from the seed so the region re-seeds on the far side of the gap
+      // (consecutive bad steps keep forwarding; docs/ROBUSTNESS.md).
+      IFET_REQUIRE(step != seed_step,
+                   "Tracker: seed step " + std::to_string(step) +
+                       " is unavailable");
+      const int dt = step >= seed_step ? 1 : -1;
+      const int next = step + dt;
+      if (next >= lo_step && next <= hi_step) {
+        auto visited = result.masks.find(next);
+        std::vector<Index3>& out = pending[next];
+        for (const Index3& p : candidates) {
+          if (visited != result.masks.end() &&
+              visited->second[visited->second.linear_index(p.x, p.y, p.z)]) {
+            continue;
+          }
+          out.push_back(p);
+        }
+        if (out.empty()) pending.erase(next);
+      }
+      continue;
+    }
+    const VolumeF& volume = *volume_ptr;
     auto [mask_it, inserted] = result.masks.try_emplace(step, d);
     (void)inserted;
     Mask& mask = mask_it->second;

@@ -5,13 +5,19 @@
 #include <fstream>
 #include <sstream>
 
-#include "util/error.hpp"
+#include "io/checksum.hpp"
+#include "util/io_error.hpp"
 
 namespace ifet {
 
 namespace {
 
 constexpr char kMagic[] = "ifet-cseq";
+// Fixed-size prefix of a per-step record: bits u8, lo f32, hi f32,
+// payload-size u64. A CRC32 over prefix+payload may follow the payload
+// (absent in legacy files; see io/checksum.hpp).
+constexpr std::size_t kRecordPrefixBytes = 17;
+constexpr std::size_t kRecordCrcBytes = 4;
 
 inline std::uint32_t quant_levels(QuantBits bits) {
   return bits == QuantBits::k8 ? 255u : 65535u;
@@ -21,9 +27,19 @@ void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   for (int b = 0; b < 8; ++b) out.push_back((v >> (8 * b)) & 0xff);
 }
 
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back((v >> (8 * b)) & 0xff);
+}
+
 std::uint64_t read_u64(const std::uint8_t* p) {
   std::uint64_t v = 0;
   for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+  return v;
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(p[b]) << (8 * b);
   return v;
 }
 
@@ -87,8 +103,11 @@ VolumeF decompress_volume(const CompressedVolume& compressed) {
   std::size_t voxel = 0;
   const auto& payload = compressed.payload;
   while (voxel < out.size()) {
-    IFET_REQUIRE(cursor + 1 + sample_bytes <= payload.size(),
-                 "decompress_volume: truncated payload");
+    if (cursor + 1 + static_cast<std::size_t>(sample_bytes) > payload.size()) {
+      throw CorruptDataError(
+          "decompress_volume: RLE stream ends mid-volume (truncated "
+          "payload)");
+    }
     std::uint32_t run = payload[cursor++];
     std::uint32_t q = payload[cursor++];
     if (sample_bytes == 2) {
@@ -96,12 +115,14 @@ VolumeF decompress_volume(const CompressedVolume& compressed) {
     }
     float value = static_cast<float>(
         compressed.value_lo + span * q / static_cast<double>(levels));
-    IFET_REQUIRE(voxel + run <= out.size(),
-                 "decompress_volume: run overflows volume");
+    if (voxel + run > out.size()) {
+      throw CorruptDataError("decompress_volume: run overflows volume");
+    }
     for (std::uint32_t r = 0; r < run; ++r) out[voxel++] = value;
   }
-  IFET_REQUIRE(cursor == payload.size(),
-               "decompress_volume: trailing payload bytes");
+  if (cursor != payload.size()) {
+    throw CorruptDataError("decompress_volume: trailing payload bytes");
+  }
   return out;
 }
 
@@ -118,17 +139,20 @@ struct CompressedSequenceWriter::Impl {
   std::streampos index_pos;
   std::vector<std::uint8_t> index_bytes;
   int num_steps;
+  bool with_checksum;
 };
 
 CompressedSequenceWriter::CompressedSequenceWriter(
     const std::string& path, Dims dims, int num_steps,
-    std::pair<double, double> value_range)
+    std::pair<double, double> value_range, bool with_checksum)
     : impl_(std::make_unique<Impl>()) {
   IFET_REQUIRE(num_steps > 0, "CompressedSequenceWriter: need steps");
   impl_->out.open(path, std::ios::binary);
-  IFET_REQUIRE(impl_->out.good(),
-               "CompressedSequenceWriter: cannot open " + path);
+  if (!impl_->out.good()) {
+    throw NotFoundError("CompressedSequenceWriter: cannot open " + path);
+  }
   impl_->num_steps = num_steps;
+  impl_->with_checksum = with_checksum;
   impl_->out << kMagic << ' ' << dims.x << ' ' << dims.y << ' ' << dims.z
              << ' ' << num_steps << ' ' << value_range.first << ' '
              << value_range.second << '\n';
@@ -144,8 +168,16 @@ CompressedSequenceWriter::~CompressedSequenceWriter() {
     if (steps_written_ == impl_->num_steps) {
       close();
     } else {
-      // Incomplete sequence: never throw from a destructor; the file is
-      // left with a zeroed index, which the reader rejects.
+      // Incomplete sequence: never throw from a destructor. Finalize
+      // explicitly anyway — write the partial index so the reader can
+      // report *which* step the file truncates at (CorruptDataError with
+      // the step number) instead of rejecting an all-zero index with a
+      // generic message. ofstream without exceptions enabled only sets
+      // failbit on error, so this cannot throw.
+      impl_->out.seekp(impl_->index_pos);
+      impl_->out.write(
+          reinterpret_cast<const char*>(impl_->index_bytes.data()),
+          static_cast<std::streamsize>(impl_->index_bytes.size()));
       impl_->out.close();
     }
   }
@@ -154,7 +186,8 @@ CompressedSequenceWriter::~CompressedSequenceWriter() {
 void CompressedSequenceWriter::append(const CompressedVolume& volume) {
   IFET_REQUIRE(steps_written_ < impl_->num_steps,
                "CompressedSequenceWriter: too many steps appended");
-  // Per-step record: bits u8, lo f32, hi f32, payload u64 + bytes.
+  // Per-step record: bits u8, lo f32, hi f32, payload u64 + bytes, then a
+  // CRC32 over everything before it (omitted in legacy mode).
   std::vector<std::uint8_t> record;
   record.push_back(static_cast<std::uint8_t>(volume.bits));
   std::uint8_t fbytes[4];
@@ -164,11 +197,16 @@ void CompressedSequenceWriter::append(const CompressedVolume& volume) {
   record.insert(record.end(), fbytes, fbytes + 4);
   append_u64(record, volume.payload.size());
   record.insert(record.end(), volume.payload.begin(), volume.payload.end());
+  if (impl_->with_checksum) {
+    append_u32(record, crc32(record.data(), record.size()));
+  }
 
   auto offset = static_cast<std::uint64_t>(impl_->out.tellp());
   impl_->out.write(reinterpret_cast<const char*>(record.data()),
                    static_cast<std::streamsize>(record.size()));
-  IFET_REQUIRE(impl_->out.good(), "CompressedSequenceWriter: write failed");
+  if (!impl_->out.good()) {
+    throw IoError("CompressedSequenceWriter: write failed");
+  }
   append_u64(impl_->index_bytes, offset);
   append_u64(impl_->index_bytes, record.size());
   ++steps_written_;
@@ -186,29 +224,37 @@ void CompressedSequenceWriter::close() {
 CompressedFileSource::CompressedFileSource(const std::string& path)
     : path_(path) {
   std::ifstream in(path, std::ios::binary);
-  IFET_REQUIRE(in.good(), "CompressedFileSource: cannot open " + path);
+  if (!in.good()) {
+    throw NotFoundError("CompressedFileSource: cannot open " + path);
+  }
   std::string line;
   std::getline(in, line);
   std::istringstream header(line);
   std::string magic;
   header >> magic >> dims_.x >> dims_.y >> dims_.z >> num_steps_ >>
       range_.first >> range_.second;
-  IFET_REQUIRE(magic == kMagic && header && num_steps_ > 0,
-               "CompressedFileSource: bad header in " + path);
+  if (magic != kMagic || !header || num_steps_ <= 0) {
+    throw CorruptDataError("CompressedFileSource: bad header in " + path);
+  }
   std::vector<std::uint8_t> raw(static_cast<std::size_t>(num_steps_) * 16);
   in.read(reinterpret_cast<char*>(raw.data()),
           static_cast<std::streamsize>(raw.size()));
-  IFET_REQUIRE(in.gcount() == static_cast<std::streamsize>(raw.size()),
-               "CompressedFileSource: truncated index in " + path);
+  if (in.gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw CorruptDataError("CompressedFileSource: truncated index in " +
+                           path);
+  }
   index_.resize(static_cast<std::size_t>(num_steps_));
   for (int s = 0; s < num_steps_; ++s) {
     index_[static_cast<std::size_t>(s)].offset =
         read_u64(raw.data() + 16 * s);
     index_[static_cast<std::size_t>(s)].size =
         read_u64(raw.data() + 16 * s + 8);
-    IFET_REQUIRE(index_[static_cast<std::size_t>(s)].size > 0,
-                 "CompressedFileSource: empty index entry (file not "
-                 "finalized?)");
+    if (index_[static_cast<std::size_t>(s)].size == 0) {
+      throw CorruptDataError(
+          "CompressedFileSource: " + path + " truncates at step " +
+          std::to_string(s) +
+          " (writer closed before all steps were appended)");
+    }
   }
 }
 
@@ -217,23 +263,54 @@ VolumeF CompressedFileSource::generate(int step) const {
                "CompressedFileSource: step out of range");
   const IndexEntry& entry = index_[static_cast<std::size_t>(step)];
   std::ifstream in(path_, std::ios::binary);
-  IFET_REQUIRE(in.good(), "CompressedFileSource: cannot reopen " + path_);
+  if (!in.good()) {
+    throw NotFoundError("CompressedFileSource: cannot reopen " + path_);
+  }
   in.seekg(static_cast<std::streamoff>(entry.offset));
   std::vector<std::uint8_t> record(entry.size);
   in.read(reinterpret_cast<char*>(record.data()),
           static_cast<std::streamsize>(record.size()));
-  IFET_REQUIRE(in.gcount() == static_cast<std::streamsize>(record.size()),
-               "CompressedFileSource: truncated record");
-  IFET_REQUIRE(record.size() >= 17, "CompressedFileSource: record too small");
+  if (in.gcount() != static_cast<std::streamsize>(record.size())) {
+    throw CorruptDataError("CompressedFileSource: truncated record for step " +
+                           std::to_string(step) + " in " + path_);
+  }
+  if (record.size() < kRecordPrefixBytes) {
+    throw CorruptDataError("CompressedFileSource: record too small for step " +
+                           std::to_string(step) + " in " + path_);
+  }
   CompressedVolume volume;
   volume.dims = dims_;
   volume.bits = static_cast<QuantBits>(record[0]);
   std::memcpy(&volume.value_lo, record.data() + 1, 4);
   std::memcpy(&volume.value_hi, record.data() + 5, 4);
-  std::uint64_t payload_size = read_u64(record.data() + 9);
-  IFET_REQUIRE(17 + payload_size == record.size(),
-               "CompressedFileSource: payload size mismatch");
-  volume.payload.assign(record.begin() + 17, record.end());
+  const std::uint64_t payload_size = read_u64(record.data() + 9);
+  if (payload_size > record.size() - kRecordPrefixBytes) {
+    throw CorruptDataError(
+        "CompressedFileSource: payload size overruns record for step " +
+        std::to_string(step) + " in " + path_);
+  }
+  const std::size_t checked_bytes =
+      kRecordPrefixBytes + static_cast<std::size_t>(payload_size);
+  if (record.size() == checked_bytes + kRecordCrcBytes) {
+    const std::uint32_t expected = read_u32(record.data() + checked_bytes);
+    if (crc32(record.data(), checked_bytes) != expected) {
+      ++checksum_counters().mismatches;
+      throw CorruptDataError(
+          "CompressedFileSource: checksum mismatch for step " +
+          std::to_string(step) + " in " + path_ +
+          " (frame corrupted on disk or in transit)");
+    }
+    ++checksum_counters().verified;
+  } else if (record.size() == checked_bytes) {
+    ++checksum_counters().unverified;  // legacy checksum-less frame
+  } else {
+    throw CorruptDataError(
+        "CompressedFileSource: payload size mismatch for step " +
+        std::to_string(step) + " in " + path_);
+  }
+  volume.payload.assign(record.begin() + kRecordPrefixBytes,
+                        record.begin() + static_cast<std::ptrdiff_t>(
+                                             checked_bytes));
   return decompress_volume(volume);
 }
 
@@ -244,9 +321,10 @@ std::size_t CompressedFileSource::total_payload_bytes() const {
 }
 
 void write_compressed_sequence(const VolumeSource& source,
-                               const std::string& path, QuantBits bits) {
+                               const std::string& path, QuantBits bits,
+                               bool with_checksum) {
   CompressedSequenceWriter writer(path, source.dims(), source.num_steps(),
-                                  source.value_range());
+                                  source.value_range(), with_checksum);
   for (int s = 0; s < source.num_steps(); ++s) {
     writer.append(compress_volume(source.generate(s), bits));
   }

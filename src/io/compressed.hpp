@@ -56,11 +56,17 @@ double quantization_error_bound(const CompressedVolume& compressed);
 
 /// Multi-step compressed container with a random-access index.
 /// File layout: text header line, index (offset+size per step), payloads.
+/// Each per-step frame carries a trailing CRC32 (verified on read; legacy
+/// checksum-less files still load, counted as unverified — see
+/// io/checksum.hpp and docs/ROBUSTNESS.md).
 class CompressedSequenceWriter {
  public:
   /// `num_steps` payloads must then be appended in order.
+  /// `with_checksum = false` writes legacy checksum-less frames (tests pin
+  /// the backward-compatibility path with it).
   CompressedSequenceWriter(const std::string& path, Dims dims, int num_steps,
-                           std::pair<double, double> value_range);
+                           std::pair<double, double> value_range,
+                           bool with_checksum = true);
   ~CompressedSequenceWriter();
 
   void append(const CompressedVolume& volume);
@@ -104,6 +110,7 @@ class CompressedFileSource final : public VolumeSource {
 /// Convenience: compress every step of `source` into `path`.
 void write_compressed_sequence(const VolumeSource& source,
                                const std::string& path,
-                               QuantBits bits = QuantBits::k8);
+                               QuantBits bits = QuantBits::k8,
+                               bool with_checksum = true);
 
 }  // namespace ifet

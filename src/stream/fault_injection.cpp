@@ -1,0 +1,169 @@
+#include "stream/fault_injection.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/io_error.hpp"
+#include "util/rng.hpp"
+
+namespace ifet {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kNotFound:
+      return "notfound";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind parse_fault_kind(const std::string& name) {
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "notfound" || name == "not-found") return FaultKind::kNotFound;
+  if (name == "delay") return FaultKind::kDelay;
+  if (name == "bitflip" || name == "bit-flip") return FaultKind::kBitFlip;
+  throw Error("unknown fault kind '" + name +
+              "' (expected transient, corrupt, notfound, delay, or bitflip)");
+}
+
+int parse_spec_int(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(text, &used);
+    IFET_REQUIRE(used == text.size(), "trailing characters");
+    return value;
+  } catch (const Error&) {
+    throw Error("fault spec: bad " + what + " '" + text + "'");
+  } catch (const std::invalid_argument&) {
+    throw Error("fault spec: bad " + what + " '" + text + "'");
+  } catch (const std::out_of_range&) {
+    throw Error("fault spec: bad " + what + " '" + text + "'");
+  }
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  const std::size_t at = text.find('@');
+  IFET_REQUIRE(at != std::string::npos,
+               "fault spec '" + text + "' must be kind@step[:count]");
+  FaultSpec spec;
+  spec.kind = parse_fault_kind(text.substr(0, at));
+  std::string rest = text.substr(at + 1);
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    spec.count = parse_spec_int(rest.substr(colon + 1), "count");
+    IFET_REQUIRE(spec.count > 0, "fault spec: count must be > 0");
+    rest = rest.substr(0, colon);
+  }
+  if (rest == "all") {
+    spec.step = FaultSpec::kAllSteps;
+  } else {
+    spec.step = parse_spec_int(rest, "step");
+    IFET_REQUIRE(spec.step >= 0, "fault spec: step must be >= 0 or 'all'");
+  }
+  return spec;
+}
+
+std::vector<FaultSpec> parse_fault_schedule(const std::string& text) {
+  std::vector<FaultSpec> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    if (!item.empty()) out.push_back(parse_fault_spec(item));
+    start = comma + 1;
+  }
+  IFET_REQUIRE(!out.empty(), "empty fault schedule");
+  return out;
+}
+
+FaultInjectingSource::FaultInjectingSource(
+    std::shared_ptr<const VolumeSource> inner, std::vector<FaultSpec> schedule,
+    std::uint64_t seed)
+    : inner_(std::move(inner)), seed_(seed), schedule_(std::move(schedule)) {
+  IFET_REQUIRE(inner_ != nullptr, "FaultInjectingSource: no inner source");
+  MutexLock lock(mutex_);
+  remaining_.resize(schedule_.size());
+}
+
+VolumeF FaultInjectingSource::generate(int step) const {
+  // Decide the fault under the lock (the per-spec count is mutable state
+  // shared between prefetch workers), then act on it lock-free — a kDelay
+  // sleep or the inner decode must not serialize the whole stack.
+  FaultKind kind = FaultKind::kTransient;
+  bool fire = false;
+  {
+    MutexLock lock(mutex_);
+    for (std::size_t s = 0; s < schedule_.size(); ++s) {
+      const FaultSpec& spec = schedule_[s];
+      if (spec.step != FaultSpec::kAllSteps && spec.step != step) continue;
+      const bool counted =
+          spec.kind == FaultKind::kTransient || spec.kind == FaultKind::kDelay;
+      if (counted) {
+        auto [it, fresh] = remaining_[s].try_emplace(step, spec.count);
+        if (it->second <= 0) continue;  // this step has healed
+        --it->second;
+        (void)fresh;
+      }
+      kind = spec.kind;
+      fire = true;
+      ++fired_;
+      break;
+    }
+  }
+  if (!fire) return inner_->generate(step);
+
+  const std::string where = " (injected at step " + std::to_string(step) + ")";
+  switch (kind) {
+    case FaultKind::kTransient:
+      throw TransientIoError("simulated transient I/O failure" + where);
+    case FaultKind::kCorrupt:
+      throw CorruptDataError("simulated payload corruption" + where);
+    case FaultKind::kNotFound:
+      throw NotFoundError("simulated missing file" + where);
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return inner_->generate(step);
+    case FaultKind::kBitFlip:
+      break;
+  }
+  // Silent corruption: flip every bit of one voxel chosen by the seeded
+  // stream for this step — repeatable, and independent of call order.
+  VolumeF volume = inner_->generate(step);
+  SplitMix64 rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(step + 1)));
+  const std::size_t count = volume.dims().count();
+  IFET_REQUIRE(count > 0, "FaultInjectingSource: empty volume");
+  const std::size_t index = static_cast<std::size_t>(rng.next() % count);
+  std::span<float> voxels = volume.data();
+  float& voxel = voxels[index];
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &voxel, sizeof(bits));
+  bits = ~bits;
+  std::memcpy(&voxel, &bits, sizeof(bits));
+  return volume;
+}
+
+std::uint64_t FaultInjectingSource::faults_fired() const {
+  MutexLock lock(mutex_);
+  return fired_;
+}
+
+}  // namespace ifet

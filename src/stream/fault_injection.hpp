@@ -1,0 +1,87 @@
+// Deterministic fault injection for the streaming stack.
+//
+// FaultInjectingSource wraps any VolumeSource and makes selected loads
+// fail on a seeded, repeatable schedule: throw a TransientIoError N times
+// then heal (exercises retry), throw CorruptDataError forever (exercises
+// quarantine + FailPolicy), throw NotFoundError, delay the load (exercises
+// prefetch overlap under latency), or silently bit-flip one voxel
+// (exercises end-to-end equivalence checks — the streaming layer cannot
+// see this one; only payload checksums upstream would). Tests, the TSan
+// fault-storm stress, and `ifet_tool track --inject-faults` all drive the
+// stack through this one wrapper, so every failure path is reachable
+// without hand-corrupting files. docs/ROBUSTNESS.md has the recipe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+
+enum class FaultKind : std::uint8_t {
+  kTransient,  ///< TransientIoError until the count runs out, then heal.
+  kCorrupt,    ///< CorruptDataError on every matching load.
+  kNotFound,   ///< NotFoundError on every matching load.
+  kDelay,      ///< Sleep ~1ms per count, then produce the real volume.
+  kBitFlip,    ///< Flip one seeded-random voxel's bits (silent corruption).
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault: fail loads of `step` (or every step) `count`
+/// times. The count is tracked PER STEP, so `transient@all:1` means
+/// "every step fails exactly once" — the schedule for the canonical
+/// fault-equivalence property. kCorrupt and kNotFound ignore the count
+/// and fail forever — they model a bad file, not a flaky transport.
+struct FaultSpec {
+  static constexpr int kAllSteps = -1;
+  int step = kAllSteps;
+  FaultKind kind = FaultKind::kTransient;
+  int count = 1;
+};
+
+/// Parse `kind@step[:count]` (step = integer or "all"), e.g.
+/// "transient@all", "corrupt@7", "transient@3:2". Throws ifet::Error on
+/// malformed input.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Parse a comma-separated list of fault specs (the --inject-faults CLI
+/// syntax).
+std::vector<FaultSpec> parse_fault_schedule(const std::string& text);
+
+/// VolumeSource decorator applying a deterministic fault schedule.
+/// Thread-safe: generate() is called from prefetch workers.
+class FaultInjectingSource final : public VolumeSource {
+ public:
+  FaultInjectingSource(std::shared_ptr<const VolumeSource> inner,
+                       std::vector<FaultSpec> schedule,
+                       std::uint64_t seed = 0x5eedULL);
+
+  Dims dims() const override { return inner_->dims(); }
+  int num_steps() const override { return inner_->num_steps(); }
+  std::pair<double, double> value_range() const override {
+    return inner_->value_range();
+  }
+  VolumeF generate(int step) const override;
+
+  /// Faults actually fired so far (for test assertions).
+  std::uint64_t faults_fired() const IFET_EXCLUDES(mutex_);
+
+ private:
+  std::shared_ptr<const VolumeSource> inner_;
+  std::uint64_t seed_;
+  std::vector<FaultSpec> schedule_;
+  mutable Mutex mutex_;
+  /// remaining_[spec_index][step]: counted firings left (lazily seeded
+  /// from the spec's count the first time that step matches).
+  mutable std::vector<std::unordered_map<int, int>> remaining_
+      IFET_GUARDED_BY(mutex_);
+  mutable std::uint64_t fired_ IFET_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ifet

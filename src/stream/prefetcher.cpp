@@ -25,10 +25,11 @@ void Prefetcher::schedule(int step) {
   }
   auto task = [this, step] {
     // Worker-thread context: errors may not escape (ThreadPool::post tasks
-    // must not throw). A failed load just leaves the in-flight set; the
-    // next synchronous fetch reloads on the caller's thread and reports.
+    // must not throw). A failed load leaves no partial volume in the
+    // cache; its error is parked in failed_ for take_failure().
     double seconds = 0.0;
     bool loaded = false;
+    std::exception_ptr error;
     try {
       Stopwatch timer;
       VolumeF volume = load_(step);
@@ -36,13 +37,19 @@ void Prefetcher::schedule(int step) {
       cache_.insert(step, std::move(volume), /*from_prefetch=*/true);
       loaded = true;
     } catch (const std::exception&) {
-      // Swallowed by design; see above.
+      error = std::current_exception();
     }
     // notify_all must happen under the lock: ~Prefetcher may destroy the
     // condition variable the moment it observes in_flight_ empty, so the
     // erase and the notify have to be atomic with respect to that wait.
     OrderedMutexLock lock(mutex_);
-    if (loaded) decode_seconds_ += seconds;
+    if (loaded) {
+      decode_seconds_ += seconds;
+      failed_.erase(step);  // a stale failure must not shadow fresh data
+    } else {
+      ++failures_;
+      failed_[step] = error;
+    }
     in_flight_.erase(step);
     done_cv_.notify_all();
   };
@@ -67,10 +74,20 @@ bool Prefetcher::in_flight(int step) const {
   return in_flight_.count(step) != 0;
 }
 
+std::exception_ptr Prefetcher::take_failure(int step) {
+  OrderedMutexLock lock(mutex_);
+  auto it = failed_.find(step);
+  if (it == failed_.end()) return nullptr;
+  std::exception_ptr error = it->second;
+  failed_.erase(it);
+  return error;
+}
+
 StreamStats Prefetcher::stats() const {
   OrderedMutexLock lock(mutex_);
   StreamStats out;
   out.prefetch_issued = issued_;
+  out.prefetch_failures = failures_;
   out.prefetch_decode_seconds = decode_seconds_;
   return out;
 }

@@ -8,14 +8,18 @@
 // latency is partially hidden, and it still counts as a prefetch hit.
 //
 // Load errors are not thrown from worker threads (ThreadPool::post tasks
-// must not throw): the failed step simply leaves the in-flight set and the
-// next synchronous fetch repeats the load on the caller's thread, where
-// the error surfaces normally.
+// must not throw): the failure is captured as an exception_ptr keyed by
+// step, the step leaves the in-flight set (so nothing deadlocks and no
+// partial volume is cached), and the next synchronous fetch collects it
+// via take_failure() — the error surfaces on the caller's thread where
+// the store's retry/quarantine machinery can act on it.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "parallel/thread_pool.hpp"
@@ -49,7 +53,12 @@ class Prefetcher {
 
   bool in_flight(int step) const IFET_EXCLUDES(mutex_);
 
-  /// Counter snapshot (prefetch_issued / prefetch decode latency).
+  /// Error captured by a failed async load of `step`, if any; clears the
+  /// record so a later retry starts clean. Returns nullptr when the step
+  /// never failed (or its failure was already taken).
+  std::exception_ptr take_failure(int step) IFET_EXCLUDES(mutex_);
+
+  /// Counter snapshot (prefetch_issued / failures / decode latency).
   StreamStats stats() const IFET_EXCLUDES(mutex_);
 
  private:
@@ -62,7 +71,9 @@ class Prefetcher {
   mutable OrderedMutex mutex_{MutexRank::kPrefetcher};
   std::condition_variable_any done_cv_;
   std::unordered_set<int> in_flight_ IFET_GUARDED_BY(mutex_);
+  std::unordered_map<int, std::exception_ptr> failed_ IFET_GUARDED_BY(mutex_);
   std::uint64_t issued_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failures_ IFET_GUARDED_BY(mutex_) = 0;
   double decode_seconds_ IFET_GUARDED_BY(mutex_) = 0.0;
 };
 

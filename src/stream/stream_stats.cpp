@@ -20,6 +20,23 @@ std::string StreamStats::summary() const {
   os << "prefetch " << prefetch_hits << "/" << (prefetch_hits + demand_loads)
      << " (" << 100.0 * prefetch_hit_rate() << "% of loads), derived "
      << derived_hits << "/" << (derived_hits + derived_misses) << " memoized";
+  if (retries != 0 || load_failures != 0 || checksum_failures != 0 ||
+      quarantined_steps != 0 || skipped_fetches != 0 ||
+      nearest_good_substitutions != 0) {
+    os << ", faults: " << retries << " retries, " << load_failures
+       << " exhausted, " << checksum_failures << " checksum failures, "
+       << quarantined_steps << " quarantined";
+    if (skipped_fetches != 0) os << ", " << skipped_fetches << " skipped";
+    if (nearest_good_substitutions != 0) {
+      os << ", " << nearest_good_substitutions << " substituted";
+    }
+  }
+  if (checksum_unverified != 0) {
+    // Flag legacy unverified payloads loudly: silent corruption is only
+    // caught on the checksummed paths.
+    os << ", checksums " << checksum_verified << " ok / "
+       << checksum_unverified << " UNVERIFIED";
+  }
   return os.str();
 }
 
@@ -41,6 +58,16 @@ StreamStats& StreamStats::merge(const StreamStats& other) {
   if (other.pinned_steps != 0) pinned_steps = other.pinned_steps;
   demand_decode_seconds += other.demand_decode_seconds;
   prefetch_decode_seconds += other.prefetch_decode_seconds;
+  retries += other.retries;
+  load_failures += other.load_failures;
+  prefetch_failures += other.prefetch_failures;
+  checksum_verified += other.checksum_verified;
+  checksum_unverified += other.checksum_unverified;
+  checksum_failures += other.checksum_failures;
+  // Gauge, not a counter: only the VolumeStore layer reports it.
+  if (other.quarantined_steps != 0) quarantined_steps = other.quarantined_steps;
+  skipped_fetches += other.skipped_fetches;
+  nearest_good_substitutions += other.nearest_good_substitutions;
   return *this;
 }
 

@@ -44,6 +44,22 @@ struct StreamStats {
   double demand_decode_seconds = 0.0;
   double prefetch_decode_seconds = 0.0;
 
+  // Robustness (docs/ROBUSTNESS.md).
+  std::uint64_t retries = 0;            ///< Load attempts repeated after a
+                                        ///< retryable IoError.
+  std::uint64_t load_failures = 0;      ///< Loads that exhausted retries
+                                        ///< (each quarantines its step).
+  std::uint64_t prefetch_failures = 0;  ///< Async loads whose error was
+                                        ///< captured for the next fetch.
+  std::uint64_t checksum_verified = 0;    ///< Payloads with a matching CRC.
+  std::uint64_t checksum_unverified = 0;  ///< Legacy checksum-less payloads.
+  std::uint64_t checksum_failures = 0;    ///< CRC mismatches observed.
+  std::size_t quarantined_steps = 0;      ///< Steps currently quarantined.
+  std::uint64_t skipped_fetches = 0;    ///< Quarantined fetches answered with
+                                        ///< "no data" (FailPolicy::kSkipStep).
+  std::uint64_t nearest_good_substitutions = 0;  ///< Quarantined fetches
+                                        ///< served by a healthy neighbour.
+
   /// Fraction of accesses served without any load.
   double hit_rate() const {
     const std::uint64_t total = hits + misses;

@@ -4,6 +4,7 @@
 
 #include "io/compressed.hpp"
 #include "util/error.hpp"
+#include "util/io_error.hpp"
 
 namespace ifet {
 
@@ -13,6 +14,9 @@ VolumeStoreConfig store_config(const StreamConfig& c) {
   out.budget_bytes = c.budget_bytes;
   out.lookahead = c.lookahead;
   out.async_prefetch = c.async_prefetch;
+  out.max_retries = c.max_retries;
+  out.retry_backoff_ms = c.retry_backoff_ms;
+  out.fail_policy = c.fail_policy;
   return out;
 }
 }  // namespace
@@ -58,9 +62,21 @@ std::pair<int, int> StreamedSequence::set_window_locked(
 }
 
 const VolumeF& StreamedSequence::step(int step) const {
+  const VolumeF* volume = try_step(step);
+  if (volume == nullptr) {
+    throw CorruptDataError(
+        "StreamedSequence: step " + std::to_string(step) +
+        " is quarantined and the fail policy skips it (consumers that can "
+        "bridge gaps use try_step)");
+  }
+  return *volume;
+}
+
+const VolumeF* StreamedSequence::try_step(int step) const {
   IFET_REQUIRE(step >= 0 && step < num_steps(),
                "StreamedSequence: step out of range");
   auto volume = store_->fetch(step);
+  if (!volume) return nullptr;  // quarantined under FailPolicy::kSkipStep
   const int last_step = num_steps() - 1;
   bool moved = false;
   std::pair<int, int> window{0, -1};
@@ -85,7 +101,25 @@ const VolumeF& StreamedSequence::step(int step) const {
   // reference alive regardless, so the pin order is a residency hint, not
   // a correctness contract.
   if (moved) store_->pin_window(window.first, window.second);
-  return *ref;
+  return ref;
+}
+
+std::shared_ptr<const VolumeF> StreamedSequence::fetch_or_substitute(
+    int step) const {
+  auto volume = store_->fetch(step);
+  if (volume) return volume;
+  // Skipped step: widen outward until a neighbour answers (fetch never
+  // throws under kSkipStep — a failing candidate is skipped too).
+  for (int d = 1; d < num_steps(); ++d) {
+    const int candidates[2] = {step - d, step + d};
+    for (int candidate : candidates) {
+      if (candidate < 0 || candidate >= num_steps()) continue;
+      auto neighbour = store_->fetch(candidate);
+      if (neighbour) return neighbour;
+    }
+  }
+  throw CorruptDataError("StreamedSequence: no loadable step near " +
+                         std::to_string(step));
 }
 
 const CumulativeHistogram& StreamedSequence::cumulative_histogram(
@@ -95,7 +129,7 @@ const CumulativeHistogram& StreamedSequence::cumulative_histogram(
   auto [lo, hi] = store_->value_range();
   auto cumhist = derived_.cumulative_histogram(
       step, hist_params_, [&]() -> CumulativeHistogram {
-        auto volume = store_->fetch(step);
+        auto volume = fetch_or_substitute(step);
         return CumulativeHistogram(
             Histogram::of(*volume, config_.histogram_bins, lo, hi));
       });
@@ -110,7 +144,7 @@ Histogram StreamedSequence::histogram(int step) const {
   auto [lo, hi] = store_->value_range();
   auto hist =
       derived_.histogram(step, hist_params_, [&]() -> Histogram {
-        auto volume = store_->fetch(step);
+        auto volume = fetch_or_substitute(step);
         return Histogram::of(*volume, config_.histogram_bins, lo, hi);
       });
   return *hist;

@@ -43,6 +43,11 @@ struct StreamConfig {
   /// synchronous lookahead (deterministic, for tests).
   bool async_prefetch = true;
   int histogram_bins = 256;
+  /// Retry/quarantine policy, forwarded to the VolumeStore (see
+  /// docs/ROBUSTNESS.md).
+  int max_retries = 2;
+  double retry_backoff_ms = 0.0;
+  FailPolicy fail_policy = FailPolicy::kThrow;
 };
 
 class StreamedSequence final : public VolumeSequence {
@@ -62,6 +67,11 @@ class StreamedSequence final : public VolumeSequence {
   int histogram_bins() const override { return config_.histogram_bins; }
 
   const VolumeF& step(int step) const override IFET_EXCLUDES(mutex_);
+  /// Under FailPolicy::kSkipStep a quarantined step yields nullptr here
+  /// (and step() throws the CorruptDataError): tracking needs the exact
+  /// voxels or nothing, so it bridges the gap instead of reading a
+  /// substitute.
+  const VolumeF* try_step(int step) const override IFET_EXCLUDES(mutex_);
   const CumulativeHistogram& cumulative_histogram(int step) const override;
   Histogram histogram(int step) const override;
 
@@ -92,6 +102,12 @@ class StreamedSequence final : public VolumeSequence {
       int lo, int hi, int last_step,
       std::vector<std::shared_ptr<const VolumeF>>& dropped) const
       IFET_REQUIRES(mutex_);
+
+  /// fetch() that degrades gracefully for derived products: a skipped
+  /// (quarantined) step is answered with its nearest loadable neighbour,
+  /// so histogram-driven consumers (IATF opacity ramps) keep working over
+  /// gaps. Voxel-exact consumers go through try_step instead.
+  std::shared_ptr<const VolumeF> fetch_or_substitute(int step) const;
 
   StreamConfig config_;
   std::uint64_t hist_params_ = 0;  ///< hash(bins, value range)

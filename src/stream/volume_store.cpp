@@ -1,10 +1,14 @@
 #include "stream/volume_store.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "io/checksum.hpp"
 #include "io/compressed.hpp"
 #include "io/volume_io.hpp"
 #include "util/error.hpp"
+#include "util/io_error.hpp"
 #include "util/timer.hpp"
 #include "volume/ops.hpp"
 
@@ -58,12 +62,18 @@ VolumeStore::VolumeStore(std::shared_ptr<const VolumeSource> source,
       cache_(config.budget_bytes),
       prefetcher_(ThreadPool::global(), cache_,
                   [this](int step) {
-                    return timed_load(step, /*prefetch_context=*/true);
+                    return load_with_retry(step, /*prefetch_context=*/true);
                   }) {
   IFET_REQUIRE(source_ != nullptr, "VolumeStore requires a source");
   IFET_REQUIRE(source_->num_steps() > 0, "VolumeStore: empty source");
   IFET_REQUIRE(config_.lookahead >= 0,
                "VolumeStore: lookahead must be >= 0");
+  IFET_REQUIRE(config_.max_retries >= 0,
+               "VolumeStore: max_retries must be >= 0");
+  IFET_REQUIRE(config_.retry_backoff_ms >= 0.0,
+               "VolumeStore: retry_backoff_ms must be >= 0");
+  step_states_.assign(static_cast<std::size_t>(source_->num_steps()),
+                      StepState::kUnknown);
 }
 
 std::unique_ptr<VolumeStore> VolumeStore::open_cvol(
@@ -79,31 +89,108 @@ std::unique_ptr<VolumeStore> VolumeStore::open_vol_files(
 }
 
 VolumeF VolumeStore::timed_load(int step, bool prefetch_context) {
+  // Loads run on the fetching/prefetching thread, so the thread-local
+  // checksum counters attribute verification state to THIS step without
+  // any cross-thread interference.
+  const ChecksumCounters before = checksum_counters();
   Stopwatch timer;
   VolumeF v = source_->generate(step);
   IFET_REQUIRE(v.dims() == source_->dims(),
                "VolumeStore: source produced wrong dimensions");
   const double seconds = timer.seconds();
+  const ChecksumCounters after = checksum_counters();
   OrderedMutexLock lock(mutex_);
   ++total_loads_;
   if (!prefetch_context) {
     ++demand_loads_;
     demand_decode_seconds_ += seconds;
   }
+  checksum_verified_ += after.verified - before.verified;
+  checksum_unverified_ += after.unverified - before.unverified;
+  // A procedural source (no disk payload) counts as verified: there was
+  // never a byte that could rot.
+  step_states_[static_cast<std::size_t>(step)] =
+      after.unverified > before.unverified ? StepState::kUnverified
+                                           : StepState::kVerified;
   return v;
 }
 
-std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
-  IFET_REQUIRE(step >= 0 && step < num_steps(),
-               "VolumeStore::fetch: step out of range");
+VolumeF VolumeStore::load_with_retry(int step, bool prefetch_context) {
+  for (int attempt = 0;; ++attempt) {
+    const ChecksumCounters before = checksum_counters();
+    try {
+      return timed_load(step, prefetch_context);
+    } catch (const NotFoundError&) {
+      // A missing step will not appear by retrying.
+      note_failure(step, std::current_exception());
+      throw;
+    } catch (const IoError&) {
+      const ChecksumCounters after = checksum_counters();
+      {
+        OrderedMutexLock lock(mutex_);
+        checksum_failures_ += after.mismatches - before.mismatches;
+      }
+      if (attempt >= config_.max_retries) {
+        note_failure(step, std::current_exception());
+        throw;
+      }
+      {
+        OrderedMutexLock lock(mutex_);
+        ++retries_;
+      }
+      if (config_.retry_backoff_ms > 0.0) {
+        // Deterministic exponential backoff, no jitter: base * 2^attempt.
+        const double ms = config_.retry_backoff_ms *
+                          static_cast<double>(std::uint64_t{1} << attempt);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+      }
+    }
+  }
+}
+
+void VolumeStore::note_failure(int step, std::exception_ptr error) {
+  OrderedMutexLock lock(mutex_);
+  ++load_failures_;
+  quarantine_[step] = error;
+  step_states_[static_cast<std::size_t>(step)] = StepState::kQuarantined;
+}
+
+std::shared_ptr<const VolumeF> VolumeStore::fetch_resident(int step) {
   auto volume = cache_.lookup(step);
   if (!volume && prefetcher_.wait(step)) {
     // An in-flight prefetch covered this step; don't re-count hit/miss.
     volume = cache_.lookup_quiet(step);
   }
   if (!volume) {
-    volume = cache_.insert(step, timed_load(step, /*prefetch_context=*/false),
+    // Collect (and discard) any captured async-load failure so a stale
+    // record cannot shadow this demand attempt — which retries from a
+    // fresh budget on the calling thread and reports its own outcome.
+    prefetcher_.take_failure(step);
+    volume = cache_.insert(step,
+                           load_with_retry(step, /*prefetch_context=*/false),
                            /*from_prefetch=*/false);
+  }
+  return volume;
+}
+
+std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "VolumeStore::fetch: step out of range");
+  std::exception_ptr quarantined;
+  {
+    OrderedMutexLock lock(mutex_);
+    auto it = quarantine_.find(step);
+    if (it != quarantine_.end()) quarantined = it->second;
+  }
+  if (quarantined) return resolve_unavailable(step, quarantined);
+
+  std::shared_ptr<const VolumeF> volume;
+  try {
+    volume = fetch_resident(step);
+  } catch (const IoError&) {
+    // Retries are exhausted and the step is quarantined; apply the policy.
+    return resolve_unavailable(step, std::current_exception());
   }
 
   int direction;
@@ -118,16 +205,57 @@ std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
   return volume;
 }
 
+std::shared_ptr<const VolumeF> VolumeStore::resolve_unavailable(
+    int step, std::exception_ptr error) {
+  switch (config_.fail_policy) {
+    case FailPolicy::kThrow:
+      std::rethrow_exception(error);
+    case FailPolicy::kSkipStep: {
+      OrderedMutexLock lock(mutex_);
+      ++skipped_fetches_;
+      return nullptr;
+    }
+    case FailPolicy::kNearestGood:
+      break;
+  }
+  // Outward search: step-d before step+d, so ties resolve toward data the
+  // consumer has already seen (deterministic regardless of cache state).
+  for (int d = 1; d < num_steps(); ++d) {
+    const int candidates[2] = {step - d, step + d};
+    for (int candidate : candidates) {
+      if (candidate < 0 || candidate >= num_steps()) continue;
+      if (is_quarantined(candidate)) continue;
+      try {
+        auto volume = fetch_resident(candidate);
+        OrderedMutexLock lock(mutex_);
+        ++nearest_good_substitutions_;
+        return volume;
+      } catch (const IoError&) {
+        // The candidate just failed (and is now quarantined itself); keep
+        // widening the search.
+      }
+    }
+  }
+  throw CorruptDataError("VolumeStore: no loadable step near quarantined step " +
+                         std::to_string(step));
+}
+
 void VolumeStore::prefetch(int step) {
   if (step < 0 || step >= num_steps()) return;
+  if (is_quarantined(step)) return;  // fenced off; don't re-load bad data
   if (config_.async_prefetch) {
     prefetcher_.schedule(step);
     return;
   }
   // Synchronous lookahead: deterministic single-threaded path for tests.
   if (cache_.resident(step)) return;
-  cache_.insert(step, timed_load(step, /*prefetch_context=*/true),
-                /*from_prefetch=*/true);
+  try {
+    cache_.insert(step, load_with_retry(step, /*prefetch_context=*/true),
+                  /*from_prefetch=*/true);
+  } catch (const IoError&) {
+    // Lookahead is advisory: the failure is recorded (quarantine + stats)
+    // and surfaces when the step is actually fetched.
+  }
 }
 
 void VolumeStore::pin_window(int lo, int hi) {
@@ -151,7 +279,25 @@ StreamStats VolumeStore::stats() const {
   OrderedMutexLock lock(mutex_);
   out.demand_loads = demand_loads_;
   out.demand_decode_seconds = demand_decode_seconds_;
+  out.retries = retries_;
+  out.load_failures = load_failures_;
+  out.checksum_verified = checksum_verified_;
+  out.checksum_unverified = checksum_unverified_;
+  out.checksum_failures = checksum_failures_;
+  out.quarantined_steps = quarantine_.size();
+  out.skipped_fetches = skipped_fetches_;
+  out.nearest_good_substitutions = nearest_good_substitutions_;
   return out;
+}
+
+StepHealth VolumeStore::step_health() const {
+  OrderedMutexLock lock(mutex_);
+  return StepHealth{step_states_};
+}
+
+bool VolumeStore::is_quarantined(int step) const {
+  OrderedMutexLock lock(mutex_);
+  return quarantine_.count(step) != 0;
 }
 
 }  // namespace ifet

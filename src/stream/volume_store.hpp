@@ -10,12 +10,15 @@
 // prefetchable.
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "stream/cache_manager.hpp"
 #include "stream/prefetcher.hpp"
+#include "stream/step_health.hpp"
 #include "util/ordered_mutex.hpp"
 #include "volume/sequence.hpp"
 
@@ -56,6 +59,14 @@ struct VolumeStoreConfig {
   /// lookahead steps are loaded synchronously on the calling thread
   /// (deterministic; used by tests).
   bool async_prefetch = true;
+  /// Extra load attempts after a retryable IoError (TransientIoError or
+  /// CorruptDataError; NotFoundError never retries). 0 disables retry.
+  int max_retries = 2;
+  /// Base delay before the first retry; doubles per attempt (deterministic,
+  /// jitterless — see docs/ROBUSTNESS.md). 0 retries immediately.
+  double retry_backoff_ms = 0.0;
+  /// What fetch() does for a step whose load exhausted its retries.
+  FailPolicy fail_policy = FailPolicy::kThrow;
 };
 
 class VolumeStore {
@@ -83,6 +94,12 @@ class VolumeStore {
   /// or demand-load — then schedule lookahead in the current scan
   /// direction. The returned data stays valid while the shared_ptr is
   /// held, independent of eviction.
+  ///
+  /// Loads that throw a retryable IoError are retried (config.max_retries,
+  /// exponential backoff); a step that exhausts its retries is quarantined
+  /// and config.fail_policy decides the outcome — rethrow the original
+  /// error (kThrow), return nullptr (kSkipStep), or return the nearest
+  /// loadable step's volume (kNearestGood).
   std::shared_ptr<const VolumeF> fetch(int step);
 
   /// Schedule an async load of `step` without blocking (bounds-clamped
@@ -100,14 +117,36 @@ class VolumeStore {
   /// CachedSequence::generation_count.
   std::size_t load_count() const IFET_EXCLUDES(mutex_);
 
-  /// Combined snapshot: cache + prefetcher counters.
+  /// Combined snapshot: cache + prefetcher + robustness counters.
   StreamStats stats() const IFET_EXCLUDES(mutex_);
+
+  /// Per-step verified/unverified/quarantined report.
+  StepHealth step_health() const IFET_EXCLUDES(mutex_);
+
+  /// Whether `step` exhausted its retries and is fenced off.
+  bool is_quarantined(int step) const IFET_EXCLUDES(mutex_);
 
  private:
   /// Decodes one step via the source (mutex_ is only taken AFTER the
   /// decode, to bump the counters — the source call is user code and runs
   /// lock-free).
   VolumeF timed_load(int step, bool prefetch_context) IFET_EXCLUDES(mutex_);
+
+  /// timed_load wrapped in the retry/backoff policy. Exhaustion (or a
+  /// NotFoundError) quarantines the step and rethrows the final error.
+  VolumeF load_with_retry(int step, bool prefetch_context)
+      IFET_EXCLUDES(mutex_);
+
+  /// The pre-policy fetch path: cache hit, await prefetch, demand load.
+  std::shared_ptr<const VolumeF> fetch_resident(int step)
+      IFET_EXCLUDES(mutex_);
+
+  /// Apply config.fail_policy to a step whose load failed for good.
+  std::shared_ptr<const VolumeF> resolve_unavailable(int step,
+                                                     std::exception_ptr error)
+      IFET_EXCLUDES(mutex_);
+
+  void note_failure(int step, std::exception_ptr error) IFET_EXCLUDES(mutex_);
 
   std::shared_ptr<const VolumeSource> source_;
   VolumeStoreConfig config_;
@@ -119,6 +158,17 @@ class VolumeStore {
   std::uint64_t demand_loads_ IFET_GUARDED_BY(mutex_) = 0;
   std::uint64_t total_loads_ IFET_GUARDED_BY(mutex_) = 0;
   double demand_decode_seconds_ IFET_GUARDED_BY(mutex_) = 0.0;
+  /// Original load error per quarantined step (kThrow rethrows it).
+  std::unordered_map<int, std::exception_ptr> quarantine_
+      IFET_GUARDED_BY(mutex_);
+  std::vector<StepState> step_states_ IFET_GUARDED_BY(mutex_);
+  std::uint64_t retries_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t load_failures_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t checksum_verified_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t checksum_unverified_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t checksum_failures_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t skipped_fetches_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t nearest_good_substitutions_ IFET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ifet

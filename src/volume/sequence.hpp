@@ -82,6 +82,13 @@ class VolumeSequence {
   /// Volume at `step` (loaded/generated on miss; cached).
   virtual const VolumeF& step(int step) const = 0;
 
+  /// Volume at `step`, or nullptr when the step is unavailable and the
+  /// implementation's fail policy allows skipping it (out-of-core
+  /// streaming with FailPolicy::kSkipStep — see docs/ROBUSTNESS.md).
+  /// Fully-resident implementations never return nullptr. Consumers that
+  /// can bridge gaps (feature tracking) use this; step() throws instead.
+  virtual const VolumeF* try_step(int t) const { return &step(t); }
+
   /// Cumulative histogram of `step` over the sequence-global value range.
   virtual const CumulativeHistogram& cumulative_histogram(int step) const = 0;
 

@@ -2,11 +2,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 
+#include "io/checksum.hpp"
 #include "io/compressed.hpp"
+#include "io/volume_io.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
+#include "util/io_error.hpp"
+#include "util/rng.hpp"
 
 namespace ifet {
 namespace {
@@ -185,6 +191,143 @@ TEST(CompressedSequence, SixteenBitContainerRoundTrips) {
 
 TEST(CompressedSequence, MissingFileRejected) {
   EXPECT_THROW(CompressedFileSource("/tmp/ifet_no_such.cvol"), Error);
+  // The typed taxonomy (docs/ROBUSTNESS.md): a missing file is
+  // NotFoundError specifically, so the retry loop can fail fast on it.
+  EXPECT_THROW(CompressedFileSource("/tmp/ifet_no_such.cvol"), NotFoundError);
+}
+
+// ---------------------------------------------------------------------------
+// Payload checksums (docs/ROBUSTNESS.md)
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(PayloadChecksums, BitFlippedCvolPayloadRejected) {
+  const std::string path = "/tmp/ifet_cseq_flip.cvol";
+  const Dims d{8, 8, 8};
+  CallbackSource source(d, 1, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 400 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path);
+
+  std::string bytes = slurp(path);
+  // Layout: text header line, 16-byte index entry, then the single
+  // record `bits u8 | lo f32 | hi f32 | payload_size u64 | payload | crc`.
+  const std::size_t header_end = bytes.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::size_t payload_begin = header_end + 1 + 16 + 17;
+  const std::size_t payload_end = bytes.size() - 4;  // trailing crc32
+  ASSERT_GT(payload_end, payload_begin);
+  Rng rng(2026);
+  const std::size_t offset =
+      payload_begin + static_cast<std::size_t>(rng.next_u64() %
+                                               (payload_end - payload_begin));
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x10);
+  dump(path, bytes);
+
+  CompressedFileSource reader(path);  // header + index are intact
+  const std::uint64_t before = checksum_counters().mismatches;
+  EXPECT_THROW(reader.generate(0), CorruptDataError);
+  EXPECT_EQ(checksum_counters().mismatches, before + 1);
+  std::remove(path.c_str());
+}
+
+TEST(PayloadChecksums, ChecksumLessCvolStillLoadsAsUnverified) {
+  const std::string path = "/tmp/ifet_cseq_legacy.cvol";
+  const Dims d{8, 8, 8};
+  CallbackSource source(d, 2, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 500 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path, QuantBits::k8,
+                            /*with_checksum=*/false);
+  CompressedFileSource reader(path);
+  const ChecksumCounters before = checksum_counters();
+  for (int s = 0; s < 2; ++s) {
+    VolumeF decoded = reader.generate(s);
+    EXPECT_LE(max_abs_error(source.generate(s), decoded), 1.0 / 255.0);
+  }
+  // Old files keep loading, but the reads are flagged, not silently
+  // trusted.
+  EXPECT_EQ(checksum_counters().unverified, before.unverified + 2);
+  EXPECT_EQ(checksum_counters().verified, before.verified);
+  std::remove(path.c_str());
+}
+
+TEST(PayloadChecksums, CleanCvolReadsCountAsVerified) {
+  const std::string path = "/tmp/ifet_cseq_verified.cvol";
+  const Dims d{6, 6, 6};
+  CallbackSource source(d, 2, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 600 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path);
+  CompressedFileSource reader(path);
+  const ChecksumCounters before = checksum_counters();
+  (void)reader.generate(0);
+  (void)reader.generate(1);
+  EXPECT_EQ(checksum_counters().verified, before.verified + 2);
+  EXPECT_EQ(checksum_counters().mismatches, before.mismatches);
+  std::remove(path.c_str());
+}
+
+TEST(PayloadChecksums, BitFlippedVolPayloadRejected) {
+  const std::string path = "/tmp/ifet_vol_flip.vol";
+  VolumeF v = random_volume(Dims{6, 6, 6}, 11);
+  write_vol(v, path);
+  EXPECT_EQ(max_abs_error(v, read_vol(path)), 0.0);  // clean round trip
+
+  std::string bytes = slurp(path);
+  const std::size_t header_end = bytes.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  Rng rng(4711);
+  const std::size_t offset =
+      header_end + 1 +
+      static_cast<std::size_t>(rng.next_u64() %
+                               (bytes.size() - header_end - 1));
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x01);
+  dump(path, bytes);
+  EXPECT_THROW(read_vol(path), CorruptDataError);
+  std::remove(path.c_str());
+}
+
+TEST(PayloadChecksums, ChecksumLessVolStillLoads) {
+  const std::string path = "/tmp/ifet_vol_legacy.vol";
+  VolumeF v = random_volume(Dims{5, 5, 5}, 12);
+  write_vol(v, path, /*with_checksum=*/false);
+  const ChecksumCounters before = checksum_counters();
+  VolumeF back = read_vol(path);
+  EXPECT_EQ(max_abs_error(v, back), 0.0);
+  EXPECT_EQ(checksum_counters().unverified, before.unverified + 1);
+  std::remove(path.c_str());
+}
+
+TEST(PayloadChecksums, TruncationNamesTheMissingStep) {
+  // The writer's destructor finalizes a partial index, so an interrupted
+  // run is rejected with a message naming exactly where the file ends.
+  const std::string path = "/tmp/ifet_cseq_partial.cvol";
+  const Dims d{4, 4, 4};
+  {
+    CompressedSequenceWriter writer(path, d, 3, {0.0, 1.0});
+    writer.append(compress_volume(VolumeF(d, 0.5f)));
+    // No close(): simulates a writer killed mid-sequence.
+  }
+  try {
+    CompressedFileSource reader(path);
+    FAIL() << "partial file must be rejected";
+  } catch (const CorruptDataError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncates at step 1"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// Fixture (should FAIL): a broad catch around a volume load flattens the
+// typed IoError taxonomy the retry/quarantine machinery dispatches on.
+#include <exception>
+#include <string>
+
+int warm(const std::string& path) {
+  try {
+    auto v = read_vol(path);
+    return 0;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}

@@ -1,0 +1,14 @@
+// Fixture (should PASS): typed handlers keep the failure mode visible —
+// the load site distinguishes transient faults from corrupt payloads.
+#include <string>
+
+int warm(const std::string& path) {
+  try {
+    auto v = read_vol(path);
+    return 0;
+  } catch (const TransientIoError&) {
+    return 1;
+  } catch (const CorruptDataError&) {
+    return -1;
+  }
+}

@@ -1,0 +1,13 @@
+// Fixture (should PASS): src/stream is the sanctioned place to field load
+// failures broadly — it retries, quarantines, and reattributes them.
+#include <exception>
+#include <string>
+
+int warm(const std::string& path) {
+  try {
+    auto v = read_vol(path);
+    return 0;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}

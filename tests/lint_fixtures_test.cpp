@@ -79,6 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"iostream-in-header", 1},
                       RuleCase{"raw-rand", 1},
                       RuleCase{"catch-all", 1},
+                      RuleCase{"broad-catch-io", 1},
                       RuleCase{"direct-volume-load", 1},
                       RuleCase{"scalar-forward-in-hot-loop", 1},
                       RuleCase{"lock-order-cycle", 2},

@@ -2,15 +2,20 @@
 # One-command tier-1 verification (docs/CORRECTNESS.md):
 #   1. default preset: configure, build, full ctest (includes ifet_lint
 #      and the lint fixture regressions)
-#   2. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
+#   2. fault injection: the fault_injection_test binary, then an
+#      ifet_tool track over a fixture with injected faults under
+#      --fail-policy=skip, asserting retries happened and the run exits
+#      cleanly (docs/ROBUSTNESS.md)
+#   3. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
 #      with IFET_DEBUG_ASSERT checks and the OrderedMutex lock-order
 #      validator on
-#   3. tsan preset: build + run the streaming/concurrency stress tests
-#      (the CacheManager/Prefetcher and thread-pool race detectors)
-#   4. thread-safety: clang build with -Wthread-safety promoted to errors
+#   4. tsan preset: build + run the streaming/concurrency stress tests
+#      (the CacheManager/Prefetcher, fault-storm, and thread-pool race
+#      detectors)
+#   5. thread-safety: clang build with -Wthread-safety promoted to errors
 #      over the IFET_GUARDED_BY annotations (docs/STATIC_ANALYSIS.md);
 #      skips if clang is not installed
-#   5. clang-tidy over the hardened directories (skips if not installed)
+#   6. clang-tidy over the hardened directories (skips if not installed)
 #
 # Each stage records pass/fail/skip and the script prints a summary table
 # before exiting; the exit status is non-zero if ANY stage failed, so one
@@ -19,6 +24,7 @@
 # Usage: tools/ci_check.sh          # everything
 #        JOBS=8 tools/ci_check.sh   # override build parallelism
 #        SKIP_ASAN=1 tools/ci_check.sh   # fast local loop, default only
+#        SKIP_FAULT=1 tools/ci_check.sh  # skip the fault-injection stage
 #        SKIP_TSAN=1 tools/ci_check.sh   # skip the TSan stress stage
 #        SKIP_THREAD_SAFETY=1 tools/ci_check.sh  # skip the clang stage
 
@@ -55,6 +61,26 @@ stage_default() {
     ctest --preset default -j "$JOBS"
 }
 
+stage_fault() {
+  # Fault-injection pass (docs/ROBUSTNESS.md): the dedicated test binary,
+  # then the CLI driven over a fixture with one transient fault per step
+  # plus a permanently corrupt step under --fail-policy=skip. The run must
+  # exit 0 AND report nonzero retries — a clean exit that never retried
+  # would mean the schedule silently stopped injecting.
+  local build_dir="$ROOT/build"
+  local fixture="$build_dir/ci_fault_fixture.cvol"
+  "$build_dir/tests/fault_injection_test" &&
+    "$build_dir/tools/ifet_tool" gen --dataset=swirl --size=16 \
+      --cvol="$fixture" &&
+    "$build_dir/tools/ifet_tool" track "$fixture" \
+      --seed=12,8,8 --band=0.4:1.0 --budget-mb=1 --lookahead=2 \
+      --inject-faults=transient@all:1,corrupt@7 \
+      --max-retries=2 --backoff-ms=0 --fail-policy=skip \
+      >"$build_dir/ci_fault_track.out" 2>&1 &&
+    grep -E 'faults: [1-9][0-9]* retries' "$build_dir/ci_fault_track.out" &&
+    grep -E '1 quarantined' "$build_dir/ci_fault_track.out"
+}
+
 stage_asan() {
   cmake --preset asan-ubsan &&
     cmake --build --preset asan-ubsan -j "$JOBS" &&
@@ -64,9 +90,10 @@ stage_asan() {
 stage_tsan() {
   cmake --preset tsan &&
     cmake --build --preset tsan -j "$JOBS" --target \
-      stress_cache_manager_test stress_thread_pool_test flat_mlp_test &&
+      stress_cache_manager_test stress_fault_storm_test \
+      stress_thread_pool_test flat_mlp_test &&
     ctest --preset tsan -j "$JOBS" -R \
-      'stress_cache_manager_test|stress_thread_pool_test|flat_mlp_test'
+      'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|flat_mlp_test'
 }
 
 stage_thread_safety() {
@@ -81,6 +108,12 @@ stage_thread_safety() {
 }
 
 run_stage "default preset (build + ctest)" stage_default
+
+if [ "${SKIP_FAULT:-0}" != "1" ]; then
+  run_stage "fault injection (test + faulted CLI track)" stage_fault
+else
+  record "fault injection (test + faulted CLI track)" "skip"
+fi
 
 if [ "${SKIP_ASAN:-0}" != "1" ]; then
   run_stage "asan-ubsan preset (build + ctest)" stage_asan

@@ -9,10 +9,16 @@
 //                      [--azimuth=R] [--elevation=R]
 //   ifet_tool track    FILE.cvol --seed=x,y,z [--step=S] [--band=lo:hi]
 //                      [--budget-mb=N] [--lookahead=K]
+//                      [--max-retries=N] [--backoff-ms=MS]
+//                      [--fail-policy=throw|skip|nearest]
+//                      [--inject-faults=kind@step[:count],...]
 //                      [--out=PREFIX]         4D region growing over the
 //                                             out-of-core sequence; prints
 //                                             the feature tree, per-step
 //                                             counts, and streaming stats
+//                                             (fault flags exercise the
+//                                             robustness layer — see
+//                                             docs/ROBUSTNESS.md)
 //
 // The tool works on the library's self-describing formats so a user can
 // run the full extract-and-track pipeline on their own converted data.
@@ -25,6 +31,7 @@
 #include "core/tracking.hpp"
 #include "flowsim/datasets.hpp"
 #include "io/compressed.hpp"
+#include "stream/fault_injection.hpp"
 #include "stream/streamed_sequence.hpp"
 #include "io/image_io.hpp"
 #include "io/volume_io.hpp"
@@ -179,9 +186,17 @@ int cmd_track(const CliArgs& args) {
   stream_config.budget_bytes =
       static_cast<std::size_t>(args.get_int("budget-mb", 0)) * 1024 * 1024;
   stream_config.lookahead = args.get_int("lookahead", 2);
-  auto sequence_ptr =
-      StreamedSequence::open_cvol(args.positional()[1], stream_config);
-  StreamedSequence& sequence = *sequence_ptr;
+  stream_config.max_retries = args.get_int("max-retries", 2);
+  stream_config.retry_backoff_ms = args.get_double("backoff-ms", 0.0);
+  stream_config.fail_policy = parse_fail_policy(args.get("fail-policy",
+                                                         "throw"));
+  std::shared_ptr<const VolumeSource> source =
+      std::make_shared<CompressedFileSource>(args.positional()[1]);
+  if (args.has("inject-faults")) {
+    source = std::make_shared<FaultInjectingSource>(
+        source, parse_fault_schedule(args.get("inject-faults", "")));
+  }
+  StreamedSequence sequence(std::move(source), stream_config);
   auto [vlo, vhi] = sequence.value_range();
   auto [blo, bhi] = parse_band(args.get("band", ""),
                                lerp(vlo, vhi, 0.5), vhi);
@@ -210,6 +225,9 @@ int cmd_track(const CliArgs& args) {
     }
   }
   std::cout << sequence.stats().summary() << "\n";
+  if (sequence.stats().quarantined_steps != 0) {
+    std::cout << sequence.store().step_health().summary() << "\n";
+  }
   return 0;
 }
 

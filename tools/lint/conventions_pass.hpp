@@ -6,6 +6,8 @@
 // `rand()` or a brace in a string can no longer confuse a rule.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
 #include <regex>
 #include <string>
 #include <vector>
@@ -35,6 +37,16 @@ inline bool may_load_volumes(const fs::path& p) {
 inline bool in_hot_dir(const fs::path& p) {
   for (const auto& part : p) {
     if (part == "core" || part == "render") return true;
+  }
+  return false;
+}
+
+/// The streaming layer is the sanctioned place to field load failures
+/// broadly (it retries, quarantines, and reattributes them), so the
+/// broad-catch-io rule exempts it.
+inline bool in_stream_dir(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "stream") return true;
   }
   return false;
 }
@@ -150,6 +162,82 @@ inline void run_conventions_pass(const SourceFile& file,
         {file.path.string(), first_dims_line, "extent-unchecked",
          "file handles Dims extents but contains no IFET_REQUIRE / "
          "IFET_DEBUG_ASSERT validating them"});
+  }
+
+  // broad-catch-io: try/catch spans lines, so this rule runs on the joined
+  // code view with explicit brace matching instead of per-line regexes. A
+  // broad handler (catch (...) / catch (const std::exception&)) around a
+  // volume-load call site flattens the typed IoError taxonomy the
+  // retry/quarantine machinery dispatches on; only src/stream may do that.
+  if (!in_stream_dir(file.path)) {
+    static const std::regex io_load_re(
+        R"(\b(read_vol|read_raw|open_cvol|open_vol_files|fetch|generate)\s*\()");
+    static const std::regex broad_decl_re(
+        R"(^\s*(\.\.\.|(const\s+)?(std::\s*)?exception\s*&?\s*\w*)\s*$)");
+    static const std::regex try_re(R"(\btry\s*\{)");
+
+    std::string text;
+    std::vector<std::size_t> line_starts;
+    for (const auto& code_line : file.code) {
+      line_starts.push_back(text.size());
+      text += code_line;
+      text += '\n';
+    }
+    auto line_at = [&](std::size_t pos) {
+      auto it =
+          std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+      return static_cast<std::size_t>(it - line_starts.begin()) - 1;
+    };
+    auto match_brace = [&](std::size_t open) {
+      int brace_depth = 0;
+      for (std::size_t p = open; p < text.size(); ++p) {
+        if (text[p] == '{') ++brace_depth;
+        if (text[p] == '}' && --brace_depth == 0) return p;
+      }
+      return std::string::npos;
+    };
+
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), try_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t open = static_cast<std::size_t>(it->position(0)) +
+                               static_cast<std::size_t>(it->length(0)) - 1;
+      const std::size_t close = match_brace(open);
+      if (close == std::string::npos) break;  // unbalanced; give up quietly
+      const std::string body = text.substr(open + 1, close - open - 1);
+      const bool loads = std::regex_search(body, io_load_re);
+
+      std::size_t pos = close + 1;
+      while (true) {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+          ++pos;
+        }
+        if (pos + 5 > text.size() || text.compare(pos, 5, "catch") != 0) {
+          break;
+        }
+        const std::size_t decl_open = text.find('(', pos);
+        const std::size_t decl_close =
+            decl_open == std::string::npos ? std::string::npos
+                                           : text.find(')', decl_open);
+        const std::size_t body_open =
+            decl_close == std::string::npos ? std::string::npos
+                                            : text.find('{', decl_close);
+        const std::size_t body_close = body_open == std::string::npos
+                                           ? std::string::npos
+                                           : match_brace(body_open);
+        if (body_close == std::string::npos) break;
+        const std::string decl =
+            text.substr(decl_open + 1, decl_close - decl_open - 1);
+        if (loads && std::regex_match(decl, broad_decl_re)) {
+          report(line_at(pos), "broad-catch-io",
+                 "broad catch around a volume-load call site flattens the "
+                 "typed IoError taxonomy; catch TransientIoError / "
+                 "CorruptDataError / NotFoundError (util/io_error.hpp) or "
+                 "let the streaming layer's retry/quarantine field it");
+        }
+        pos = body_close + 1;
+      }
+    }
   }
 }
 
