@@ -9,17 +9,27 @@
 // path, which must be far cheaper than the full volume).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "core/dataspace.hpp"
 #include "flowsim/datasets.hpp"
+#include "nn/flat_mlp.hpp"
+#include "nn/mlp.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/alloc_guard.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
+
+// Counting operator new/delete for this binary so the steady-state
+// sections below can assert zero allocations (docs/STATIC_ANALYSIS.md).
+IFET_ALLOC_GUARD_INSTALL();
 
 namespace {
 
@@ -202,23 +212,70 @@ int write_classify_report(const char* path) {
   return 0;
 }
 
+/// Steady-state allocation contract on the IFET_HOT inference kernel: a
+/// warm FlatMlp::forward_batch with a caller-owned Scratch must touch the
+/// heap zero times (the lint-side guarantee, proven at runtime by the
+/// shared AllocGuard), while staying bitwise identical to Mlp::forward.
+int check_steady_state_allocations() {
+  Rng rng(0x90df);
+  Mlp net({19, 16, 1}, rng);
+  FlatMlp flat(net);
+  FlatMlp::Scratch scratch;
+  const int n = 6 * FlatMlp::kTileRows + 7;  // several tiles + ragged tail
+  std::vector<double> in(static_cast<std::size_t>(n) * 19);
+  for (double& x : in) x = rng.uniform(-1.5, 1.5);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  flat.forward_batch(in.data(), n, out.data(), scratch);  // warm the scratch
+
+  for (int r = 0; r < n; ++r) {
+    const auto ref = net.forward(std::span<const double>(
+        in.data() + static_cast<std::size_t>(r) * 19, 19));
+    if (out[static_cast<std::size_t>(r)] != ref[0]) {
+      std::cerr << "bench_perf_classify: forward_batch row " << r
+                << " is NOT bitwise identical to Mlp::forward\n";
+      return 1;
+    }
+  }
+
+  ifet::DenyAllocScope guard;
+  for (int pass = 0; pass < 8; ++pass) {
+    flat.forward_batch(in.data(), n, out.data(), scratch);
+  }
+  benchmark::DoNotOptimize(out.data());
+  if (guard.allocations() != 0) {
+    std::cerr << "bench_perf_classify: warm forward_batch performed "
+              << guard.allocations() << " heap allocations (expected 0)\n";
+    return 1;
+  }
+  std::cout << "alloc check: warm FlatMlp::forward_batch made 0 heap "
+               "allocations over 8 passes, bitwise equal to Mlp::forward\n";
+  return 0;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run
-// (skippable with --classify-report-only) the binary always performs the
-// scalar-vs-flat parity check and writes BENCH_classify.json, so CI can
-// gate on both the speedup and the bit-comparability contract.
+// (skippable with --classify-report-only; --alloc-check-only also skips
+// the report) the binary performs the scalar-vs-flat parity check, the
+// zero-allocation steady-state check, and writes BENCH_classify.json, so
+// CI can gate on the speedup, the bit-comparability contract, and the
+// hot-path allocation contract at once.
 int main(int argc, char** argv) {
   bool report_only = false;
+  bool alloc_check_only = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--classify-report-only") {
       report_only = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--alloc-check-only") {
+      alloc_check_only = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
-  if (!report_only) {
+  if (!report_only && !alloc_check_only) {
     int filtered = static_cast<int>(args.size());
     benchmark::Initialize(&filtered, args.data());
     if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) {
@@ -227,5 +284,7 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
+  const int alloc_rc = check_steady_state_allocations();
+  if (alloc_check_only || alloc_rc != 0) return alloc_rc;
   return write_classify_report("BENCH_classify.json");
 }

@@ -10,12 +10,21 @@
 // costs a modest constant factor (paper: 6 -> 4 fps, i.e. 1.5x).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "core/iatf.hpp"
 #include "flowsim/datasets.hpp"
 #include "render/raycaster.hpp"
+#include "util/alloc_guard.hpp"
 #include "volume/ops.hpp"
+
+// Counting operator new/delete for this binary so the steady-state check
+// below can assert zero allocations in the ray loop (docs/STATIC_ANALYSIS.md).
+IFET_ALLOC_GUARD_INSTALL();
 
 namespace {
 
@@ -158,6 +167,91 @@ void BM_RenderUnshaded(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderUnshaded)->Arg(128)->Unit(benchmark::kMillisecond);
 
+/// Steady-state contract on the IFET_HOT ray loop: once a frame's Plan and
+/// destination image exist, Raycaster::render_rows must march every row
+/// with zero heap allocations (render() itself allocates the image and the
+/// pool's task plumbing, so the check drives the row kernel directly), and
+/// the row-kernel image must be bitwise identical to the render() output.
+int check_render_rows_contract() {
+  RenderFixture& f = fixture();
+  Camera camera(0.5, 0.35, 2.4);
+  ColorMap colors;
+  HighlightLayer layer{f.mask.get(), f.tf.get(), Rgb{0.9, 0.05, 0.05}};
+
+  RenderSettings shaded = settings_for(96, true);
+  RenderSettings mip = settings_for(96, false);
+  mip.mode = CompositingMode::kMaximumIntensity;
+  struct Variant {
+    const char* name;
+    const RenderSettings* settings;
+    const HighlightLayer* highlight;
+  };
+  const Variant variants[] = {
+      {"front-to-back shaded", &shaded, nullptr},
+      {"tracking overlay", &shaded, &layer},
+      {"maximum intensity", &mip, nullptr},
+  };
+
+  for (const Variant& v : variants) {
+    Raycaster caster(*v.settings);
+    const ImageRgb8 pooled =
+        caster.render(f.volume, *f.tf, colors, camera, v.highlight);
+    const Raycaster::Plan plan =
+        caster.prepare_plan(f.volume, *f.tf, colors, camera, v.highlight);
+    ImageRgb8 direct(v.settings->width, v.settings->height);
+    Raycaster::RenderRowCounters warm;
+    caster.render_rows(plan, 0, v.settings->height, direct, warm);
+    if (pooled.pixels.size() != direct.pixels.size() ||
+        std::memcmp(pooled.pixels.data(), direct.pixels.data(),
+                    pooled.pixels.size()) != 0) {
+      std::cerr << "bench_perf_render: render_rows image for '" << v.name
+                << "' is NOT bitwise identical to render()\n";
+      return 1;
+    }
+    if (warm.samples == 0) {
+      std::cerr << "bench_perf_render: '" << v.name
+                << "' marched no samples; the check is vacuous\n";
+      return 1;
+    }
+    DenyAllocScope guard;
+    Raycaster::RenderRowCounters steady;
+    caster.render_rows(plan, 0, v.settings->height, direct, steady);
+    if (guard.allocations() != 0) {
+      std::cerr << "bench_perf_render: warm render_rows for '" << v.name
+                << "' performed " << guard.allocations()
+                << " heap allocations (expected 0)\n";
+      return 1;
+    }
+  }
+  std::cout << "alloc check: warm Raycaster::render_rows made 0 heap "
+               "allocations across 3 variants, bitwise equal to render()\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run
+// (skippable with --render-check-only) the binary always verifies the
+// row-kernel allocation contract, so CI gates on the hot ray loop staying
+// heap-free and bitwise faithful to the pooled render() path.
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--render-check-only") {
+      check_only = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!check_only) {
+    int filtered = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return check_render_rows_contract();
+}

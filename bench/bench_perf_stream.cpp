@@ -3,6 +3,8 @@
 // streamed results are bit-identical to the fully-resident path.
 //
 // Shape claims (exit nonzero on failure):
+//   - a warm CacheManager hit performs zero heap allocations (the shared
+//     AllocGuard pins the splice-based LRU refresh);
 //   - a sequential scan under a 3-step budget returns exactly the volumes
 //     the source decodes, with nonzero evictions and peak residency within
 //     the budget;
@@ -25,11 +27,18 @@
 #include "flowsim/datasets.hpp"
 #include "io/compressed.hpp"
 #include "math/vec.hpp"
+#include "stream/cache_manager.hpp"
 #include "stream/fault_injection.hpp"
 #include "stream/streamed_sequence.hpp"
+#include "util/alloc_guard.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+
+// Counting operator new/delete for this binary: the warm-hit section below
+// asserts the IFET_HOT cache lookup never allocates (the LRU refresh is a
+// list splice, not erase+push_front; docs/STATIC_ANALYSIS.md).
+IFET_ALLOC_GUARD_INSTALL();
 
 namespace {
 
@@ -86,6 +95,29 @@ int main() {
   const std::size_t budget = 3 * step_bytes;  // sequence is 16 steps
 
   bench::ShapeCheck check;
+
+  // --- Steady-state allocation contract on the cache hit path. Run before
+  // any StreamedSequence spins up its prefetcher thread, so the only code
+  // that could allocate inside the guard is the lookup itself.
+  {
+    CacheManager cache(budget);
+    for (int t = 0; t < 3; ++t) {
+      cache.insert(t, reader->generate(t), false);
+    }
+    (void)cache.lookup(0);  // warm: first hit clears the prefetched flag
+    DenyAllocScope guard;
+    std::size_t hits = 0;
+    for (int pass = 0; pass < 64; ++pass) {
+      for (int t = 0; t < 3; ++t) {
+        if (cache.lookup(t) != nullptr) ++hits;
+      }
+    }
+    // Snapshot before expect(): its message strings allocate.
+    const std::uint64_t hit_allocs = guard.allocations();
+    check.expect(hits == 64 * 3, "every warm lookup is a hit");
+    check.expect(hit_allocs == 0,
+                 "warm CacheManager hits perform zero heap allocations");
+  }
 
   // --- Sequential scan under budget: correctness + eviction + prefetch.
   StreamConfig stream_cfg;

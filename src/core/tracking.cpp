@@ -82,12 +82,8 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
     pending.emplace(seed_step, std::move(initial));
   }
 
-  static constexpr int kNeighborhood[6][3] = {{1, 0, 0},  {-1, 0, 0},
-                                              {0, 1, 0},  {0, -1, 0},
-                                              {0, 0, 1},  {0, 0, -1}};
   const Dims d = sequence_.dims();
-  std::size_t total_voxels = 0;
-  std::deque<Index3> frontier;
+  GrowState grow;
 
   while (!pending.empty()) {
     // Process the step closest to the seed step first; this keeps the
@@ -137,30 +133,12 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
     (void)inserted;
     Mask& mask = mask_it->second;
 
-    // 3D BFS within this step from all accepted candidates.
-    frontier.clear();
-    std::vector<Index3> newly_added;
-    auto try_add = [&](const Index3& p) {
-      std::size_t li = mask.linear_index(p.x, p.y, p.z);
-      if (mask[li]) return;
-      if (!criterion_.accept(step, volume[li])) return;
-      mask[li] = 1;
-      frontier.push_back(p);
-      newly_added.push_back(p);
-      ++total_voxels;
-    };
-    for (const Index3& p : candidates) try_add(p);
-    while (!frontier.empty()) {
-      if (config_.max_voxels != 0 && total_voxels >= config_.max_voxels) {
-        break;
-      }
-      Index3 p = frontier.front();
-      frontier.pop_front();
-      for (const auto& n : kNeighborhood) {
-        Index3 q{p.x + n[0], p.y + n[1], p.z + n[2]};
-        if (d.contains(q)) try_add(q);
-      }
-    }
+    // 3D BFS within this step from all accepted candidates. The worklists
+    // live in `grow` and are reused across steps (constructing a fresh
+    // newly_added vector per step churned the allocator once per step).
+    grow.frontier.clear();
+    grow.newly_added.clear();
+    grow_step(step, volume, candidates, mask, grow);
 
     // Temporal propagation: every voxel newly added at this step seeds the
     // same position at t-1 and t+1 (the 4D connectivity).
@@ -169,7 +147,7 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
       if (next < lo_step || next > hi_step) continue;
       auto visited = result.masks.find(next);
       std::vector<Index3>& out = pending[next];
-      for (const Index3& p : newly_added) {
+      for (const Index3& p : grow.newly_added) {
         if (visited != result.masks.end() &&
             visited->second[visited->second.linear_index(p.x, p.y, p.z)]) {
           continue;
@@ -178,7 +156,9 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
       }
       if (out.empty()) pending.erase(next);
     }
-    if (config_.max_voxels != 0 && total_voxels >= config_.max_voxels) break;
+    if (config_.max_voxels != 0 && grow.total_voxels >= config_.max_voxels) {
+      break;
+    }
   }
 
   // Drop steps the region never actually reached.
@@ -190,6 +170,41 @@ TrackResult Tracker::track_from_mask(const Mask& seeds, int seed_step) const {
     }
   }
   return result;
+}
+
+IFET_HOT void Tracker::try_add_voxel(int step, const Index3& p,
+                                     const VolumeF& volume, Mask& mask,
+                                     GrowState& state) const {
+  std::size_t li = mask.linear_index(p.x, p.y, p.z);
+  if (mask[li]) return;
+  if (!criterion_.accept(step, volume[li])) return;
+  mask[li] = 1;
+  IFET_HOT_ALLOW("amortized growth of BFS worklists reused across steps");
+  state.frontier.push_back(p);
+  IFET_HOT_ALLOW("amortized growth of BFS worklists reused across steps");
+  state.newly_added.push_back(p);
+  ++state.total_voxels;
+}
+
+IFET_HOT void Tracker::grow_step(int step, const VolumeF& volume,
+                                 const std::vector<Index3>& candidates,
+                                 Mask& mask, GrowState& state) const {
+  static constexpr int kNeighborhood[6][3] = {{1, 0, 0},  {-1, 0, 0},
+                                              {0, 1, 0},  {0, -1, 0},
+                                              {0, 0, 1},  {0, 0, -1}};
+  const Dims d = sequence_.dims();
+  for (const Index3& p : candidates) try_add_voxel(step, p, volume, mask, state);
+  while (!state.frontier.empty()) {
+    if (config_.max_voxels != 0 && state.total_voxels >= config_.max_voxels) {
+      break;
+    }
+    Index3 p = state.frontier.front();
+    state.frontier.pop_front();
+    for (const auto& n : kNeighborhood) {
+      Index3 q{p.x + n[0], p.y + n[1], p.z + n[2]};
+      if (d.contains(q)) try_add_voxel(step, q, volume, mask, state);
+    }
+  }
 }
 
 }  // namespace ifet

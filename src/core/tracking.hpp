@@ -14,12 +14,16 @@
 // rendering").
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "core/iatf.hpp"
 #include "stream/derived_cache.hpp"
+#include "util/hot_path.hpp"
 #include "volume/sequence.hpp"
 #include "volume/volume.hpp"
 
@@ -102,6 +106,28 @@ class Tracker {
   TrackResult track_from_mask(const Mask& seeds, int seed_step) const;
 
  private:
+  /// Intra-step region-growing worklists, hoisted out of the per-step loop
+  /// so steady-state growth reuses their capacity instead of constructing
+  /// fresh vectors every step. total_voxels accumulates across steps (the
+  /// max_voxels cap is global to the track).
+  struct GrowState {
+    std::deque<Index3> frontier;      ///< BFS worklist within one step
+    std::vector<Index3> newly_added;  ///< voxels accepted at this step
+    std::size_t total_voxels = 0;
+  };
+
+  /// 3D BFS within `step`: seed from `candidates`, grow through the six
+  /// spatial neighbors, record acceptances in `mask` and
+  /// `state.newly_added` (cleared by the caller). The region-growing
+  /// inner loop — hot once the step's volume is resident.
+  void grow_step(int step, const VolumeF& volume,
+                 const std::vector<Index3>& candidates, Mask& mask,
+                 GrowState& state) const;
+
+  /// Accept `p` into the region if unvisited and the criterion holds.
+  void try_add_voxel(int step, const Index3& p, const VolumeF& volume,
+                     Mask& mask, GrowState& state) const;
+
   const VolumeSequence& sequence_;
   const TrackingCriterion& criterion_;
   TrackerConfig config_;

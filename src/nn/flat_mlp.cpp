@@ -69,8 +69,9 @@ int FlatMlp::num_outputs() const {
   return layer_sizes_.back();
 }
 
-void FlatMlp::run_tile(const double* cols, std::size_t col_stride, int rows,
-                       double* dst, Scratch& scratch) const {
+IFET_HOT void FlatMlp::run_tile(const double* cols, std::size_t col_stride,
+                                int rows, double* dst,
+                                Scratch& scratch) const {
   // Layer 0 reads the caller's columns (arbitrary stride: the raw
   // column-major feature buffer, or the transpose staged in scratch.a);
   // every later layer reads the previous kTileRows-stride scratch tile.
@@ -126,17 +127,18 @@ void FlatMlp::run_tile(const double* cols, std::size_t col_stride, int rows,
   }
 }
 
-void FlatMlp::forward_batch(const double* in, int n, double* out,
-                            Scratch& scratch) const {
-  IFET_REQUIRE(valid(), "FlatMlp::forward_batch: uninitialized engine");
-  IFET_REQUIRE(n >= 0, "FlatMlp::forward_batch: negative batch size");
+IFET_HOT void FlatMlp::forward_batch(const double* in, int n, double* out,
+                                     Scratch& scratch) const {
+  IFET_HOT_ALLOW("batch-entry precondition, once per batch before the tiles");
+  IFET_REQUIRE(valid() && n >= 0, "FlatMlp::forward_batch: invalid engine or "
+                                  "negative batch size");
   if (n == 0) return;
+  IFET_HOT_ALLOW("batch-entry precondition, once per batch before the tiles");
   IFET_REQUIRE(in != nullptr && out != nullptr,
                "FlatMlp::forward_batch: null batch buffer");
   const std::size_t tile_doubles =
       static_cast<std::size_t>(max_width_) * kTileRows;
-  if (scratch.a.size() < tile_doubles) scratch.a.resize(tile_doubles);
-  if (scratch.b.size() < tile_doubles) scratch.b.resize(tile_doubles);
+  scratch.ensure(tile_doubles);
 
   const int in_w = layer_sizes_.front();
   const int out_w = layer_sizes_.back();
@@ -159,18 +161,21 @@ void FlatMlp::forward_batch(const double* in, int n, double* out,
   }
 }
 
-void FlatMlp::forward_batch_cols(const double* in, int ld, int n, double* out,
-                                 Scratch& scratch) const {
-  IFET_REQUIRE(valid(), "FlatMlp::forward_batch_cols: uninitialized engine");
-  IFET_REQUIRE(n >= 0, "FlatMlp::forward_batch_cols: negative batch size");
+IFET_HOT void FlatMlp::forward_batch_cols(const double* in, int ld, int n,
+                                          double* out,
+                                          Scratch& scratch) const {
+  IFET_HOT_ALLOW("batch-entry precondition, once per batch before the tiles");
+  IFET_REQUIRE(valid() && n >= 0,
+               "FlatMlp::forward_batch_cols: invalid engine or negative "
+               "batch size");
   if (n == 0) return;
-  IFET_REQUIRE(in != nullptr && out != nullptr,
-               "FlatMlp::forward_batch_cols: null batch buffer");
-  IFET_REQUIRE(ld >= n, "FlatMlp::forward_batch_cols: ld shorter than batch");
+  IFET_HOT_ALLOW("batch-entry precondition, once per batch before the tiles");
+  IFET_REQUIRE(in != nullptr && out != nullptr && ld >= n,
+               "FlatMlp::forward_batch_cols: null batch buffer or ld "
+               "shorter than batch");
   const std::size_t tile_doubles =
       static_cast<std::size_t>(max_width_) * kTileRows;
-  if (scratch.a.size() < tile_doubles) scratch.a.resize(tile_doubles);
-  if (scratch.b.size() < tile_doubles) scratch.b.resize(tile_doubles);
+  scratch.ensure(tile_doubles);
 
   // The input already IS column-major, so each tile's columns are just
   // offset views at stride ld — no transpose pass at all.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "nn/mlp.hpp"
+#include "util/hot_path.hpp"
 #include "util/ordered_mutex.hpp"
 
 namespace ifet {
@@ -52,6 +53,20 @@ class FlatMlp {
   struct Scratch {
    private:
     friend class FlatMlp;
+
+    /// Warm-up grow, shared by both forward paths; steady-state calls
+    /// (same network or a narrower one) never re-enter the allocator.
+    void ensure(std::size_t tile_doubles) {
+      if (a.size() < tile_doubles) {
+        IFET_HOT_ALLOW("one-time scratch warm-up; amortized to zero");
+        a.resize(tile_doubles);
+      }
+      if (b.size() < tile_doubles) {
+        IFET_HOT_ALLOW("one-time scratch warm-up; amortized to zero");
+        b.resize(tile_doubles);
+      }
+    }
+
     std::vector<double> a, b;  // ping-pong column-major activation tiles
   };
 

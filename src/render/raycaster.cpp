@@ -6,6 +6,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 #include "util/timer.hpp"
 #include "volume/ops.hpp"
 
@@ -82,12 +83,12 @@ ImageRgb8 Raycaster::render_classified(const VolumeF& volume,
   return render_impl(volume, tf, colors, camera, nullptr, &certainty, stats);
 }
 
-ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
-                                 const TransferFunction1D& tf,
-                                 const ColorMap& colors, const Camera& camera,
-                                 const HighlightLayer* highlight,
-                                 const VolumeF* certainty,
-                                 RenderStats* stats) const {
+Raycaster::Plan Raycaster::prepare_plan(const VolumeF& volume,
+                                        const TransferFunction1D& tf,
+                                        const ColorMap& colors,
+                                        const Camera& camera,
+                                        const HighlightLayer* highlight,
+                                        const VolumeF* certainty) const {
   if (highlight != nullptr) {
     IFET_REQUIRE(highlight->mask != nullptr && highlight->tf != nullptr,
                  "Raycaster: highlight layer needs mask and TF");
@@ -98,16 +99,173 @@ ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
                  "emission-absorption compositing (MIP has no ordering to "
                  "overlay into)");
   }
-  Stopwatch watch;
+  if (certainty != nullptr) {
+    IFET_REQUIRE(certainty->dims() == volume.dims(),
+                 "Raycaster: certainty volume dimension mismatch");
+  }
   const Dims d = volume.dims();
   const WorldBox box(d);
-  ImageRgb8 image(settings_.width, settings_.height);
-
+  Plan plan;
+  plan.volume = &volume;
+  plan.tf = &tf;
+  plan.colors = &colors;
+  plan.camera = &camera;
+  plan.highlight = highlight;
+  plan.certainty = certainty;
+  plan.box_lo = box.lo;
+  plan.box_hi = box.hi;
+  plan.box_scale = box.scale;
   // Step length in world units: step_voxels voxels of the largest axis.
   const double max_dim = std::max({d.x, d.y, d.z});
-  const double dt = settings_.step_voxels / max_dim;
-  const double value_span = tf.value_hi() - tf.value_lo();
-  const Vec3 light_dir = (camera.position() - Vec3{0, 0, 0}).normalized();
+  plan.dt = settings_.step_voxels / max_dim;
+  plan.value_span = tf.value_hi() - tf.value_lo();
+  plan.light_dir = (camera.position() - Vec3{0, 0, 0}).normalized();
+  return plan;
+}
+
+IFET_HOT void Raycaster::render_rows(const Plan& plan, int row0, int row1,
+                                     ImageRgb8& image,
+                                     RenderRowCounters& counters) const {
+  const VolumeF& volume = *plan.volume;
+  const TransferFunction1D& tf = *plan.tf;
+  const ColorMap& colors = *plan.colors;
+  const Camera& camera = *plan.camera;
+  const HighlightLayer* highlight = plan.highlight;
+  const VolumeF* certainty = plan.certainty;
+  const double dt = plan.dt;
+  const double value_span = plan.value_span;
+  const Vec3 light_dir = plan.light_dir;
+
+  std::size_t local_samples = 0;
+  std::size_t local_early = 0;
+  for (int y = row0; y < row1; ++y) {
+    for (int x = 0; x < settings_.width; ++x) {
+      Ray ray = camera.pixel_ray(x, y, settings_.width, settings_.height);
+      double t0, t1;
+      Rgb accum = {0, 0, 0};
+      double alpha = 0.0;
+      if (settings_.mode == CompositingMode::kMaximumIntensity) {
+        // MIP: the brightest sample the TF makes visible wins the
+        // pixel; no ordering-dependent accumulation.
+        double best_value = 0.0;
+        bool any = false;
+        if (intersect_box(ray, plan.box_lo, plan.box_hi, t0, t1)) {
+          for (double t = t0; t <= t1; t += dt) {
+            Vec3 vox = plan.to_voxel(ray.origin + ray.direction * t);
+            double value = volume.sample(vox);
+            ++local_samples;
+            if (tf.opacity(value) <= 0.0) continue;
+            if (!any || value > best_value) {
+              best_value = value;
+              any = true;
+            }
+          }
+        }
+        if (any) {
+          double norm =
+              value_span > 0.0
+                  ? clamp((best_value - tf.value_lo()) / value_span, 0.0, 1.0)
+                  : 0.0;
+          Rgb c = colors.at(norm);
+          image.set(x, y, to_byte(c.r), to_byte(c.g), to_byte(c.b));
+        } else {
+          image.set(x, y, to_byte(settings_.background.r),
+                    to_byte(settings_.background.g),
+                    to_byte(settings_.background.b));
+        }
+        continue;
+      }
+      if (intersect_box(ray, plan.box_lo, plan.box_hi, t0, t1)) {
+        for (double t = t0; t <= t1; t += dt) {
+          Vec3 world = ray.origin + ray.direction * t;
+          Vec3 vox = plan.to_voxel(world);
+          double value = volume.sample(vox);
+          ++local_samples;
+
+          double a;
+          Rgb color;
+          bool highlighted = false;
+          if (highlight != nullptr) {
+            // Nearest-voxel lookup in the region-growing texture.
+            int hi_i = static_cast<int>(std::lround(vox.x));
+            int hi_j = static_cast<int>(std::lround(vox.y));
+            int hi_k = static_cast<int>(std::lround(vox.z));
+            highlighted = highlight->mask->clamped(hi_i, hi_j, hi_k) != 0;
+          }
+          if (highlighted) {
+            a = highlight->tf->opacity(value);
+            color = highlight->color;
+          } else {
+            a = tf.opacity(value);
+            if (certainty != nullptr) {
+              // Pre-classified pass: the network's certainty gates
+              // the opacity, color stays tied to the data value.
+              a *= certainty->sample(vox);
+            }
+            double norm =
+                value_span > 0.0
+                    ? clamp((value - tf.value_lo()) / value_span, 0.0, 1.0)
+                    : 0.0;
+            color = colors.at(norm);
+          }
+          if (a <= 0.0) continue;
+          if (settings_.opacity_correction) {
+            a = 1.0 - std::pow(1.0 - a, settings_.step_voxels);
+          }
+
+          if (settings_.shading) {
+            int gi = static_cast<int>(std::lround(vox.x));
+            int gj = static_cast<int>(std::lround(vox.y));
+            int gk = static_cast<int>(std::lround(vox.z));
+            Vec3 g = gradient_at(volume, gi, gj, gk);
+            double gn = g.norm();
+            double shade = settings_.ambient;
+            if (gn > 1e-9) {
+              Vec3 normal = g / gn;
+              double ndotl = std::fabs(normal.dot(light_dir));
+              shade += settings_.diffuse * ndotl;
+              // Headlight specular (view == light direction).
+              double spec = std::pow(ndotl, settings_.specular_power);
+              shade += settings_.specular * spec;
+            } else {
+              shade += settings_.diffuse * 0.5;
+            }
+            color.r *= shade;
+            color.g *= shade;
+            color.b *= shade;
+          }
+
+          const double w = (1.0 - alpha) * a;
+          accum.r += w * color.r;
+          accum.g += w * color.g;
+          accum.b += w * color.b;
+          alpha += w;
+          if (alpha >= settings_.early_termination_alpha) {
+            ++local_early;
+            break;
+          }
+        }
+      }
+      accum.r += (1.0 - alpha) * settings_.background.r;
+      accum.g += (1.0 - alpha) * settings_.background.g;
+      accum.b += (1.0 - alpha) * settings_.background.b;
+      image.set(x, y, to_byte(accum.r), to_byte(accum.g), to_byte(accum.b));
+    }
+  }
+  counters.samples += local_samples;
+  counters.terminated_early += local_early;
+}
+
+ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
+                                 const TransferFunction1D& tf,
+                                 const ColorMap& colors, const Camera& camera,
+                                 const HighlightLayer* highlight,
+                                 const VolumeF* certainty,
+                                 RenderStats* stats) const {
+  Stopwatch watch;
+  const Plan plan =
+      prepare_plan(volume, tf, colors, camera, highlight, certainty);
+  ImageRgb8 image(settings_.width, settings_.height);
 
   std::atomic<std::size_t> total_samples{0};
   std::atomic<std::size_t> early{0};
@@ -115,132 +273,11 @@ ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
   parallel_for_ranges(
       0, static_cast<std::size_t>(settings_.height),
       [&](std::size_t row0, std::size_t row1) {
-        std::size_t local_samples = 0;
-        std::size_t local_early = 0;
-        for (std::size_t y = row0; y < row1; ++y) {
-          for (int x = 0; x < settings_.width; ++x) {
-            Ray ray = camera.pixel_ray(x, static_cast<int>(y),
-                                       settings_.width, settings_.height);
-            double t0, t1;
-            Rgb accum = {0, 0, 0};
-            double alpha = 0.0;
-            if (settings_.mode == CompositingMode::kMaximumIntensity) {
-              // MIP: the brightest sample the TF makes visible wins the
-              // pixel; no ordering-dependent accumulation.
-              double best_value = 0.0;
-              bool any = false;
-              if (intersect_box(ray, box.lo, box.hi, t0, t1)) {
-                for (double t = t0; t <= t1; t += dt) {
-                  Vec3 vox = box.to_voxel(ray.origin + ray.direction * t);
-                  double value = volume.sample(vox);
-                  ++local_samples;
-                  if (tf.opacity(value) <= 0.0) continue;
-                  if (!any || value > best_value) {
-                    best_value = value;
-                    any = true;
-                  }
-                }
-              }
-              if (any) {
-                double norm =
-                    value_span > 0.0
-                        ? clamp((best_value - tf.value_lo()) / value_span,
-                                0.0, 1.0)
-                        : 0.0;
-                Rgb c = colors.at(norm);
-                image.set(x, static_cast<int>(y), to_byte(c.r),
-                          to_byte(c.g), to_byte(c.b));
-              } else {
-                image.set(x, static_cast<int>(y),
-                          to_byte(settings_.background.r),
-                          to_byte(settings_.background.g),
-                          to_byte(settings_.background.b));
-              }
-              continue;
-            }
-            if (intersect_box(ray, box.lo, box.hi, t0, t1)) {
-              for (double t = t0; t <= t1; t += dt) {
-                Vec3 world = ray.origin + ray.direction * t;
-                Vec3 vox = box.to_voxel(world);
-                double value = volume.sample(vox);
-                ++local_samples;
-
-                double a;
-                Rgb color;
-                bool highlighted = false;
-                if (highlight != nullptr) {
-                  // Nearest-voxel lookup in the region-growing texture.
-                  int hi_i = static_cast<int>(std::lround(vox.x));
-                  int hi_j = static_cast<int>(std::lround(vox.y));
-                  int hi_k = static_cast<int>(std::lround(vox.z));
-                  highlighted =
-                      highlight->mask->clamped(hi_i, hi_j, hi_k) != 0;
-                }
-                if (highlighted) {
-                  a = highlight->tf->opacity(value);
-                  color = highlight->color;
-                } else {
-                  a = tf.opacity(value);
-                  if (certainty != nullptr) {
-                    // Pre-classified pass: the network's certainty gates
-                    // the opacity, color stays tied to the data value.
-                    a *= certainty->sample(vox);
-                  }
-                  double norm =
-                      value_span > 0.0
-                          ? clamp((value - tf.value_lo()) / value_span, 0.0,
-                                  1.0)
-                          : 0.0;
-                  color = colors.at(norm);
-                }
-                if (a <= 0.0) continue;
-                if (settings_.opacity_correction) {
-                  a = 1.0 - std::pow(1.0 - a, settings_.step_voxels);
-                }
-
-                if (settings_.shading) {
-                  int gi = static_cast<int>(std::lround(vox.x));
-                  int gj = static_cast<int>(std::lround(vox.y));
-                  int gk = static_cast<int>(std::lround(vox.z));
-                  Vec3 g = gradient_at(volume, gi, gj, gk);
-                  double gn = g.norm();
-                  double shade = settings_.ambient;
-                  if (gn > 1e-9) {
-                    Vec3 normal = g / gn;
-                    double ndotl = std::fabs(normal.dot(light_dir));
-                    shade += settings_.diffuse * ndotl;
-                    // Headlight specular (view == light direction).
-                    double spec =
-                        std::pow(ndotl, settings_.specular_power);
-                    shade += settings_.specular * spec;
-                  } else {
-                    shade += settings_.diffuse * 0.5;
-                  }
-                  color.r *= shade;
-                  color.g *= shade;
-                  color.b *= shade;
-                }
-
-                const double w = (1.0 - alpha) * a;
-                accum.r += w * color.r;
-                accum.g += w * color.g;
-                accum.b += w * color.b;
-                alpha += w;
-                if (alpha >= settings_.early_termination_alpha) {
-                  ++local_early;
-                  break;
-                }
-              }
-            }
-            accum.r += (1.0 - alpha) * settings_.background.r;
-            accum.g += (1.0 - alpha) * settings_.background.g;
-            accum.b += (1.0 - alpha) * settings_.background.b;
-            image.set(x, static_cast<int>(y), to_byte(accum.r),
-                      to_byte(accum.g), to_byte(accum.b));
-          }
-        }
-        total_samples += local_samples;
-        early += local_early;
+        RenderRowCounters counters;
+        render_rows(plan, static_cast<int>(row0), static_cast<int>(row1),
+                    image, counters);
+        total_samples += counters.samples;
+        early += counters.terminated_early;
       });
 
   if (stats != nullptr) {
@@ -257,12 +294,17 @@ ImageRgb8 render_slice(const VolumeF& volume, int axis, int slice,
                        const TransferFunction1D& tf, const ColorMap& colors) {
   IFET_REQUIRE(axis >= 0 && axis <= 2, "render_slice: axis must be 0..2");
   const Dims d = volume.dims();
-  int width = 0, height = 0;
+  int width = 0, height = 0, extent = 0;
   switch (axis) {
-    case 0: width = d.y; height = d.z; break;
-    case 1: width = d.x; height = d.z; break;
-    default: width = d.x; height = d.y; break;
+    case 0: width = d.y; height = d.z; extent = d.x; break;
+    case 1: width = d.x; height = d.z; extent = d.y; break;
+    default: width = d.x; height = d.y; extent = d.z; break;
   }
+  // Validate once up front: every (i,j,k) below is then in bounds by
+  // construction, so the pixel loop uses the unchecked accessor instead of
+  // re-proving the same containment width*height times.
+  IFET_REQUIRE(slice >= 0 && slice < extent,
+               "render_slice: slice out of range");
   ImageRgb8 image(width, height);
   const double span = tf.value_hi() - tf.value_lo();
   for (int row = 0; row < height; ++row) {
@@ -273,8 +315,7 @@ ImageRgb8 render_slice(const VolumeF& volume, int axis, int slice,
         case 1: i = col; j = slice; k = row; break;
         default: i = col; j = row; k = slice; break;
       }
-      IFET_REQUIRE(d.contains(i, j, k), "render_slice: slice out of range");
-      double value = volume.at(i, j, k);
+      double value = volume[volume.linear_index(i, j, k)];
       double a = tf.opacity(value);
       double norm = span > 0.0
                         ? clamp((value - tf.value_lo()) / span, 0.0, 1.0)

@@ -15,11 +15,13 @@
 // (Sec 7's caveat about misleading color shifts).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "io/image_io.hpp"
 #include "render/camera.hpp"
 #include "tf/transfer_function.hpp"
+#include "util/hot_path.hpp"
 #include "volume/sequence.hpp"
 #include "volume/volume.hpp"
 
@@ -100,6 +102,55 @@ class Raycaster {
                               const TransferFunction1D& tf,
                               const ColorMap& colors, const Camera& camera,
                               RenderStats* stats = nullptr) const;
+
+  /// Per-frame render state, resolved once by prepare_plan: input pointers
+  /// (caller-owned, must outlive the plan), the world-space bounding box,
+  /// and the derived marching constants. Splitting setup from the ray loop
+  /// lets render_rows stay validation- and allocation-free, and lets
+  /// benches drive the row kernel directly.
+  struct Plan {
+    const VolumeF* volume = nullptr;
+    const TransferFunction1D* tf = nullptr;
+    const ColorMap* colors = nullptr;
+    const Camera* camera = nullptr;
+    const HighlightLayer* highlight = nullptr;  ///< optional
+    const VolumeF* certainty = nullptr;         ///< optional
+    Vec3 box_lo, box_hi;  ///< world-space volume bounds
+    Vec3 box_scale;       ///< world -> voxel scale per axis
+    double dt = 0.0;          ///< world-space step length
+    double value_span = 0.0;  ///< tf.value_hi() - tf.value_lo()
+    Vec3 light_dir;           ///< headlight direction (unit)
+
+    /// World -> continuous voxel coordinates; voxel i covers
+    /// [i-0.5, i+0.5) in sample space (centers at integer coordinates).
+    IFET_HOT Vec3 to_voxel(const Vec3& world) const {
+      return Vec3{(world.x - box_lo.x) * box_scale.x - 0.5,
+                  (world.y - box_lo.y) * box_scale.y - 0.5,
+                  (world.z - box_lo.z) * box_scale.z - 0.5};
+    }
+  };
+
+  /// Per-call counters filled by render_rows (plain integers: the caller
+  /// aggregates across workers; the kernel itself stays atomics-free).
+  struct RenderRowCounters {
+    std::size_t samples = 0;
+    std::size_t terminated_early = 0;
+  };
+
+  /// Validate the inputs and resolve the per-frame constants. Throws on
+  /// the same contract violations render() would (highlight needs mask+TF
+  /// of matching dims and front-to-back mode; certainty must match dims).
+  Plan prepare_plan(const VolumeF& volume, const TransferFunction1D& tf,
+                    const ColorMap& colors, const Camera& camera,
+                    const HighlightLayer* highlight = nullptr,
+                    const VolumeF* certainty = nullptr) const;
+
+  /// March rays for image rows [row0, row1) of a validated plan. The hot
+  /// ray loop: no validation, no allocation, no I/O once the plan and the
+  /// destination image exist. render() dispatches this across the thread
+  /// pool; benches call it directly to prove the zero-allocation contract.
+  void render_rows(const Plan& plan, int row0, int row1, ImageRgb8& image,
+                   RenderRowCounters& counters) const;
 
  private:
   ImageRgb8 render_impl(const VolumeF& volume, const TransferFunction1D& tf,

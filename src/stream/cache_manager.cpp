@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ifet {
 
@@ -13,7 +14,7 @@ bool CacheManager::pinned_locked(int step, const Entry& e) const {
   return e.pin_count > 0 || (step >= window_lo_ && step <= window_hi_);
 }
 
-std::shared_ptr<const VolumeF> CacheManager::lookup(int step) {
+IFET_HOT std::shared_ptr<const VolumeF> CacheManager::lookup(int step) {
   OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it == entries_.end()) {
@@ -25,13 +26,14 @@ std::shared_ptr<const VolumeF> CacheManager::lookup(int step) {
     it->second.prefetched = false;
     ++stats_.prefetch_hits;
   }
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(step);
-  it->second.lru_it = lru_.begin();
+  // splice, not erase+push_front: refreshing the LRU position relinks the
+  // existing node, so a cache hit never touches the allocator (and the
+  // entry's stored iterator stays valid).
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   return it->second.volume;
 }
 
-std::shared_ptr<const VolumeF> CacheManager::lookup_quiet(int step) {
+IFET_HOT std::shared_ptr<const VolumeF> CacheManager::lookup_quiet(int step) {
   OrderedMutexLock lock(mutex_);
   auto it = entries_.find(step);
   if (it == entries_.end()) return nullptr;
@@ -39,9 +41,7 @@ std::shared_ptr<const VolumeF> CacheManager::lookup_quiet(int step) {
     it->second.prefetched = false;
     ++stats_.prefetch_hits;
   }
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(step);
-  it->second.lru_it = lru_.begin();
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   return it->second.volume;
 }
 

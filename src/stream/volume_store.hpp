@@ -151,7 +151,6 @@ class VolumeStore {
   std::shared_ptr<const VolumeSource> source_;
   VolumeStoreConfig config_;
   CacheManager cache_;
-  Prefetcher prefetcher_;
 
   mutable OrderedMutex mutex_{MutexRank::kVolumeStore};
   int last_fetched_step_ IFET_GUARDED_BY(mutex_) = -1;
@@ -169,6 +168,12 @@ class VolumeStore {
   std::uint64_t checksum_failures_ IFET_GUARDED_BY(mutex_) = 0;
   std::uint64_t skipped_fetches_ IFET_GUARDED_BY(mutex_) = 0;
   std::uint64_t nearest_good_substitutions_ IFET_GUARDED_BY(mutex_) = 0;
+
+  /// Declared LAST on purpose: its destructor drains every in-flight
+  /// async load, and those loads (load_with_retry on worker threads) take
+  /// mutex_ and write step_states_/counters above — so the prefetcher
+  /// must be destroyed before any state its tasks touch.
+  Prefetcher prefetcher_;
 };
 
 }  // namespace ifet

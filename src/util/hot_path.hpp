@@ -1,0 +1,29 @@
+// Hot-path annotation macros (docs/STATIC_ANALYSIS.md, docs/PERFORMANCE.md).
+//
+// IFET_HOT marks a function as a steady-state hot path: once warm it must
+// not heap-allocate, must not throw, must not do stream I/O, and must not
+// acquire a mutex ranked below the hot-path floor. The ifet_lint
+// callgraph pass treats every IFET_HOT function as a root, propagates
+// reachability over the cross-TU call graph, and fails CI when reachable
+// code escapes the contract. At runtime the same contract is enforced by
+// util/alloc_guard.hpp's DenyAllocScope in the perf benches.
+//
+// IFET_HOT_ALLOW(reason) acknowledges an intentional, reviewed escape on
+// the next (or same) line — e.g. a one-time warm-up buffer grow, or a
+// batch-entry precondition that throws before the steady-state loop
+// starts. It compiles to nothing but is part of the code (not a comment),
+// so the waiver survives reformatting and shows up in review diffs.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IFET_HOT __attribute__((hot))
+#else
+#define IFET_HOT
+#endif
+
+// The reason must be a string literal; sizeof keeps it syntactically
+// checked without generating code.
+#define IFET_HOT_ALLOW(reason) \
+  do {                         \
+    (void)sizeof(reason);      \
+  } while (false)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "parallel/thread_pool.hpp"
+#include "util/hot_path.hpp"
 
 namespace ifet {
 
@@ -25,7 +26,7 @@ VolumeF normalized(const VolumeF& volume) {
   return out;
 }
 
-Vec3 gradient_at(const VolumeF& volume, int i, int j, int k) {
+IFET_HOT Vec3 gradient_at(const VolumeF& volume, int i, int j, int k) {
   double gx = 0.5 * (volume.clamped(i + 1, j, k) - volume.clamped(i - 1, j, k));
   double gy = 0.5 * (volume.clamped(i, j + 1, k) - volume.clamped(i, j - 1, k));
   double gz = 0.5 * (volume.clamped(i, j, k + 1) - volume.clamped(i, j, k - 1));

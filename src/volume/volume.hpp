@@ -15,6 +15,7 @@
 
 #include "math/vec.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ifet {
 
@@ -104,7 +105,7 @@ class Volume {
   }
 
   /// Clamp-to-edge voxel fetch (any integer coordinate allowed).
-  T clamped(int i, int j, int k) const {
+  IFET_HOT T clamped(int i, int j, int k) const {
     i = std::clamp(i, 0, dims_.x - 1);
     j = std::clamp(j, 0, dims_.y - 1);
     k = std::clamp(k, 0, dims_.z - 1);
@@ -112,7 +113,7 @@ class Volume {
   }
 
   /// Trilinear sample at continuous voxel coordinates (clamp-to-edge).
-  double sample(double x, double y, double z) const {
+  IFET_HOT double sample(double x, double y, double z) const {
     // Pre-clamp into the grid so the int casts below are defined for any
     // input, including NaN and values beyond int range; clamp-to-edge
     // already makes all out-of-range coordinates sample the boundary, so
@@ -140,7 +141,7 @@ class Volume {
   }
 
   /// Trilinear sample at a point given in voxel coordinates.
-  double sample(const Vec3& p) const { return sample(p.x, p.y, p.z); }
+  IFET_HOT double sample(const Vec3& p) const { return sample(p.x, p.y, p.z); }
 
   std::span<T> data() { return data_; }
   std::span<const T> data() const { return data_; }

@@ -6,15 +6,12 @@
 //    flat engine;
 //  * every ported consumer (dataspace, multiclass, multivariate, IATF)
 //    matches its scalar reference path exactly;
-//  * steady-state inference performs zero heap allocations (global
-//    operator new counting hook below).
+//  * steady-state inference performs zero heap allocations (shared
+//    AllocGuard interposer, util/alloc_guard.hpp).
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <sstream>
 #include <vector>
 
@@ -28,64 +25,16 @@
 #include "nn/mlp.hpp"
 #include "parallel/thread_pool.hpp"
 #include "test_helpers.hpp"
+#include "util/alloc_guard.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
-// ---------------------------------------------------------------------------
-// Allocation-counting hook: replaces the global operator new/delete for this
-// test binary. Counting is off by default; tests bracket the region of
-// interest with AllocationCounter so gtest's own allocations don't pollute
-// the tally. The counter is atomic because classify fans out to pool workers.
-namespace {
-std::atomic<std::size_t> g_alloc_count{0};
-std::atomic<bool> g_alloc_counting{false};
-
-void note_alloc() {
-  if (g_alloc_counting.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-}  // namespace
-
-// GCC cannot see that BOTH sides of the pair are replaced here (new ->
-// malloc, delete -> free is consistent), so silence its mismatch heuristic.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-
-void* operator new(std::size_t size) {
-  note_alloc();
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) {
-  note_alloc();
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
-#pragma GCC diagnostic pop
+// Counting operator new/delete for this binary; DenyAllocScope below
+// brackets the regions of interest.
+IFET_ALLOC_GUARD_INSTALL();
 
 namespace ifet {
 namespace {
-
-/// RAII window over which allocations are counted.
-class AllocationCounter {
- public:
-  AllocationCounter() {
-    g_alloc_count.store(0, std::memory_order_relaxed);
-    g_alloc_counting.store(true, std::memory_order_relaxed);
-  }
-  ~AllocationCounter() { g_alloc_counting.store(false, std::memory_order_relaxed); }
-  std::size_t count() const {
-    return g_alloc_count.load(std::memory_order_relaxed);
-  }
-};
 
 std::vector<double> random_input(Rng& rng, int width) {
   std::vector<double> in(static_cast<std::size_t>(width));
@@ -513,11 +462,11 @@ TEST(AllocationContract, WarmForwardBatchAllocatesNothing) {
   std::vector<double> out(static_cast<std::size_t>(n));
   flat.forward_batch(in.data(), n, out.data(), scratch);  // warm the scratch
 
-  AllocationCounter counter;
+  DenyAllocScope guard;
   for (int pass = 0; pass < 4; ++pass) {
     flat.forward_batch(in.data(), n, out.data(), scratch);
   }
-  EXPECT_EQ(counter.count(), 0u);
+  EXPECT_EQ(guard.allocations(), 0u);
 }
 
 TEST(AllocationContract, WarmClassifyAllocationsAreBoundedPerCall) {
@@ -528,9 +477,9 @@ TEST(AllocationContract, WarmClassifyAllocationsAreBoundedPerCall) {
   clf.train(20);
   (void)clf.classify(v, 0);  // warm: builds the flat engine into the cache
 
-  AllocationCounter counter;
+  DenyAllocScope guard;
   (void)clf.classify(v, 0);
-  const std::size_t per_call = counter.count();
+  const std::size_t per_call = guard.allocations();
   // Per call: the output volume, the assembler's direction table, a handful
   // of per-worker batch buffers, and the pool's task plumbing — all
   // independent of the 4096 voxels classified. The bound scales with the

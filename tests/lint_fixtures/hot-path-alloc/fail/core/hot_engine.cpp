@@ -1,0 +1,27 @@
+// FAIL fixture: an IFET_HOT root reaches a container-growth allocation
+// through a cross-function call chain. The helper itself is not
+// annotated — only reachability from the root flags it.
+#include <vector>
+
+#define IFET_HOT __attribute__((hot))
+
+namespace fixture {
+
+class Engine {
+ public:
+  IFET_HOT double step(double x) {
+    record(x);
+    return accumulate(x);
+  }
+
+ private:
+  void record(double x) {
+    history_.push_back(x);  // reachable allocation: must be flagged
+  }
+  double accumulate(double x) { return total_ += x; }
+
+  std::vector<double> history_;
+  double total_ = 0.0;
+};
+
+}  // namespace fixture

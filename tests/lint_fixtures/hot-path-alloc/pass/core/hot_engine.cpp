@@ -1,0 +1,45 @@
+// PASS fixture: the hot root only touches preallocated storage; cold
+// (unannotated, unreachable) code may allocate freely; a reviewed
+// warm-up grow is waived with IFET_HOT_ALLOW. A digit-separator literal
+// rides along: mis-lexing 1'000'000 as a char literal used to blank the
+// rest of the line and corrupt call-graph edges.
+#include <cstddef>
+#include <vector>
+
+#define IFET_HOT __attribute__((hot))
+#define IFET_HOT_ALLOW(reason) \
+  do {                         \
+    (void)sizeof(reason);      \
+  } while (false)
+
+namespace fixture {
+
+class Engine {
+ public:
+  IFET_HOT double step(std::size_t i, double x) {
+    warm(i);
+    return accumulate(i, x);
+  }
+
+  void rebuild(std::size_t n) {
+    history_.assign(n, 0.0);  // cold path: not reachable from the root
+    scale_ = 1'000'000;
+  }
+
+ private:
+  void warm(std::size_t i) {
+    if (i >= history_.size()) {
+      IFET_HOT_ALLOW("one-time warm-up grow, amortized to zero");
+      history_.resize(i + 1);
+    }
+  }
+  double accumulate(std::size_t i, double x) {
+    history_[i] = x * scale_;
+    return history_[i];
+  }
+
+  std::vector<double> history_;
+  double scale_ = 1.0;
+};
+
+}  // namespace fixture

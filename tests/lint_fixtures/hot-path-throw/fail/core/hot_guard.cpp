@@ -1,0 +1,28 @@
+// FAIL fixture: an IFET_HOT root reaches a throwing precondition check
+// (IFET_REQUIRE throws ifet::Error) through a helper.
+#include <stdexcept>
+
+#define IFET_HOT __attribute__((hot))
+#define IFET_REQUIRE(expr, message) \
+  do {                              \
+    if (!(expr)) throw std::runtime_error(message); \
+  } while (false)
+
+namespace fixture {
+
+class Sampler {
+ public:
+  IFET_HOT double sample(int i) const {
+    check(i);
+    return values_[i];
+  }
+
+ private:
+  void check(int i) const {
+    IFET_REQUIRE(i >= 0 && i < 8, "sample index out of range");
+  }
+
+  double values_[8] = {};
+};
+
+}  // namespace fixture

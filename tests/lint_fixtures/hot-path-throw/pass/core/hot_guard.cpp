@@ -1,0 +1,28 @@
+// PASS fixture: the hot path asserts with IFET_DEBUG_ASSERT (compiled
+// away outside checked builds — the sanctioned hot-path assert) while
+// the throwing validation lives in a cold, unannotated entry point.
+#define IFET_HOT __attribute__((hot))
+#define IFET_DEBUG_ASSERT(expr, message) ((void)sizeof(expr))
+
+namespace fixture {
+
+class Sampler {
+ public:
+  void validate(int n) const {
+    if (n < 0 || n > 8) {
+      throw_out_of_range();  // cold: not reachable from the hot root
+    }
+  }
+
+  IFET_HOT double sample(int i) const {
+    IFET_DEBUG_ASSERT(i >= 0 && i < 8, "sample index out of range");
+    return values_[i];
+  }
+
+ private:
+  [[noreturn]] void throw_out_of_range() const;
+
+  double values_[8] = {};
+};
+
+}  // namespace fixture

@@ -10,7 +10,8 @@
 //
 // This pins three contracts at once: the rule still fires on its minimal
 // violation, it stays quiet on the corrected form, and the per-pass exit
-// bit (conventions=1, lock-order=2, layering=4) is stable for CI scripts.
+// bit (conventions=1, lock-order=2, layering=4, hot-path=8) is stable for
+// CI scripts.
 
 #include <gtest/gtest.h>
 #include <sys/wait.h>
@@ -84,7 +85,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"scalar-forward-in-hot-loop", 1},
                       RuleCase{"lock-order-cycle", 2},
                       RuleCase{"layer-violation", 4},
-                      RuleCase{"include-cycle", 4}),
+                      RuleCase{"include-cycle", 4},
+                      RuleCase{"hot-path-alloc", 8},
+                      RuleCase{"hot-path-throw", 8}),
     [](const ::testing::TestParamInfo<RuleCase>& info) {
       std::string name = info.param.rule;
       for (char& c : name) {
@@ -107,6 +110,45 @@ TEST(LintCliTest, UsageErrorsExit64) {
   EXPECT_EQ(run_lint("").exit_code, 64);
   EXPECT_EQ(run_lint("--format=yaml .").exit_code, 64);
   EXPECT_EQ(run_lint("/no/such/path/anywhere").exit_code, 64);
+}
+
+TEST(LintCliTest, FamilyOnlySelectsAllHotPathRules) {
+  // --only=hot-path (the family prefix) must still trip hot-path-alloc.
+  const std::string dir =
+      std::string(IFET_LINT_FIXTURES) + "/hot-path-alloc/fail";
+  const LintRun run = run_lint("--format=json --only=hot-path " + dir);
+  EXPECT_EQ(run.exit_code, 8) << run.output;
+  EXPECT_NE(run.output.find("\"rule\": \"hot-path-alloc\""),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintCliTest, BaselineSuppressesKnownFindings) {
+  const std::string base = std::string(IFET_LINT_FIXTURES) + "/hot-path-alloc";
+  const LintRun run = run_lint("--format=json --baseline=" + base +
+                               "/baseline.txt --only=hot-path " + base +
+                               "/fail");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"baseline_suppressed\": 1"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"findings\": []"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintCliTest, UnreadableBaselineExits64) {
+  const std::string dir =
+      std::string(IFET_LINT_FIXTURES) + "/catch-all/pass";
+  EXPECT_EQ(run_lint("--baseline=/no/such/baseline.txt " + dir).exit_code,
+            64);
+}
+
+TEST(LintCliTest, FindingsCarryTheEnclosingSymbol) {
+  const std::string dir =
+      std::string(IFET_LINT_FIXTURES) + "/hot-path-throw/fail";
+  const LintRun run = run_lint("--format=json --only=hot-path " + dir);
+  EXPECT_EQ(run.exit_code, 8) << run.output;
+  EXPECT_NE(run.output.find("\"symbol\": \""), std::string::npos)
+      << run.output;
 }
 
 TEST(LintCliTest, JsonReportsScanCountAndExitCode) {

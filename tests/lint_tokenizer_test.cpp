@@ -1,0 +1,124 @@
+// Unit tests of the lint tokenizer's code view (tools/lint/tokenizer.hpp
+// strip_to_code): comments and literals blanked position-preserving, plus
+// the hardening cases — digit separators, encoding-prefixed char/string
+// literals, prefixed raw strings, and [[attribute]] sequences. These are
+// the lexer-level regressions behind the fixture suite; each mis-lex here
+// corrupts call-graph edges or plants phantom findings downstream.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/tokenizer.hpp"
+
+namespace {
+
+std::vector<std::string> strip(std::vector<std::string> lines) {
+  return ifet_lint::strip_to_code(lines);
+}
+
+TEST(LintTokenizer, PreservesPlainCodeAndPositions) {
+  const auto code = strip({"int f(int x) { return x + 1; }"});
+  ASSERT_EQ(code.size(), 1u);
+  EXPECT_EQ(code[0], "int f(int x) { return x + 1; }");
+}
+
+TEST(LintTokenizer, BlanksCommentsAndStrings) {
+  const auto code = strip({"call(\"push_back(\"); // push_back(",
+                           "/* new Thing */ int y = 0;"});
+  EXPECT_EQ(code[0].find("push_back"), std::string::npos);
+  EXPECT_EQ(code[1].find("new"), std::string::npos);
+  // Positions survive blanking: `int y` is where it was in the raw line.
+  EXPECT_EQ(code[1].find("int y"), std::string{"/* new Thing */ "}.size());
+}
+
+TEST(LintTokenizer, BlockCommentSpansLines) {
+  const auto code = strip({"a(); /* begin", "  new X;", "end */ b();"});
+  EXPECT_NE(code[0].find("a()"), std::string::npos);
+  EXPECT_EQ(code[1].find("new"), std::string::npos);
+  EXPECT_NE(code[2].find("b()"), std::string::npos);
+}
+
+TEST(LintTokenizer, DigitSeparatorIsNotACharLiteral) {
+  // Mis-lexing 1'000'000 as a char open used to swallow `foo.resize(`.
+  const auto code = strip({"int n = 1'000'000; foo.resize(n);"});
+  EXPECT_NE(code[0].find("1'000'000"), std::string::npos);
+  EXPECT_NE(code[0].find("foo.resize(n)"), std::string::npos);
+}
+
+TEST(LintTokenizer, HexAndBinaryDigitSeparators) {
+  const auto code = strip({"auto m = 0xFF'FF'FFu; auto b = 0b1010'0101;"});
+  EXPECT_NE(code[0].find("0xFF'FF'FFu"), std::string::npos);
+  EXPECT_NE(code[0].find("0b1010'0101"), std::string::npos);
+}
+
+TEST(LintTokenizer, WideAndUnicodeCharLiteralsAreBlanked) {
+  // L'x' / u8'x': the prefix letter must not make the quote look like a
+  // digit separator; the literal body is blanked like any char literal.
+  const auto code = strip({"wchar_t w = L'x'; char8_t c = u8'y'; g(w, c);"});
+  EXPECT_EQ(code[0].find('x'), std::string::npos);
+  EXPECT_EQ(code[0].find('y'), std::string::npos);
+  EXPECT_NE(code[0].find("g(w, c)"), std::string::npos);
+}
+
+TEST(LintTokenizer, EncodingPrefixedStringsAreBlanked) {
+  const auto code = strip({"auto s = u8\"emplace(\"; h();",
+                           "auto t = L\"resize(\"; k();"});
+  EXPECT_EQ(code[0].find("emplace"), std::string::npos);
+  EXPECT_NE(code[0].find("h()"), std::string::npos);
+  EXPECT_EQ(code[1].find("resize"), std::string::npos);
+  EXPECT_NE(code[1].find("k()"), std::string::npos);
+}
+
+TEST(LintTokenizer, RawStringsAreBlanked) {
+  const auto code = strip({"auto re = R\"(push_back\\()\"; q();"});
+  EXPECT_EQ(code[0].find("push_back"), std::string::npos);
+  EXPECT_NE(code[0].find("q()"), std::string::npos);
+}
+
+TEST(LintTokenizer, PrefixedRawStringsAreBlanked) {
+  const auto code = strip({"auto re = u8R\"(new Widget)\"; r();"});
+  EXPECT_EQ(code[0].find("Widget"), std::string::npos);
+  EXPECT_NE(code[0].find("r()"), std::string::npos);
+}
+
+TEST(LintTokenizer, DelimitedRawStringSpansLines) {
+  const auto code =
+      strip({"auto s = R\"x(first )\" not the end", "new Y;", ")x\"; s2();"});
+  EXPECT_EQ(code[1].find("new"), std::string::npos);
+  EXPECT_NE(code[2].find("s2()"), std::string::npos);
+}
+
+TEST(LintTokenizer, IdentifierEndingInRIsNotARawString) {
+  const auto code = strip({"int var = calibR\"zzz\";"});
+  // `calibR` is an identifier followed by a normal string literal.
+  EXPECT_NE(code[0].find("calibR"), std::string::npos);
+  EXPECT_EQ(code[0].find("zzz"), std::string::npos);
+}
+
+TEST(LintTokenizer, AttributesAreBlanked) {
+  // `[[deprecated("use v2")]]` must not look like a call to `deprecated`.
+  const auto code =
+      strip({"[[deprecated(\"use v2\")]] void old_api();",
+             "[[nodiscard]] [[gnu::cold]] int f();"});
+  EXPECT_EQ(code[0].find("deprecated"), std::string::npos);
+  EXPECT_NE(code[0].find("void old_api()"), std::string::npos);
+  EXPECT_EQ(code[1].find("nodiscard"), std::string::npos);
+  EXPECT_EQ(code[1].find("gnu::cold"), std::string::npos);
+  EXPECT_NE(code[1].find("int f()"), std::string::npos);
+}
+
+TEST(LintTokenizer, SubscriptsSurviveAttributeBlanking) {
+  // Adjacent subscripts are not `[[`: nothing here may be blanked.
+  const auto code = strip({"m[a][b] = grid[i][j];"});
+  EXPECT_EQ(code[0], "m[a][b] = grid[i][j];");
+}
+
+TEST(LintTokenizer, EscapedQuotesInsideStrings) {
+  const auto code = strip({"p(\"a\\\"new\\\" b\"); tail();"});
+  EXPECT_EQ(code[0].find("new"), std::string::npos);
+  EXPECT_NE(code[0].find("tail()"), std::string::npos);
+}
+
+}  // namespace

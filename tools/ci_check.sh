@@ -6,16 +6,21 @@
 #      ifet_tool track over a fixture with injected faults under
 #      --fail-policy=skip, asserting retries happened and the run exits
 #      cleanly (docs/ROBUSTNESS.md)
-#   3. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
+#   3. hot-path lint: the cross-TU callgraph pass (ifet_lint --only=hot-path)
+#      over src/ with the checked-in baseline, publishing the JSON report
+#      as build/ci_hot_path_lint.json (docs/STATIC_ANALYSIS.md)
+#   4. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
 #      with IFET_DEBUG_ASSERT checks and the OrderedMutex lock-order
 #      validator on
-#   4. tsan preset: build + run the streaming/concurrency stress tests
+#   5. tsan preset: build + run the streaming/concurrency stress tests
 #      (the CacheManager/Prefetcher, fault-storm, and thread-pool race
-#      detectors)
-#   5. thread-safety: clang build with -Wthread-safety promoted to errors
+#      detectors) plus the bench AllocGuard steady-state checks (FlatMlp
+#      forward_batch, Raycaster row kernel, CacheManager hit path) in
+#      their fast check-only modes
+#   6. thread-safety: clang build with -Wthread-safety promoted to errors
 #      over the IFET_GUARDED_BY annotations (docs/STATIC_ANALYSIS.md);
 #      skips if clang is not installed
-#   6. clang-tidy over the hardened directories (skips if not installed)
+#   7. clang-tidy over the hardened directories (skips if not installed)
 #
 # Each stage records pass/fail/skip and the script prints a summary table
 # before exiting; the exit status is non-zero if ANY stage failed, so one
@@ -81,6 +86,22 @@ stage_fault() {
     grep -E '1 quarantined' "$build_dir/ci_fault_track.out"
 }
 
+stage_hot_path_lint() {
+  # Cross-TU hot-path escape analysis (docs/STATIC_ANALYSIS.md): the
+  # callgraph pass over src/ against the checked-in baseline. The default
+  # preset's ctest already gates on the all-pass text run; this stage
+  # re-runs the hot-path family in JSON mode and leaves the report as a
+  # build artifact for dashboards and baseline review.
+  local build_dir="$ROOT/build"
+  local artifact="$build_dir/ci_hot_path_lint.json"
+  "$build_dir/tools/ifet_lint" --format=json --only=hot-path \
+    --baseline="$ROOT/tools/lint_baseline.txt" "$ROOT/src" >"$artifact"
+  local rc=$?
+  echo "hot-path lint report: $artifact"
+  cat "$artifact"
+  return "$rc"
+}
+
 stage_asan() {
   cmake --preset asan-ubsan &&
     cmake --build --preset asan-ubsan -j "$JOBS" &&
@@ -88,12 +109,21 @@ stage_asan() {
 }
 
 stage_tsan() {
+  # Stress detectors + the bench AllocGuard steady-state contracts: the
+  # check-only modes skip google-benchmark timing and assert the IFET_HOT
+  # kernels (FlatMlp::forward_batch, Raycaster::render_rows, CacheManager
+  # hits) touch the heap zero times when warm — under TSan, so the same
+  # run also races the guard's atomics against the thread pool.
   cmake --preset tsan &&
     cmake --build --preset tsan -j "$JOBS" --target \
       stress_cache_manager_test stress_fault_storm_test \
-      stress_thread_pool_test flat_mlp_test &&
+      stress_thread_pool_test flat_mlp_test \
+      bench_perf_classify bench_perf_render bench_perf_stream &&
     ctest --preset tsan -j "$JOBS" -R \
-      'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|flat_mlp_test'
+      'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|flat_mlp_test' &&
+    "$ROOT/build-tsan/bench/bench_perf_classify" --alloc-check-only &&
+    "$ROOT/build-tsan/bench/bench_perf_render" --render-check-only &&
+    "$ROOT/build-tsan/bench/bench_perf_stream"
 }
 
 stage_thread_safety() {
@@ -108,6 +138,7 @@ stage_thread_safety() {
 }
 
 run_stage "default preset (build + ctest)" stage_default
+run_stage "hot-path lint (callgraph pass + JSON artifact)" stage_hot_path_lint
 
 if [ "${SKIP_FAULT:-0}" != "1" ]; then
   run_stage "fault injection (test + faulted CLI track)" stage_fault

@@ -17,20 +17,32 @@
 //                        inversions (rule lock-order-cycle).
 //   layering    (bit 4)  include-layer DAG (rule layer-violation) and
 //                        header-dependency cycles (rule include-cycle).
+//   callgraph   (bit 8)  cross-TU hot-path escape analysis from IFET_HOT
+//                        roots (rules hot-path-alloc, hot-path-throw,
+//                        hot-path-io, hot-path-lock).
 // I/O or usage errors exit 64.
 //
 // Usage: ifet_lint [--format=text|json] [--only=rule,rule...]
-//                  <dir-or-file>...
-//   (typically: ifet_lint <repo>/src)
+//                  [--baseline=<file>] <dir-or-file>...
+//   (typically: ifet_lint --baseline=tools/lint_baseline.txt <repo>/src)
+//
+// --only accepts rule families: `--only=hot-path` selects every
+// hot-path-* rule. --baseline points at a suppression list of known
+// findings, one `rule|module/file|symbol` triple per line (# comments
+// allowed); baselined findings are dropped before the exit code is
+// computed, so a new pass can land strict while existing debt is paid
+// down incrementally.
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "lint/callgraph_pass.hpp"
 #include "lint/conventions_pass.hpp"
 #include "lint/layering_pass.hpp"
 #include "lint/lock_order_pass.hpp"
@@ -45,6 +57,7 @@ namespace fs = std::filesystem;
 constexpr int kExitConventions = 1;
 constexpr int kExitLockOrder = 2;
 constexpr int kExitLayering = 4;
+constexpr int kExitHotPath = 8;
 constexpr int kExitError = 64;
 
 int exit_bit_for(const std::string& rule) {
@@ -52,8 +65,38 @@ int exit_bit_for(const std::string& rule) {
   if (rule == "layer-violation" || rule == "include-cycle") {
     return kExitLayering;
   }
+  if (rule.rfind("hot-path-", 0) == 0) return kExitHotPath;
   if (rule == "io-error") return kExitError;
   return kExitConventions;
+}
+
+/// --only match: exact rule name, or a family prefix (`hot-path` selects
+/// `hot-path-alloc` etc.).
+bool only_selects(const std::set<std::string>& only, const std::string& rule) {
+  if (only.count(rule) != 0) return true;
+  for (const auto& sel : only) {
+    if (rule.rfind(sel + "-", 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Baseline key: rule + module-relative path + symbol. The module-level
+/// path (layering's include_key) keeps entries stable across checkouts.
+std::string baseline_key(const Finding& f) {
+  return f.rule + "|" + ifet_lint::include_key(fs::path(f.path)) + "|" +
+         f.symbol;
+}
+
+bool load_baseline(const fs::path& path, std::set<std::string>& entries) {
+  std::ifstream in(path);
+  if (!in) return false;
+  for (std::string line; std::getline(in, line);) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    entries.insert(line.substr(start, end - start + 1));
+  }
+  return true;
 }
 
 std::string json_escape(const std::string& s) {
@@ -87,15 +130,18 @@ std::string json_escape(const std::string& s) {
 }
 
 void print_json(const std::vector<Finding>& findings,
-                std::size_t files_scanned, int exit_code) {
+                std::size_t files_scanned, std::size_t baseline_suppressed,
+                int exit_code) {
   std::cout << "{\n  \"files_scanned\": " << files_scanned
+            << ",\n  \"baseline_suppressed\": " << baseline_suppressed
             << ",\n  \"exit_code\": " << exit_code << ",\n  \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     std::cout << (i == 0 ? "\n" : ",\n")
               << "    {\"path\": \"" << json_escape(f.path)
               << "\", \"line\": " << f.line << ", \"rule\": \""
-              << json_escape(f.rule) << "\", \"message\": \""
+              << json_escape(f.rule) << "\", \"symbol\": \""
+              << json_escape(f.symbol) << "\", \"message\": \""
               << json_escape(f.message) << "\"}";
   }
   std::cout << (findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
@@ -106,10 +152,19 @@ void print_json(const std::vector<Finding>& findings,
 int main(int argc, char** argv) {
   std::string format = "text";
   std::set<std::string> only;
+  std::string baseline_path;
   std::vector<fs::path> roots;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
-    if (arg.rfind("--format=", 0) == 0) {
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--baseline") {
+      if (a + 1 >= argc) {
+        std::cerr << "ifet_lint: --baseline needs a file argument\n";
+        return kExitError;
+      }
+      baseline_path = argv[++a];
+    } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
       if (format != "text" && format != "json") {
         std::cerr << "ifet_lint: unknown format '" << format << "'\n";
@@ -139,7 +194,15 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) {
     std::cerr << "usage: ifet_lint [--format=text|json] "
-                 "[--only=rule,rule...] <dir-or-file>...\n";
+                 "[--only=rule,rule...] [--baseline=<file>] "
+                 "<dir-or-file>...\n";
+    return kExitError;
+  }
+  std::set<std::string> baseline;
+  if (!baseline_path.empty() &&
+      !load_baseline(baseline_path, baseline)) {
+    std::cerr << "ifet_lint: cannot read baseline file '" << baseline_path
+              << "'\n";
     return kExitError;
   }
 
@@ -178,11 +241,25 @@ int main(int argc, char** argv) {
   }
   ifet_lint::run_lock_order_pass(files, findings);
   ifet_lint::run_layering_pass(files, findings);
+  ifet_lint::run_callgraph_pass(files, findings);
+
+  std::size_t baseline_suppressed = 0;
+  if (!baseline.empty()) {
+    std::vector<Finding> kept;
+    for (auto& f : findings) {
+      if (baseline.count(baseline_key(f)) != 0) {
+        ++baseline_suppressed;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+    findings.swap(kept);
+  }
 
   if (!only.empty()) {
     std::vector<Finding> kept;
     for (auto& f : findings) {
-      if (only.count(f.rule) != 0 || f.rule == "io-error") {
+      if (only_selects(only, f.rule) || f.rule == "io-error") {
         kept.push_back(std::move(f));
       }
     }
@@ -193,7 +270,7 @@ int main(int argc, char** argv) {
   for (const auto& f : findings) exit_code |= exit_bit_for(f.rule);
 
   if (format == "json") {
-    print_json(findings, files.size(), exit_code);
+    print_json(findings, files.size(), baseline_suppressed, exit_code);
     return exit_code;
   }
   for (const auto& f : findings) {
@@ -202,9 +279,17 @@ int main(int argc, char** argv) {
   }
   if (!findings.empty()) {
     std::cerr << "ifet_lint: " << findings.size() << " finding(s) in "
-              << files.size() << " file(s)\n";
+              << files.size() << " file(s)";
+    if (baseline_suppressed > 0) {
+      std::cerr << " (+" << baseline_suppressed << " baselined)";
+    }
+    std::cerr << "\n";
   } else {
-    std::cout << "ifet_lint: OK (" << files.size() << " files scanned)\n";
+    std::cout << "ifet_lint: OK (" << files.size() << " files scanned";
+    if (baseline_suppressed > 0) {
+      std::cout << ", " << baseline_suppressed << " baselined";
+    }
+    std::cout << ")\n";
   }
   return exit_code;
 }

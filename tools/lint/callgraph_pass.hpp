@@ -1,0 +1,746 @@
+// Callgraph pass: hot-path escape analysis (docs/STATIC_ANALYSIS.md).
+//
+// Builds a function-level call graph across every scanned TU, takes the
+// functions annotated IFET_HOT (src/util/hot_path.hpp) as roots, and
+// propagates reachability: any reachable function that heap-allocates,
+// throws, performs stream I/O, or acquires a mutex ranked below the
+// hot-path floor is reported, with the call chain from the root that
+// reaches it. Rules (all under exit bit 8):
+//   hot-path-alloc  new / make_shared / make_unique, container growth
+//                   (push_back, resize, reserve, ...), std::string and
+//                   stream construction, to_string.
+//   hot-path-throw  throw / IFET_REQUIRE. IFET_DEBUG_ASSERT is exempt:
+//                   it compiles away outside IFET_CHECKED_ITERATORS
+//                   builds, so it is the sanctioned hot-path assert.
+//   hot-path-io     iostream / stdio calls.
+//   hot-path-lock   locking a mutex member that is unranked, or ranked
+//                   below MutexRank::kCacheManager (30) — the ranks
+//                   below the floor are the streaming coordination locks
+//                   that can block behind disk I/O.
+//
+// Resolution is edge-conservative, like the lock-order pass: an edge is
+// added only when the callee is resolvable (member type, local/param
+// type, Class::method qualification, self-call, or a unique free
+// function). Unresolvable receivers produce no edge — silence is not
+// proof, but every emitted chain is real at the syntactic level. Known
+// limitations (documented in docs/STATIC_ANALYSIS.md): virtual dispatch
+// does not fan out to overrides, lambda bodies are isolated (a lambda
+// defined in a hot function may legitimately be deferred to a cold
+// thread), operator overloads are invisible, and out-of-class template
+// method definitions are not recognized as definitions.
+//
+// Waivers: `IFET_HOT_ALLOW("reason")` on the offending line or the line
+// above (compiled, reviewable), or the ordinary
+// `// ifet-lint: allow(<rule>)` marker.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/tokenizer.hpp"
+
+namespace ifet_lint {
+
+namespace cg_detail {
+
+/// Mutex ranks below this may block behind streaming I/O; hot paths must
+/// not take them. 30 == MutexRank::kCacheManager, the fetch fast path's
+/// own lock.
+constexpr int kHotPathMinRank = 30;
+
+inline bool is_keyword(const std::string& name) {
+  static const std::set<std::string> kw = {
+      "if",         "for",         "while",      "switch",
+      "catch",      "return",      "sizeof",     "new",
+      "delete",     "defined",     "decltype",   "alignof",
+      "alignas",    "throw",       "static_cast", "dynamic_cast",
+      "reinterpret_cast", "const_cast", "assert", "static_assert",
+      "noexcept",   "requires",    "operator",   "explicit",
+      "constexpr",  "inline",      "virtual",    "else",
+      "do",         "case",        "default",    "using",
+      "typename",   "template"};
+  if (kw.count(name) != 0) return true;
+  if (name.rfind("__", 0) == 0) return true;  // reserved (__attribute__...)
+  // Macro-ish names (TEST, EXPECT_EQ, IFET_REQUIRE, BENCHMARK...): no
+  // lowercase letter at all.
+  for (const char c : name) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+struct Violation {
+  std::string rule;     // hot-path-{alloc,throw,io,lock}
+  std::string what;     // short human description of the escape
+  std::string cls;      // enclosing class at the site (lock resolution)
+  std::string mutex;    // hot-path-lock only: the mutex member name
+  std::size_t line = 0;  // 1-based
+  std::size_t file_index = 0;
+};
+
+struct CallRef {
+  enum Kind { kBare, kMember, kObj, kQualified } kind = kBare;
+  std::string recv;    // member/obj receivers
+  std::string callee;
+  std::string cls;     // enclosing class at the call site, or the
+                       // qualifying class for kQualified
+};
+
+struct FnNode {
+  std::string cls;   // empty for free functions
+  std::string name;
+  std::string path;
+  std::size_t line = 0;  // first definition head, 1-based
+  bool hot = false;
+  std::vector<Violation> violations;
+  std::vector<CallRef> calls;
+  std::map<std::string, std::string> local_types;  // var -> type
+};
+
+struct ClassInfo {
+  std::map<std::string, std::string> member_types;  // name_ -> Type
+  std::map<std::string, std::string> mutex_ranks;   // mutex_ -> rank ("" = unranked)
+  std::set<std::string> methods_defined;
+};
+
+struct Model {
+  std::map<std::string, FnNode> fns;  // "Cls::name" or "name"
+  std::map<std::string, ClassInfo> classes;
+  std::map<std::string, std::string> aliases;  // VolumeF -> Volume
+  std::map<std::string, int> rank_values;      // kCacheManager -> 30
+};
+
+inline std::string fn_key(const std::string& cls, const std::string& name) {
+  return cls.empty() ? name : cls + "::" + name;
+}
+
+// One position-tagged event per regex hit; the applier decides meaning
+// from the scope it fires in (a `name(` token is a definition head at
+// namespace or class scope but a call inside a method body).
+struct Event {
+  enum Kind {
+    kClassHead,
+    kNamespaceHead,
+    kQualName,    // a=class, b=name  (head at namespace scope, call in body)
+    kNameParen,   // a=name; b="1" when a return type precedes it
+    kMemberCall,  // a=recv_, b=callee
+    kObjCall,     // a=recv, b=callee
+    kLocalDecl,   // a=Type, b=var
+    kMemberDecl,  // a=Type, b=member_
+    kMutexDecl,   // a=mutex member, b=rank name ("" = unranked)
+    kViolation,   // rule/what filled
+    kLock,        // a=mutex name
+  } kind;
+  std::string a, b;
+  std::string rule, what;
+};
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kMethod, kLambda, kOther } kind;
+  std::string cls;     // kClass: class name; kMethod: enclosing class
+  std::string fn;      // kMethod: function key
+};
+
+inline bool line_has_hot_marker(const std::vector<std::string>& code,
+                                std::size_t i) {
+  static const std::regex hot_re(R"(\bIFET_HOT\b)");
+  if (std::regex_search(code[i], hot_re)) return true;
+  return i > 0 && std::regex_search(code[i - 1], hot_re);
+}
+
+inline bool hot_allow_waived(const std::vector<std::string>& code,
+                             std::size_t i) {
+  if (code[i].find("IFET_HOT_ALLOW") != std::string::npos) return true;
+  return i > 0 && code[i - 1].find("IFET_HOT_ALLOW") != std::string::npos;
+}
+
+inline void scan_line_events(const std::string& line,
+                             std::map<std::size_t, std::vector<Event>>& ev) {
+  static const std::regex class_head_re(
+      R"(\b(class|struct)\s+((IFET_\w+\s*(\(\s*\))?\s*)*)(\w+))");
+  static const std::regex namespace_re(R"(\bnamespace\b)");
+  static const std::regex qual_re(R"(\b([A-Z]\w*)\s*::\s*(~?\w+)\s*\()");
+  static const std::regex name_paren_re(R"(\b([A-Za-z_~][\w]*)\s*\()");
+  static const std::regex member_call_re(R"(\b(\w+_)\s*(->|\.)\s*(\w+)\s*\()");
+  static const std::regex obj_call_re(
+      R"(\b([a-z]\w*)\s*(->|\.)\s*(\w+)\s*\()");
+  static const std::regex local_decl_re(
+      R"(\b(?:const\s+)?([A-Z]\w*)(?:\s*<[^;{}()=]*>)?\s*([&*]?)\s*([a-z]\w*)\s*[,)=;({])");
+  static const std::regex mutex_rank_decl_re(
+      R"(\bOrderedMutex\s+(\w+)\s*\{\s*MutexRank\s*::\s*(\w+)\s*\})");
+  static const std::regex mutex_plain_decl_re(
+      R"(\b(?:std\s*::\s*)?(?:mutex|shared_mutex|Mutex)\s+(\w+_)\s*[;{=])");
+  static const std::regex smart_member_re(
+      R"(\b(?:std\s*::\s*)?(?:unique_ptr|shared_ptr)\s*<\s*(?:const\s+)?(\w+)[^;]*>\s+(\w+_)\s*[;={])");
+  static const std::regex plain_member_re(R"(\b([A-Z]\w*)\s*[&*]?\s+(\w+_)\s*[;={])");
+  // Violation sites.
+  static const std::regex alloc_new_re(R"(\bnew\b)");
+  static const std::regex alloc_make_re(R"(\bmake_(shared|unique)\s*<)");
+  static const std::regex alloc_grow_re(
+      R"((\.|->)\s*(push_back|emplace_back|push_front|emplace_front|emplace|resize|reserve|insert)\s*\()");
+  static const std::regex alloc_ctor_re(
+      R"(\bstd\s*::\s*(string|vector|deque|list|map|multimap|set|unordered_map|unordered_set|function|[io]?stringstream)\b(\s*<[^;=]*>)?\s+\w+\s*[({;=])");
+  static const std::regex alloc_tostring_re(R"(\bto_string\s*\()");
+  static const std::regex throw_re(R"(\bthrow\b)");
+  static const std::regex require_re(R"(\bIFET_REQUIRE\s*\()");
+  static const std::regex io_re(
+      R"(\b(std\s*::\s*)?(cout|cerr|clog|cin|ifstream|ofstream|fstream|getline|printf|fprintf|fscanf|fopen|fread|fwrite)\b)");
+  static const std::regex raii_lock_re(
+      R"(\b(OrderedMutexLock|MutexLock|GenericMutexLock\s*<[^>]*>)\s+\w+\s*[({]\s*(\w+)\s*[)}])");
+  static const std::regex std_lock_re(
+      R"(\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s+\w+\s*[({]\s*(\w+))");
+
+  std::vector<std::pair<std::size_t, std::size_t>> claimed;
+  auto claim = [&](std::size_t pos, std::size_t len) {
+    claimed.emplace_back(pos, pos + len);
+  };
+  auto is_claimed = [&](std::size_t pos) {
+    for (const auto& [b, e] : claimed) {
+      if (pos >= b && pos < e) return true;
+    }
+    return false;
+  };
+  auto add = [&](std::size_t pos, Event e) { ev[pos].push_back(std::move(e)); };
+
+  std::smatch m;
+  std::string::const_iterator begin = line.begin();
+
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), class_head_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    // `enum class X` is not a class head.
+    const std::string before = line.substr(0, pos);
+    if (std::regex_search(before, std::regex(R"(\benum\s*$)"))) continue;
+    add(pos, {Event::kClassHead, (*it)[5].str(), "", "", ""});
+    claim(pos, static_cast<std::size_t>(it->length(0)));
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), namespace_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kNamespaceHead, "", "", "", ""});
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), qual_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    // Skip `Outer::Inner::f(`'s middle segment mismatches: only take the
+    // final Class::name pair; a preceding `::` means `pos` starts mid-chain.
+    if (pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':') continue;
+    add(pos, {Event::kQualName, (*it)[1].str(), (*it)[2].str(), "", ""});
+    claim(pos, static_cast<std::size_t>(it->length(0)));
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), member_call_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    if (is_claimed(pos)) continue;
+    add(pos, {Event::kMemberCall, (*it)[1].str(), (*it)[3].str(), "", ""});
+    claim(pos, static_cast<std::size_t>(it->length(0)));
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), obj_call_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    if (is_claimed(pos)) continue;
+    add(pos, {Event::kObjCall, (*it)[1].str(), (*it)[3].str(), "", ""});
+    claim(pos, static_cast<std::size_t>(it->length(0)));
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), name_paren_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    if (is_claimed(pos)) continue;
+    const std::string name = (*it)[1].str();
+    if (is_keyword(name)) continue;
+    // Previous non-space character decides plausibility: `.x(`, `::x(`,
+    // `>x(`, `~x(` are handled by other events or uninteresting.
+    std::size_t p = pos;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(line[p - 1]))) {
+      --p;
+    }
+    const char prev = p > 0 ? line[p - 1] : '\0';
+    if (prev == '.' || prev == ':' || prev == '>' || prev == '~') continue;
+    const bool typed_before =
+        prev == '&' || prev == '*' ||
+        std::isalnum(static_cast<unsigned char>(prev)) || prev == '_';
+    add(pos, {Event::kNameParen, name, typed_before ? "1" : "", "", ""});
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), local_decl_re);
+       it != std::sregex_iterator(); ++it) {
+    // rule carries the `&`/`*` declarator marker: reference and pointer
+    // locals bind to an existing object and run no constructor.
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kLocalDecl, (*it)[1].str(), (*it)[3].str(), (*it)[2].str(),
+         ""});
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), mutex_rank_decl_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kMutexDecl, (*it)[1].str(), (*it)[2].str(), "", ""});
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                      mutex_plain_decl_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kMutexDecl, (*it)[1].str(), "", "", ""});
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), smart_member_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kMemberDecl, (*it)[1].str(), (*it)[2].str(), "", ""});
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), plain_member_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kMemberDecl, (*it)[1].str(), (*it)[2].str(), "", ""});
+  }
+
+  auto add_violation = [&](std::size_t pos, const char* rule,
+                           const std::string& what) {
+    Event e{Event::kViolation, "", "", rule, what};
+    ev[pos].push_back(std::move(e));
+  };
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), alloc_new_re);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    // `operator new` definitions are the allocator itself, not a use.
+    const std::string before = line.substr(0, pos);
+    if (std::regex_search(before, std::regex(R"(\boperator\s*$)"))) continue;
+    add_violation(pos, "hot-path-alloc", "operator new expression");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), alloc_make_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-alloc",
+                  "make_" + (*it)[1].str() + " allocation");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), alloc_grow_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-alloc",
+                  "container growth call " + (*it)[2].str() + "()");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), alloc_ctor_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-alloc",
+                  "constructs an owning std::" + (*it)[1].str());
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), alloc_tostring_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-alloc",
+                  "to_string builds a heap string");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), throw_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-throw",
+                  "throw expression");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), require_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-throw",
+                  "IFET_REQUIRE throws on failure (IFET_DEBUG_ASSERT is the "
+                  "hot-path assert)");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), io_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "hot-path-io",
+                  "stream/stdio call " + (*it)[2].str());
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), raii_lock_re);
+       it != std::sregex_iterator(); ++it) {
+    Event e{Event::kLock, (*it)[2].str(), "", "", ""};
+    ev[static_cast<std::size_t>(it->position(0))].push_back(std::move(e));
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), std_lock_re);
+       it != std::sregex_iterator(); ++it) {
+    Event e{Event::kLock, (*it)[2].str(), "", "", ""};
+    ev[static_cast<std::size_t>(it->position(0))].push_back(std::move(e));
+  }
+  (void)m;
+  (void)begin;
+}
+
+/// Harvests `using Alias = Type<...>;` and the MutexRank enum values;
+/// these are scope-independent.
+inline void harvest_line_globals(const std::string& code_line,
+                                 bool& in_rank_enum, Model& model) {
+  static const std::regex using_alias_re(
+      R"(\busing\s+(\w+)\s*=\s*(?:ifet\s*::\s*)?(\w+))");
+  static const std::regex enum_head_re(R"(\benum\s+(class\s+)?MutexRank\b)");
+  static const std::regex enum_value_re(R"(\b(k\w+)\s*=\s*(\d+))");
+
+  for (auto it = std::sregex_iterator(code_line.begin(), code_line.end(),
+                                      using_alias_re);
+       it != std::sregex_iterator(); ++it) {
+    if ((*it)[1].str() != (*it)[2].str()) {
+      model.aliases[(*it)[1].str()] = (*it)[2].str();
+    }
+  }
+  if (std::regex_search(code_line, enum_head_re)) in_rank_enum = true;
+  if (in_rank_enum) {
+    for (auto it = std::sregex_iterator(code_line.begin(), code_line.end(),
+                                        enum_value_re);
+         it != std::sregex_iterator(); ++it) {
+      model.rank_values[(*it)[1].str()] = std::stoi((*it)[2].str());
+    }
+    if (code_line.find("};") != std::string::npos) in_rank_enum = false;
+  }
+}
+
+inline void walk_file(const SourceFile& file, std::size_t file_index,
+                      Model& model) {
+  struct Pending {
+    bool active = false;
+    std::string cls, name;
+    std::size_t head_line = 0;
+    bool hot = false;
+  };
+  std::vector<Scope> scopes;
+  Pending pending_fn;
+  bool pending_class = false, pending_namespace = false;
+  std::string pending_class_name;
+  bool in_rank_enum = false;
+
+  auto innermost = [&]() -> const Scope* {
+    return scopes.empty() ? nullptr : &scopes.back();
+  };
+  auto enclosing_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->cls;
+    }
+    return "";
+  };
+  auto current_fn = [&]() -> std::string {
+    // Lambda isolation: a lambda body is attributed to nothing.
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kLambda) return "";
+      if (it->kind == Scope::kMethod) return it->fn;
+    }
+    return "";
+  };
+
+  static const std::regex lambda_re(
+      R"(\]\s*(\([^)]*\))?\s*(mutable\s*)?(noexcept\s*)?(->[^={]*)?\{)");
+
+  bool in_preproc = false;  // '#' line or a backslash continuation of one
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    // Preprocessor directives (and macro-body continuations) are not
+    // statements: a `#define X __attribute__((hot))` must not register a
+    // function, and macro-body braces must not disturb scope depth.
+    if (!in_preproc) {
+      const auto first = file.raw[i].find_first_not_of(" \t");
+      in_preproc = first != std::string::npos && file.raw[i][first] == '#';
+    }
+    if (in_preproc) {
+      in_preproc = !file.raw[i].empty() && file.raw[i].back() == '\\';
+      continue;
+    }
+    harvest_line_globals(line, in_rank_enum, model);
+
+    std::map<std::size_t, std::vector<Event>> events;
+    scan_line_events(line, events);
+    std::set<std::size_t> lambda_braces;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), lambda_re);
+         it != std::sregex_iterator(); ++it) {
+      lambda_braces.insert(static_cast<std::size_t>(it->position(0)) +
+                           static_cast<std::size_t>(it->length(0)) - 1);
+    }
+
+    auto register_pending = [&]() {
+      const std::string key = fn_key(pending_fn.cls, pending_fn.name);
+      FnNode& node = model.fns[key];
+      if (node.name.empty()) {
+        node.cls = pending_fn.cls;
+        node.name = pending_fn.name;
+        node.path = file.path.string();
+        node.line = pending_fn.head_line + 1;
+      }
+      node.hot = node.hot || pending_fn.hot;
+      if (!pending_fn.cls.empty()) {
+        model.classes[pending_fn.cls].methods_defined.insert(pending_fn.name);
+      }
+      // Params from the head line(s) feed local type resolution.
+      static const std::regex param_decl_re(
+          R"(\b(?:const\s+)?([A-Z]\w*)(?:\s*<[^;{}()=]*>)?\s*[&*]?\s+([a-z]\w*)\s*[,)=])");
+      for (std::size_t h = pending_fn.head_line; h <= i; ++h) {
+        const std::string& hl = file.code[h];
+        for (auto it =
+                 std::sregex_iterator(hl.begin(), hl.end(), param_decl_re);
+             it != std::sregex_iterator(); ++it) {
+          node.local_types[(*it)[2].str()] = (*it)[1].str();
+        }
+      }
+      scopes.push_back({Scope::kMethod, pending_fn.cls, key});
+      pending_fn = Pending{};
+    };
+
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      auto evit = events.find(c);
+      if (evit != events.end()) {
+        const Scope* top = innermost();
+        const bool in_class = top && top->kind == Scope::kClass;
+        const bool at_ns =
+            !top || top->kind == Scope::kNamespace || top->kind == Scope::kOther;
+        const std::string fn = current_fn();
+        for (const Event& e : evit->second) {
+          switch (e.kind) {
+            case Event::kClassHead:
+              if (!fn.empty()) break;  // local structs inside fns: ignore
+              pending_class = true;
+              pending_class_name = e.a;
+              break;
+            case Event::kNamespaceHead:
+              pending_namespace = true;
+              break;
+            case Event::kQualName:
+              if (at_ns && !pending_fn.active) {
+                pending_fn = {true, e.a, e.b, i,
+                              line_has_hot_marker(file.code, i)};
+              } else if (!fn.empty()) {
+                model.fns[fn].calls.push_back(
+                    {CallRef::kQualified, "", e.b, e.a});
+              }
+              break;
+            case Event::kNameParen:
+              if (!fn.empty()) {
+                model.fns[fn].calls.push_back(
+                    {CallRef::kBare, "", e.a, enclosing_class()});
+              } else if (in_class && !pending_fn.active) {
+                pending_fn = {true, enclosing_class(), e.a, i,
+                              line_has_hot_marker(file.code, i)};
+              } else if (at_ns && !pending_fn.active && e.b == "1") {
+                pending_fn = {true, "", e.a, i,
+                              line_has_hot_marker(file.code, i)};
+              }
+              break;
+            case Event::kMemberCall:
+              if (!fn.empty()) {
+                model.fns[fn].calls.push_back(
+                    {CallRef::kMember, e.a, e.b, enclosing_class()});
+              }
+              break;
+            case Event::kObjCall:
+              if (!fn.empty()) {
+                model.fns[fn].calls.push_back(
+                    {CallRef::kObj, e.a, e.b, enclosing_class()});
+              }
+              break;
+            case Event::kLocalDecl:
+              if (!fn.empty()) {
+                model.fns[fn].local_types.emplace(e.b, e.a);
+                // A declared-by-value local also runs Type's ctor;
+                // reference/pointer declarators only bind.
+                if (e.rule.empty()) {
+                  model.fns[fn].calls.push_back(
+                      {CallRef::kQualified, "", e.a, e.a});
+                }
+              }
+              break;
+            case Event::kMemberDecl:
+              if (in_class) {
+                model.classes[top->cls].member_types.emplace(e.b, e.a);
+              }
+              break;
+            case Event::kMutexDecl:
+              if (in_class) {
+                model.classes[top->cls].mutex_ranks[e.a] = e.b;
+              }
+              break;
+            case Event::kViolation:
+              if (!fn.empty()) {
+                model.fns[fn].violations.push_back(
+                    {e.rule, e.what, enclosing_class(), "", i + 1,
+                     file_index});
+              }
+              break;
+            case Event::kLock:
+              if (!fn.empty()) {
+                model.fns[fn].violations.push_back(
+                    {"hot-path-lock", "", enclosing_class(), e.a, i + 1,
+                     file_index});
+              }
+              break;
+          }
+        }
+      }
+      const char ch = line[c];
+      if (ch == ';') {
+        pending_fn = Pending{};
+        pending_class = false;
+        pending_namespace = false;
+      } else if (ch == '{') {
+        if (lambda_braces.count(c) != 0) {
+          scopes.push_back({Scope::kLambda, "", ""});
+        } else if (pending_class) {
+          scopes.push_back({Scope::kClass, pending_class_name, ""});
+          pending_class = false;
+        } else if (pending_fn.active) {
+          register_pending();
+        } else if (pending_namespace) {
+          scopes.push_back({Scope::kNamespace, "", ""});
+          pending_namespace = false;
+        } else {
+          scopes.push_back({Scope::kOther, "", ""});
+        }
+      } else if (ch == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+      }
+    }
+  }
+}
+
+inline std::string resolve_type(const Model& model, std::string type) {
+  for (int hop = 0; hop < 4; ++hop) {
+    auto it = model.aliases.find(type);
+    if (it == model.aliases.end()) break;
+    type = it->second;
+  }
+  return type;
+}
+
+/// Resolves one call to a defined function key, or "" when the receiver
+/// cannot be determined (edge-conservative: no edge).
+inline std::string resolve_call(const Model& model, const FnNode& from,
+                                const CallRef& call) {
+  auto defined = [&](const std::string& key) {
+    return model.fns.count(key) != 0 ? key : std::string();
+  };
+  switch (call.kind) {
+    case CallRef::kQualified:
+      return defined(fn_key(resolve_type(model, call.cls), call.callee));
+    case CallRef::kMember: {
+      auto cit = model.classes.find(call.cls);
+      if (cit == model.classes.end()) return "";
+      auto mit = cit->second.member_types.find(call.recv);
+      if (mit == cit->second.member_types.end()) return "";
+      return defined(fn_key(resolve_type(model, mit->second), call.callee));
+    }
+    case CallRef::kObj: {
+      auto lit = from.local_types.find(call.recv);
+      if (lit == from.local_types.end()) return "";
+      return defined(fn_key(resolve_type(model, lit->second), call.callee));
+    }
+    case CallRef::kBare: {
+      if (!call.cls.empty()) {
+        auto cit = model.classes.find(call.cls);
+        if (cit != model.classes.end() &&
+            cit->second.methods_defined.count(call.callee) != 0) {
+          return fn_key(call.cls, call.callee);
+        }
+      }
+      if (!defined(call.callee).empty()) return call.callee;
+      // Constructor of a locally-visible class: `FlatMlp(...)`.
+      const std::string t = resolve_type(model, call.callee);
+      return defined(fn_key(t, t));
+    }
+  }
+  return "";
+}
+
+}  // namespace cg_detail
+
+/// Runs the hot-path escape analysis over all scanned files.
+inline void run_callgraph_pass(const std::vector<SourceFile>& files,
+                               std::vector<Finding>& findings) {
+  using namespace cg_detail;
+  Model model;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].ok) walk_file(files[i], i, model);
+  }
+
+  // Edges, resolved once.
+  std::map<std::string, std::set<std::string>> edges;
+  for (const auto& [key, node] : model.fns) {
+    for (const CallRef& call : node.calls) {
+      const std::string target = resolve_call(model, node, call);
+      if (!target.empty() && target != key) edges[key].insert(target);
+    }
+  }
+
+  // Reachability from IFET_HOT roots; first root (in sorted order) to
+  // reach a function owns its report chain.
+  std::map<std::string, std::pair<std::string, std::string>>
+      reached;  // fn -> {root, parent}
+  for (const auto& [key, node] : model.fns) {
+    if (!node.hot || reached.count(key) != 0) continue;
+    reached[key] = {key, ""};
+    std::vector<std::string> queue{key};
+    while (!queue.empty()) {
+      const std::string cur = queue.back();
+      queue.pop_back();
+      auto eit = edges.find(cur);
+      if (eit == edges.end()) continue;
+      for (const std::string& next : eit->second) {
+        if (reached.count(next) != 0) continue;
+        reached[next] = {key, cur};
+        queue.push_back(next);
+      }
+    }
+  }
+
+  auto chain_of = [&](const std::string& fn) {
+    std::vector<std::string> rev;
+    std::string cur = fn;
+    while (!cur.empty()) {
+      rev.push_back(cur);
+      cur = reached[cur].second;
+    }
+    std::string out;
+    for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+      if (!out.empty()) out += " -> ";
+      out += *it;
+    }
+    return out;
+  };
+
+  std::set<std::string> emitted;
+  for (const auto& [key, node] : model.fns) {
+    auto rit = reached.find(key);
+    if (rit == reached.end()) continue;
+    const std::string& root = rit->second.first;
+    for (const Violation& v : node.violations) {
+      std::string rule = v.rule;
+      std::string what = v.what;
+      if (rule == "hot-path-lock") {
+        // Only mutex members of the enclosing class are judged; locals
+        // and unresolvable names produce no finding.
+        auto cit = model.classes.find(v.cls);
+        if (cit == model.classes.end()) continue;
+        auto mit = cit->second.mutex_ranks.find(v.mutex);
+        if (mit == cit->second.mutex_ranks.end()) continue;
+        if (mit->second.empty()) {
+          what = "locks unranked mutex '" + v.mutex + "'";
+        } else {
+          auto vit = model.rank_values.find(mit->second);
+          const int rank = vit == model.rank_values.end() ? -1 : vit->second;
+          if (rank >= kHotPathMinRank) continue;
+          what = "locks mutex '" + v.mutex + "' (rank " + mit->second +
+                 ") below the hot-path floor";
+        }
+      }
+      const SourceFile& file = files[v.file_index];
+      const std::size_t idx = v.line - 1;
+      if (suppressed(file.raw, idx, rule)) continue;
+      if (hot_allow_waived(file.code, idx)) continue;
+      const std::string dedup_key =
+          rule + "|" + file.path.string() + "|" + std::to_string(v.line);
+      if (!emitted.insert(dedup_key).second) continue;
+      Finding f;
+      f.path = file.path.string();
+      f.line = v.line;
+      f.rule = rule;
+      f.symbol = key;
+      f.message = what + " in '" + key + "', reachable from IFET_HOT root '" +
+                  root + "' via " + chain_of(key) +
+                  "; hot paths must stay allocation/throw/IO-free once warm "
+                  "(waive with IFET_HOT_ALLOW(reason))";
+      findings.push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace ifet_lint

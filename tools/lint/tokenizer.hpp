@@ -19,10 +19,21 @@ namespace ifet_lint {
 namespace fs = std::filesystem;
 
 struct Finding {
+  Finding() = default;
+  Finding(std::string path_, std::size_t line_, std::string rule_,
+          std::string message_, std::string symbol_ = {})
+      : path(std::move(path_)),
+        line(line_),
+        rule(std::move(rule_)),
+        message(std::move(message_)),
+        symbol(std::move(symbol_)) {}
+
   std::string path;
   std::size_t line = 0;  // 1-based; 0 = whole file
   std::string rule;
   std::string message;
+  std::string symbol;  // enclosing function, when a pass knows it
+                       // (callgraph pass); baseline entries key on it
 };
 
 struct SourceFile {
@@ -60,6 +71,20 @@ inline bool file_suppressed(const std::vector<std::string>& raw,
   return false;
 }
 
+/// True when the identifier characters immediately before position `c`
+/// form a string/char encoding prefix (u8, u, U, L) at a token boundary.
+/// Used for `u8"..."`, `L'x'`, and prefixed raw strings (`u8R"(...)"`,
+/// where `c` is the position of the R).
+inline bool encoding_prefix_before(const std::string& line, std::size_t c) {
+  std::size_t b = c;
+  while (b > 0 && (std::isalnum(static_cast<unsigned char>(line[b - 1])) ||
+                   line[b - 1] == '_')) {
+    --b;
+  }
+  const std::string prefix = line.substr(b, c - b);
+  return prefix == "u8" || prefix == "u" || prefix == "U" || prefix == "L";
+}
+
 /// Blanks comments and literals across the whole file. A small state
 /// machine rather than regexes because block comments, raw strings, and
 /// escapes all span lines.
@@ -88,7 +113,8 @@ inline std::vector<std::string> strip_to_code(
           } else if (ch == 'R' && next == '"' &&
                      (c == 0 || (!std::isalnum(static_cast<unsigned char>(
                                      line[c - 1])) &&
-                                 line[c - 1] != '_'))) {
+                                 line[c - 1] != '_') ||
+                      encoding_prefix_before(line, c))) {
             // R"delim( ... )delim" — scan the delimiter.
             std::size_t d = c + 2;
             std::string delim;
@@ -105,7 +131,21 @@ inline std::vector<std::string> strip_to_code(
           } else if (ch == '"') {
             state = State::kString;
           } else if (ch == '\'') {
-            state = State::kChar;
+            // A quote between alphanumerics is a digit separator
+            // (1'000'000), not a char literal — unless the identifier
+            // before it is an encoding prefix (L'x'). Mis-lexing a
+            // separator as a char open swallows the rest of the literal
+            // and corrupts call-graph edges on that line.
+            const bool separator =
+                c > 0 &&
+                std::isalnum(static_cast<unsigned char>(line[c - 1])) &&
+                std::isalnum(static_cast<unsigned char>(next)) &&
+                !encoding_prefix_before(line, c);
+            if (separator) {
+              code[c] = ch;
+            } else {
+              state = State::kChar;
+            }
           } else {
             code[c] = ch;
           }
@@ -143,6 +183,17 @@ inline std::vector<std::string> strip_to_code(
     // Unterminated ordinary string/char at EOL: literals do not span lines
     // (the backslash-newline case is rare enough to ignore in a linter).
     if (state == State::kString || state == State::kChar) state = State::kCode;
+    // Blank [[attribute]] sequences: `[[deprecated("x")]]` would
+    // otherwise look like a call named `deprecated` to the token-level
+    // passes. Adjacent `[[` never occurs in well-formed subscripts, so
+    // this cannot eat real code.
+    for (std::size_t a = code.find("[["); a != std::string::npos;
+         a = code.find("[[", a)) {
+      const std::size_t e = code.find("]]", a + 2);
+      if (e == std::string::npos) break;
+      for (std::size_t k = a; k < e + 2; ++k) code[k] = ' ';
+      a = e + 2;
+    }
     out.push_back(std::move(code));
   }
   return out;
