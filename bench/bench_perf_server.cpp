@@ -1,0 +1,462 @@
+// Multi-tenant server load generator (docs/SERVER.md): N concurrent
+// scripted clients over ONE tight-budget shared streaming tier, measured
+// against each client running alone on an unlimited-budget tier.
+//
+// Each client is a closed loop on its session's strand: the completion
+// callback of command i submits command i+1, so the recorded latency is
+// service time (no self-inflicted queueing), while the N strands contend
+// for the shared cache, the admission quotas, and the derived-product
+// memoization the whole time.
+//
+// Shape claims (exit nonzero on failure):
+//   - every scripted command succeeds on every concurrent client;
+//   - the concurrent tight-budget results are bitwise identical to the
+//     isolated unlimited-budget serial reference (admission shapes
+//     residency, never data);
+//   - the cross-client dedup hit rate on derived products is > 0 and the
+//     shared cache holds fewer unique entries than requests served;
+//   - the tight budget actually evicts;
+//   - no client's pinned bytes ever exceed its admission quota, and the
+//     quota visibly denied pins.
+//
+// Outputs: BENCH_server.json (p50/p99 latency, dedup rate, per-client
+// eviction fairness) plus CSV series under bench_out/ — the per-command
+// latency distribution and the cache-hit / dedup-hit trajectory sampled
+// while the storm ran.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "server/session_manager.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "volume/sequence.hpp"
+
+namespace {
+
+using namespace ifet;
+
+/// A blob drifting +x one voxel per step: enough structure for IATF
+/// synthesis, classification, and tracking alike. Deterministic.
+std::shared_ptr<CallbackSource> blob_source(Dims dims, int steps) {
+  return std::make_shared<CallbackSource>(
+      dims, steps, std::pair<double, double>{0.0, 1.0}, [dims](int step) {
+        VolumeF v(dims);
+        for (int k = 0; k < dims.z; ++k) {
+          for (int j = 0; j < dims.y; ++j) {
+            for (int i = 0; i < dims.x; ++i) {
+              const double dx = i - (dims.x / 4 + step);
+              const double dy = j - dims.y / 2;
+              const double dz = k - dims.z / 2;
+              const double r2 = dx * dx + dy * dy + dz * dz;
+              v.at(i, j, k) =
+                  static_cast<float>(clamp(1.0 - r2 / 9.0, 0.0, 1.0));
+            }
+          }
+        }
+        return v;
+      });
+}
+
+/// The canonical scripted client (the full extraction workflow): window
+/// hint, key frame, TF training, per-step TF + histogram queries,
+/// painting, classifier training, classification, adaptive tracking,
+/// rendering. Epoch-counted training only — deterministic end to end.
+/// Every client runs the SAME script, which makes the isolated reference
+/// shared across clients and maximizes the derived-product overlap the
+/// dedup metric measures.
+std::vector<Command> canonical_script(Dims dims, int steps) {
+  std::vector<Command> script;
+  Command c;
+
+  c.kind = CommandKind::kHintWindow;
+  c.window_lo = 0;
+  c.window_hi = 2;
+  script.push_back(c);
+
+  c = Command{};
+  c.kind = CommandKind::kSetKeyFrame;
+  c.step = 0;
+  c.band_lo = 0.55;
+  c.band_hi = 1.0;
+  c.band_peak = 0.95;
+  c.band_skirt = 0.05;
+  script.push_back(c);
+
+  c = Command{};
+  c.kind = CommandKind::kTrainTf;
+  c.epochs = 20;
+  script.push_back(c);
+
+  for (int s = 0; s < steps; ++s) {
+    c = Command{};
+    c.kind = CommandKind::kQueryTf;
+    c.step = s;
+    script.push_back(c);
+    c.kind = CommandKind::kHistogram;
+    script.push_back(c);
+  }
+
+  c = Command{};
+  c.kind = CommandKind::kPaint;
+  c.step = 1;
+  c.stroke.axis = 2;
+  c.stroke.slice = dims.z / 2;
+  c.stroke.u = dims.x / 4 + 1;
+  c.stroke.v = dims.y / 2;
+  c.stroke.radius = 1.5;
+  c.stroke.certainty = 1.0;
+  script.push_back(c);
+
+  c.stroke.u = dims.x - 1;
+  c.stroke.v = dims.y - 1;
+  c.stroke.radius = 1.0;
+  c.stroke.certainty = 0.0;
+  script.push_back(c);
+
+  c = Command{};
+  c.kind = CommandKind::kTrainClassifier;
+  c.epochs = 10;
+  script.push_back(c);
+
+  c = Command{};
+  c.kind = CommandKind::kClassify;
+  c.step = 1;
+  script.push_back(c);
+
+  c = Command{};
+  c.kind = CommandKind::kTrack;
+  c.step = 1;
+  c.seed = Index3{dims.x / 4 + 1, dims.y / 2, dims.z / 2};
+  c.opacity_cut = 0.25;
+  script.push_back(c);
+
+  c = Command{};
+  c.kind = CommandKind::kRender;
+  c.step = 1;
+  c.image_size = 24;
+  script.push_back(c);
+
+  return script;
+}
+
+/// One concurrent client's recorded run.
+struct ClientRun {
+  int id = -1;
+  std::vector<ServerResult> results;
+  std::vector<double> latency_ms;
+};
+
+/// Shared state of the closed-loop load generator.
+struct LoadGen {
+  SessionManager& manager;
+  const std::vector<Command>& script;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;
+};
+
+/// Submit command `index` of `run`'s script; the completion callback
+/// records the result and service latency, then chains the next command.
+/// The submit happens inside the strand's drain loop, so the queue never
+/// holds more than the in-flight command — recorded latency is service
+/// time, not queueing.
+void submit_from(LoadGen& gen, ClientRun& run, std::size_t index) {
+  if (index == gen.script.size()) {
+    std::lock_guard<std::mutex> lock(gen.done_mutex);
+    ++gen.finished;
+    gen.done_cv.notify_all();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  gen.manager.submit(
+      run.id, gen.script[index],
+      [&gen, &run, index, t0](const ServerResult& r) {
+        run.results[index] = r;
+        run.latency_ms[index] =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        submit_from(gen, run, index + 1);
+      });
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults: 8 clients, 24^3 voxels, 12 steps. --smoke shrinks to the CI
+  // load (4 clients, 16^3, 8 steps — sized to stay quick under TSan);
+  // --clients=N overrides the fleet width either way.
+  int clients = 8;
+  Dims dims{24, 24, 24};
+  int steps = 12;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
+      clients = 4;
+      dims = Dims{16, 16, 16};
+      steps = 8;
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = std::max(1, std::atoi(arg.substr(10).data()));
+    } else {
+      std::cerr << "usage: bench_perf_server [--smoke] [--clients=N]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t step_bytes =
+      static_cast<std::size_t>(dims.count()) * sizeof(float);
+  const std::vector<Command> script = canonical_script(dims, steps);
+
+  std::cout << "=== perf: multi-tenant server, " << clients
+            << " concurrent clients, " << steps << " steps of " << dims.x
+            << "^3, " << script.size() << " commands each ===\n";
+
+  bench::ShapeCheck check;
+
+  // --- Concurrent storm: one shared tier, tight budget, 1-step pin quota.
+  SessionManagerConfig shared_config;
+  shared_config.tier.budget_bytes = 3 * step_bytes;
+  shared_config.tier.pin_quota_bytes = 1 * step_bytes;
+  shared_config.tier.async_prefetch = true;
+
+  std::vector<std::unique_ptr<ClientRun>> runs;
+  std::vector<AdmissionStats> fairness;
+  std::vector<std::size_t> quota_violations;
+  StreamStats storm_stats;
+  std::size_t unique_entries = 0;
+  std::size_t quota_steps = 0;
+  double storm_seconds = 0.0;
+  // Trajectory rows sampled while the storm runs: (ms, hits, misses,
+  // derived_hits, derived_misses).
+  std::vector<std::vector<double>> trajectory;
+  {
+    SessionManager manager(blob_source(dims, steps), shared_config);
+    quota_steps = manager.tier().admission().quota_steps();
+    LoadGen gen{manager, script, {}, {}, 0};
+    for (int c = 0; c < clients; ++c) {
+      auto run = std::make_unique<ClientRun>();
+      run->id = manager.create_session();
+      run->results.resize(script.size());
+      run->latency_ms.resize(script.size(), 0.0);
+      runs.push_back(std::move(run));
+    }
+
+    std::atomic<bool> sampling{true};
+    Stopwatch storm_watch;
+    std::thread sampler([&manager, &sampling, &trajectory, &storm_watch] {
+      while (sampling.load(std::memory_order_relaxed)) {
+        const StreamStats s = manager.tier().stats();
+        trajectory.push_back({storm_watch.milliseconds(),
+                              static_cast<double>(s.hits),
+                              static_cast<double>(s.misses),
+                              static_cast<double>(s.derived_hits),
+                              static_cast<double>(s.derived_misses)});
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+
+    for (auto& run : runs) submit_from(gen, *run, 0);
+    {
+      std::unique_lock<std::mutex> lock(gen.done_mutex);
+      gen.done_cv.wait(lock, [&gen, &runs] {
+        return gen.finished == runs.size();
+      });
+    }
+    storm_seconds = storm_watch.seconds();
+    sampling.store(false, std::memory_order_relaxed);
+    sampler.join();
+    manager.drain_all();
+
+    storm_stats = manager.tier().stats();
+    unique_entries = manager.tier().derived().size();
+    for (const auto& run : runs) {
+      const AdmissionStats a = manager.session_admission(run->id);
+      fairness.push_back(a);
+      quota_violations.push_back(
+          a.pinned_bytes > manager.tier().admission().pin_quota_bytes() ? 1
+                                                                        : 0);
+    }
+  }
+
+  bool all_ok = true;
+  std::vector<double> latencies;
+  for (const auto& run : runs) {
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      if (!run->results[i].ok) {
+        std::cout << "  client " << run->id << " command " << i
+                  << " failed: " << run->results[i].error << "\n";
+        all_ok = false;
+      }
+      latencies.push_back(run->latency_ms[i]);
+    }
+  }
+  check.expect(all_ok, "every command succeeds on every concurrent client");
+
+  // --- Isolated reference: the same script, one client alone, unlimited
+  // budget, serial execute(). Every concurrent client must match it
+  // bitwise (they all ran the identical script).
+  bool bitwise = true;
+  std::vector<double> iso_latency_ms(script.size(), 0.0);
+  {
+    SessionManagerConfig iso_config;  // budget 0 = fully resident
+    SessionManager manager(blob_source(dims, steps), iso_config);
+    const int id = manager.create_session();
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      Stopwatch cmd_watch;
+      const ServerResult reference = manager.execute(id, script[i]);
+      iso_latency_ms[i] = cmd_watch.milliseconds();
+      if (!reference.ok) bitwise = false;
+      for (const auto& run : runs) {
+        if (run->results[i].ok != reference.ok ||
+            run->results[i].digest != reference.digest ||
+            run->results[i].value != reference.value) {
+          std::cout << "  mismatch: client " << run->id << " command " << i
+                    << "\n";
+          bitwise = false;
+        }
+      }
+    }
+  }
+  check.expect(bitwise,
+               "concurrent tight-budget results are bitwise identical to "
+               "the isolated unlimited-budget reference");
+
+  // --- Metrics.
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double iso_p50 = percentile(iso_latency_ms, 0.50);
+  const double iso_p99 = percentile(iso_latency_ms, 0.99);
+  const std::uint64_t derived_requests =
+      storm_stats.derived_hits + storm_stats.derived_misses;
+  const double dedup_rate =
+      derived_requests == 0
+          ? 0.0
+          : static_cast<double>(storm_stats.derived_hits) /
+                static_cast<double>(derived_requests);
+  const double entry_collapse =
+      derived_requests == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(unique_entries) /
+                      static_cast<double>(derived_requests);
+
+  Table table({"metric", "value"});
+  table.add_row({"clients", std::to_string(clients)});
+  table.add_row({"commands_total", std::to_string(latencies.size())});
+  table.add_row({"storm_seconds", Table::num(storm_seconds, 3)});
+  table.add_row({"p50_ms", Table::num(p50, 3)});
+  table.add_row({"p99_ms", Table::num(p99, 3)});
+  table.add_row({"isolated_p50_ms", Table::num(iso_p50, 3)});
+  table.add_row({"isolated_p99_ms", Table::num(iso_p99, 3)});
+  table.add_row({"dedup_hit_rate", Table::num(dedup_rate, 3)});
+  table.add_row({"derived_entries", std::to_string(unique_entries)});
+  table.add_row({"entry_collapse", Table::num(entry_collapse, 3)});
+  table.add_row({"evictions", std::to_string(storm_stats.evictions)});
+  table.add_row({"quota_steps", std::to_string(quota_steps)});
+  table.print(std::cout);
+  std::cout << storm_stats.summary() << "\n\n";
+
+  Table fair({"client", "accesses", "reloads", "denied_pins",
+              "pinned_steps"});
+  for (std::size_t c = 0; c < fairness.size(); ++c) {
+    fair.add_row({std::to_string(runs[c]->id),
+                  std::to_string(fairness[c].accesses),
+                  std::to_string(fairness[c].reloads),
+                  std::to_string(fairness[c].denied_pins),
+                  std::to_string(fairness[c].pinned_steps)});
+  }
+  fair.print(std::cout);
+
+  check.expect(storm_stats.derived_hits > 0 && dedup_rate > 0.0,
+               "cross-client dedup hit rate > 0 on the shared tier");
+  check.expect(unique_entries < derived_requests,
+               "shared cache holds fewer unique entries than requests");
+  check.expect(storm_stats.evictions > 0,
+               "the 3-step budget evicts under the concurrent load");
+  std::uint64_t denied_total = 0;
+  bool quota_held = true;
+  for (std::size_t c = 0; c < fairness.size(); ++c) {
+    denied_total += fairness[c].denied_pins;
+    if (quota_violations[c] != 0) quota_held = false;
+  }
+  check.expect(quota_held,
+               "no client's pinned bytes exceed its admission quota");
+  check.expect(denied_total > 0,
+               "the pin quota visibly denied window pins");
+
+  // --- Persist: latency distribution, trajectory, fairness, JSON summary.
+  CsvWriter lat_csv(bench::output_dir() + "/perf_server_latency.csv",
+                    {"client", "command", "latency_ms"});
+  for (const auto& run : runs) {
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      lat_csv.row(run->id, i, run->latency_ms[i]);
+    }
+  }
+  CsvWriter traj_csv(
+      bench::output_dir() + "/perf_server_trajectory.csv",
+      {"ms", "hits", "misses", "derived_hits", "derived_misses"});
+  for (const auto& row : trajectory) {
+    traj_csv.row(row[0], row[1], row[2], row[3], row[4]);
+  }
+  CsvWriter fair_csv(
+      bench::output_dir() + "/perf_server_fairness.csv",
+      {"client", "accesses", "reloads", "denied_pins", "pinned_steps"});
+  for (std::size_t c = 0; c < fairness.size(); ++c) {
+    fair_csv.row(runs[c]->id, fairness[c].accesses, fairness[c].reloads,
+                 fairness[c].denied_pins, fairness[c].pinned_steps);
+  }
+
+  std::ofstream json("BENCH_server.json");
+  json << "{\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"steps\": " << steps << ",\n"
+       << "  \"commands_total\": " << latencies.size() << ",\n"
+       << "  \"storm_seconds\": " << storm_seconds << ",\n"
+       << "  \"p50_ms\": " << p50 << ",\n"
+       << "  \"p99_ms\": " << p99 << ",\n"
+       << "  \"isolated_p50_ms\": " << iso_p50 << ",\n"
+       << "  \"isolated_p99_ms\": " << iso_p99 << ",\n"
+       << "  \"dedup_hit_rate\": " << dedup_rate << ",\n"
+       << "  \"derived_entries\": " << unique_entries << ",\n"
+       << "  \"entry_collapse\": " << entry_collapse << ",\n"
+       << "  \"evictions\": " << storm_stats.evictions << ",\n"
+       << "  \"bitwise_identical\": " << (bitwise ? "true" : "false")
+       << ",\n"
+       << "  \"per_client\": [\n";
+  for (std::size_t c = 0; c < fairness.size(); ++c) {
+    json << "    {\"client\": " << runs[c]->id
+         << ", \"accesses\": " << fairness[c].accesses
+         << ", \"reloads\": " << fairness[c].reloads
+         << ", \"denied_pins\": " << fairness[c].denied_pins
+         << ", \"pinned_steps\": " << fairness[c].pinned_steps << "}"
+         << (c + 1 < fairness.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "server report: p50 " << p50 << " ms, p99 " << p99
+            << " ms, dedup " << dedup_rate << " -> BENCH_server.json\n";
+
+  return check.exit_code();
+}

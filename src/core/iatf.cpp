@@ -171,18 +171,25 @@ TransferFunction1D Iatf::evaluate(int step) const {
 }
 
 std::uint64_t Iatf::params_hash() const {
-  std::uint64_t h = config_.seed;
-  h = hash_combine(h, static_cast<std::uint64_t>(config_.hidden_units));
+  // Keyed by what evaluate() actually depends on besides the step: the
+  // live network weights (Mlp::params_hash), the input configuration, and
+  // the normalizer ranges. Counts alone (epochs run, key-frame count) are
+  // NOT enough once this hash keys a DerivedCache SHARED between client
+  // sessions: two differently-trained networks with equal counts must
+  // never collide, or one tenant would read another's synthesized TFs
+  // (docs/SERVER.md). Conversely, two sessions that replayed the same
+  // deterministic script reach identical weights and identical hashes —
+  // which is exactly the cross-client dedup the server tier wants.
+  std::uint64_t h = network_.params_hash();
   h = hash_combine(h, (static_cast<std::uint64_t>(config_.use_value) << 2) |
                           (static_cast<std::uint64_t>(
                                config_.use_cumulative_histogram)
                            << 1) |
                           static_cast<std::uint64_t>(config_.use_time));
-  h = hash_combine(h, hash_double(config_.backprop.learning_rate));
-  h = hash_combine(h, hash_double(config_.backprop.momentum));
-  h = hash_combine(h, static_cast<std::uint64_t>(trainer_.epochs_run()));
-  h = hash_combine(h, static_cast<std::uint64_t>(training_set_.size()));
-  h = hash_combine(h, static_cast<std::uint64_t>(key_frames_.size()));
+  for (std::size_t f = 0; f < normalizer_.width(); ++f) {
+    h = hash_combine(h, hash_double(normalizer_.lo(f)));
+    h = hash_combine(h, hash_double(normalizer_.hi(f)));
+  }
   return h;
 }
 

@@ -1,0 +1,80 @@
+// Scripted client commands for the multi-tenant server.
+//
+// A client session drives the extraction/tracking pipelines through a
+// small command vocabulary instead of direct method calls, so requests
+// can be queued on the session's strand (per-session FIFO, cross-session
+// parallel — see session_manager.hpp) and replayed deterministically by
+// the load generator (bench_perf_server). Every command reduces its
+// product — a feedback volume, a synthesized TF, a track mask set, a
+// rendered frame — to a CRC32 digest, which is what the
+// tight-vs-infinite-budget bitwise equivalence check compares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "session/session.hpp"
+#include "volume/volume.hpp"
+
+namespace ifet {
+
+enum class CommandKind {
+  kPaint,            ///< Brush stroke into the classifier's training set.
+  kSelectUnwanted,   ///< Mark a box of voxels as negative samples.
+  kTrainClassifier,  ///< Deterministic classifier training epochs.
+  kClassify,         ///< Feedback volume of a step; digest of the voxels.
+  kSetKeyFrame,      ///< Upsert a banded key-frame TF at a step.
+  kTrainTf,          ///< Deterministic IATF training epochs.
+  kQueryTf,          ///< Adaptive TF for a step via the shared
+                     ///< DerivedCache (the cross-client dedup path).
+  kHistogram,        ///< Cumulative histogram of a step (shared products).
+  kTrack,            ///< 4D region growing with the adaptive criterion.
+  kRender,           ///< Preview frame through the current adaptive TF.
+  kHintWindow,       ///< Declare the client's step window.
+};
+
+struct Command {
+  CommandKind kind = CommandKind::kHintWindow;
+  /// Target step (paint / classify / key frame / query / track seed step /
+  /// render / histogram).
+  int step = 0;
+
+  // kPaint
+  PaintStroke stroke{};
+  // kSelectUnwanted
+  Index3 box_lo{};
+  Index3 box_hi{};
+  // kTrainClassifier / kTrainTf (epoch-counted — never wall-clock — so
+  // replays are bitwise reproducible).
+  int epochs = 1;
+  // kSetKeyFrame: one opacity band, positioned as FRACTIONS of the
+  // sequence value range so scripts are data-set independent.
+  double band_lo = 0.4;
+  double band_hi = 0.6;
+  double band_peak = 0.9;
+  double band_skirt = 0.05;
+  // kTrack
+  Index3 seed{};
+  double opacity_cut = 0.25;
+  int track_min_step = -1;
+  int track_max_step = -1;
+  // kRender
+  int image_size = 32;
+  double azimuth = 0.6;
+  double elevation = 0.4;
+  double distance = 2.0;
+  // kHintWindow
+  int window_lo = 0;
+  int window_hi = 0;
+};
+
+struct ServerResult {
+  bool ok = true;
+  std::string error;      ///< Exception text when !ok.
+  std::uint32_t digest = 0;  ///< CRC32 of the command's product (0 for
+                             ///< commands without one).
+  double value = 0.0;     ///< Command-specific scalar: painted voxels,
+                          ///< training MSE, tracked voxels, ...
+};
+
+}  // namespace ifet

@@ -1,0 +1,347 @@
+#include "server/session_manager.hpp"
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/tracking.hpp"
+#include "io/checksum.hpp"
+#include "render/camera.hpp"
+#include "tf/transfer_function.hpp"
+#include "util/error.hpp"
+
+namespace ifet {
+
+namespace {
+
+std::uint32_t digest_tf(const TransferFunction1D& tf) {
+  std::array<double, TransferFunction1D::kEntries> opacities{};
+  for (int e = 0; e < TransferFunction1D::kEntries; ++e) {
+    opacities[static_cast<std::size_t>(e)] = tf.opacity_entry(e);
+  }
+  return crc32(opacities.data(), sizeof(opacities));
+}
+
+std::uint32_t digest_volume(const VolumeF& volume) {
+  auto data = volume.data();
+  return crc32(data.data(), data.size() * sizeof(float));
+}
+
+std::uint32_t digest_cumhist(const CumulativeHistogram& ch) {
+  std::vector<double> fractions;
+  fractions.reserve(static_cast<std::size_t>(ch.bins()));
+  const double width = (ch.hi() - ch.lo()) / ch.bins();
+  for (int b = 0; b < ch.bins(); ++b) {
+    fractions.push_back(ch.fraction_at(ch.lo() + (b + 0.5) * width));
+  }
+  return crc32(fractions.data(), fractions.size() * sizeof(double));
+}
+
+std::uint32_t digest_track(const TrackResult& result) {
+  std::uint32_t digest = 0;
+  for (const auto& [step, mask] : result.masks) {
+    digest = crc32(&step, sizeof(step), digest);
+    auto data = mask.data();
+    digest = crc32(data.data(), data.size(), digest);
+  }
+  return digest;
+}
+
+}  // namespace
+
+struct SessionManager::ServerSession {
+  int id = -1;
+  // Declaration order is the lifetime contract: painting/tf hold
+  // references into *view, so view is declared first (destroyed last).
+  std::unique_ptr<ClientSequenceView> view;
+  std::unique_ptr<PaintingSession> painting;
+  std::unique_ptr<TfSession> tf;
+  /// Params hash this session holds a tf_hash_refs_ reference for.
+  /// Written only under the manager's mutex_, and only by this session's
+  /// own (serialized) command stream or create/close.
+  std::uint64_t tf_hash = 0;
+
+  // The strand: per-session FIFO queue drained by at most one pool task.
+  OrderedMutex strand{MutexRank::kServerStrand};
+  std::condition_variable_any idle;
+  std::deque<std::pair<Command, std::function<void(const ServerResult&)>>>
+      queue IFET_GUARDED_BY(strand);
+  bool running IFET_GUARDED_BY(strand) = false;
+};
+
+SessionManager::SessionManager(std::shared_ptr<const VolumeSource> source,
+                               const SessionManagerConfig& config)
+    : config_(config),
+      tier_(std::move(source), config.tier),
+      command_pool_(config.command_threads) {}
+
+SessionManager::~SessionManager() {
+  drain_all();
+  // No strand task can be queued or running past shutdown(); destroying
+  // the sessions (and then tier_) is now single-threaded.
+  command_pool_.shutdown();
+  OrderedMutexLock lock(mutex_);
+  sessions_.clear();
+}
+
+int SessionManager::create_session(FailPolicy fail_policy) {
+  auto session = std::make_shared<ServerSession>();
+  ClientViewConfig view_config;
+  view_config.pin_radius = config_.pin_radius;
+  view_config.fail_policy = fail_policy;
+  session->view = std::make_unique<ClientSequenceView>(tier_, view_config);
+  session->painting =
+      std::make_unique<PaintingSession>(*session->view, config_.painting);
+  session->tf = std::make_unique<TfSession>(*session->view, config_.tf);
+  session->tf_hash = session->tf->iatf().params_hash();
+
+  OrderedMutexLock lock(mutex_);
+  session->id = next_id_++;
+  ++tf_hash_refs_[session->tf_hash];
+  const int id = session->id;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void SessionManager::close_session(int id) {
+  auto session = find(id);
+  drain_wait(*session);
+  std::uint64_t to_invalidate = 0;
+  {
+    OrderedMutexLock lock(mutex_);
+    sessions_.erase(id);
+    to_invalidate = release_hash_locked(session->tf_hash);
+  }
+  if (to_invalidate != 0) tier_.derived().invalidate(to_invalidate);
+  // `session` (usually the last reference) dies here; the view destructor
+  // unpins the client's window on the shared cache.
+}
+
+std::shared_ptr<SessionManager::ServerSession> SessionManager::find(
+    int id) const {
+  OrderedMutexLock lock(mutex_);
+  auto it = sessions_.find(id);
+  IFET_REQUIRE(it != sessions_.end(),
+               "SessionManager: unknown session id " + std::to_string(id));
+  return it->second;
+}
+
+std::size_t SessionManager::session_count() const {
+  OrderedMutexLock lock(mutex_);
+  return sessions_.size();
+}
+
+StreamStats SessionManager::session_stats(int id) const {
+  return find(id)->view->stats().snapshot();
+}
+
+AdmissionStats SessionManager::session_admission(int id) const {
+  return find(id)->view->admission_stats();
+}
+
+std::uint64_t SessionManager::release_hash_locked(std::uint64_t hash) {
+  auto it = tf_hash_refs_.find(hash);
+  if (it == tf_hash_refs_.end()) return 0;
+  if (--it->second > 0) return 0;
+  tf_hash_refs_.erase(it);
+  // Another session may still be AT this hash's entries via the tier
+  // histogram key — those use hist_params(), which is never a network
+  // hash, but guard anyway: retiring the histogram key would drop
+  // products every client shares.
+  if (hash == tier_.hist_params()) return 0;
+  return hash;
+}
+
+void SessionManager::reconcile_tf_hash(ServerSession& s) {
+  const std::uint64_t now = s.tf->iatf().params_hash();
+  if (now == s.tf_hash) return;
+  std::uint64_t to_invalidate = 0;
+  {
+    OrderedMutexLock lock(mutex_);
+    // Acquire the new state before releasing the old: if they were equal
+    // the refcount must never transiently hit zero (it cannot — equality
+    // is checked above — but the order also keeps a concurrent session at
+    // the SAME old hash safe from a spurious retirement).
+    ++tf_hash_refs_[now];
+    to_invalidate = release_hash_locked(s.tf_hash);
+    s.tf_hash = now;
+  }
+  // Invalidation runs with the registry lock released; entries under the
+  // retired hash are unreachable (no live session can re-derive the key).
+  if (to_invalidate != 0) tier_.derived().invalidate(to_invalidate);
+}
+
+ServerResult SessionManager::run_command(ServerSession& s,
+                                         const Command& command) {
+  ServerResult result;
+  switch (command.kind) {
+    case CommandKind::kPaint:
+      result.value = static_cast<double>(
+          s.painting->paint(command.step, command.stroke));
+      break;
+    case CommandKind::kSelectUnwanted:
+      result.value = static_cast<double>(s.painting->select_unwanted_region(
+          command.step, command.box_lo, command.box_hi));
+      break;
+    case CommandKind::kTrainClassifier:
+      result.value = s.painting->train_epochs(command.epochs);
+      break;
+    case CommandKind::kClassify: {
+      const VolumeF feedback = s.painting->feedback_volume(command.step);
+      result.digest = digest_volume(feedback);
+      break;
+    }
+    case CommandKind::kSetKeyFrame: {
+      auto [vlo, vhi] = s.view->value_range();
+      TransferFunction1D key(vlo, vhi);
+      const double span = vhi - vlo;
+      key.add_band(vlo + command.band_lo * span, vlo + command.band_hi * span,
+                   command.band_peak, command.band_skirt * span);
+      s.tf->set_key_frame(command.step, key);
+      result.digest = digest_tf(key);
+      break;
+    }
+    case CommandKind::kTrainTf:
+      result.value = s.tf->train_epochs(command.epochs);
+      break;
+    case CommandKind::kQueryTf: {
+      // Through the SHARED DerivedCache: identical network states (same
+      // params hash) dedup across clients; the per-view stats pointer
+      // attributes the hit/miss to this client.
+      auto tf = tier_.derived().transfer_function(
+          command.step, s.tf->iatf().params_hash(),
+          [&]() -> TransferFunction1D {
+            return s.tf->current_tf(command.step);
+          },
+          &s.view->stats());
+      result.digest = digest_tf(*tf);
+      break;
+    }
+    case CommandKind::kHistogram: {
+      const CumulativeHistogram& ch =
+          s.view->cumulative_histogram(command.step);
+      result.digest = digest_cumhist(ch);
+      result.value = static_cast<double>(ch.bins());
+      break;
+    }
+    case CommandKind::kTrack: {
+      AdaptiveTfCriterion criterion(s.tf->iatf(), command.opacity_cut,
+                                    &tier_.derived());
+      TrackerConfig tracker_config;
+      tracker_config.min_step = command.track_min_step;
+      tracker_config.max_step = command.track_max_step;
+      Tracker tracker(*s.view, criterion, tracker_config);
+      const TrackResult tracked = tracker.track(command.seed, command.step);
+      result.digest = digest_track(tracked);
+      double voxels = 0.0;
+      for (const auto& [step, mask] : tracked.masks) {
+        voxels += static_cast<double>(tracked.voxels_at(step));
+      }
+      result.value = voxels;
+      break;
+    }
+    case CommandKind::kRender: {
+      const Camera camera(command.azimuth, command.elevation,
+                          command.distance);
+      RenderSettings settings;
+      settings.width = command.image_size;
+      settings.height = command.image_size;
+      const ImageRgb8 frame = s.tf->preview(command.step, camera, settings);
+      result.digest = crc32(frame.pixels.data(), frame.pixels.size());
+      break;
+    }
+    case CommandKind::kHintWindow:
+      s.view->hint_window(command.window_lo, command.window_hi);
+      break;
+  }
+  return result;
+}
+
+ServerResult SessionManager::run_command_noexcept(ServerSession& s,
+                                                  const Command& command) {
+  ServerResult result;
+  try {
+    result = run_command(s, command);
+  } catch (const std::exception& e) {
+    result = ServerResult{};
+    result.ok = false;
+    result.error = e.what();
+  }
+  // Training (or a failed command that got partway) may have moved the
+  // session's network state; keep the shared-cache refcounts truthful.
+  reconcile_tf_hash(s);
+  return result;
+}
+
+ServerResult SessionManager::execute(int id, const Command& command) {
+  auto session = find(id);
+  return run_command_noexcept(*session, command);
+}
+
+void SessionManager::submit(int id, Command command,
+                            std::function<void(const ServerResult&)> done) {
+  auto session = find(id);
+  bool start = false;
+  {
+    OrderedMutexLock lock(session->strand);
+    session->queue.emplace_back(std::move(command), std::move(done));
+    if (!session->running) {
+      session->running = true;
+      start = true;
+    }
+  }
+  if (!start) return;
+  try {
+    // The shared_ptr capture keeps the session alive even across a racing
+    // close_session (close drains first, so the queue is empty by then).
+    command_pool_.post([this, session] { drain_session(*session); });
+  } catch (const PoolShutdownError&) {
+    // Submitting while the manager is tearing down: no drain task will
+    // run, so the strand must not look busy to drain_wait.
+    OrderedMutexLock lock(session->strand);
+    session->running = false;
+    session->idle.notify_all();
+    throw;
+  }
+}
+
+void SessionManager::drain_session(ServerSession& s) {
+  // Runs on a command-pool worker; must not throw (run_command_noexcept
+  // absorbs command errors into the result).
+  for (;;) {
+    std::pair<Command, std::function<void(const ServerResult&)>> item;
+    {
+      OrderedMutexLock lock(s.strand);
+      if (s.queue.empty()) {
+        s.running = false;
+        s.idle.notify_all();
+        return;
+      }
+      item = std::move(s.queue.front());
+      s.queue.pop_front();
+    }
+    const ServerResult result = run_command_noexcept(s, item.first);
+    if (item.second) item.second(result);
+  }
+}
+
+void SessionManager::drain_wait(ServerSession& s) {
+  OrderedMutexLock lock(s.strand);
+  while (s.running || !s.queue.empty()) s.idle.wait(s.strand);
+}
+
+void SessionManager::drain(int id) { drain_wait(*find(id)); }
+
+void SessionManager::drain_all() {
+  std::vector<std::shared_ptr<ServerSession>> all;
+  {
+    OrderedMutexLock lock(mutex_);
+    all.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) all.push_back(session);
+  }
+  for (const auto& session : all) drain_wait(*session);
+}
+
+}  // namespace ifet

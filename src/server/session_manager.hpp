@@ -1,0 +1,137 @@
+// Multi-tenant extraction/tracking service (docs/SERVER.md).
+//
+// A SessionManager hosts N concurrent client sessions over ONE shared
+// streaming tier. Each session owns the full single-user state — a
+// ClientSequenceView (its window, its FailPolicy, its stats), a
+// PaintingSession (data-space classifier) and a TfSession (IATF) — while
+// the volumes, the byte budget, and the derived-product memoization are
+// process-wide, so identical requests from different clients deduplicate
+// and no client can pin the shared cache out from under the others.
+//
+// Execution model: each session is a strand — a FIFO command queue
+// drained by at most one task at a time on the manager's command pool.
+// Commands of one session are serialized (its classifier and IATF are
+// single-user mutable state); commands of different sessions run in
+// parallel. The command pool is a DEDICATED ThreadPool instance, never
+// the global pool: command execution blocks on fetches that wait for
+// prefetch loads, and those loads run on the global pool — strands
+// occupying the global pool's workers while waiting on tasks queued
+// behind them would deadlock. (Per-voxel parallel_for work inside a
+// command still fans out on the global pool; nested drains make that
+// safe.)
+//
+// Shared-DerivedCache hygiene: synthesized TFs are memoized under
+// Iatf::params_hash(), which hashes the live network weights — so a
+// retrained client simply moves to a new key and can never read another
+// client's TFs. The manager refcounts the hash across sessions and
+// retires a hash's entries from the cache only when the LAST session at
+// that state moves away (tests/server_test.cpp pins the scoping). The
+// tier histogram hash is never retired: every client shares it by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "parallel/thread_pool.hpp"
+#include "server/client_view.hpp"
+#include "server/command.hpp"
+#include "server/stream_tier.hpp"
+#include "session/session.hpp"
+#include "session/tf_session.hpp"
+#include "util/ordered_mutex.hpp"
+
+namespace ifet {
+
+struct SessionManagerConfig {
+  StreamTierConfig tier;
+  /// Per-client auto-pinned window half-width.
+  int pin_radius = 1;
+  /// Classifier configuration applied to every session.
+  SessionConfig painting;
+  /// IATF configuration applied to every session. Identical configs mean
+  /// identical initial weights (seeded init), so freshly created sessions
+  /// share one params hash until their training diverges.
+  TfSessionConfig tf;
+  /// Command pool width; 0 = hardware concurrency.
+  std::size_t command_threads = 0;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(std::shared_ptr<const VolumeSource> source,
+                          const SessionManagerConfig& config = {});
+  /// Drains every strand, then tears sessions down before the tier.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Create a session with its own fail policy; returns its id.
+  int create_session(FailPolicy fail_policy = FailPolicy::kThrow)
+      IFET_EXCLUDES(mutex_);
+
+  /// Drain the session's strand, release its derived-cache hash
+  /// reference, unpin its window, and forget it.
+  void close_session(int id) IFET_EXCLUDES(mutex_);
+
+  /// Run one command synchronously on the calling thread. The
+  /// deterministic reference path (isolated runs, tests); must not race
+  /// submit() on the SAME session.
+  ServerResult execute(int id, const Command& command);
+
+  /// Enqueue a command on the session's strand; `done` (optional) runs on
+  /// the command-pool thread right after the command.
+  void submit(int id, Command command,
+              std::function<void(const ServerResult&)> done = {});
+
+  /// Block until the session's queue is empty and no command is running.
+  void drain(int id);
+  /// Drain every session.
+  void drain_all();
+
+  StreamTier& tier() { return tier_; }
+
+  /// Per-session counter snapshot (the satellite per-session view of
+  /// StreamStats; the process-wide aggregate is tier().stats()).
+  StreamStats session_stats(int id) const;
+  AdmissionStats session_admission(int id) const;
+  std::size_t session_count() const IFET_EXCLUDES(mutex_);
+
+ private:
+  struct ServerSession;
+
+  std::shared_ptr<ServerSession> find(int id) const IFET_EXCLUDES(mutex_);
+  ServerResult run_command(ServerSession& s, const Command& command);
+  ServerResult run_command_noexcept(ServerSession& s, const Command& command);
+  /// After a command: if the session's params hash moved, re-home its
+  /// refcount and retire the old hash's cache entries when orphaned.
+  void reconcile_tf_hash(ServerSession& s) IFET_EXCLUDES(mutex_);
+  /// Drop one reference; returns the hash to invalidate (0 = none).
+  std::uint64_t release_hash_locked(std::uint64_t hash)
+      IFET_REQUIRES(mutex_);
+  void drain_session(ServerSession& s);
+  static void drain_wait(ServerSession& s);
+
+  SessionManagerConfig config_;
+  /// Declared before sessions_: views hold tier references, so the tier
+  /// must outlive every session.
+  StreamTier tier_;
+
+  mutable OrderedMutex mutex_{MutexRank::kSessionManager};
+  int next_id_ IFET_GUARDED_BY(mutex_) = 0;
+  std::map<int, std::shared_ptr<ServerSession>> sessions_
+      IFET_GUARDED_BY(mutex_);
+  /// params_hash -> number of sessions whose IATF is at that state.
+  std::unordered_map<std::uint64_t, int> tf_hash_refs_
+      IFET_GUARDED_BY(mutex_);
+
+  /// Declared LAST: its destructor drains queued strand tasks, which
+  /// reference sessions_ and tier_ above.
+  ThreadPool command_pool_;
+};
+
+}  // namespace ifet

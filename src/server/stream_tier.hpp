@@ -1,0 +1,90 @@
+// The process-wide shared streaming tier of the multi-tenant server.
+//
+// One StreamTier serves every client session (docs/SERVER.md): a single
+// VolumeStore + CacheManager own the byte budget and the disk choke
+// point, a single DerivedCache memoizes histograms / cumulative
+// histograms / synthesized transfer functions keyed by (step, params
+// hash) — so two clients at the same training state deduplicate each
+// other's work — and the AdmissionController meters how much of the
+// shared cache each client may pin.
+//
+// The store is always configured with FailPolicy::kSkipStep. That is the
+// MECHANISM level: a quarantined step answers nullptr and never throws
+// past the retry machinery, so the tier itself takes no position on what
+// a missing step means. POLICY is per client: each ClientSequenceView
+// applies its own FailPolicy on top (throw / skip / nearest-good), which
+// is how one client choosing `skip` can never alter another client's
+// `nearest-good` view of the same quarantined step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "server/admission.hpp"
+#include "stream/derived_cache.hpp"
+#include "stream/stream_stats.hpp"
+#include "stream/volume_store.hpp"
+
+namespace ifet {
+
+struct StreamTierConfig {
+  /// Byte budget of the shared cache; 0 = unlimited (fully resident).
+  std::size_t budget_bytes = 0;
+  /// Per-client pinned-bytes ceiling; 0 = unlimited. Sized so that
+  /// N * pin_quota_bytes <= budget_bytes leaves eviction headroom.
+  std::size_t pin_quota_bytes = 0;
+  /// Steps prefetched ahead of each fetch in the scan direction.
+  int lookahead = 2;
+  /// Overlap prefetch decode with compute on the shared thread pool.
+  bool async_prefetch = true;
+  int max_retries = 2;
+  double retry_backoff_ms = 0.0;
+  int histogram_bins = 256;
+};
+
+class StreamTier {
+ public:
+  explicit StreamTier(std::shared_ptr<const VolumeSource> source,
+                      const StreamTierConfig& config = {});
+
+  StreamTier(const StreamTier&) = delete;
+  StreamTier& operator=(const StreamTier&) = delete;
+
+  Dims dims() const { return store_->dims(); }
+  int num_steps() const { return store_->num_steps(); }
+  std::pair<double, double> value_range() const {
+    return store_->value_range();
+  }
+  int histogram_bins() const { return config_.histogram_bins; }
+  const StreamTierConfig& config() const { return config_; }
+
+  /// Decoded payload bytes of one step (uniform across the sequence).
+  std::size_t step_bytes() const;
+
+  VolumeStore& store() { return *store_; }
+  const VolumeStore& store() const { return *store_; }
+  DerivedCache& derived() { return derived_; }
+  AdmissionController& admission() { return admission_; }
+
+  /// Process-wide concurrently-mutable aggregate of the per-view access
+  /// counters (the per-client views each keep their own SharedStreamStats).
+  SharedStreamStats& aggregate() { return aggregate_; }
+
+  /// Params hash of the tier's histogram products — shared by every
+  /// client (bins and value range are tier-global), hence the one hash
+  /// the SessionManager must never retire from the DerivedCache.
+  std::uint64_t hist_params() const { return hist_params_; }
+
+  /// Combined store + derived counter snapshot (process-wide view).
+  StreamStats stats() const;
+
+ private:
+  StreamTierConfig config_;
+  std::unique_ptr<VolumeStore> store_;
+  DerivedCache derived_;
+  AdmissionController admission_;
+  SharedStreamStats aggregate_;
+  std::uint64_t hist_params_ = 0;
+};
+
+}  // namespace ifet

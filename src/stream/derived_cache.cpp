@@ -13,17 +13,19 @@ namespace ifet {
 template <typename T>
 std::shared_ptr<const T> DerivedCache::get_or_compute(
     MemoMap<T> DerivedCache::* map, int step, std::uint64_t params_hash,
-    const std::function<T()>& compute) {
+    const std::function<T()>& compute, SharedStreamStats* session_stats) {
   const Key key{step, params_hash};
   {
     OrderedMutexLock lock(mutex_);
     auto it = (this->*map).find(key);
     if (it != (this->*map).end()) {
       ++stats_.derived_hits;
+      if (session_stats != nullptr) session_stats->count_derived(true);
       return it->second;
     }
     ++stats_.derived_misses;
   }
+  if (session_stats != nullptr) session_stats->count_derived(false);
   auto value = std::make_shared<const T>(compute());
   OrderedMutexLock lock(mutex_);
   auto [it, inserted] = (this->*map).emplace(key, std::move(value));
@@ -31,22 +33,51 @@ std::shared_ptr<const T> DerivedCache::get_or_compute(
   return it->second;
 }
 
+template <typename T>
+std::size_t DerivedCache::invalidate_in(MemoMap<T>& map,
+                                        std::uint64_t params_hash) {
+  std::size_t erased = 0;
+  for (auto it = map.begin(); it != map.end();) {
+    if (it->first.params == params_hash) {
+      it = map.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
 std::shared_ptr<const Histogram> DerivedCache::histogram(
     int step, std::uint64_t params_hash,
-    const std::function<Histogram()>& compute) {
-  return get_or_compute(&DerivedCache::hists_, step, params_hash, compute);
+    const std::function<Histogram()>& compute,
+    SharedStreamStats* session_stats) {
+  return get_or_compute(&DerivedCache::hists_, step, params_hash, compute,
+                        session_stats);
 }
 
 std::shared_ptr<const CumulativeHistogram> DerivedCache::cumulative_histogram(
     int step, std::uint64_t params_hash,
-    const std::function<CumulativeHistogram()>& compute) {
-  return get_or_compute(&DerivedCache::cumhists_, step, params_hash, compute);
+    const std::function<CumulativeHistogram()>& compute,
+    SharedStreamStats* session_stats) {
+  return get_or_compute(&DerivedCache::cumhists_, step, params_hash, compute,
+                        session_stats);
 }
 
 std::shared_ptr<const TransferFunction1D> DerivedCache::transfer_function(
     int step, std::uint64_t params_hash,
-    const std::function<TransferFunction1D()>& compute) {
-  return get_or_compute(&DerivedCache::tfs_, step, params_hash, compute);
+    const std::function<TransferFunction1D()>& compute,
+    SharedStreamStats* session_stats) {
+  return get_or_compute(&DerivedCache::tfs_, step, params_hash, compute,
+                        session_stats);
+}
+
+std::size_t DerivedCache::invalidate(std::uint64_t params_hash) {
+  OrderedMutexLock lock(mutex_);
+  std::size_t erased = invalidate_in(hists_, params_hash);
+  erased += invalidate_in(cumhists_, params_hash);
+  erased += invalidate_in(tfs_, params_hash);
+  return erased;
 }
 
 std::size_t DerivedCache::size() const {

@@ -12,8 +12,9 @@
 // entry.
 //
 // Values are held by shared_ptr: returned references stay valid for the
-// cache's lifetime even while new products are added (maps are node
-// based; entries are never dropped).
+// cache's lifetime even while new products are added or retired params
+// hashes are invalidated (maps are node based; erasure drops the cache's
+// reference, never the product a caller still holds).
 #pragma once
 
 #include <cstdint>
@@ -36,23 +37,42 @@ class DerivedCache {
   DerivedCache& operator=(const DerivedCache&) = delete;
 
   /// Histogram for (step, params) — `compute` runs once per distinct key.
+  /// When `session_stats` is supplied the hit/miss is also attributed to
+  /// that per-session view (the multi-tenant server passes each client's
+  /// SharedStreamStats so dedup across clients stays observable per
+  /// client; see docs/SERVER.md).
   std::shared_ptr<const Histogram> histogram(
       int step, std::uint64_t params_hash,
-      const std::function<Histogram()>& compute) IFET_EXCLUDES(mutex_);
+      const std::function<Histogram()>& compute,
+      SharedStreamStats* session_stats = nullptr) IFET_EXCLUDES(mutex_);
 
   /// Cumulative histogram for (step, params).
   std::shared_ptr<const CumulativeHistogram> cumulative_histogram(
       int step, std::uint64_t params_hash,
-      const std::function<CumulativeHistogram()>& compute)
-      IFET_EXCLUDES(mutex_);
+      const std::function<CumulativeHistogram()>& compute,
+      SharedStreamStats* session_stats = nullptr) IFET_EXCLUDES(mutex_);
 
   /// Synthesized transfer function for (step, params) — params must hash
   /// the network/training state (see Iatf::params_hash), so further
   /// training naturally invalidates by changing the key.
   std::shared_ptr<const TransferFunction1D> transfer_function(
       int step, std::uint64_t params_hash,
-      const std::function<TransferFunction1D()>& compute)
-      IFET_EXCLUDES(mutex_);
+      const std::function<TransferFunction1D()>& compute,
+      SharedStreamStats* session_stats = nullptr) IFET_EXCLUDES(mutex_);
+
+  /// Drop every memoized product recorded under `params_hash`, across all
+  /// three product kinds, and return how many entries were erased.
+  ///
+  /// This is the multi-tenant retirement primitive: when a client's
+  /// network moves on (retraining changes its params hash) the entries
+  /// under the OLD hash are garbage *to that client* — but another client
+  /// still at that state must keep them. Erasure is therefore strictly
+  /// keyed by the hash: entries under any other params hash are never
+  /// touched, and the caller (SessionManager) only invokes this once no
+  /// live session references the hash (docs/SERVER.md). Outstanding
+  /// shared_ptrs returned earlier stay valid — invalidation drops the
+  /// cache's reference, not the product.
+  std::size_t invalidate(std::uint64_t params_hash) IFET_EXCLUDES(mutex_);
 
   std::size_t size() const IFET_EXCLUDES(mutex_);
 
@@ -84,7 +104,12 @@ class DerivedCache {
   template <typename T>
   std::shared_ptr<const T> get_or_compute(
       MemoMap<T> DerivedCache::* map, int step, std::uint64_t params_hash,
-      const std::function<T()>& compute) IFET_EXCLUDES(mutex_);
+      const std::function<T()>& compute, SharedStreamStats* session_stats)
+      IFET_EXCLUDES(mutex_);
+
+  template <typename T>
+  std::size_t invalidate_in(MemoMap<T>& map, std::uint64_t params_hash)
+      IFET_REQUIRES(mutex_);
 
   mutable OrderedMutex mutex_{MutexRank::kDerivedCache};
   MemoMap<Histogram> hists_ IFET_GUARDED_BY(mutex_);

@@ -71,4 +71,27 @@ StreamStats& StreamStats::merge(const StreamStats& other) {
   return *this;
 }
 
+void SharedStreamStats::add(const StreamStats& delta) {
+  hits_.fetch_add(delta.hits, std::memory_order_relaxed);
+  misses_.fetch_add(delta.misses, std::memory_order_relaxed);
+  derived_hits_.fetch_add(delta.derived_hits, std::memory_order_relaxed);
+  derived_misses_.fetch_add(delta.derived_misses, std::memory_order_relaxed);
+  skipped_fetches_.fetch_add(delta.skipped_fetches,
+                             std::memory_order_relaxed);
+  nearest_good_substitutions_.fetch_add(delta.nearest_good_substitutions,
+                                        std::memory_order_relaxed);
+}
+
+StreamStats SharedStreamStats::snapshot() const {
+  StreamStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.derived_hits = derived_hits_.load(std::memory_order_relaxed);
+  out.derived_misses = derived_misses_.load(std::memory_order_relaxed);
+  out.skipped_fetches = skipped_fetches_.load(std::memory_order_relaxed);
+  out.nearest_good_substitutions =
+      nearest_good_substitutions_.load(std::memory_order_relaxed);
+  return out;
+}
+
 }  // namespace ifet

@@ -8,6 +8,7 @@
 // each field.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -84,6 +85,64 @@ struct StreamStats {
   /// other's values only when nonzero; used to combine cache + derived
   /// layers into one report).
   StreamStats& merge(const StreamStats& other);
+};
+
+/// Concurrently-mutable StreamStats counters for the multi-session server
+/// tier (docs/SERVER.md).
+///
+/// The per-layer StreamStats snapshots above are copied under their owning
+/// class's mutex, which is correct but gives every reader a lock
+/// dependency on every writer. The server keeps one SharedStreamStats per
+/// client session plus one process-wide aggregate, and command threads
+/// bump them lock-free: every counter is an independent relaxed atomic, so
+/// readers calling snapshot() (and summary(), which is snapshot-based)
+/// never observe a torn half-written counter no matter how many server
+/// threads are mutating concurrently. Counters are monotonic totals;
+/// cross-counter exactness (hits+misses == accesses at one instant) is
+/// deliberately not promised — each field is exact, the set is a snapshot
+/// of independently-advancing totals.
+class SharedStreamStats {
+ public:
+  SharedStreamStats() = default;
+  SharedStreamStats(const SharedStreamStats&) = delete;
+  SharedStreamStats& operator=(const SharedStreamStats&) = delete;
+
+  /// One sequence access: resident (hit) or loaded/awaited (miss).
+  void count_access(bool hit) {
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One derived-product request: memoized (hit) or computed (miss).
+  void count_derived(bool hit) {
+    (hit ? derived_hits_ : derived_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Quarantined fetch answered with "no data" (FailPolicy::kSkipStep).
+  void count_skipped_fetch() {
+    skipped_fetches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Quarantined fetch served by a healthy neighbour (kNearestGood).
+  void count_substitution() {
+    nearest_good_substitutions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Fold a whole counter delta in (e.g. re-publishing a per-layer
+  /// snapshot difference into the aggregate).
+  void add(const StreamStats& delta);
+
+  /// Consistent value-copy of the counters; safe to call while any number
+  /// of server threads mutate.
+  StreamStats snapshot() const;
+
+  /// Snapshot-based one-liner: never reads a live counter twice.
+  std::string summary() const { return snapshot().summary(); }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> derived_hits_{0};
+  std::atomic<std::uint64_t> derived_misses_{0};
+  std::atomic<std::uint64_t> skipped_fetches_{0};
+  std::atomic<std::uint64_t> nearest_good_substitutions_{0};
 };
 
 }  // namespace ifet

@@ -37,9 +37,13 @@ namespace ifet {
 /// every acquisition chain it joins and add itself to the table in
 /// docs/STATIC_ANALYSIS.md.
 enum class MutexRank : int {
+  kSessionManager = 4,     ///< SessionManager session registry + hash refs
+  kServerStrand = 6,       ///< Per-session command queue (strand) mutex
   kStreamedSequence = 10,  ///< StreamedSequence window/held-refs mutex
+  kClientView = 12,        ///< ClientSequenceView window/held-refs mutex
   kVolumeStore = 20,       ///< VolumeStore load counters
   kCacheManager = 30,      ///< CacheManager residency state
+  kAdmission = 35,         ///< AdmissionController per-client pin ledger
   kPrefetcher = 40,        ///< Prefetcher in-flight set
   kDerivedCache = 50,      ///< DerivedCache memo maps
   kFlatMlpCache = 60,      ///< FlatMlpCache rebuild slot

@@ -1,0 +1,141 @@
+// TSan storm for the multi-tenant server (docs/SERVER.md): many client
+// sessions hammering one shared streaming tier — concurrent strand
+// drains, submits from several threads, session churn, and lock-free
+// stats readers — while a tight budget keeps eviction, admission, and
+// prefetch all live. Plain builds run it as a quick correctness check;
+// the tsan preset runs it as the race detector it was written to be.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "server/session_manager.hpp"
+#include "volume/sequence.hpp"
+
+namespace ifet {
+namespace {
+
+constexpr Dims kDims{8, 8, 8};
+constexpr std::size_t kStepBytes =
+    static_cast<std::size_t>(8 * 8 * 8) * sizeof(float);
+
+std::shared_ptr<CallbackSource> blob_source(int steps) {
+  return std::make_shared<CallbackSource>(
+      kDims, steps, std::pair<double, double>{0.0, 1.0}, [](int step) {
+        VolumeF v(kDims);
+        for (int k = 0; k < kDims.z; ++k) {
+          for (int j = 0; j < kDims.y; ++j) {
+            for (int i = 0; i < kDims.x; ++i) {
+              const double dx = i - (kDims.x / 4 + step);
+              const double dy = j - kDims.y / 2;
+              const double dz = k - kDims.z / 2;
+              v.at(i, j, k) = static_cast<float>(
+                  clamp(1.0 - (dx * dx + dy * dy + dz * dz) / 9.0, 0.0, 1.0));
+            }
+          }
+        }
+        return v;
+      });
+}
+
+TEST(StressServer, ConcurrentSessionStorm) {
+  const int steps = 6;
+  SessionManagerConfig config;
+  config.tier.budget_bytes = 3 * kStepBytes;  // tight: eviction stays live
+  config.tier.pin_quota_bytes = 2 * kStepBytes;
+  config.tier.async_prefetch = true;
+  config.command_threads = 4;
+  SessionManager manager(blob_source(steps), config);
+
+  constexpr int kSessions = 8;
+  std::vector<int> ids;
+  for (int s = 0; s < kSessions; ++s) {
+    ids.push_back(manager.create_session());
+  }
+
+  // Seed every session with a key frame so TF queries are legal.
+  Command key;
+  key.kind = CommandKind::kSetKeyFrame;
+  key.step = 0;
+  for (int id : ids) ASSERT_TRUE(manager.execute(id, key).ok);
+
+  std::atomic<std::uint64_t> failures{0};
+  auto check = [&failures](const ServerResult& r) {
+    if (!r.ok) failures.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Phase 1: several submitter threads spraying order-independent
+  // commands (reads + window churn) across ALL sessions, interleaved with
+  // lock-free stats readers and a training command per session from its
+  // own dedicated thread.
+  constexpr int kSubmitters = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&manager, &ids, &check, t, steps] {
+      for (int i = 0; i < 48; ++i) {
+        const int id = ids[static_cast<std::size_t>((t + i) % kSessions)];
+        Command c;
+        switch (i % 3) {
+          case 0:
+            c.kind = CommandKind::kHistogram;
+            c.step = (t + i) % steps;
+            break;
+          case 1:
+            c.kind = CommandKind::kQueryTf;
+            c.step = (t * 7 + i) % steps;
+            break;
+          default:
+            c.kind = CommandKind::kHintWindow;
+            c.window_lo = i % steps;
+            c.window_hi = i % steps;
+            break;
+        }
+        manager.submit(id, c, check);
+      }
+    });
+  }
+  threads.emplace_back([&manager, &ids] {
+    for (int i = 0; i < 200; ++i) {
+      (void)manager.tier().stats();
+      for (int id : ids) (void)manager.session_stats(id);
+    }
+  });
+  // Session churn: extra sessions created, worked, and closed while the
+  // storm runs — registration, hash refcounts, and pin release all race
+  // against the steady-state tenants.
+  threads.emplace_back([&manager, &check] {
+    for (int i = 0; i < 6; ++i) {
+      const int id = manager.create_session();
+      Command c;
+      c.kind = CommandKind::kHistogram;
+      c.step = i % 3;
+      manager.submit(id, c, check);
+      manager.close_session(id);
+    }
+  });
+  for (auto& t : threads) t.join();
+  manager.drain_all();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Phase 2: identical deterministic scripts on two quiet sessions must
+  // agree bitwise even after the storm (their MLPs never trained, and
+  // derived products are state-keyed).
+  Command query;
+  query.kind = CommandKind::kQueryTf;
+  for (int s = 0; s < steps; ++s) {
+    query.step = s;
+    const ServerResult ra = manager.execute(ids[0], query);
+    const ServerResult rb = manager.execute(ids[1], query);
+    ASSERT_TRUE(ra.ok && rb.ok);
+    EXPECT_EQ(ra.digest, rb.digest);
+  }
+
+  // Dedup across the storm: the shared cache served repeated requests.
+  const StreamStats tier_stats = manager.tier().stats();
+  EXPECT_GT(tier_stats.derived_hits, 0u);
+}
+
+}  // namespace
+}  // namespace ifet

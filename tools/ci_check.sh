@@ -13,10 +13,12 @@
 #      with IFET_DEBUG_ASSERT checks and the OrderedMutex lock-order
 #      validator on
 #   5. tsan preset: build + run the streaming/concurrency stress tests
-#      (the CacheManager/Prefetcher, fault-storm, and thread-pool race
-#      detectors) plus the bench AllocGuard steady-state checks (FlatMlp
-#      forward_batch, Raycaster row kernel, CacheManager hit path) in
-#      their fast check-only modes
+#      (the CacheManager/Prefetcher, fault-storm, thread-pool, and
+#      multi-tenant-server race detectors) plus the bench AllocGuard
+#      steady-state checks (FlatMlp forward_batch, Raycaster row kernel,
+#      CacheManager hit path) in their fast check-only modes, and the
+#      bench_perf_server --smoke load generator (deterministic small
+#      fleet, bitwise-equivalence gate) under TSan
 #   6. thread-safety: clang build with -Wthread-safety promoted to errors
 #      over the IFET_GUARDED_BY annotations (docs/STATIC_ANALYSIS.md);
 #      skips if clang is not installed
@@ -113,17 +115,22 @@ stage_tsan() {
   # check-only modes skip google-benchmark timing and assert the IFET_HOT
   # kernels (FlatMlp::forward_batch, Raycaster::render_rows, CacheManager
   # hits) touch the heap zero times when warm — under TSan, so the same
-  # run also races the guard's atomics against the thread pool.
+  # run also races the guard's atomics against the thread pool. The
+  # multi-tenant server rides along twice: its dedicated stress storm and
+  # the deterministic bench_perf_server load generator in --smoke mode
+  # (small fleet, bitwise tight-vs-infinite-budget equivalence gate).
   cmake --preset tsan &&
     cmake --build --preset tsan -j "$JOBS" --target \
       stress_cache_manager_test stress_fault_storm_test \
-      stress_thread_pool_test flat_mlp_test \
-      bench_perf_classify bench_perf_render bench_perf_stream &&
+      stress_thread_pool_test stress_server_test flat_mlp_test \
+      bench_perf_classify bench_perf_render bench_perf_stream \
+      bench_perf_server &&
     ctest --preset tsan -j "$JOBS" -R \
-      'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|flat_mlp_test' &&
+      'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|stress_server_test|flat_mlp_test' &&
     "$ROOT/build-tsan/bench/bench_perf_classify" --alloc-check-only &&
     "$ROOT/build-tsan/bench/bench_perf_render" --render-check-only &&
-    "$ROOT/build-tsan/bench/bench_perf_stream"
+    "$ROOT/build-tsan/bench/bench_perf_stream" &&
+    (cd "$ROOT/build-tsan/bench" && ./bench_perf_server --smoke)
 }
 
 stage_thread_safety() {

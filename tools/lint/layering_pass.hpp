@@ -12,7 +12,8 @@
 //   5 stream, render
 //   6 core
 //   7 eval, session
-//   8 tools
+//   8 server
+//   9 tools
 //
 // A quoted include may only reach a strictly lower-ranked directory;
 // same-directory includes are always fine, and peers (math <-> parallel)
@@ -38,7 +39,7 @@ inline const std::map<std::string, int>& layer_ranks() {
       {"util", 0},   {"math", 1},    {"parallel", 1}, {"tf", 2},
       {"nn", 2},     {"volume", 3},  {"ml", 3},       {"io", 4},
       {"flowsim", 4}, {"stream", 5}, {"render", 5},   {"core", 6},
-      {"eval", 7},   {"session", 7}, {"tools", 8}};
+      {"eval", 7},   {"session", 7}, {"server", 8},   {"tools", 9}};
   return ranks;
 }
 
