@@ -10,7 +10,9 @@
 // costs a modest constant factor (paper: 6 -> 4 fps, i.e. 1.5x).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string_view>
@@ -18,8 +20,10 @@
 
 #include "core/iatf.hpp"
 #include "flowsim/datasets.hpp"
+#include "parallel/thread_pool.hpp"
 #include "render/raycaster.hpp"
 #include "util/alloc_guard.hpp"
+#include "util/timer.hpp"
 #include "volume/ops.hpp"
 
 // Counting operator new/delete for this binary so the steady-state check
@@ -228,22 +232,184 @@ int check_render_rows_contract() {
   return 0;
 }
 
+/// One skip-vs-scalar comparison: renders the scene with empty-space
+/// skipping on and off and memcmps the images. Returns false (and prints)
+/// on any pixel difference.
+bool skip_matches_scalar(const RenderSettings& base, const VolumeF& volume,
+                         const TransferFunction1D& tf, const ColorMap& colors,
+                         const Camera& camera, const HighlightLayer* highlight,
+                         const char* name, RenderStats* skip_stats = nullptr) {
+  RenderSettings with = base, without = base;
+  with.empty_space_skipping = true;
+  without.empty_space_skipping = false;
+  const ImageRgb8 skipped = Raycaster(with).render(volume, tf, colors, camera,
+                                                   highlight, skip_stats);
+  const ImageRgb8 scalar =
+      Raycaster(without).render(volume, tf, colors, camera, highlight);
+  if (skipped.pixels.size() != scalar.pixels.size() ||
+      std::memcmp(skipped.pixels.data(), scalar.pixels.data(),
+                  skipped.pixels.size()) != 0) {
+    std::cerr << "bench_perf_render: brick-skipping image for '" << name
+              << "' is NOT bitwise identical to the scalar march\n";
+    return false;
+  }
+  return true;
+}
+
+/// Brick-skipping equivalence across all three compositing variants on the
+/// 64^3 fixture (fast enough for a sanitizer stage): the SoA packet +
+/// empty-space-skip path must reproduce the scalar march bit for bit.
+int check_skip_equivalence() {
+  RenderFixture& f = fixture();
+  Camera camera(0.5, 0.35, 2.4);
+  ColorMap colors;
+  HighlightLayer layer{f.mask.get(), f.tf.get(), Rgb{0.9, 0.05, 0.05}};
+
+  RenderSettings shaded = settings_for(96, true);
+  RenderSettings mip = settings_for(96, false);
+  mip.mode = CompositingMode::kMaximumIntensity;
+  if (!skip_matches_scalar(shaded, f.volume, *f.tf, colors, camera, nullptr,
+                           "front-to-back shaded") ||
+      !skip_matches_scalar(shaded, f.volume, *f.tf, colors, camera, &layer,
+                           "tracking overlay") ||
+      !skip_matches_scalar(mip, f.volume, *f.tf, colors, camera, nullptr,
+                           "maximum intensity")) {
+    return 1;
+  }
+  std::cout << "equivalence check: empty-space skipping is bitwise equal to "
+               "the scalar march across 3 variants\n";
+  return 0;
+}
+
+/// Median frame time over `reps` full render_step() calls against a warm
+/// sequence: the product configuration, where brick metadata comes from
+/// ingest (or the sequence memo), never a per-frame volume pass. Per-frame
+/// TF classification IS included — it recurs every frame.
+double frame_time_p50(const Raycaster& caster, const VolumeSequence& sequence,
+                      const TransferFunction1D& tf, const ColorMap& colors,
+                      const Camera& camera) {
+  constexpr int kReps = 7;
+  std::vector<double> seconds;
+  seconds.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    Stopwatch timer;
+    ImageRgb8 img = caster.render_step(sequence, 0, tf, colors, camera,
+                                       nullptr, nullptr,
+                                       /*prefetch_next=*/false);
+    benchmark::DoNotOptimize(img.pixels.data());
+    seconds.push_back(timer.seconds());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[kReps / 2];
+}
+
+/// The perf contract of the brick overhaul, on a TF-sparse 128^3 scene
+/// (the argon ring occupies a thin shell, so most bricks classify empty):
+/// bitwise-identical frames across all variants AND a >= 2x median
+/// frame-time speedup, reported machine-readably. Nonzero exit on image
+/// mismatch, like bench_perf_classify's parity gate.
+int write_render_report(const char* path) {
+  ArgonBubbleConfig cfg;
+  cfg.dims = Dims{128, 128, 128};
+  cfg.num_steps = 360;
+  ArgonBubbleSource source(cfg);
+  const VolumeF volume = source.generate(225);
+  auto [vlo, vhi] = source.value_range();
+  TransferFunction1D tf(vlo, vhi);
+  const double c = source.ring_band_center(225);
+  const double h = source.ring_band_half_width();
+  tf.add_band(c - h, c + h, 1.0, 0.5 * h);
+  const Mask mask = threshold_mask(volume, (float)(c - h), (float)(c + h));
+  const ColorMap colors;
+  const Camera camera(0.5, 0.35, 2.4);
+
+  RenderSettings shaded = settings_for(128, true);
+  // Half-voxel sampling: the quality setting for shaded stills. The skip
+  // condition is step-size independent (bricks are clipped analytically),
+  // so finer marching only grows the work the clip removes.
+  shaded.step_voxels = 0.5;
+  RenderSettings mip = settings_for(128, false);
+  mip.mode = CompositingMode::kMaximumIntensity;
+  mip.step_voxels = 0.5;
+  HighlightLayer layer{&mask, &tf, Rgb{0.9, 0.05, 0.05}};
+  RenderStats stats;
+  if (!skip_matches_scalar(shaded, volume, tf, colors, camera, nullptr,
+                           "front-to-back shaded 128^3", &stats) ||
+      !skip_matches_scalar(shaded, volume, tf, colors, camera, &layer,
+                           "tracking overlay 128^3") ||
+      !skip_matches_scalar(mip, volume, tf, colors, camera, nullptr,
+                           "maximum intensity 128^3")) {
+    return 1;
+  }
+
+  // The steady-state frame loop renders through a sequence, as the session
+  // layer does: the decoded step and its brick index are resident after the
+  // first frame (on v2 containers the index additionally arrives from disk
+  // without a payload decode), so per-frame work is classification +
+  // marching — not index construction.
+  auto frame_source = std::make_shared<CallbackSource>(
+      cfg.dims, 1, source.value_range(),
+      [&volume](int) { return volume; });
+  CachedSequence sequence(frame_source, 1);
+  RenderSettings scalar_settings = shaded;
+  scalar_settings.empty_space_skipping = false;
+  const Raycaster skip_caster(shaded);
+  const Raycaster scalar_caster(scalar_settings);
+  // One warm-up pass each (decodes the step, memoizes the brick index),
+  // then the medians.
+  (void)frame_time_p50(scalar_caster, sequence, tf, colors, camera);
+  (void)frame_time_p50(skip_caster, sequence, tf, colors, camera);
+  const double scalar_p50 =
+      frame_time_p50(scalar_caster, sequence, tf, colors, camera);
+  const double skip_p50 =
+      frame_time_p50(skip_caster, sequence, tf, colors, camera);
+  const double speedup = scalar_p50 / skip_p50;
+
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"case\": \"argon_bubble_128_tf_sparse\",\n"
+       << "  \"grid\": [128, 128, 128],\n"
+       << "  \"image_size\": 128,\n"
+       << "  \"step_voxels\": 0.5,\n"
+       << "  \"frame_ms_p50_scalar\": " << scalar_p50 * 1e3 << ",\n"
+       << "  \"frame_ms_p50_skip\": " << skip_p50 * 1e3 << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"skip_rate\": " << stats.skip_rate() << ",\n"
+       << "  \"bricks_total\": " << stats.bricks_total << ",\n"
+       << "  \"bricks_active\": " << stats.bricks_active << ",\n"
+       << "  \"threads\": " << ThreadPool::global().size() << ",\n"
+       << "  \"bitwise_identical\": true\n"
+       << "}\n";
+  std::cout << "render report: scalar " << scalar_p50 * 1e3 << " ms, skip "
+            << skip_p50 * 1e3 << " ms, speedup " << speedup << "x, skip rate "
+            << stats.skip_rate() << " -> " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run
-// (skippable with --render-check-only) the binary always verifies the
-// row-kernel allocation contract, so CI gates on the hot ray loop staying
-// heap-free and bitwise faithful to the pooled render() path.
+// (skippable with --render-check-only; --equiv-check-only runs just the
+// fast skip-vs-scalar parity gate) the binary verifies the row-kernel
+// allocation contract and the empty-space-skipping bitwise contract, then
+// writes BENCH_render.json — so CI gates on the hot ray loop staying
+// heap-free, the brick path staying bitwise faithful, and the speedup.
 int main(int argc, char** argv) {
   bool check_only = false;
+  bool equiv_only = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--render-check-only") {
       check_only = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--equiv-check-only") {
+      equiv_only = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  if (equiv_only) return check_skip_equivalence();
   if (!check_only) {
     int filtered = static_cast<int>(args.size());
     benchmark::Initialize(&filtered, args.data());
@@ -253,5 +419,9 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
-  return check_render_rows_contract();
+  const int rows_rc = check_render_rows_contract();
+  if (rows_rc != 0) return rows_rc;
+  const int equiv_rc = check_skip_equivalence();
+  if (check_only || equiv_rc != 0) return equiv_rc;
+  return write_render_report("BENCH_render.json");
 }

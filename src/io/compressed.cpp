@@ -7,17 +7,24 @@
 
 #include "io/checksum.hpp"
 #include "util/io_error.hpp"
+#include "volume/brick_index.hpp"
 
 namespace ifet {
 
 namespace {
 
 constexpr char kMagic[] = "ifet-cseq";
+// v2 container: the header line also carries the brick size, index
+// entries widen to 32 bytes (payload offset/size + brick offset/size),
+// and each step gets a CRC'd BrickIndex record next to its payload.
+constexpr char kMagicV2[] = "ifet-cseq2";
 // Fixed-size prefix of a per-step record: bits u8, lo f32, hi f32,
 // payload-size u64. A CRC32 over prefix+payload may follow the payload
 // (absent in legacy files; see io/checksum.hpp).
 constexpr std::size_t kRecordPrefixBytes = 17;
 constexpr std::size_t kRecordCrcBytes = 4;
+constexpr std::size_t kIndexEntryBytesV1 = 16;
+constexpr std::size_t kIndexEntryBytesV2 = 32;
 
 inline std::uint32_t quant_levels(QuantBits bits) {
   return bits == QuantBits::k8 ? 255u : 65535u;
@@ -140,25 +147,39 @@ struct CompressedSequenceWriter::Impl {
   std::vector<std::uint8_t> index_bytes;
   int num_steps;
   bool with_checksum;
+  int brick_size;
 };
 
 CompressedSequenceWriter::CompressedSequenceWriter(
     const std::string& path, Dims dims, int num_steps,
-    std::pair<double, double> value_range, bool with_checksum)
+    std::pair<double, double> value_range, bool with_checksum,
+    int brick_size)
     : impl_(std::make_unique<Impl>()) {
   IFET_REQUIRE(num_steps > 0, "CompressedSequenceWriter: need steps");
+  IFET_REQUIRE(brick_size >= 0,
+               "CompressedSequenceWriter: brick size must be >= 0");
   impl_->out.open(path, std::ios::binary);
   if (!impl_->out.good()) {
     throw NotFoundError("CompressedSequenceWriter: cannot open " + path);
   }
   impl_->num_steps = num_steps;
   impl_->with_checksum = with_checksum;
-  impl_->out << kMagic << ' ' << dims.x << ' ' << dims.y << ' ' << dims.z
-             << ' ' << num_steps << ' ' << value_range.first << ' '
-             << value_range.second << '\n';
+  impl_->brick_size = brick_size;
+  if (brick_size > 0) {
+    impl_->out << kMagicV2 << ' ' << dims.x << ' ' << dims.y << ' ' << dims.z
+               << ' ' << num_steps << ' ' << value_range.first << ' '
+               << value_range.second << ' ' << brick_size << '\n';
+  } else {
+    impl_->out << kMagic << ' ' << dims.x << ' ' << dims.y << ' ' << dims.z
+               << ' ' << num_steps << ' ' << value_range.first << ' '
+               << value_range.second << '\n';
+  }
   impl_->index_pos = impl_->out.tellp();
-  // Reserve the index region (16 bytes per step), filled in close().
-  std::vector<char> zeros(static_cast<std::size_t>(num_steps) * 16, 0);
+  // Reserve the index region, filled in close().
+  const std::size_t entry_bytes =
+      brick_size > 0 ? kIndexEntryBytesV2 : kIndexEntryBytesV1;
+  std::vector<char> zeros(static_cast<std::size_t>(num_steps) * entry_bytes,
+                          0);
   impl_->out.write(zeros.data(),
                    static_cast<std::streamsize>(zeros.size()));
 }
@@ -209,6 +230,27 @@ void CompressedSequenceWriter::append(const CompressedVolume& volume) {
   }
   append_u64(impl_->index_bytes, offset);
   append_u64(impl_->index_bytes, record.size());
+
+  if (impl_->brick_size > 0) {
+    // Brick ranges MUST cover the *reconstructed* values the renderer will
+    // actually sample: quantization can push a decoded voxel up to half a
+    // quant step outside the original range, so building from `volume`'s
+    // decoded form (not the pre-compression floats) keeps the skip
+    // condition provable. Always CRC'd — the section is new, so there is
+    // no checksum-less legacy to emulate.
+    const BrickIndex bricks =
+        BrickIndex::build(decompress_volume(volume), impl_->brick_size);
+    std::vector<std::uint8_t> brick_record = bricks.serialize();
+    append_u32(brick_record, crc32(brick_record.data(), brick_record.size()));
+    auto brick_offset = static_cast<std::uint64_t>(impl_->out.tellp());
+    impl_->out.write(reinterpret_cast<const char*>(brick_record.data()),
+                     static_cast<std::streamsize>(brick_record.size()));
+    if (!impl_->out.good()) {
+      throw IoError("CompressedSequenceWriter: brick-record write failed");
+    }
+    append_u64(impl_->index_bytes, brick_offset);
+    append_u64(impl_->index_bytes, brick_record.size());
+  }
   ++steps_written_;
 }
 
@@ -233,10 +275,22 @@ CompressedFileSource::CompressedFileSource(const std::string& path)
   std::string magic;
   header >> magic >> dims_.x >> dims_.y >> dims_.z >> num_steps_ >>
       range_.first >> range_.second;
-  if (magic != kMagic || !header || num_steps_ <= 0) {
+  const bool v2 = magic == kMagicV2;
+  if (v2) {
+    header >> brick_size_;
+    if (brick_size_ <= 0) {
+      throw CorruptDataError("CompressedFileSource: v2 header without a "
+                             "positive brick size in " +
+                             path);
+    }
+  }
+  if ((magic != kMagic && !v2) || !header || num_steps_ <= 0) {
     throw CorruptDataError("CompressedFileSource: bad header in " + path);
   }
-  std::vector<std::uint8_t> raw(static_cast<std::size_t>(num_steps_) * 16);
+  const std::size_t entry_bytes =
+      v2 ? kIndexEntryBytesV2 : kIndexEntryBytesV1;
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(num_steps_) *
+                                entry_bytes);
   in.read(reinterpret_cast<char*>(raw.data()),
           static_cast<std::streamsize>(raw.size()));
   if (in.gcount() != static_cast<std::streamsize>(raw.size())) {
@@ -245,11 +299,18 @@ CompressedFileSource::CompressedFileSource(const std::string& path)
   }
   index_.resize(static_cast<std::size_t>(num_steps_));
   for (int s = 0; s < num_steps_; ++s) {
-    index_[static_cast<std::size_t>(s)].offset =
-        read_u64(raw.data() + 16 * s);
-    index_[static_cast<std::size_t>(s)].size =
-        read_u64(raw.data() + 16 * s + 8);
-    if (index_[static_cast<std::size_t>(s)].size == 0) {
+    IndexEntry& entry = index_[static_cast<std::size_t>(s)];
+    const std::uint8_t* p = raw.data() + entry_bytes * s;
+    entry.offset = read_u64(p);
+    entry.size = read_u64(p + 8);
+    if (v2) {
+      entry.brick_offset = read_u64(p + 16);
+      entry.brick_size = read_u64(p + 24);
+    } else {
+      entry.brick_offset = 0;
+      entry.brick_size = 0;
+    }
+    if (entry.size == 0 || (v2 && entry.brick_size == 0)) {
       throw CorruptDataError(
           "CompressedFileSource: " + path + " truncates at step " +
           std::to_string(s) +
@@ -314,6 +375,46 @@ VolumeF CompressedFileSource::generate(int step) const {
   return decompress_volume(volume);
 }
 
+std::shared_ptr<const BrickIndex> CompressedFileSource::brick_metadata(
+    int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps_,
+               "CompressedFileSource: step out of range");
+  if (brick_size_ == 0) return nullptr;  // v1 container: no brick section
+  const IndexEntry& entry = index_[static_cast<std::size_t>(step)];
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.good()) {
+    throw NotFoundError("CompressedFileSource: cannot reopen " + path_);
+  }
+  // Seek + read of the small brick record only; the step's compressed
+  // payload is never read, let alone decoded.
+  in.seekg(static_cast<std::streamoff>(entry.brick_offset));
+  std::vector<std::uint8_t> record(entry.brick_size);
+  in.read(reinterpret_cast<char*>(record.data()),
+          static_cast<std::streamsize>(record.size()));
+  if (in.gcount() != static_cast<std::streamsize>(record.size())) {
+    throw CorruptDataError(
+        "CompressedFileSource: truncated brick record for step " +
+        std::to_string(step) + " in " + path_);
+  }
+  if (record.size() <= kRecordCrcBytes) {
+    throw CorruptDataError(
+        "CompressedFileSource: brick record too small for step " +
+        std::to_string(step) + " in " + path_);
+  }
+  const std::size_t checked_bytes = record.size() - kRecordCrcBytes;
+  const std::uint32_t expected = read_u32(record.data() + checked_bytes);
+  if (crc32(record.data(), checked_bytes) != expected) {
+    ++checksum_counters().mismatches;
+    throw CorruptDataError(
+        "CompressedFileSource: brick-record checksum mismatch for step " +
+        std::to_string(step) + " in " + path_ +
+        " (section corrupted on disk or in transit)");
+  }
+  ++checksum_counters().verified;
+  return std::make_shared<const BrickIndex>(BrickIndex::deserialize(
+      dims_, brick_size_, record.data(), checked_bytes));
+}
+
 std::size_t CompressedFileSource::total_payload_bytes() const {
   std::size_t total = 0;
   for (const auto& entry : index_) total += entry.size;
@@ -322,9 +423,10 @@ std::size_t CompressedFileSource::total_payload_bytes() const {
 
 void write_compressed_sequence(const VolumeSource& source,
                                const std::string& path, QuantBits bits,
-                               bool with_checksum) {
+                               bool with_checksum, int brick_size) {
   CompressedSequenceWriter writer(path, source.dims(), source.num_steps(),
-                                  source.value_range(), with_checksum);
+                                  source.value_range(), with_checksum,
+                                  brick_size);
   for (int s = 0; s < source.num_steps(); ++s) {
     writer.append(compress_volume(source.generate(s), bits));
   }

@@ -1,0 +1,132 @@
+#include "render/ray_packet.hpp"
+
+#include <cmath>
+
+#include "volume/ops.hpp"
+
+namespace ifet {
+
+// Every stage below is a verbatim restaging of the scalar march body in
+// Raycaster::render_rows: same double expressions, same per-sample order
+// where order matters (the sequential composite), no cross-lane math. With
+// -ffp-contract=off this keeps the packet path bitwise identical to the
+// scalar path on any optimization level or ISA the build selects.
+IFET_HOT int composite_packet(const Raycaster::Plan& plan,
+                              const RenderSettings& settings, const Ray& ray,
+                              double t0, long i0, int count,
+                              RayPacket& scratch, double& alpha, Rgb& accum,
+                              bool& terminated) {
+  const VolumeF& volume = *plan.volume;
+  const TransferFunction1D& tf = *plan.tf;
+  const ColorMap& colors = *plan.colors;
+  const HighlightLayer* highlight = plan.highlight;
+  const VolumeF* certainty = plan.certainty;
+  const double dt = plan.dt;
+  const double value_span = plan.value_span;
+  const Vec3 light_dir = plan.light_dir;
+
+  // Stage 1: sample positions (indexed t, never accumulated — the skip
+  // jumps that produced this run land on the same grid).
+  for (int l = 0; l < count; ++l) {
+    const double t = t0 + static_cast<double>(i0 + l) * dt;
+    const Vec3 world = ray.origin + ray.direction * t;
+    const Vec3 vox = plan.to_voxel(world);
+    scratch.t[l] = t;
+    scratch.vx[l] = vox.x;
+    scratch.vy[l] = vox.y;
+    scratch.vz[l] = vox.z;
+  }
+
+  // Stage 2: gather the trilinear taps.
+  for (int l = 0; l < count; ++l) {
+    scratch.value[l] =
+        volume.sample(Vec3{scratch.vx[l], scratch.vy[l], scratch.vz[l]});
+  }
+
+  // Stage 3: nearest-voxel hits in the region-growing texture.
+  if (highlight != nullptr) {
+    for (int l = 0; l < count; ++l) {
+      const int hi_i = static_cast<int>(std::lround(scratch.vx[l]));
+      const int hi_j = static_cast<int>(std::lround(scratch.vy[l]));
+      const int hi_k = static_cast<int>(std::lround(scratch.vz[l]));
+      scratch.lit[l] = highlight->mask->clamped(hi_i, hi_j, hi_k) != 0;
+    }
+  }
+
+  // Stage 4: TF opacity and color per lane.
+  for (int l = 0; l < count; ++l) {
+    const double value = scratch.value[l];
+    if (highlight != nullptr && scratch.lit[l] != 0) {
+      scratch.opacity[l] = highlight->tf->opacity(value);
+      scratch.r[l] = highlight->color.r;
+      scratch.g[l] = highlight->color.g;
+      scratch.b[l] = highlight->color.b;
+    } else {
+      double a = tf.opacity(value);
+      if (certainty != nullptr) {
+        a *= certainty->sample(
+            Vec3{scratch.vx[l], scratch.vy[l], scratch.vz[l]});
+      }
+      const double norm =
+          value_span > 0.0
+              ? clamp((value - tf.value_lo()) / value_span, 0.0, 1.0)
+              : 0.0;
+      const Rgb color = colors.at(norm);
+      scratch.opacity[l] = a;
+      scratch.r[l] = color.r;
+      scratch.g[l] = color.g;
+      scratch.b[l] = color.b;
+    }
+  }
+
+  // Stage 5: gradient shading for the visible lanes (the scalar path
+  // shades only samples that survive the a <= 0 cull; pre-correction
+  // opacity gates the same set).
+  if (settings.shading) {
+    for (int l = 0; l < count; ++l) {
+      if (scratch.opacity[l] <= 0.0) continue;
+      const int gi = static_cast<int>(std::lround(scratch.vx[l]));
+      const int gj = static_cast<int>(std::lround(scratch.vy[l]));
+      const int gk = static_cast<int>(std::lround(scratch.vz[l]));
+      const Vec3 g = gradient_at(volume, gi, gj, gk);
+      const double gn = g.norm();
+      double shade = settings.ambient;
+      if (gn > 1e-9) {
+        const Vec3 normal = g / gn;
+        const double ndotl = std::fabs(normal.dot(light_dir));
+        shade += settings.diffuse * ndotl;
+        // Headlight specular (view == light direction).
+        const double spec = std::pow(ndotl, settings.specular_power);
+        shade += settings.specular * spec;
+      } else {
+        shade += settings.diffuse * 0.5;
+      }
+      scratch.r[l] *= shade;
+      scratch.g[l] *= shade;
+      scratch.b[l] *= shade;
+    }
+  }
+
+  // Stage 6: sequential front-to-back compositing (inherently serial).
+  int consumed = 0;
+  for (int l = 0; l < count; ++l) {
+    ++consumed;
+    double a = scratch.opacity[l];
+    if (a <= 0.0) continue;
+    if (settings.opacity_correction) {
+      a = 1.0 - std::pow(1.0 - a, settings.step_voxels);
+    }
+    const double w = (1.0 - alpha) * a;
+    accum.r += w * scratch.r[l];
+    accum.g += w * scratch.g[l];
+    accum.b += w * scratch.b[l];
+    alpha += w;
+    if (alpha >= settings.early_termination_alpha) {
+      terminated = true;
+      break;
+    }
+  }
+  return consumed;
+}
+
+}  // namespace ifet

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "parallel/thread_pool.hpp"
+#include "render/ray_packet.hpp"
 #include "util/error.hpp"
 #include "util/hot_path.hpp"
 #include "util/timer.hpp"
@@ -42,6 +44,92 @@ inline std::uint8_t to_byte(double v) {
   return static_cast<std::uint8_t>(clamp(v, 0.0, 1.0) * 255.0 + 0.5);
 }
 
+/// Largest sample index n with t0 + n*dt <= t1. Both marching paths index
+/// samples as t = t0 + i*dt (never an accumulated t += dt), so a brick
+/// skip is an index jump that lands on EXACTLY the position the unskipped
+/// march would have sampled — the root of the bitwise-identity contract.
+IFET_HOT inline long march_last_index(double t0, double t1, double dt) {
+  long n = static_cast<long>((t1 - t0) / dt);
+  while (t0 + static_cast<double>(n + 1) * dt <= t1) ++n;
+  while (n >= 0 && t0 + static_cast<double>(n) * dt > t1) --n;
+  return n;
+}
+
+/// Per-ray brick traversal state for empty-space skipping.
+///
+/// Activity decisions use the affine form vox(t) = base + slope*t, which
+/// mirrors Plan::to_voxel(origin + direction*t) up to FP rounding; the
+/// one-brick dilation baked into the activity flags (BrickIndex::classify)
+/// absorbs that disagreement — and the up-to-one-brick overshoot of the
+/// analytic exit crossing — so any sample this walker skips is provably
+/// transparent no matter which side of a brick face exact addressing puts
+/// it on.
+struct BrickWalk {
+  const BrickIndex* bricks;
+  const std::uint8_t* active;
+  Dims grid;
+  Dims vdims;
+  int bsize;
+  Vec3 base, slope;
+
+  IFET_HOT BrickWalk(const Raycaster::Plan& plan, const Ray& ray)
+      : bricks(plan.bricks.get()),
+        active(plan.brick_active.data()),
+        grid(plan.bricks->grid()),
+        vdims(plan.bricks->volume_dims()),
+        bsize(plan.bricks->brick_size()),
+        base(plan.to_voxel(ray.origin)),
+        slope(Vec3{ray.direction.x * plan.box_scale.x,
+                   ray.direction.y * plan.box_scale.y,
+                   ray.direction.z * plan.box_scale.z}) {}
+
+  /// Brick coordinate of a continuous sample coordinate along one axis.
+  /// Clamping matches the sampler: positions outside [0, extent-1] tap the
+  /// border voxels, so they belong to the border bricks.
+  IFET_HOT int cell(double v, int extent) const {
+    int c = static_cast<int>(std::floor(v));
+    if (c < 0) c = 0;
+    if (c > extent - 1) c = extent - 1;
+    return c / bsize;
+  }
+
+  /// Activity of the brick containing sample position vox(t); the brick
+  /// coordinates are returned for the exit computation.
+  IFET_HOT bool is_active(double t, int* bx, int* by, int* bz) const {
+    *bx = cell(base.x + slope.x * t, vdims.x);
+    *by = cell(base.y + slope.y * t, vdims.y);
+    *bz = cell(base.z + slope.z * t, vdims.z);
+    return active[bricks->brick_linear(*bx, *by, *bz)] != 0;
+  }
+
+  /// Analytic ray–brick interval clip: the first sample index after `i`
+  /// whose position leaves brick (bx,by,bz). In continuous sample space
+  /// the brick's cell spans [b*B, (b+1)*B) per axis (border cells extend
+  /// outward through the sampler's clamp, which the crossings-ahead guard
+  /// handles naturally). Always returns >= i+1, so the walk makes
+  /// progress; an undershoot just re-skips, an overshoot is covered by the
+  /// dilation margin.
+  IFET_HOT long jump_index(double t0, double dt, long i, double t, int bx,
+                           int by, int bz) const {
+    const double kInf = std::numeric_limits<double>::infinity();
+    double t_exit = kInf;
+    const double b[3] = {static_cast<double>(bx), static_cast<double>(by),
+                         static_cast<double>(bz)};
+    const double s[3] = {slope.x, slope.y, slope.z};
+    const double a[3] = {base.x, base.y, base.z};
+    for (int axis = 0; axis < 3; ++axis) {
+      if (s[axis] == 0.0) continue;
+      const double boundary =
+          (s[axis] > 0.0 ? b[axis] + 1.0 : b[axis]) * bsize;
+      const double tc = (boundary - a[axis]) / s[axis];
+      if (tc > t && tc < t_exit) t_exit = tc;
+    }
+    if (t_exit == kInf) return i + 1;
+    const long j = static_cast<long>(std::ceil((t_exit - t0) / dt));
+    return j > i ? j : i + 1;
+  }
+};
+
 }  // namespace
 
 ImageRgb8 Raycaster::render_step(const VolumeSequence& sequence, int step,
@@ -51,7 +139,12 @@ ImageRgb8 Raycaster::render_step(const VolumeSequence& sequence, int step,
                                  RenderStats* stats,
                                  bool prefetch_next) const {
   if (prefetch_next) sequence.prefetch_hint(step + 1);
-  return render(sequence.step(step), tf, colors, camera, highlight, stats);
+  // Ingest-time brick metadata when the sequence serves it (v2 .cvol via
+  // the streaming tier); the plan rebuilds from the volume otherwise.
+  std::shared_ptr<const BrickIndex> bricks =
+      settings_.empty_space_skipping ? sequence.brick_index(step) : nullptr;
+  return render_impl(sequence.step(step), tf, colors, camera, highlight,
+                     nullptr, stats, std::move(bricks));
 }
 
 Raycaster::Raycaster(const RenderSettings& settings) : settings_(settings) {
@@ -83,12 +176,11 @@ ImageRgb8 Raycaster::render_classified(const VolumeF& volume,
   return render_impl(volume, tf, colors, camera, nullptr, &certainty, stats);
 }
 
-Raycaster::Plan Raycaster::prepare_plan(const VolumeF& volume,
-                                        const TransferFunction1D& tf,
-                                        const ColorMap& colors,
-                                        const Camera& camera,
-                                        const HighlightLayer* highlight,
-                                        const VolumeF* certainty) const {
+Raycaster::Plan Raycaster::prepare_plan(
+    const VolumeF& volume, const TransferFunction1D& tf,
+    const ColorMap& colors, const Camera& camera,
+    const HighlightLayer* highlight, const VolumeF* certainty,
+    std::shared_ptr<const BrickIndex> bricks) const {
   if (highlight != nullptr) {
     IFET_REQUIRE(highlight->mask != nullptr && highlight->tf != nullptr,
                  "Raycaster: highlight layer needs mask and TF");
@@ -120,6 +212,23 @@ Raycaster::Plan Raycaster::prepare_plan(const VolumeF& volume,
   plan.dt = settings_.step_voxels / max_dim;
   plan.value_span = tf.value_hi() - tf.value_lo();
   plan.light_dir = (camera.position() - Vec3{0, 0, 0}).normalized();
+  if (settings_.empty_space_skipping) {
+    if (bricks == nullptr) {
+      // Legacy fallback: no ingest-time metadata, one extra volume pass.
+      bricks = std::make_shared<const BrickIndex>(BrickIndex::build(volume));
+    }
+    IFET_REQUIRE(bricks->volume_dims() == d,
+                 "Raycaster: brick index dimension mismatch");
+    plan.bricks = std::move(bricks);
+    // Fold the frame's TF into per-brick activity once; render_rows then
+    // clips inactive bricks out of every ray analytically.
+    if (highlight != nullptr) {
+      plan.bricks->classify_with_highlight(tf, *highlight->mask,
+                                           *highlight->tf, plan.brick_active);
+    } else {
+      plan.bricks->classify(tf, plan.brick_active);
+    }
+  }
   return plan;
 }
 
@@ -136,8 +245,14 @@ IFET_HOT void Raycaster::render_rows(const Plan& plan, int row0, int row1,
   const double value_span = plan.value_span;
   const Vec3 light_dir = plan.light_dir;
 
+  // Brick skipping engages when the plan carries classified metadata; a
+  // plan built with empty_space_skipping = false marches every sample.
+  const bool skipping = plan.bricks != nullptr && !plan.brick_active.empty();
+  RayPacket packet;  // caller-owned SoA scratch: fixed-size, stack-local
+
   std::size_t local_samples = 0;
   std::size_t local_early = 0;
+  std::size_t local_skipped = 0;
   for (int y = row0; y < row1; ++y) {
     for (int x = 0; x < settings_.width; ++x) {
       Ray ray = camera.pixel_ray(x, y, settings_.width, settings_.height);
@@ -146,18 +261,42 @@ IFET_HOT void Raycaster::render_rows(const Plan& plan, int row0, int row1,
       double alpha = 0.0;
       if (settings_.mode == CompositingMode::kMaximumIntensity) {
         // MIP: the brightest sample the TF makes visible wins the
-        // pixel; no ordering-dependent accumulation.
+        // pixel; no ordering-dependent accumulation. A skipped sample
+        // would have failed the tf.opacity(value) <= 0 cull, so clipping
+        // inactive bricks never changes the winner.
         double best_value = 0.0;
         bool any = false;
         if (intersect_box(ray, plan.box_lo, plan.box_hi, t0, t1)) {
-          for (double t = t0; t <= t1; t += dt) {
+          const long n = march_last_index(t0, t1, dt);
+          auto mip_sample = [&](double t) {
             Vec3 vox = plan.to_voxel(ray.origin + ray.direction * t);
             double value = volume.sample(vox);
             ++local_samples;
-            if (tf.opacity(value) <= 0.0) continue;
+            if (tf.opacity(value) <= 0.0) return;
             if (!any || value > best_value) {
               best_value = value;
               any = true;
+            }
+          };
+          if (!skipping) {
+            for (long i = 0; i <= n; ++i) {
+              mip_sample(t0 + static_cast<double>(i) * dt);
+            }
+          } else {
+            const BrickWalk walk(plan, ray);
+            long i = 0;
+            while (i <= n) {
+              const double t = t0 + static_cast<double>(i) * dt;
+              int bx, by, bz;
+              if (!walk.is_active(t, &bx, &by, &bz)) {
+                const long j =
+                    std::min(walk.jump_index(t0, dt, i, t, bx, by, bz), n + 1);
+                local_skipped += static_cast<std::size_t>(j - i);
+                i = j;
+                continue;
+              }
+              mip_sample(t);
+              ++i;
             }
           }
         }
@@ -176,7 +315,46 @@ IFET_HOT void Raycaster::render_rows(const Plan& plan, int row0, int row1,
         continue;
       }
       if (intersect_box(ray, plan.box_lo, plan.box_hi, t0, t1)) {
-        for (double t = t0; t <= t1; t += dt) {
+        const long n = march_last_index(t0, t1, dt);
+        if (skipping) {
+          // Brick path: clip inactive bricks analytically, composite the
+          // surviving runs through the SoA packet kernel. Bitwise
+          // identical to the scalar march below (see ray_packet.hpp).
+          const BrickWalk walk(plan, ray);
+          long i = 0;
+          bool terminated = false;
+          while (i <= n && !terminated) {
+            const double t = t0 + static_cast<double>(i) * dt;
+            int bx, by, bz;
+            if (!walk.is_active(t, &bx, &by, &bz)) {
+              const long j =
+                  std::min(walk.jump_index(t0, dt, i, t, bx, by, bz), n + 1);
+              local_skipped += static_cast<std::size_t>(j - i);
+              i = j;
+              continue;
+            }
+            // Extend the run while samples stay in active bricks.
+            int count = 1;
+            while (count < RayPacket::kLanes && i + count <= n &&
+                   walk.is_active(t0 + static_cast<double>(i + count) * dt,
+                                  &bx, &by, &bz)) {
+              ++count;
+            }
+            local_samples += static_cast<std::size_t>(
+                composite_packet(plan, settings_, ray, t0, i, count, packet,
+                                 alpha, accum, terminated));
+            i += count;
+          }
+          if (terminated) ++local_early;
+          accum.r += (1.0 - alpha) * settings_.background.r;
+          accum.g += (1.0 - alpha) * settings_.background.g;
+          accum.b += (1.0 - alpha) * settings_.background.b;
+          image.set(x, y, to_byte(accum.r), to_byte(accum.g),
+                    to_byte(accum.b));
+          continue;
+        }
+        for (long i = 0; i <= n; ++i) {
+          const double t = t0 + static_cast<double>(i) * dt;
           Vec3 world = ray.origin + ray.direction * t;
           Vec3 vox = plan.to_voxel(world);
           double value = volume.sample(vox);
@@ -254,21 +432,24 @@ IFET_HOT void Raycaster::render_rows(const Plan& plan, int row0, int row1,
   }
   counters.samples += local_samples;
   counters.terminated_early += local_early;
+  counters.samples_skipped += local_skipped;
 }
 
 ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
                                  const TransferFunction1D& tf,
                                  const ColorMap& colors, const Camera& camera,
                                  const HighlightLayer* highlight,
-                                 const VolumeF* certainty,
-                                 RenderStats* stats) const {
+                                 const VolumeF* certainty, RenderStats* stats,
+                                 std::shared_ptr<const BrickIndex> bricks)
+    const {
   Stopwatch watch;
-  const Plan plan =
-      prepare_plan(volume, tf, colors, camera, highlight, certainty);
+  const Plan plan = prepare_plan(volume, tf, colors, camera, highlight,
+                                 certainty, std::move(bricks));
   ImageRgb8 image(settings_.width, settings_.height);
 
   std::atomic<std::size_t> total_samples{0};
   std::atomic<std::size_t> early{0};
+  std::atomic<std::size_t> skipped{0};
 
   parallel_for_ranges(
       0, static_cast<std::size_t>(settings_.height),
@@ -278,6 +459,7 @@ ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
                     image, counters);
         total_samples += counters.samples;
         early += counters.terminated_early;
+        skipped += counters.samples_skipped;
       });
 
   if (stats != nullptr) {
@@ -286,6 +468,12 @@ ImageRgb8 Raycaster::render_impl(const VolumeF& volume,
     stats->samples = total_samples.load();
     stats->terminated_early = early.load();
     stats->seconds = watch.seconds();
+    stats->samples_skipped = skipped.load();
+    stats->bricks_total = plan.bricks ? plan.bricks->num_bricks() : 0;
+    stats->bricks_active = 0;
+    for (std::uint8_t flag : plan.brick_active) {
+      stats->bricks_active += flag != 0 ? 1 : 0;
+    }
   }
   return image;
 }

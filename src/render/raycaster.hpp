@@ -16,12 +16,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "io/image_io.hpp"
 #include "render/camera.hpp"
 #include "tf/transfer_function.hpp"
 #include "util/hot_path.hpp"
+#include "volume/brick_index.hpp"
 #include "volume/sequence.hpp"
 #include "volume/volume.hpp"
 
@@ -50,6 +53,12 @@ struct RenderSettings {
   /// Opacity of TF entries was authored for unit sampling; corrected per
   /// sample distance when true.
   bool opacity_correction = true;
+  /// Clip rays against per-brick min/max metadata: bricks the transfer
+  /// function maps to zero opacity everywhere are jumped over instead of
+  /// marched. Bitwise identical to the unskipped march — skipped samples
+  /// are provably transparent (docs/PERFORMANCE.md) — so this is purely a
+  /// speed knob; tests that assert sample *counts* turn it off.
+  bool empty_space_skipping = true;
 };
 
 /// Inputs of a highlight (feature-tracking) overlay pass.
@@ -64,6 +73,18 @@ struct RenderStats {
   std::size_t samples = 0;        ///< TF lookups performed.
   std::size_t terminated_early = 0;
   double seconds = 0.0;
+  // Empty-space skipping (zero when the plan carries no brick index).
+  std::size_t samples_skipped = 0;  ///< Samples clipped out by brick jumps.
+  std::size_t bricks_total = 0;     ///< Bricks in the volume's index.
+  std::size_t bricks_active = 0;    ///< Bricks the TF left potentially visible.
+
+  /// Fraction of would-be samples the brick clipping removed.
+  double skip_rate() const {
+    const std::size_t total = samples + samples_skipped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(samples_skipped) /
+                            static_cast<double>(total);
+  }
 };
 
 class Raycaster {
@@ -121,6 +142,14 @@ class Raycaster {
     double value_span = 0.0;  ///< tf.value_hi() - tf.value_lo()
     Vec3 light_dir;           ///< headlight direction (unit)
 
+    // --- Empty-space skipping (null/empty when disabled) ---
+    /// Brick min/max metadata; ingest-time when the caller supplied it,
+    /// built from the volume by prepare_plan otherwise.
+    std::shared_ptr<const BrickIndex> bricks;
+    /// Per-brick activity under this plan's TF (and highlight layer when
+    /// present): 0 = provably transparent, clipped out of every ray.
+    std::vector<std::uint8_t> brick_active;
+
     /// World -> continuous voxel coordinates; voxel i covers
     /// [i-0.5, i+0.5) in sample space (centers at integer coordinates).
     IFET_HOT Vec3 to_voxel(const Vec3& world) const {
@@ -135,15 +164,23 @@ class Raycaster {
   struct RenderRowCounters {
     std::size_t samples = 0;
     std::size_t terminated_early = 0;
+    std::size_t samples_skipped = 0;
   };
 
   /// Validate the inputs and resolve the per-frame constants. Throws on
   /// the same contract violations render() would (highlight needs mask+TF
   /// of matching dims and front-to-back mode; certainty must match dims).
+  ///
+  /// When empty-space skipping is enabled, `bricks` supplies the volume's
+  /// ingest-time brick metadata (e.g. VolumeSequence::brick_index); pass
+  /// nullptr to have the plan build it from the volume (one extra pass —
+  /// the legacy-file fallback). The active TF (and highlight layer) is
+  /// folded into per-brick activity flags here, once per frame.
   Plan prepare_plan(const VolumeF& volume, const TransferFunction1D& tf,
                     const ColorMap& colors, const Camera& camera,
                     const HighlightLayer* highlight = nullptr,
-                    const VolumeF* certainty = nullptr) const;
+                    const VolumeF* certainty = nullptr,
+                    std::shared_ptr<const BrickIndex> bricks = nullptr) const;
 
   /// March rays for image rows [row0, row1) of a validated plan. The hot
   /// ray loop: no validation, no allocation, no I/O once the plan and the
@@ -156,7 +193,9 @@ class Raycaster {
   ImageRgb8 render_impl(const VolumeF& volume, const TransferFunction1D& tf,
                         const ColorMap& colors, const Camera& camera,
                         const HighlightLayer* highlight,
-                        const VolumeF* certainty, RenderStats* stats) const;
+                        const VolumeF* certainty, RenderStats* stats,
+                        std::shared_ptr<const BrickIndex> bricks = nullptr)
+      const;
 
   RenderSettings settings_;
 };

@@ -75,6 +75,13 @@ struct ServerResult {
                              ///< commands without one).
   double value = 0.0;     ///< Command-specific scalar: painted voxels,
                           ///< training MSE, tracked voxels, ...
+
+  // kRender only: the served frame's brick empty-space-skipping counters
+  // (zero for other commands), so clients observe the ingest-time brick
+  // index working without a second round trip.
+  std::uint64_t bricks_total = 0;   ///< Bricks in the step's index.
+  std::uint64_t bricks_active = 0;  ///< Bricks the adaptive TF left visible.
+  double skip_rate = 0.0;           ///< Fraction of samples clipped.
 };
 
 }  // namespace ifet

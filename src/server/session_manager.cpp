@@ -248,8 +248,13 @@ ServerResult SessionManager::run_command(ServerSession& s,
       RenderSettings settings;
       settings.width = command.image_size;
       settings.height = command.image_size;
-      const ImageRgb8 frame = s.tf->preview(command.step, camera, settings);
+      RenderStats stats;
+      const ImageRgb8 frame =
+          s.tf->preview(command.step, camera, settings, {}, &stats);
       result.digest = crc32(frame.pixels.data(), frame.pixels.size());
+      result.bricks_total = stats.bricks_total;
+      result.bricks_active = stats.bricks_active;
+      result.skip_rate = stats.skip_rate();
       break;
     }
     case CommandKind::kHintWindow:

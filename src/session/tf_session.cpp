@@ -42,10 +42,14 @@ KeyFrameSuggestion TfSession::advise() const {
 
 ImageRgb8 TfSession::preview(int step, const Camera& camera,
                              const RenderSettings& settings,
-                             const ColorMap& colors) const {
+                             const ColorMap& colors,
+                             RenderStats* stats) const {
   Raycaster caster(settings);
-  return caster.render(sequence_.step(step), iatf_.evaluate(step), colors,
-                       camera);
+  // render_step pulls the sequence's brick metadata (served without
+  // payload decode on v2 containers); no prefetch hint — the preview is a
+  // point lookup, not a scan.
+  return caster.render_step(sequence_, step, iatf_.evaluate(step), colors,
+                            camera, nullptr, stats, /*prefetch_next=*/false);
 }
 
 }  // namespace ifet

@@ -53,9 +53,13 @@ class TfSession {
   KeyFrameSuggestion advise() const;
 
   /// Render `step` through the current adaptive TF (the user's preview).
+  /// Brick metadata comes from the sequence (ingest-time for v2 .cvol
+  /// containers); `stats`, when given, reports the frame's sample and
+  /// empty-space-skipping counters.
   ImageRgb8 preview(int step, const Camera& camera,
                     const RenderSettings& settings = {},
-                    const ColorMap& colors = {}) const;
+                    const ColorMap& colors = {},
+                    RenderStats* stats = nullptr) const;
 
   const Iatf& iatf() const { return iatf_; }
 

@@ -80,6 +80,13 @@ class StreamedSequence final : public VolumeSequence {
     return store_->load_count();
   }
 
+  /// Brick metadata via the store: ingest-time container section when
+  /// present (no payload decode), else built from the decoded step;
+  /// memoized in the store.
+  std::shared_ptr<const BrickIndex> brick_index(int step) const override {
+    return store_->brick_index(step);
+  }
+
   void hint_window(int lo, int hi) const override IFET_EXCLUDES(mutex_);
   void prefetch_hint(int step) const override { store_->prefetch(step); }
 

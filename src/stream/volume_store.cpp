@@ -268,6 +268,41 @@ void VolumeStore::pin_window(int lo, int hi) {
   }
 }
 
+std::shared_ptr<const BrickIndex> VolumeStore::brick_index(int step) {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "VolumeStore::brick_index: step out of range");
+  {
+    OrderedMutexLock lock(mutex_);
+    auto it = bricks_.find(step);
+    if (it != bricks_.end()) return it->second;
+  }
+  // Metadata read / fallback build runs outside the mutex — the fallback
+  // decodes a whole step. Racing builders for the same step are harmless:
+  // first insert wins, the loser's (identical) index is dropped.
+  std::shared_ptr<const BrickIndex> index = source_->brick_metadata(step);
+  const bool from_container = index != nullptr;
+  if (!from_container) {
+    auto volume = fetch(step);
+    if (volume == nullptr) return nullptr;  // kSkipStep quarantined step
+    index = std::make_shared<const BrickIndex>(BrickIndex::build(*volume));
+  }
+  OrderedMutexLock lock(mutex_);
+  ++(from_container ? brick_metadata_reads_ : brick_builds_);
+  auto [pos, inserted] = bricks_.emplace(step, std::move(index));
+  (void)inserted;
+  return pos->second;
+}
+
+std::uint64_t VolumeStore::brick_metadata_reads() const {
+  OrderedMutexLock lock(mutex_);
+  return brick_metadata_reads_;
+}
+
+std::uint64_t VolumeStore::brick_builds() const {
+  OrderedMutexLock lock(mutex_);
+  return brick_builds_;
+}
+
 std::size_t VolumeStore::load_count() const {
   OrderedMutexLock lock(mutex_);
   return total_loads_;

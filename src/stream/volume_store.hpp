@@ -113,6 +113,22 @@ class VolumeStore {
   CacheManager& cache() { return cache_; }
   const CacheManager& cache() const { return cache_; }
 
+  /// Brick min/max metadata for `step` (renderer empty-space skipping):
+  /// served from the container's ingest-time brick section when the source
+  /// carries one (a seek + read of a few KB — the payload is never
+  /// decoded), else built once from the decoded step via fetch(). Memoized
+  /// for the store's lifetime (indices are ~0.2% of a volume, so they are
+  /// not budget-accounted or evictable). Under FailPolicy::kSkipStep a
+  /// quarantined legacy step yields nullptr, like fetch().
+  std::shared_ptr<const BrickIndex> brick_index(int step)
+      IFET_EXCLUDES(mutex_);
+
+  /// How brick_index() answers were produced — container metadata reads
+  /// (no payload decode) vs fallback builds from a decoded volume. Memo
+  /// hits bump neither. For tests and the render stats report.
+  std::uint64_t brick_metadata_reads() const IFET_EXCLUDES(mutex_);
+  std::uint64_t brick_builds() const IFET_EXCLUDES(mutex_);
+
   /// Total source loads (demand + prefetch); the out-of-core analogue of
   /// CachedSequence::generation_count.
   std::size_t load_count() const IFET_EXCLUDES(mutex_);
@@ -161,6 +177,10 @@ class VolumeStore {
   std::unordered_map<int, std::exception_ptr> quarantine_
       IFET_GUARDED_BY(mutex_);
   std::vector<StepState> step_states_ IFET_GUARDED_BY(mutex_);
+  std::unordered_map<int, std::shared_ptr<const BrickIndex>> bricks_
+      IFET_GUARDED_BY(mutex_);
+  std::uint64_t brick_metadata_reads_ IFET_GUARDED_BY(mutex_) = 0;
+  std::uint64_t brick_builds_ IFET_GUARDED_BY(mutex_) = 0;
   std::uint64_t retries_ IFET_GUARDED_BY(mutex_) = 0;
   std::uint64_t load_failures_ IFET_GUARDED_BY(mutex_) = 0;
   std::uint64_t checksum_verified_ IFET_GUARDED_BY(mutex_) = 0;

@@ -52,8 +52,15 @@ double TransferFunction1D::entry_value(int i) const {
 
 int TransferFunction1D::entry_of(double value) const {
   double t = (value - lo_) / (hi_ - lo_);
-  int i = static_cast<int>(std::floor(t * kEntries));
-  return std::clamp(i, 0, kEntries - 1);
+  double e = std::floor(t * kEntries);
+  // Clamp in double space: casting out-of-int-range doubles (notably the
+  // +/-inf bounds of NaN-contaminated brick ranges) to int is undefined
+  // and on x86 collapses +inf to INT_MIN, which would clamp to entry 0
+  // instead of the last entry. NaN takes the !(e > 0) branch, so NaN
+  // values deterministically read entry 0.
+  if (!(e > 0.0)) return 0;
+  if (e >= static_cast<double>(kEntries)) return kEntries - 1;
+  return static_cast<int>(e);
 }
 
 void TransferFunction1D::set_opacity_entry(int i, double alpha) {

@@ -1,0 +1,250 @@
+#include "volume/brick_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tf/transfer_function.hpp"
+#include "util/io_error.hpp"
+
+namespace ifet {
+
+namespace {
+
+/// Ceil-division brick-grid extents for a volume extent.
+inline int grid_extent(int voxels, int brick_size) {
+  return (voxels + brick_size - 1) / brick_size;
+}
+
+/// True when the transfer function has at least one nonzero opacity entry
+/// in the (clamped, inclusive) entry span covering [lo, hi]. `nonzero` is
+/// the prefix-count table: nonzero[i] = number of nonzero entries in
+/// [0, i), so the query is O(1) per brick.
+inline bool span_visible(const TransferFunction1D& tf,
+                         const std::vector<int>& nonzero, float lo,
+                         float hi) {
+  // entry_of is monotone and clamps, so every value in [lo, hi] lands in
+  // [e0, e1]; zero opacity across that span proves the whole interval
+  // transparent. -inf/+inf (NaN-contaminated bricks) clamp to the full
+  // table, which is exactly the conservative answer.
+  const int e0 = tf.entry_of(static_cast<double>(lo));
+  const int e1 = tf.entry_of(static_cast<double>(hi));
+  return nonzero[static_cast<std::size_t>(e1) + 1] -
+             nonzero[static_cast<std::size_t>(e0)] >
+         0;
+}
+
+std::vector<int> nonzero_prefix(const TransferFunction1D& tf) {
+  std::vector<int> prefix(static_cast<std::size_t>(
+                              TransferFunction1D::kEntries) +
+                          1,
+                          0);
+  for (int i = 0; i < TransferFunction1D::kEntries; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] +
+        (tf.opacity_entry(i) > 0.0 ? 1 : 0);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+BrickIndex BrickIndex::build(const VolumeF& volume, int brick_size) {
+  IFET_REQUIRE(!volume.empty(), "BrickIndex::build: empty volume");
+  IFET_REQUIRE(brick_size > 0, "BrickIndex::build: brick size must be > 0");
+  BrickIndex index;
+  index.dims_ = volume.dims();
+  index.brick_size_ = brick_size;
+  index.grid_ = Dims{grid_extent(index.dims_.x, brick_size),
+                     grid_extent(index.dims_.y, brick_size),
+                     grid_extent(index.dims_.z, brick_size)};
+  index.ranges_.resize(index.grid_.count());
+
+  const Dims d = index.dims_;
+  for (int bz = 0; bz < index.grid_.z; ++bz) {
+    const int z0 = bz * brick_size;
+    const int z1 = std::min(z0 + brick_size, d.z);
+    for (int by = 0; by < index.grid_.y; ++by) {
+      const int y0 = by * brick_size;
+      const int y1 = std::min(y0 + brick_size, d.y);
+      for (int bx = 0; bx < index.grid_.x; ++bx) {
+        const int x0 = bx * brick_size;
+        const int x1 = std::min(x0 + brick_size, d.x);
+        float lo = std::numeric_limits<float>::infinity();
+        float hi = -std::numeric_limits<float>::infinity();
+        bool has_nan = false;
+        for (int k = z0; k < z1; ++k) {
+          for (int j = y0; j < y1; ++j) {
+            std::size_t linear = volume.linear_index(x0, j, k);
+            for (int i = x0; i < x1; ++i, ++linear) {
+              const float v = volume[linear];
+              // NaN fails both comparisons, so it never pollutes lo/hi;
+              // the explicit check below widens the brick instead.
+              if (v < lo) lo = v;
+              if (v > hi) hi = v;
+              if (v != v) has_nan = true;
+            }
+          }
+        }
+        if (has_nan) {
+          lo = -std::numeric_limits<float>::infinity();
+          hi = std::numeric_limits<float>::infinity();
+        }
+        index.ranges_[index.brick_linear(bx, by, bz)] = Range{lo, hi};
+      }
+    }
+  }
+  return index;
+}
+
+BrickIndex::Range BrickIndex::dilated_range(int bx, int by, int bz) const {
+  Range out{std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity()};
+  const int x0 = std::max(bx - 1, 0), x1 = std::min(bx + 1, grid_.x - 1);
+  const int y0 = std::max(by - 1, 0), y1 = std::min(by + 1, grid_.y - 1);
+  const int z0 = std::max(bz - 1, 0), z1 = std::min(bz + 1, grid_.z - 1);
+  for (int nz = z0; nz <= z1; ++nz) {
+    for (int ny = y0; ny <= y1; ++ny) {
+      for (int nx = x0; nx <= x1; ++nx) {
+        const Range& r = ranges_[brick_linear(nx, ny, nz)];
+        out.lo = std::min(out.lo, r.lo);
+        out.hi = std::max(out.hi, r.hi);
+      }
+    }
+  }
+  return out;
+}
+
+void BrickIndex::classify(const TransferFunction1D& tf,
+                          std::vector<std::uint8_t>& out) const {
+  IFET_REQUIRE(!empty(), "BrickIndex::classify: empty index");
+  const std::vector<int> nonzero = nonzero_prefix(tf);
+  out.assign(num_bricks(), 0);
+  for (int bz = 0; bz < grid_.z; ++bz) {
+    for (int by = 0; by < grid_.y; ++by) {
+      for (int bx = 0; bx < grid_.x; ++bx) {
+        const Range r = dilated_range(bx, by, bz);
+        out[brick_linear(bx, by, bz)] =
+            span_visible(tf, nonzero, r.lo, r.hi) ? 1 : 0;
+      }
+    }
+  }
+}
+
+void BrickIndex::classify_with_highlight(const TransferFunction1D& tf,
+                                         const Mask& mask,
+                                         const TransferFunction1D& highlight_tf,
+                                         std::vector<std::uint8_t>& out) const {
+  IFET_REQUIRE(!empty(), "BrickIndex::classify_with_highlight: empty index");
+  IFET_REQUIRE(mask.dims() == dims_,
+               "BrickIndex::classify_with_highlight: mask dimension mismatch");
+  const std::vector<int> nonzero = nonzero_prefix(tf);
+  const std::vector<int> highlight_nonzero = nonzero_prefix(highlight_tf);
+
+  // Brick-grid occupancy of the mask: does brick b contain any set voxel?
+  std::vector<std::uint8_t> mask_any(num_bricks(), 0);
+  const Dims d = dims_;
+  for (int k = 0; k < d.z; ++k) {
+    const int bz = k / brick_size_;
+    for (int j = 0; j < d.y; ++j) {
+      const int by = j / brick_size_;
+      std::size_t linear = mask.linear_index(0, j, k);
+      for (int i = 0; i < d.x; ++i, ++linear) {
+        if (mask[linear] != 0) {
+          mask_any[brick_linear(i / brick_size_, by, bz)] = 1;
+        }
+      }
+    }
+  }
+
+  out.assign(num_bricks(), 0);
+  for (int bz = 0; bz < grid_.z; ++bz) {
+    for (int by = 0; by < grid_.y; ++by) {
+      for (int bx = 0; bx < grid_.x; ++bx) {
+        const Range r = dilated_range(bx, by, bz);
+        bool active = span_visible(tf, nonzero, r.lo, r.hi);
+        if (!active) {
+          // The overlay re-colors masked samples through the highlight
+          // TF, so a brick whose neighbourhood touches the mask is only
+          // skippable when that TF is also zero over the range.
+          const int x0 = std::max(bx - 1, 0);
+          const int x1 = std::min(bx + 1, grid_.x - 1);
+          const int y0 = std::max(by - 1, 0);
+          const int y1 = std::min(by + 1, grid_.y - 1);
+          const int z0 = std::max(bz - 1, 0);
+          const int z1 = std::min(bz + 1, grid_.z - 1);
+          bool masked_near = false;
+          for (int nz = z0; nz <= z1 && !masked_near; ++nz) {
+            for (int ny = y0; ny <= y1 && !masked_near; ++ny) {
+              for (int nx = x0; nx <= x1; ++nx) {
+                if (mask_any[brick_linear(nx, ny, nz)] != 0) {
+                  masked_near = true;
+                  break;
+                }
+              }
+            }
+          }
+          active = masked_near &&
+                   span_visible(highlight_tf, highlight_nonzero, r.lo, r.hi);
+        }
+        out[brick_linear(bx, by, bz)] = active ? 1 : 0;
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> BrickIndex::serialize() const {
+  std::vector<std::uint8_t> bytes(ranges_.size() * 2 * sizeof(float));
+  std::uint8_t* cursor = bytes.data();
+  for (const Range& r : ranges_) {
+    std::memcpy(cursor, &r.lo, sizeof(float));
+    cursor += sizeof(float);
+    std::memcpy(cursor, &r.hi, sizeof(float));
+    cursor += sizeof(float);
+  }
+  return bytes;
+}
+
+std::size_t BrickIndex::serialized_bytes(Dims volume_dims, int brick_size) {
+  IFET_REQUIRE(brick_size > 0,
+               "BrickIndex::serialized_bytes: brick size must be > 0");
+  const Dims grid{grid_extent(volume_dims.x, brick_size),
+                  grid_extent(volume_dims.y, brick_size),
+                  grid_extent(volume_dims.z, brick_size)};
+  return grid.count() * 2 * sizeof(float);
+}
+
+BrickIndex BrickIndex::deserialize(Dims volume_dims, int brick_size,
+                                   const std::uint8_t* bytes,
+                                   std::size_t size) {
+  IFET_REQUIRE(brick_size > 0,
+               "BrickIndex::deserialize: brick size must be > 0");
+  if (size != serialized_bytes(volume_dims, brick_size)) {
+    throw CorruptDataError(
+        "BrickIndex::deserialize: section size does not match the brick "
+        "count implied by the header geometry");
+  }
+  BrickIndex index;
+  index.dims_ = volume_dims;
+  index.brick_size_ = brick_size;
+  index.grid_ = Dims{grid_extent(volume_dims.x, brick_size),
+                     grid_extent(volume_dims.y, brick_size),
+                     grid_extent(volume_dims.z, brick_size)};
+  index.ranges_.resize(index.grid_.count());
+  const std::uint8_t* cursor = bytes;
+  for (Range& r : index.ranges_) {
+    std::memcpy(&r.lo, cursor, sizeof(float));
+    cursor += sizeof(float);
+    std::memcpy(&r.hi, cursor, sizeof(float));
+    cursor += sizeof(float);
+    if (std::isnan(r.lo) || std::isnan(r.hi)) {
+      throw CorruptDataError(
+          "BrickIndex::deserialize: NaN brick range (the builder never "
+          "writes NaN; the section is corrupt)");
+    }
+  }
+  return index;
+}
+
+}  // namespace ifet

@@ -60,4 +60,25 @@ Histogram CachedSequence::histogram(int step) const {
   return Histogram::of(fetch(step).volume, histogram_bins_, lo, hi);
 }
 
+std::shared_ptr<const BrickIndex> CachedSequence::brick_index(int step) const {
+  IFET_REQUIRE(step >= 0 && step < num_steps(),
+               "CachedSequence: step out of range");
+  {
+    MutexLock lock(mutex_);
+    auto it = bricks_.find(step);
+    if (it != bricks_.end()) return it->second;
+  }
+  // Ingest-time metadata needs no payload decode; only the fallback pays
+  // for the volume. Either way the result is immutable and memoized (a
+  // racing builder for the same step just wins-first into the map).
+  std::shared_ptr<const BrickIndex> index = source_->brick_metadata(step);
+  if (index == nullptr) {
+    index = std::make_shared<const BrickIndex>(BrickIndex::build(fetch(step).volume));
+  }
+  MutexLock lock(mutex_);
+  auto [pos, inserted] = bricks_.emplace(step, std::move(index));
+  (void)inserted;
+  return pos->second;
+}
+
 }  // namespace ifet

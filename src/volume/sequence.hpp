@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "util/thread_annotations.hpp"
+#include "volume/brick_index.hpp"
 #include "volume/histogram.hpp"
 #include "volume/volume.hpp"
 
@@ -37,6 +38,18 @@ class VolumeSource {
   /// cumulative coordinates are comparable between time steps).
   virtual std::pair<double, double> value_range() const = 0;
   virtual VolumeF generate(int step) const = 0;
+
+  /// Ingest-time brick min/max metadata for `step`, when the backing
+  /// container carries it (a v2 .cvol brick section — see io/compressed).
+  /// The default (procedural sources, legacy files, raw .vol sets) returns
+  /// nullptr and consumers build the index from the decoded volume
+  /// instead. Implementations must serve this WITHOUT decoding the step's
+  /// payload — it is the renderer's cheap pre-pass over steps that may
+  /// never become resident.
+  virtual std::shared_ptr<const BrickIndex> brick_metadata(int step) const {
+    (void)step;
+    return nullptr;
+  }
 };
 
 /// Adapts a lambda to a VolumeSource.
@@ -98,6 +111,18 @@ class VolumeSequence {
   /// Number of source loads so far (cache-miss count; for tests).
   virtual std::size_t generation_count() const = 0;
 
+  /// Brick min/max metadata for `step` (renderer empty-space skipping).
+  /// Implementations prefer ingest-time metadata from the backing
+  /// container (served without decoding the payload) and fall back to
+  /// building the index from the decoded volume, memoizing either way.
+  /// The base default returns nullptr: callers must handle "no metadata"
+  /// by building from the volume themselves (Raycaster::prepare_plan
+  /// does).
+  virtual std::shared_ptr<const BrickIndex> brick_index(int step) const {
+    (void)step;
+    return nullptr;
+  }
+
   // --- Streaming hooks (no-ops on fully-resident implementations) ---
 
   /// Declare that the caller will interleave accesses to steps in
@@ -138,6 +163,11 @@ class CachedSequence final : public VolumeSequence {
   const VolumeF& step(int step) const override;
   const CumulativeHistogram& cumulative_histogram(int step) const override;
   Histogram histogram(int step) const override;
+  /// Ingest metadata when the source carries it, else built from the
+  /// decoded step; memoized for the sequence lifetime (brick indices are
+  /// ~0.2% of a volume, so they are not subject to LRU eviction).
+  std::shared_ptr<const BrickIndex> brick_index(int step) const override
+      IFET_EXCLUDES(mutex_);
   // Locked: generations_ is written by concurrent fetches; the old
   // lock-free read here was a data race the thread-safety annotations
   // refused to compile.
@@ -164,6 +194,8 @@ class CachedSequence final : public VolumeSequence {
   mutable Mutex mutex_;
   mutable std::list<int> lru_ IFET_GUARDED_BY(mutex_);  // front = recent
   mutable std::unordered_map<int, Entry> cache_ IFET_GUARDED_BY(mutex_);
+  mutable std::unordered_map<int, std::shared_ptr<const BrickIndex>> bricks_
+      IFET_GUARDED_BY(mutex_);
   mutable std::size_t generations_ IFET_GUARDED_BY(mutex_) = 0;
 };
 

@@ -13,6 +13,8 @@
 #include "util/error.hpp"
 #include "util/io_error.hpp"
 #include "util/rng.hpp"
+#include "volume/brick_index.hpp"
+#include "volume/sequence.hpp"
 
 namespace ifet {
 namespace {
@@ -220,12 +222,13 @@ TEST(PayloadChecksums, BitFlippedCvolPayloadRejected) {
   write_compressed_sequence(source, path);
 
   std::string bytes = slurp(path);
-  // Layout: text header line, 16-byte index entry, then the single
-  // record `bits u8 | lo f32 | hi f32 | payload_size u64 | payload | crc`.
+  // v2 layout: text header line, 32-byte index entry, the single record
+  // `bits u8 | lo f32 | hi f32 | payload_size u64 | payload | crc`, then
+  // the brick record (one 8^3 brick for these dims: 8 bytes + crc).
   const std::size_t header_end = bytes.find('\n');
   ASSERT_NE(header_end, std::string::npos);
-  const std::size_t payload_begin = header_end + 1 + 16 + 17;
-  const std::size_t payload_end = bytes.size() - 4;  // trailing crc32
+  const std::size_t payload_begin = header_end + 1 + 32 + 17;
+  const std::size_t payload_end = bytes.size() - 12 - 4;
   ASSERT_GT(payload_end, payload_begin);
   Rng rng(2026);
   const std::size_t offset =
@@ -306,6 +309,105 @@ TEST(PayloadChecksums, ChecksumLessVolStillLoads) {
   VolumeF back = read_vol(path);
   EXPECT_EQ(max_abs_error(v, back), 0.0);
   EXPECT_EQ(checksum_counters().unverified, before.unverified + 1);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// v2 brick-index section (ingest-time min/max bricks; docs/STREAMING.md)
+
+TEST(BrickSection, V2RoundTripMatchesRebuiltIndex) {
+  const std::string path = "/tmp/ifet_cseq_v2.cvol";
+  const Dims d{13, 10, 9};  // ragged against the default 8^3 bricks
+  CallbackSource source(d, 3, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 700 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path);
+
+  CompressedFileSource reader(path);
+  EXPECT_EQ(reader.container_brick_size(), BrickIndex::kDefaultBrickSize);
+  for (int s = 0; s < 3; ++s) {
+    const auto stored = reader.brick_metadata(s);
+    ASSERT_NE(stored, nullptr) << "step " << s;
+    // The stored ranges must describe the RECONSTRUCTED voxels the
+    // renderer actually samples, i.e. match a rebuild from the decoded
+    // step bit for bit.
+    const BrickIndex rebuilt =
+        BrickIndex::build(reader.generate(s), reader.container_brick_size());
+    ASSERT_EQ(stored->num_bricks(), rebuilt.num_bricks());
+    for (std::size_t b = 0; b < rebuilt.num_bricks(); ++b) {
+      EXPECT_EQ(stored->ranges()[b].lo, rebuilt.ranges()[b].lo);
+      EXPECT_EQ(stored->ranges()[b].hi, rebuilt.ranges()[b].hi);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BrickSection, LegacyV1FilesStillLoadWithoutBrickMetadata) {
+  const std::string path = "/tmp/ifet_cseq_v1.cvol";
+  const Dims d{9, 9, 9};
+  CallbackSource source(d, 2, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 800 + static_cast<unsigned>(step));
+  });
+  // brick_size = 0 writes the pre-brick v1 container byte for byte.
+  write_compressed_sequence(source, path, QuantBits::k8,
+                            /*with_checksum=*/true, /*brick_size=*/0);
+  EXPECT_EQ(slurp(path).rfind("ifet-cseq ", 0), 0u);  // v1 magic, not v2
+
+  CompressedFileSource reader(path);
+  EXPECT_EQ(reader.container_brick_size(), 0);
+  EXPECT_EQ(reader.brick_metadata(0), nullptr);
+  EXPECT_EQ(reader.brick_metadata(1), nullptr);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_LE(max_abs_error(source.generate(s), reader.generate(s)),
+              1.0 / 255.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BrickSection, BrickMetadataNeverDecodesPayloads) {
+  const std::string path = "/tmp/ifet_cseq_nodecode.cvol";
+  const Dims d{12, 12, 12};
+  CallbackSource source(d, 4, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 900 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path);
+
+  auto disk_source = std::make_shared<CompressedFileSource>(path);
+  CachedSequence seq(disk_source, 2);
+  const ChecksumCounters before = checksum_counters();
+  const auto bricks = seq.brick_index(2);
+  ASSERT_NE(bricks, nullptr);
+  // Served from the container's brick section: zero payloads were decoded
+  // and exactly one (brick) record was checksum-verified.
+  EXPECT_EQ(seq.generation_count(), 0u);
+  EXPECT_EQ(checksum_counters().verified, before.verified + 1);
+  // Memoized: the second lookup returns the same index, no second read.
+  EXPECT_EQ(seq.brick_index(2).get(), bricks.get());
+  EXPECT_EQ(checksum_counters().verified, before.verified + 1);
+  std::remove(path.c_str());
+}
+
+TEST(BrickSection, BitFlippedBrickRecordRejected) {
+  const std::string path = "/tmp/ifet_cseq_brickflip.cvol";
+  const Dims d{8, 8, 8};
+  CallbackSource source(d, 1, {0.0, 1.0}, [d](int step) {
+    return testing::random_volume(d, 950 + static_cast<unsigned>(step));
+  });
+  write_compressed_sequence(source, path);
+
+  // The single 8^3 brick's record is the final 12 bytes (8 range bytes +
+  // crc32); flip one of the range bytes.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 10] = static_cast<char>(bytes[bytes.size() - 10] ^ 0x40);
+  dump(path, bytes);
+
+  CompressedFileSource reader(path);
+  const std::uint64_t before = checksum_counters().mismatches;
+  EXPECT_THROW(reader.brick_metadata(0), CorruptDataError);
+  EXPECT_EQ(checksum_counters().mismatches, before + 1);
+  // The payload section is untouched: the step still decodes cleanly.
+  EXPECT_LE(max_abs_error(source.generate(0), reader.generate(0)),
+            1.0 / 255.0);
   std::remove(path.c_str());
 }
 

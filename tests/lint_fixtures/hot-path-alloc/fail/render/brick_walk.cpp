@@ -1,0 +1,35 @@
+// FAIL fixture: a hot brick-traversal loop that gathers each ray's
+// surviving sample run into a freshly grown vector — a per-ray, per-brick
+// allocation inside the innermost render loop, the exact anti-pattern the
+// SoA ray-packet scratch exists to prevent.
+#include <vector>
+
+#define IFET_HOT __attribute__((hot))
+
+namespace fixture {
+
+class BrickMarcher {
+ public:
+  IFET_HOT double march(int bricks) {
+    double total = 0.0;
+    for (int b = 0; b < bricks; ++b) {
+      total += composite_run(b);
+    }
+    return total;
+  }
+
+ private:
+  double composite_run(int brick) {
+    run_.clear();
+    for (int i = 0; i < 8; ++i) {
+      run_.push_back(static_cast<double>(brick * 8 + i));  // grows per brick
+    }
+    double sum = 0.0;
+    for (double t : run_) sum += t;
+    return sum;
+  }
+
+  std::vector<double> run_;
+};
+
+}  // namespace fixture

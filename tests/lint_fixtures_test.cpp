@@ -129,7 +129,7 @@ TEST(LintCliTest, BaselineSuppressesKnownFindings) {
                                "/baseline.txt --only=hot-path " + base +
                                "/fail");
   EXPECT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("\"baseline_suppressed\": 1"), std::string::npos)
+  EXPECT_NE(run.output.find("\"baseline_suppressed\": 2"), std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("\"findings\": []"), std::string::npos)
       << run.output;

@@ -234,10 +234,14 @@ TEST(Raycaster, SmallerStepSamplesMore) {
   VolumeF v(Dims{16, 16, 16}, 0.1f);
   TransferFunction1D tf(0.0, 1.0);  // transparent: no early termination
   Camera cam(0.4, 0.3, 2.5);
+  // A fully transparent TF marks every brick skippable, which would clip
+  // all samples; this test is about raw march density, so skip nothing.
   RenderSettings coarse = small_settings();
   coarse.step_voxels = 2.0;
+  coarse.empty_space_skipping = false;
   RenderSettings fine = small_settings();
   fine.step_voxels = 0.5;
+  fine.empty_space_skipping = false;
   RenderStats cs, fs;
   Raycaster(coarse).render(v, tf, ColorMap(), cam, nullptr, &cs);
   Raycaster(fine).render(v, tf, ColorMap(), cam, nullptr, &fs);

@@ -5,6 +5,7 @@
 
 #include "core/dataspace.hpp"
 #include "core/iatf.hpp"
+#include "io/compressed.hpp"
 #include "core/tracking.hpp"
 #include "math/vec.hpp"
 #include "stream/cache_manager.hpp"
@@ -219,6 +220,51 @@ TEST(VolumeStore, PinWindowKeepsStepsResident) {
   store.fetch(6);
   store.fetch(7);
   for (int s : {2, 3, 4}) EXPECT_TRUE(store.cache().resident(s));
+}
+
+TEST(VolumeStore, BrickIndexServedFromContainerWithoutDecode) {
+  const std::string path = "/tmp/ifet_stream_bricks.cvol";
+  auto generator = counter_source(5);
+  write_compressed_sequence(*generator, path);
+
+  VolumeStoreConfig cfg;
+  cfg.lookahead = 0;
+  cfg.async_prefetch = false;
+  auto store = VolumeStore::open_cvol(path, cfg);
+  const auto bricks = store->brick_index(3);
+  ASSERT_NE(bricks, nullptr);
+  EXPECT_EQ(bricks->volume_dims(), kDims);
+  // The v2 container serves the index from its brick section: no payload
+  // was decoded, and the memo absorbs repeat lookups.
+  EXPECT_EQ(store->load_count(), 0u);
+  EXPECT_EQ(store->brick_metadata_reads(), 1u);
+  EXPECT_EQ(store->brick_builds(), 0u);
+  EXPECT_EQ(store->brick_index(3).get(), bricks.get());
+  EXPECT_EQ(store->brick_metadata_reads(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(VolumeStore, BrickIndexFallbackBuildsFromDecodedStep) {
+  // A procedural source has no container metadata; the store must build
+  // the index from the fetched step — once.
+  auto source = counter_source(4);
+  VolumeStoreConfig cfg;
+  cfg.lookahead = 0;
+  cfg.async_prefetch = false;
+  VolumeStore store(source, cfg);
+  const auto bricks = store.brick_index(1);
+  ASSERT_NE(bricks, nullptr);
+  EXPECT_EQ(store.brick_metadata_reads(), 0u);
+  EXPECT_EQ(store.brick_builds(), 1u);
+  EXPECT_EQ(store.load_count(), 1u);
+  EXPECT_EQ(store.brick_index(1).get(), bricks.get());
+  EXPECT_EQ(store.brick_builds(), 1u);
+
+  // StreamedSequence exposes the same index to the renderer.
+  StreamedSequence seq(source, {});
+  const auto via_seq = seq.brick_index(1);
+  ASSERT_NE(via_seq, nullptr);
+  EXPECT_EQ(via_seq->volume_dims(), kDims);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,7 +16,9 @@
 #      (the CacheManager/Prefetcher, fault-storm, thread-pool, and
 #      multi-tenant-server race detectors) plus the bench AllocGuard
 #      steady-state checks (FlatMlp forward_batch, Raycaster row kernel,
-#      CacheManager hit path) in their fast check-only modes, and the
+#      CacheManager hit path) in their fast check-only modes, the
+#      render-equivalence smoke (brick empty-space skipping vs the scalar
+#      march, bitwise, all compositing variants), and the
 #      bench_perf_server --smoke load generator (deterministic small
 #      fleet, bitwise-equivalence gate) under TSan
 #   6. thread-safety: clang build with -Wthread-safety promoted to errors
@@ -116,6 +118,9 @@ stage_tsan() {
   # kernels (FlatMlp::forward_batch, Raycaster::render_rows, CacheManager
   # hits) touch the heap zero times when warm — under TSan, so the same
   # run also races the guard's atomics against the thread pool. The
+  # render-equivalence smoke (--equiv-check-only) memcmps the brick
+  # empty-space-skipping path against the scalar march across all three
+  # compositing variants, with the row pool racing under TSan. The
   # multi-tenant server rides along twice: its dedicated stress storm and
   # the deterministic bench_perf_server load generator in --smoke mode
   # (small fleet, bitwise tight-vs-infinite-budget equivalence gate).
@@ -129,6 +134,7 @@ stage_tsan() {
       'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|stress_server_test|flat_mlp_test' &&
     "$ROOT/build-tsan/bench/bench_perf_classify" --alloc-check-only &&
     "$ROOT/build-tsan/bench/bench_perf_render" --render-check-only &&
+    "$ROOT/build-tsan/bench/bench_perf_render" --equiv-check-only &&
     "$ROOT/build-tsan/bench/bench_perf_stream" &&
     (cd "$ROOT/build-tsan/bench" && ./bench_perf_server --smoke)
 }
