@@ -9,13 +9,16 @@
 // path, which must be far cheaper than the full volume).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <span>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/dataspace.hpp"
@@ -24,6 +27,7 @@
 #include "nn/mlp.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/alloc_guard.hpp"
+#include "util/determinism.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -252,17 +256,79 @@ int check_steady_state_allocations() {
   return 0;
 }
 
+/// Perturbed-replay check on the IFET_DETERMINISTIC classification
+/// kernels (util/determinism.hpp): the whole-volume classify and a
+/// chunked FlatMlp::forward_batch must produce bitwise-identical outputs
+/// across pool widths {1, 4, hardware}, cold and warm caches, and
+/// shuffled chunk submission order. This is the dynamic counterpart of
+/// ifet_lint's det-* pass: the lint proves no code reachable from the
+/// annotation observes an ordering source, this proves the schedule
+/// cannot tell the difference either.
+int run_replay_check() {
+  ReionizationConfig cfg;
+  cfg.dims = Dims{32, 32, 32};
+  cfg.num_steps = 400;
+  cfg.num_small_features = 60;
+  ReionizationSource source(cfg);
+  VolumeF volume = source.generate(310);
+  auto clf = make_trained_classifier(volume, 14);
+
+  Rng rng(0x90df);
+  Mlp net({19, 16, 1}, rng);
+  FlatMlp flat(net);
+  const int rows = 6 * FlatMlp::kTileRows + 7;
+  std::vector<double> in(static_cast<std::size_t>(rows) * 19);
+  for (double& x : in) x = rng.uniform(-1.5, 1.5);
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ReplayCheck check("flat_mlp_classify", {1, 4, hw});
+  ReplayReport report = check.run([&](const ReplayTrial& trial) {
+    ThreadPool::ScopedGlobalWidth width(trial.threads);
+    DigestSink sink;
+
+    // Whole-volume classify: the pool partitions voxel rows differently
+    // at every width; the certainty field must not notice.
+    VolumeF certainty = clf->classify(volume, 0);
+    sink.span(certainty.data().data(), certainty.size());
+
+    // Chunked forward_batch into one output buffer, chunks visited in a
+    // deterministic shuffle when the trial asks for it: the batched
+    // engine's per-row results must not depend on submission order.
+    constexpr int kChunk = 48;
+    const std::size_t chunks =
+        (static_cast<std::size_t>(rows) + kChunk - 1) / kChunk;
+    std::vector<std::size_t> order(chunks);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (trial.shuffled) order = replay_permutation(chunks, 0x1FE7);
+    std::vector<double> out(static_cast<std::size_t>(rows));
+    FlatMlp::Scratch scratch;
+    for (const std::size_t c : order) {
+      const std::size_t lo = c * kChunk;
+      const int cnt = static_cast<int>(
+          std::min<std::size_t>(kChunk, static_cast<std::size_t>(rows) - lo));
+      flat.forward_batch(in.data() + lo * 19, cnt, out.data() + lo, scratch);
+    }
+    sink.span(out.data(), out.size());
+    return sink.value();
+  });
+  std::cout << report.summary();
+  return report.ok ? 0 : 1;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run
-// (skippable with --classify-report-only; --alloc-check-only also skips
-// the report) the binary performs the scalar-vs-flat parity check, the
-// zero-allocation steady-state check, and writes BENCH_classify.json, so
-// CI can gate on the speedup, the bit-comparability contract, and the
-// hot-path allocation contract at once.
+// (skippable with --classify-report-only; --alloc-check-only and
+// --replay-check-only also skip the report) the binary performs the
+// scalar-vs-flat parity check, the zero-allocation steady-state check,
+// the perturbed-replay determinism check, and writes BENCH_classify.json,
+// so CI can gate on the speedup, the bit-comparability contract, the
+// hot-path allocation contract, and the determinism contract at once.
 int main(int argc, char** argv) {
   bool report_only = false;
   bool alloc_check_only = false;
+  bool replay_check_only = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--classify-report-only") {
@@ -273,8 +339,13 @@ int main(int argc, char** argv) {
       alloc_check_only = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--replay-check-only") {
+      replay_check_only = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  if (replay_check_only) return run_replay_check();
   if (!report_only && !alloc_check_only) {
     int filtered = static_cast<int>(args.size());
     benchmark::Initialize(&filtered, args.data());
@@ -286,5 +357,7 @@ int main(int argc, char** argv) {
   }
   const int alloc_rc = check_steady_state_allocations();
   if (alloc_check_only || alloc_rc != 0) return alloc_rc;
+  const int replay_rc = run_replay_check();
+  if (replay_rc != 0) return replay_rc;
   return write_classify_report("BENCH_classify.json");
 }

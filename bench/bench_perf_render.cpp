@@ -15,7 +15,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/iatf.hpp"
@@ -23,6 +25,7 @@
 #include "parallel/thread_pool.hpp"
 #include "render/raycaster.hpp"
 #include "util/alloc_guard.hpp"
+#include "util/determinism.hpp"
 #include "util/timer.hpp"
 #include "volume/ops.hpp"
 
@@ -281,6 +284,67 @@ int check_skip_equivalence() {
   return 0;
 }
 
+/// Perturbed-replay check on the IFET_DETERMINISTIC render kernels
+/// (util/determinism.hpp): all three compositing variants (front-to-back
+/// shaded, tracking overlay, maximum intensity) must produce
+/// bitwise-identical frames across pool widths {1, 4, hardware}, cold and
+/// warm caches, and shuffled row-chunk submission through render_rows.
+int run_replay_check() {
+  RenderFixture& f = fixture();
+  Camera camera(0.5, 0.35, 2.4);
+  ColorMap colors;
+  HighlightLayer layer{f.mask.get(), f.tf.get(), Rgb{0.9, 0.05, 0.05}};
+
+  RenderSettings shaded = settings_for(96, true);
+  RenderSettings mip = settings_for(96, false);
+  mip.mode = CompositingMode::kMaximumIntensity;
+  struct Variant {
+    const RenderSettings* settings;
+    const HighlightLayer* highlight;
+  };
+  const Variant variants[] = {
+      {&shaded, nullptr}, {&shaded, &layer}, {&mip, nullptr}};
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ReplayCheck check("raycaster_variants", {1, 4, hw});
+  ReplayReport report = check.run([&](const ReplayTrial& trial) {
+    ThreadPool::ScopedGlobalWidth width(trial.threads);
+    DigestSink sink;
+    for (const Variant& v : variants) {
+      Raycaster caster(*v.settings);
+      // Pooled frame: the global pool splits rows differently at every
+      // width; the pixels must not notice.
+      const ImageRgb8 pooled =
+          caster.render(f.volume, *f.tf, colors, camera, v.highlight);
+      sink.span(pooled.pixels.data(), pooled.pixels.size());
+      // Row-kernel frame, chunks marched in a deterministic shuffle when
+      // the trial asks for it: rows only write their own pixels, so the
+      // visit order must be invisible.
+      const Raycaster::Plan plan =
+          caster.prepare_plan(f.volume, *f.tf, colors, camera, v.highlight);
+      constexpr int kChunkRows = 8;
+      const std::size_t chunks =
+          (static_cast<std::size_t>(v.settings->height) + kChunkRows - 1) /
+          kChunkRows;
+      std::vector<std::size_t> order(chunks);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      if (trial.shuffled) order = replay_permutation(chunks, 0xCA57);
+      ImageRgb8 direct(v.settings->width, v.settings->height);
+      Raycaster::RenderRowCounters counters;
+      for (const std::size_t c : order) {
+        const int lo = static_cast<int>(c) * kChunkRows;
+        const int hi = std::min(lo + kChunkRows, v.settings->height);
+        caster.render_rows(plan, lo, hi, direct, counters);
+      }
+      sink.span(direct.pixels.data(), direct.pixels.size());
+    }
+    return sink.value();
+  });
+  std::cout << report.summary();
+  return report.ok ? 0 : 1;
+}
+
 /// Median frame time over `reps` full render_step() calls against a warm
 /// sequence: the product configuration, where brick metadata comes from
 /// ingest (or the sequence memo), never a per-frame volume pass. Per-frame
@@ -390,13 +454,16 @@ int write_render_report(const char* path) {
 
 // Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run
 // (skippable with --render-check-only; --equiv-check-only runs just the
-// fast skip-vs-scalar parity gate) the binary verifies the row-kernel
-// allocation contract and the empty-space-skipping bitwise contract, then
-// writes BENCH_render.json — so CI gates on the hot ray loop staying
-// heap-free, the brick path staying bitwise faithful, and the speedup.
+// fast skip-vs-scalar parity gate, --replay-check-only just the perturbed
+// determinism replay) the binary verifies the row-kernel allocation
+// contract, the perturbed-replay determinism contract, and the
+// empty-space-skipping bitwise contract, then writes BENCH_render.json —
+// so CI gates on the hot ray loop staying heap-free, the brick path
+// staying bitwise faithful, and the speedup.
 int main(int argc, char** argv) {
   bool check_only = false;
   bool equiv_only = false;
+  bool replay_only = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--render-check-only") {
@@ -407,8 +474,13 @@ int main(int argc, char** argv) {
       equiv_only = true;
       continue;
     }
+    if (std::string_view(argv[i]) == "--replay-check-only") {
+      replay_only = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  if (replay_only) return run_replay_check();
   if (equiv_only) return check_skip_equivalence();
   if (!check_only) {
     int filtered = static_cast<int>(args.size());
@@ -421,6 +493,8 @@ int main(int argc, char** argv) {
   }
   const int rows_rc = check_render_rows_contract();
   if (rows_rc != 0) return rows_rc;
+  const int replay_rc = run_replay_check();
+  if (replay_rc != 0) return replay_rc;
   const int equiv_rc = check_skip_equivalence();
   if (check_only || equiv_rc != 0) return equiv_rc;
   return write_render_report("BENCH_render.json");

@@ -33,6 +33,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -379,9 +380,19 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << storm_stats.summary() << "\n\n";
 
+  // Per-client reporting iterates in ascending session id, never creation
+  // or completion order: the fairness table, CSV, and JSON are part of the
+  // determinism contract's observable surface (two runs of the same storm
+  // must emit byte-identical client listings).
+  std::vector<std::size_t> by_id(runs.size());
+  std::iota(by_id.begin(), by_id.end(), std::size_t{0});
+  std::sort(by_id.begin(), by_id.end(), [&](std::size_t a, std::size_t b) {
+    return runs[a]->id < runs[b]->id;
+  });
+
   Table fair({"client", "accesses", "reloads", "denied_pins",
               "pinned_steps"});
-  for (std::size_t c = 0; c < fairness.size(); ++c) {
+  for (const std::size_t c : by_id) {
     fair.add_row({std::to_string(runs[c]->id),
                   std::to_string(fairness[c].accesses),
                   std::to_string(fairness[c].reloads),
@@ -410,9 +421,9 @@ int main(int argc, char** argv) {
   // --- Persist: latency distribution, trajectory, fairness, JSON summary.
   CsvWriter lat_csv(bench::output_dir() + "/perf_server_latency.csv",
                     {"client", "command", "latency_ms"});
-  for (const auto& run : runs) {
+  for (const std::size_t c : by_id) {
     for (std::size_t i = 0; i < script.size(); ++i) {
-      lat_csv.row(run->id, i, run->latency_ms[i]);
+      lat_csv.row(runs[c]->id, i, runs[c]->latency_ms[i]);
     }
   }
   CsvWriter traj_csv(
@@ -424,7 +435,7 @@ int main(int argc, char** argv) {
   CsvWriter fair_csv(
       bench::output_dir() + "/perf_server_fairness.csv",
       {"client", "accesses", "reloads", "denied_pins", "pinned_steps"});
-  for (std::size_t c = 0; c < fairness.size(); ++c) {
+  for (const std::size_t c : by_id) {
     fair_csv.row(runs[c]->id, fairness[c].accesses, fairness[c].reloads,
                  fairness[c].denied_pins, fairness[c].pinned_steps);
   }
@@ -446,13 +457,14 @@ int main(int argc, char** argv) {
        << "  \"bitwise_identical\": " << (bitwise ? "true" : "false")
        << ",\n"
        << "  \"per_client\": [\n";
-  for (std::size_t c = 0; c < fairness.size(); ++c) {
+  for (std::size_t k = 0; k < by_id.size(); ++k) {
+    const std::size_t c = by_id[k];
     json << "    {\"client\": " << runs[c]->id
          << ", \"accesses\": " << fairness[c].accesses
          << ", \"reloads\": " << fairness[c].reloads
          << ", \"denied_pins\": " << fairness[c].denied_pins
          << ", \"pinned_steps\": " << fairness[c].pinned_steps << "}"
-         << (c + 1 < fairness.size() ? "," : "") << "\n";
+         << (k + 1 < by_id.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::cout << "server report: p50 " << p50 << " ms, p99 " << p99

@@ -13,13 +13,20 @@
 //   - IATF transfer functions and 4D region-growing masks are identical
 //     between an unlimited-budget CachedSequence and a tight-budget
 //     StreamedSequence;
+//   - perturbed replay (util/determinism.hpp): Tracker region growing on
+//     the argon-bubble sequence digests bitwise identically across pool
+//     widths {1, 4, hardware}, cold and warm caches (fresh vs reused
+//     tight-budget sequence), and repeated runs — the dynamic half of the
+//     IFET_DETERMINISTIC contract on Tracker::grow_step;
 //   - fault mode: with every step failing once transiently, the retry
 //     layer makes the scan bit-identical to the clean run (with nonzero
 //     retries in the stats), and a permanently corrupt step under
 //     --fail-policy=skip degrades to a gap instead of an abort.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/iatf.hpp"
@@ -27,11 +34,13 @@
 #include "flowsim/datasets.hpp"
 #include "io/compressed.hpp"
 #include "math/vec.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stream/cache_manager.hpp"
 #include "stream/fault_injection.hpp"
 #include "stream/streamed_sequence.hpp"
 #include "util/alloc_guard.hpp"
 #include "util/csv.hpp"
+#include "util/determinism.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -190,6 +199,50 @@ int main() {
   check.expect(masks_equal(track_resident, track_streamed),
                "4D region growing is identical under a 3-step budget");
   std::cout << "tracking: " << tight.stats().summary() << "\n";
+
+  // --- Perturbed-replay determinism check on Tracker::grow_step
+  // (IFET_DETERMINISTIC): region growing over the argon-bubble sequence,
+  // replayed across pool widths, cache temperatures, and repeated runs.
+  {
+    ArgonBubbleConfig argon_cfg;
+    argon_cfg.dims = Dims{32, 32, 32};
+    argon_cfg.num_steps = 12;
+    auto argon = std::make_shared<ArgonBubbleSource>(argon_cfg);
+    const int grow_step = argon_cfg.num_steps / 2;
+    const double band_c = argon->ring_band_center(grow_step);
+    const double band_h = argon->ring_band_half_width();
+    FixedRangeCriterion argon_criterion(band_c - band_h, band_c + band_h);
+    const Mask argon_seeds = argon->feature_mask(grow_step);
+    const std::size_t argon_budget =
+        3 * static_cast<std::size_t>(argon_cfg.dims.count()) * sizeof(float);
+
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    ReplayCheck replay("tracker_grow_argon", {1, 4, hw});
+    ReplayReport report = replay.run([&](const ReplayTrial& trial) {
+      ThreadPool::ScopedGlobalWidth width(trial.threads);
+      // A fresh tight-budget sequence per trial starts cold; warm trials
+      // track twice through the same cache and digest the second result.
+      StreamConfig replay_cfg;
+      replay_cfg.budget_bytes = argon_budget;
+      StreamedSequence argon_seq(argon, replay_cfg);
+      Tracker tracker(argon_seq, argon_criterion);
+      TrackResult grown = tracker.track_from_mask(argon_seeds, grow_step);
+      if (trial.warm) {
+        grown = tracker.track_from_mask(argon_seeds, grow_step);
+      }
+      DigestSink sink;
+      for (const auto& [step, mask] : grown.masks) {  // std::map: sorted
+        sink.pod(step);
+        sink.span(mask.data().data(), mask.size());
+      }
+      return sink.value();
+    });
+    std::cout << report.summary();
+    check.expect(report.ok,
+                 "tracker grow on argon bubble digests identically across "
+                 "pool widths and cache temperatures");
+  }
 
   // --- Fault mode: transient faults are invisible behind the retry layer.
   auto flaky = std::make_shared<FaultInjectingSource>(

@@ -186,7 +186,7 @@ IFET_HOT void Tracker::try_add_voxel(int step, const Index3& p,
   ++state.total_voxels;
 }
 
-IFET_HOT void Tracker::grow_step(int step, const VolumeF& volume,
+IFET_HOT IFET_DETERMINISTIC void Tracker::grow_step(int step, const VolumeF& volume,
                                  const std::vector<Index3>& candidates,
                                  Mask& mask, GrowState& state) const {
   static constexpr int kNeighborhood[6][3] = {{1, 0, 0},  {-1, 0, 0},

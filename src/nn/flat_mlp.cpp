@@ -127,7 +127,7 @@ IFET_HOT void FlatMlp::run_tile(const double* cols, std::size_t col_stride,
   }
 }
 
-IFET_HOT void FlatMlp::forward_batch(const double* in, int n, double* out,
+IFET_HOT IFET_DETERMINISTIC void FlatMlp::forward_batch(const double* in, int n, double* out,
                                      Scratch& scratch) const {
   IFET_HOT_ALLOW("batch-entry precondition, once per batch before the tiles");
   IFET_REQUIRE(valid() && n >= 0, "FlatMlp::forward_batch: invalid engine or "
@@ -161,7 +161,7 @@ IFET_HOT void FlatMlp::forward_batch(const double* in, int n, double* out,
   }
 }
 
-IFET_HOT void FlatMlp::forward_batch_cols(const double* in, int ld, int n,
+IFET_HOT IFET_DETERMINISTIC void FlatMlp::forward_batch_cols(const double* in, int ld, int n,
                                           double* out,
                                           Scratch& scratch) const {
   IFET_HOT_ALLOW("batch-entry precondition, once per batch before the tiles");

@@ -162,9 +162,29 @@ void ThreadPool::parallel_for_dynamic(
   run_tasks(std::move(tasks));
 }
 
+namespace {
+// ScopedGlobalWidth override: global() consults this before the default
+// pool. Plain atomic pointer — scopes are created from one thread only.
+std::atomic<ThreadPool*> g_global_override{nullptr};
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* o = g_global_override.load(std::memory_order_acquire)) {
+    return *o;
+  }
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool::ScopedGlobalWidth::ScopedGlobalWidth(std::size_t num_threads)
+    : pool_(num_threads),
+      previous_(
+          g_global_override.exchange(&pool_, std::memory_order_acq_rel)) {}
+
+ThreadPool::ScopedGlobalWidth::~ScopedGlobalWidth() {
+  g_global_override.store(previous_, std::memory_order_release);
+  // ~ThreadPool drains and joins pool_ after the override is lifted, so a
+  // task that itself calls global() mid-drain sees the restored pool.
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

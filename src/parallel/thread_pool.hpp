@@ -84,6 +84,8 @@ class ThreadPool {
   /// Process-wide default pool (lazily constructed, sized to hardware).
   static ThreadPool& global();
 
+  class ScopedGlobalWidth;  // defined after the class: holds a ThreadPool
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -102,6 +104,27 @@ class ThreadPool {
   std::condition_variable_any cv_;
   std::queue<Task> queue_ IFET_GUARDED_BY(mutex_);
   bool stopping_ IFET_GUARDED_BY(mutex_) = false;
+};
+
+/// Bench/replay-harness hook: while an instance is alive,
+/// ThreadPool::global() returns a temporary pool with exactly
+/// `num_threads` workers instead of the process-wide default. Scopes nest
+/// (each restores its predecessor) but must not be constructed from
+/// concurrent threads — this is a harness control, not a scheduling
+/// primitive. The default global pool is never destroyed; the temporary
+/// pool drains and joins at scope exit. Used by util/determinism.hpp's
+/// ReplayCheck runners to replay a kernel at perturbed widths.
+class ThreadPool::ScopedGlobalWidth {
+ public:
+  explicit ScopedGlobalWidth(std::size_t num_threads);
+  ~ScopedGlobalWidth();
+
+  ScopedGlobalWidth(const ScopedGlobalWidth&) = delete;
+  ScopedGlobalWidth& operator=(const ScopedGlobalWidth&) = delete;
+
+ private:
+  ThreadPool pool_;
+  ThreadPool* previous_;
 };
 
 /// Convenience: per-index parallel loop on the global pool, static schedule.

@@ -176,7 +176,7 @@ ImageRgb8 Raycaster::render_classified(const VolumeF& volume,
   return render_impl(volume, tf, colors, camera, nullptr, &certainty, stats);
 }
 
-Raycaster::Plan Raycaster::prepare_plan(
+IFET_DETERMINISTIC Raycaster::Plan Raycaster::prepare_plan(
     const VolumeF& volume, const TransferFunction1D& tf,
     const ColorMap& colors, const Camera& camera,
     const HighlightLayer* highlight, const VolumeF* certainty,
@@ -232,7 +232,7 @@ Raycaster::Plan Raycaster::prepare_plan(
   return plan;
 }
 
-IFET_HOT void Raycaster::render_rows(const Plan& plan, int row0, int row1,
+IFET_HOT IFET_DETERMINISTIC void Raycaster::render_rows(const Plan& plan, int row0, int row1,
                                      ImageRgb8& image,
                                      RenderRowCounters& counters) const {
   const VolumeF& volume = *plan.volume;

@@ -11,12 +11,13 @@
 #include "render/camera.hpp"
 #include "tf/transfer_function.hpp"
 #include "util/error.hpp"
+#include "util/hot_path.hpp"
 
 namespace ifet {
 
 namespace {
 
-std::uint32_t digest_tf(const TransferFunction1D& tf) {
+IFET_DETERMINISTIC std::uint32_t digest_tf(const TransferFunction1D& tf) {
   std::array<double, TransferFunction1D::kEntries> opacities{};
   for (int e = 0; e < TransferFunction1D::kEntries; ++e) {
     opacities[static_cast<std::size_t>(e)] = tf.opacity_entry(e);
@@ -24,12 +25,12 @@ std::uint32_t digest_tf(const TransferFunction1D& tf) {
   return crc32(opacities.data(), sizeof(opacities));
 }
 
-std::uint32_t digest_volume(const VolumeF& volume) {
+IFET_DETERMINISTIC std::uint32_t digest_volume(const VolumeF& volume) {
   auto data = volume.data();
   return crc32(data.data(), data.size() * sizeof(float));
 }
 
-std::uint32_t digest_cumhist(const CumulativeHistogram& ch) {
+IFET_DETERMINISTIC std::uint32_t digest_cumhist(const CumulativeHistogram& ch) {
   std::vector<double> fractions;
   fractions.reserve(static_cast<std::size_t>(ch.bins()));
   const double width = (ch.hi() - ch.lo()) / ch.bins();
@@ -39,7 +40,7 @@ std::uint32_t digest_cumhist(const CumulativeHistogram& ch) {
   return crc32(fractions.data(), fractions.size() * sizeof(double));
 }
 
-std::uint32_t digest_track(const TrackResult& result) {
+IFET_DETERMINISTIC std::uint32_t digest_track(const TrackResult& result) {
   std::uint32_t digest = 0;
   for (const auto& [step, mask] : result.masks) {
     digest = crc32(&step, sizeof(step), digest);

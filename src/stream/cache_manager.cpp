@@ -183,15 +183,20 @@ void CacheManager::clear() {
   }
 }
 
-StreamStats CacheManager::stats() const {
+IFET_DETERMINISTIC StreamStats CacheManager::stats() const {
   OrderedMutexLock lock(mutex_);
   StreamStats out = stats_;
   out.budget_bytes = budget_bytes_;
   out.bytes_resident = resident_bytes_;
   out.steps_resident = entries_.size();
+  // Walk the LRU list, not the hash map: the pinned count is
+  // order-independent, but stats() feeds StreamStats summaries the
+  // determinism contract covers, and the list iterates in a defined
+  // (recency) order at zero extra cost.
   std::size_t pinned = 0;
-  for (const auto& [step, entry] : entries_) {
-    if (pinned_locked(step, entry)) ++pinned;
+  for (const int step : lru_) {
+    const auto e = entries_.find(step);
+    if (e != entries_.end() && pinned_locked(step, e->second)) ++pinned;
   }
   out.pinned_steps = pinned;
   return out;

@@ -1,5 +1,7 @@
 #include "stream/derived_cache.hpp"
 
+#include "util/hot_path.hpp"
+
 namespace ifet {
 
 // The lock is NOT held while `compute` runs: synthesis of one derived
@@ -48,7 +50,7 @@ std::size_t DerivedCache::invalidate_in(MemoMap<T>& map,
   return erased;
 }
 
-std::shared_ptr<const Histogram> DerivedCache::histogram(
+IFET_DETERMINISTIC std::shared_ptr<const Histogram> DerivedCache::histogram(
     int step, std::uint64_t params_hash,
     const std::function<Histogram()>& compute,
     SharedStreamStats* session_stats) {
@@ -56,7 +58,8 @@ std::shared_ptr<const Histogram> DerivedCache::histogram(
                         session_stats);
 }
 
-std::shared_ptr<const CumulativeHistogram> DerivedCache::cumulative_histogram(
+IFET_DETERMINISTIC std::shared_ptr<const CumulativeHistogram>
+DerivedCache::cumulative_histogram(
     int step, std::uint64_t params_hash,
     const std::function<CumulativeHistogram()>& compute,
     SharedStreamStats* session_stats) {
@@ -64,7 +67,8 @@ std::shared_ptr<const CumulativeHistogram> DerivedCache::cumulative_histogram(
                         session_stats);
 }
 
-std::shared_ptr<const TransferFunction1D> DerivedCache::transfer_function(
+IFET_DETERMINISTIC std::shared_ptr<const TransferFunction1D>
+DerivedCache::transfer_function(
     int step, std::uint64_t params_hash,
     const std::function<TransferFunction1D()>& compute,
     SharedStreamStats* session_stats) {

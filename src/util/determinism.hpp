@@ -1,0 +1,197 @@
+// Perturbed-replay harness for the IFET_DETERMINISTIC contract
+// (docs/CORRECTNESS.md, docs/STATIC_ANALYSIS.md).
+//
+// The static side of the contract is ifet_lint's determinism pass: any
+// function reachable from an IFET_DETERMINISTIC root must not observe
+// hash order, wall clocks, pointer identity, or reduction order. This
+// header is the dynamic side: ReplayCheck runs an annotated computation
+// under deliberately perturbed conditions — different thread-pool widths,
+// shuffled work-item submission order, cold versus warm caches — and
+// asserts that a digest of the results is bitwise identical every time.
+// A kernel that passes the lint but secretly depends on scheduling will
+// fail here; a kernel that passes both has earned its annotation.
+//
+// Layering: util (rank 0) cannot include parallel/ (rank 1), so the
+// harness is pool-agnostic. Each ReplayTrial carries the pool width the
+// runner should apply; bench runners wrap their kernel invocation in a
+// ThreadPool::ScopedGlobalWidth(trial.threads) themselves. Shuffling is
+// likewise cooperative: replay_permutation gives the runner a
+// deterministic order to submit work items in when trial.shuffled is set.
+//
+// Digesting uses FNV-1a over raw bytes. Float outputs are digested via
+// their bit patterns (DigestSink::pod), so "equal" means bitwise equal —
+// the same gate the repo's memcmp equivalence checks apply. No wall
+// clocks, no std::random_device: the harness must satisfy the very
+// contract it checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ifet {
+
+/// One perturbed execution of the computation under test.
+struct ReplayTrial {
+  std::size_t threads = 1;  // pool width the runner must apply
+  bool shuffled = false;    // submit work items in replay_permutation order
+  bool warm = false;        // false: first run at this width (cold caches)
+  std::size_t index = 0;    // ordinal within the schedule (0 = reference)
+};
+
+/// Order-preserving FNV-1a (64-bit) accumulator. Streaming the outputs of
+/// a kernel through one of these yields a value that changes if any byte
+/// — or the order of any byte — changes.
+class DigestSink {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  /// Digest a trivially-copyable value by bit pattern (floats included:
+  /// two NaNs with different payloads digest differently, which is what a
+  /// bitwise contract wants).
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "DigestSink::pod requires a trivially copyable type");
+    bytes(&v, sizeof(T));
+  }
+
+  template <typename T>
+  void span(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "DigestSink::span requires a trivially copyable type");
+    bytes(data, count * sizeof(T));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// Deterministic pseudo-shuffle of [0, n): a fixed-increment LCG drives a
+/// Fisher-Yates pass, so the "shuffled" submission order is itself
+/// reproducible run to run (the perturbation must be repeatable or a
+/// failure could not be re-run).
+inline std::vector<std::size_t> replay_permutation(std::size_t n,
+                                                   std::uint64_t seed) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (std::size_t i = n; i > 1; --i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t j = static_cast<std::size_t>((state >> 33) % i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+/// Outcome of one trial, kept for the report.
+struct ReplayTrialResult {
+  ReplayTrial trial;
+  std::uint64_t digest = 0;
+  bool matches_reference = false;
+};
+
+struct ReplayReport {
+  std::string name;
+  bool ok = false;
+  std::uint64_t reference_digest = 0;
+  std::vector<ReplayTrialResult> trials;
+
+  /// One line per trial plus a verdict, for bench logs and CI artifacts.
+  std::string summary() const {
+    std::ostringstream out;
+    out << "replay-check " << name << ": "
+        << (ok ? "DETERMINISTIC" : "DIVERGED") << " across " << trials.size()
+        << " trials (reference digest " << std::hex << reference_digest
+        << std::dec << ")\n";
+    for (const ReplayTrialResult& r : trials) {
+      out << "  trial " << r.trial.index << ": threads=" << r.trial.threads
+          << (r.trial.shuffled ? " shuffled" : " ordered")
+          << (r.trial.warm ? " warm" : " cold") << " digest=" << std::hex
+          << r.digest << std::dec
+          << (r.matches_reference ? "" : "  <-- MISMATCH") << "\n";
+    }
+    return out.str();
+  }
+};
+
+/// Runs a computation under a schedule of perturbed trials and checks all
+/// digests agree. The runner receives each ReplayTrial and returns the
+/// digest of the computation's observable output (typically a DigestSink
+/// fed with the result buffers). The runner — not the harness — applies
+/// the trial's width (ThreadPool::ScopedGlobalWidth) and, when
+/// trial.shuffled is set, submits its work items in
+/// replay_permutation(...) order; this keeps the harness free of any
+/// dependency on the parallel layer.
+///
+/// Schedule per width, in order: cold ordered, warm ordered, warm
+/// shuffled. The first trial overall is the reference. Duplicate widths
+/// are collapsed; width 0 is rejected (a runner cannot build a pool of
+/// zero threads deterministically — pass hardware_concurrency yourself).
+class ReplayCheck {
+ public:
+  ReplayCheck(std::string name, std::vector<std::size_t> widths)
+      : name_(std::move(name)) {
+    IFET_REQUIRE(!widths.empty(), "ReplayCheck: at least one pool width");
+    for (const std::size_t w : widths) {
+      IFET_REQUIRE(w > 0, "ReplayCheck: pool widths must be >= 1");
+      bool dup = false;
+      for (const std::size_t seen : widths_) dup = dup || seen == w;
+      if (!dup) widths_.push_back(w);
+    }
+  }
+
+  std::vector<ReplayTrial> schedule() const {
+    std::vector<ReplayTrial> trials;
+    std::size_t index = 0;
+    for (const std::size_t w : widths_) {
+      trials.push_back(ReplayTrial{w, /*shuffled=*/false, /*warm=*/false,
+                                   index++});
+      trials.push_back(ReplayTrial{w, /*shuffled=*/false, /*warm=*/true,
+                                   index++});
+      trials.push_back(ReplayTrial{w, /*shuffled=*/true, /*warm=*/true,
+                                   index++});
+    }
+    return trials;
+  }
+
+  ReplayReport run(
+      const std::function<std::uint64_t(const ReplayTrial&)>& runner) const {
+    IFET_REQUIRE(static_cast<bool>(runner), "ReplayCheck::run: empty runner");
+    ReplayReport report;
+    report.name = name_;
+    report.ok = true;
+    for (const ReplayTrial& trial : schedule()) {
+      ReplayTrialResult result;
+      result.trial = trial;
+      result.digest = runner(trial);
+      if (trial.index == 0) report.reference_digest = result.digest;
+      result.matches_reference = result.digest == report.reference_digest;
+      report.ok = report.ok && result.matches_reference;
+      report.trials.push_back(result);
+    }
+    return report;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace ifet

@@ -27,3 +27,28 @@
   do {                         \
     (void)sizeof(reason);      \
   } while (false)
+
+// IFET_DETERMINISTIC marks a function as a reproducibility contract root:
+// its results must be bitwise identical regardless of thread count, work
+// submission order, cache temperature, hash-table layout, or pointer
+// values. The ifet_lint determinism pass treats every annotated function
+// as a root, walks the same cross-TU call graph as the hot-path pass, and
+// flags reachable escapes (det-unordered-iter, det-rand-time,
+// det-pointer-order, det-float-reduce, det-env). At runtime the same
+// contract is enforced by util/determinism.hpp's ReplayCheck in the perf
+// benches: the annotated computation is replayed under perturbed
+// conditions and its digests must match bitwise.
+//
+// The macro expands to nothing — it exists for the analyzer and for the
+// reader; place it on the definition head line like IFET_HOT.
+#define IFET_DETERMINISTIC
+
+// IFET_DET_ALLOW(reason) acknowledges an intentional, reviewed
+// determinism escape on the next (or same) line — e.g. iterating an
+// unordered map to compute an order-independent count, or a diagnostics
+// timestamp that never reaches the result bytes. Compiled (not a
+// comment), so the waiver survives reformatting and shows up in review.
+#define IFET_DET_ALLOW(reason) \
+  do {                         \
+    (void)sizeof(reason);      \
+  } while (false)

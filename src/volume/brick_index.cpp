@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "tf/transfer_function.hpp"
+#include "util/hot_path.hpp"
 #include "util/io_error.hpp"
 
 namespace ifet {
@@ -116,7 +117,7 @@ BrickIndex::Range BrickIndex::dilated_range(int bx, int by, int bz) const {
   return out;
 }
 
-void BrickIndex::classify(const TransferFunction1D& tf,
+IFET_DETERMINISTIC void BrickIndex::classify(const TransferFunction1D& tf,
                           std::vector<std::uint8_t>& out) const {
   IFET_REQUIRE(!empty(), "BrickIndex::classify: empty index");
   const std::vector<int> nonzero = nonzero_prefix(tf);
@@ -132,7 +133,7 @@ void BrickIndex::classify(const TransferFunction1D& tf,
   }
 }
 
-void BrickIndex::classify_with_highlight(const TransferFunction1D& tf,
+IFET_DETERMINISTIC void BrickIndex::classify_with_highlight(const TransferFunction1D& tf,
                                          const Mask& mask,
                                          const TransferFunction1D& highlight_tf,
                                          std::vector<std::uint8_t>& out) const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "util/hot_path.hpp"
+
 namespace ifet {
 
 const ComponentInfo& Labeling::info(std::int32_t label) const {
@@ -20,7 +22,8 @@ Mask Labeling::component_mask(std::int32_t label) const {
   return out;
 }
 
-Labeling label_components(const Mask& mask, const VolumeF* values) {
+IFET_DETERMINISTIC Labeling label_components(const Mask& mask,
+                                             const VolumeF* values) {
   if (values != nullptr) {
     IFET_REQUIRE(values->dims() == mask.dims(),
                  "label_components: value volume dimension mismatch");

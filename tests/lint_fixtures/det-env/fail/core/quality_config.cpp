@@ -1,0 +1,21 @@
+// FAIL fixture: an IFET_DETERMINISTIC root reads the launch environment
+// through a reachable helper — two runs of the same binary with
+// different environments (or locales) would disagree.
+#include <cstdlib>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class QualityConfig {
+ public:
+  IFET_DETERMINISTIC int quality() const { return level(); }
+
+ private:
+  int level() const {
+    const char* env = std::getenv("FIXTURE_QUALITY");  // launch env
+    return env == nullptr ? 1 : static_cast<int>(env[0]) - 48;
+  }
+};
+
+}  // namespace fixture

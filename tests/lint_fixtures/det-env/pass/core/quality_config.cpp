@@ -1,0 +1,25 @@
+// PASS fixture: the corrected form injects the setting at construction;
+// the environment read lives in a cold factory that no deterministic
+// root reaches.
+#include <cstdlib>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class QualityConfig {
+ public:
+  explicit QualityConfig(int level) : level_(level) {}
+
+  IFET_DETERMINISTIC int quality() const { return level_; }
+
+  static QualityConfig from_environment() {
+    const char* env = std::getenv("FIXTURE_QUALITY");  // cold: unreachable
+    return QualityConfig(env == nullptr ? 1 : static_cast<int>(env[0]) - 48);
+  }
+
+ private:
+  int level_ = 1;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// FAIL fixture: an IFET_DETERMINISTIC root sums cell masses with
+// std::reduce, which may reassociate the floating-point additions —
+// different partitions give different rounding, so the total is not
+// bitwise stable.
+#include <numeric>
+#include <vector>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class Integrator {
+ public:
+  IFET_DETERMINISTIC double mass(const std::vector<double>& cells) const {
+    return std::reduce(cells.begin(), cells.end(), 0.0);  // reassociates
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// PASS fixture: the corrected form folds left-to-right with
+// std::accumulate — one fixed association, one rounding, bitwise stable
+// at any thread count (parallel callers combine partials in range order).
+#include <numeric>
+#include <vector>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class Integrator {
+ public:
+  IFET_DETERMINISTIC double mass(const std::vector<double>& cells) const {
+    return std::accumulate(cells.begin(), cells.end(), 0.0);  // fixed order
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// FAIL fixture: an IFET_DETERMINISTIC root derives an ordering key from
+// an allocation address (pointer-to-uintptr_t cast in a reachable
+// helper) — addresses differ run to run, so anything keyed or sorted by
+// them is unstable.
+#include <cstdint>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+class Registry {
+ public:
+  IFET_DETERMINISTIC std::uint64_t order_key(const Node* n) const {
+    return key_of(n);
+  }
+
+ private:
+  std::uint64_t key_of(const Node* n) const {
+    return reinterpret_cast<std::uintptr_t>(n);  // allocation address
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// PASS fixture: the corrected form orders by a stable application-level
+// id carried in the object, never by where the allocator placed it.
+#include <cstdint>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+class Registry {
+ public:
+  IFET_DETERMINISTIC std::uint64_t order_key(const Node* n) const {
+    return static_cast<std::uint64_t>(n->id);  // stable id, not address
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// FAIL fixture: an IFET_DETERMINISTIC root reaches rand() through an
+// unannotated helper — the transitive-callee escape. Only reachability
+// from the root flags it; the helper carries no annotation of its own,
+// and the finding must name the full call chain.
+#include <cstdlib>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class Jitter {
+ public:
+  IFET_DETERMINISTIC double sample(double x) { return x + noise(); }
+
+ private:
+  double noise() {
+    return static_cast<double>(rand()) / RAND_MAX;  // transitive escape
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// PASS fixture: a fixed-seed mt19937 is reproducible and must NOT be
+// flagged; a reviewed diagnostic wall-clock read is waived with
+// IFET_DET_ALLOW (the waiver marker on the line above the escape).
+#include <ctime>
+#include <random>
+
+#define IFET_DETERMINISTIC
+#define IFET_DET_ALLOW(reason) \
+  do {                         \
+    (void)sizeof(reason);      \
+  } while (false)
+
+namespace fixture {
+
+class Jitter {
+ public:
+  IFET_DETERMINISTIC double sample(double x) {
+    std::mt19937 engine(1234);  // fixed seed: reproducible, not flagged
+    trace();
+    return x + static_cast<double>(engine()) / 4294967295.0;
+  }
+
+ private:
+  void trace() {
+    IFET_DET_ALLOW("diagnostic timestamp never feeds the result");
+    last_stamp_ = clock();
+  }
+
+  long last_stamp_ = 0;
+};
+
+}  // namespace fixture

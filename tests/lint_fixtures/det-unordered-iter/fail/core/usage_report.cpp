@@ -1,0 +1,25 @@
+// FAIL fixture: an IFET_DETERMINISTIC root range-fors over an
+// unordered_map member — iteration order is hash-layout-dependent, so
+// the sum's rounding (and any emitted listing) varies run to run.
+#include <string>
+#include <unordered_map>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class UsageReport {
+ public:
+  IFET_DETERMINISTIC double total() const {
+    double sum = 0.0;
+    for (const auto& kv : counts_) {  // hash-order iteration
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, double> counts_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// PASS fixture: the corrected form iterates a std::map (defined order);
+// the unordered container is still fine for keyed lookup, which never
+// observes hash layout.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#define IFET_DETERMINISTIC
+
+namespace fixture {
+
+class UsageReport {
+ public:
+  IFET_DETERMINISTIC double total() const {
+    double sum = 0.0;
+    for (const auto& kv : ordered_) {  // std::map: defined order
+      sum += kv.second;
+    }
+    return sum + lookup("alpha");
+  }
+
+ private:
+  double lookup(const std::string& key) const {
+    const auto it = index_.find(key);  // keyed lookup: order-free
+    return it == index_.end() ? 0.0 : it->second;
+  }
+
+  std::map<std::string, double> ordered_;
+  std::unordered_map<std::string, double> index_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,115 @@
+// Golden schema for ifet_lint's JSON findings (docs/STATIC_ANALYSIS.md).
+//
+// CI consumes the --format=json artifact (ci_check.sh archives one per
+// lint stage), so the per-finding shape is a contract: every pass —
+// conventions, lock-order, layering, hot-path, determinism — must emit
+// {rule, file, line, symbol, chain, baseline_suppressed, message} for
+// every finding. Passes that have no symbol or chain still emit the keys
+// (empty string), so consumers can index unconditionally. The suite runs
+// the linter once over one fail fixture per pass family and checks each
+// emitted finding line structurally.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string run_lint(const std::string& args, int* exit_code) {
+  const std::string cmd =
+      std::string(IFET_LINT_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  std::string output;
+  if (pipe == nullptr) return output;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) output.append(buf, n);
+  const int status = pclose(pipe);
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+/// One fail fixture per pass family, so the combined run exercises every
+/// pass's Finding-emission path in a single invocation.
+std::string family_dirs() {
+  const char* fixtures[] = {"raw-rand", "lock-order-cycle",
+                            "layer-violation", "hot-path-alloc",
+                            "det-rand-time"};
+  std::string dirs;
+  for (const char* f : fixtures) {
+    dirs += std::string(IFET_LINT_FIXTURES) + "/" + f + "/fail ";
+  }
+  return dirs;
+}
+
+TEST(LintJsonSchemaTest, EveryPassEmitsTheFullFindingSchema) {
+  int exit_code = -1;
+  const std::string output = run_lint("--format=json " + family_dirs(),
+                                      &exit_code);
+  // All five families fire: conventions|lock-order|layering|hot-path|det.
+  EXPECT_EQ(exit_code, 1 | 2 | 4 | 8 | 16) << output;
+
+  const char* keys[] = {"\"rule\": ",    "\"file\": \"",
+                        "\"line\": ",    "\"symbol\": \"",
+                        "\"chain\": \"", "\"baseline_suppressed\": ",
+                        "\"message\": \""};
+  std::istringstream lines(output);
+  std::string line;
+  std::size_t findings = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("{\"rule\":") == std::string::npos) continue;
+    ++findings;
+    for (const char* key : keys) {
+      EXPECT_NE(line.find(key), std::string::npos)
+          << "finding missing " << key << ": " << line;
+    }
+  }
+  EXPECT_GE(findings, 5u) << output;
+
+  // Each family's rule id appears at least once, so no pass bypassed the
+  // shared Finding struct.
+  const char* rules[] = {"\"rule\": \"raw-rand\"",
+                         "\"rule\": \"lock-order-cycle\"",
+                         "\"rule\": \"layer-violation\"",
+                         "\"rule\": \"hot-path-alloc\"",
+                         "\"rule\": \"det-rand-time\""};
+  for (const char* rule : rules) {
+    EXPECT_NE(output.find(rule), std::string::npos) << output;
+  }
+}
+
+TEST(LintJsonSchemaTest, CallgraphFindingsPopulateSymbolAndChain) {
+  int exit_code = -1;
+  const std::string output = run_lint(
+      "--format=json --only=det " + std::string(IFET_LINT_FIXTURES) +
+          "/det-rand-time/fail",
+      &exit_code);
+  EXPECT_EQ(exit_code, 16) << output;
+  // The callgraph-backed passes fill symbol and chain with real content,
+  // not just the empty-string placeholders.
+  EXPECT_NE(output.find("\"symbol\": \"Jitter::noise\""), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"chain\": \"Jitter::sample -> Jitter::noise\""),
+            std::string::npos)
+      << output;
+}
+
+TEST(LintJsonSchemaTest, TopLevelKeysAreStable) {
+  int exit_code = -1;
+  const std::string output = run_lint(
+      "--format=json " + std::string(IFET_LINT_FIXTURES) + "/catch-all/pass",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0) << output;
+  EXPECT_NE(output.find("\"files_scanned\": "), std::string::npos) << output;
+  EXPECT_NE(output.find("\"baseline_suppressed\": "), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("\"exit_code\": 0"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"findings\": []"), std::string::npos) << output;
+}
+
+}  // namespace

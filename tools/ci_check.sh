@@ -9,6 +9,9 @@
 #   3. hot-path lint: the cross-TU callgraph pass (ifet_lint --only=hot-path)
 #      over src/ with the checked-in baseline, publishing the JSON report
 #      as build/ci_hot_path_lint.json (docs/STATIC_ANALYSIS.md)
+#   3b. determinism lint: the IFET_DETERMINISTIC contract pass
+#      (ifet_lint --only=det) over src/, publishing
+#      build/ci_determinism_lint.json (docs/STATIC_ANALYSIS.md)
 #   4. asan-ubsan preset: configure, build, full ctest under ASan+UBSan
 #      with IFET_DEBUG_ASSERT checks and the OrderedMutex lock-order
 #      validator on
@@ -18,9 +21,11 @@
 #      steady-state checks (FlatMlp forward_batch, Raycaster row kernel,
 #      CacheManager hit path) in their fast check-only modes, the
 #      render-equivalence smoke (brick empty-space skipping vs the scalar
-#      march, bitwise, all compositing variants), and the
-#      bench_perf_server --smoke load generator (deterministic small
-#      fleet, bitwise-equivalence gate) under TSan
+#      march, bitwise, all compositing variants), one ReplayCheck smoke
+#      (bench_perf_classify --replay-check-only: FlatMlp classify digests
+#      across perturbed thread counts), and the bench_perf_server --smoke
+#      load generator (deterministic small fleet, bitwise-equivalence
+#      gate) under TSan
 #   6. thread-safety: clang build with -Wthread-safety promoted to errors
 #      over the IFET_GUARDED_BY annotations (docs/STATIC_ANALYSIS.md);
 #      skips if clang is not installed
@@ -106,6 +111,21 @@ stage_hot_path_lint() {
   return "$rc"
 }
 
+stage_determinism_lint() {
+  # Determinism-contract escape analysis (docs/STATIC_ANALYSIS.md): the
+  # det-* family over src/ against the same baseline, JSON report kept as
+  # a build artifact. Exit bit 16 is the family's own, so this stage
+  # fails independently of the hot-path stage.
+  local build_dir="$ROOT/build"
+  local artifact="$build_dir/ci_determinism_lint.json"
+  "$build_dir/tools/ifet_lint" --format=json --only=det \
+    --baseline="$ROOT/tools/lint_baseline.txt" "$ROOT/src" >"$artifact"
+  local rc=$?
+  echo "determinism lint report: $artifact"
+  cat "$artifact"
+  return "$rc"
+}
+
 stage_asan() {
   cmake --preset asan-ubsan &&
     cmake --build --preset asan-ubsan -j "$JOBS" &&
@@ -133,6 +153,7 @@ stage_tsan() {
     ctest --preset tsan -j "$JOBS" -R \
       'stress_cache_manager_test|stress_fault_storm_test|stress_thread_pool_test|stress_server_test|flat_mlp_test' &&
     "$ROOT/build-tsan/bench/bench_perf_classify" --alloc-check-only &&
+    "$ROOT/build-tsan/bench/bench_perf_classify" --replay-check-only &&
     "$ROOT/build-tsan/bench/bench_perf_render" --render-check-only &&
     "$ROOT/build-tsan/bench/bench_perf_render" --equiv-check-only &&
     "$ROOT/build-tsan/bench/bench_perf_stream" &&
@@ -152,6 +173,7 @@ stage_thread_safety() {
 
 run_stage "default preset (build + ctest)" stage_default
 run_stage "hot-path lint (callgraph pass + JSON artifact)" stage_hot_path_lint
+run_stage "determinism lint (det-* pass + JSON artifact)" stage_determinism_lint
 
 if [ "${SKIP_FAULT:-0}" != "1" ]; then
   run_stage "fault injection (test + faulted CLI track)" stage_fault

@@ -20,30 +20,43 @@
 //   callgraph   (bit 8)  cross-TU hot-path escape analysis from IFET_HOT
 //                        roots (rules hot-path-alloc, hot-path-throw,
 //                        hot-path-io, hot-path-lock).
+//   determinism (bit 16) cross-TU reproducibility escape analysis from
+//                        IFET_DETERMINISTIC roots (rules
+//                        det-unordered-iter, det-rand-time,
+//                        det-pointer-order, det-float-reduce, det-env);
+//                        shares the callgraph pass's graph.
 // I/O or usage errors exit 64.
 //
 // Usage: ifet_lint [--format=text|json] [--only=rule,rule...]
-//                  [--baseline=<file>] <dir-or-file>...
+//                  [--baseline=<file>] [--jobs=N] <dir-or-file>...
 //   (typically: ifet_lint --baseline=tools/lint_baseline.txt <repo>/src)
 //
 // --only accepts rule families: `--only=hot-path` selects every
-// hot-path-* rule. --baseline points at a suppression list of known
-// findings, one `rule|module/file|symbol` triple per line (# comments
-// allowed); baselined findings are dropped before the exit code is
-// computed, so a new pass can land strict while existing debt is paid
-// down incrementally.
+// hot-path-* rule, `--only=det` the determinism family. --baseline points
+// at a suppression list of known findings, one `rule|module/file|symbol`
+// triple per line (# comments allowed); baselined findings are excluded
+// from the exit code (and the text report) but still listed in JSON with
+// "baseline_suppressed": true, so a new pass can land strict while
+// existing debt is paid down incrementally. --jobs=N fans the per-file
+// load/tokenize/conventions scan over N threads (0 = hardware
+// concurrency); findings merge in path order so the output is identical
+// at any width.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint/callgraph_pass.hpp"
 #include "lint/conventions_pass.hpp"
+#include "lint/determinism_pass.hpp"
 #include "lint/layering_pass.hpp"
 #include "lint/lock_order_pass.hpp"
 #include "lint/tokenizer.hpp"
@@ -58,6 +71,7 @@ constexpr int kExitConventions = 1;
 constexpr int kExitLockOrder = 2;
 constexpr int kExitLayering = 4;
 constexpr int kExitHotPath = 8;
+constexpr int kExitDeterminism = 16;
 constexpr int kExitError = 64;
 
 int exit_bit_for(const std::string& rule) {
@@ -66,6 +80,7 @@ int exit_bit_for(const std::string& rule) {
     return kExitLayering;
   }
   if (rule.rfind("hot-path-", 0) == 0) return kExitHotPath;
+  if (rule.rfind("det-", 0) == 0) return kExitDeterminism;
   if (rule == "io-error") return kExitError;
   return kExitConventions;
 }
@@ -129,6 +144,12 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Golden JSON schema (tests/lint_json_schema_test.cpp pins it): every
+// finding object carries {rule, file, line, symbol, chain,
+// baseline_suppressed, message}; baselined findings stay in the list
+// (flagged true) so artifact consumers can audit the debt, while the
+// top-level "baseline_suppressed" count and "exit_code" reflect only the
+// live findings.
 void print_json(const std::vector<Finding>& findings,
                 std::size_t files_scanned, std::size_t baseline_suppressed,
                 int exit_code) {
@@ -138,11 +159,13 @@ void print_json(const std::vector<Finding>& findings,
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     std::cout << (i == 0 ? "\n" : ",\n")
-              << "    {\"path\": \"" << json_escape(f.path)
-              << "\", \"line\": " << f.line << ", \"rule\": \""
-              << json_escape(f.rule) << "\", \"symbol\": \""
-              << json_escape(f.symbol) << "\", \"message\": \""
-              << json_escape(f.message) << "\"}";
+              << "    {\"rule\": \"" << json_escape(f.rule)
+              << "\", \"file\": \"" << json_escape(f.path)
+              << "\", \"line\": " << f.line << ", \"symbol\": \""
+              << json_escape(f.symbol) << "\", \"chain\": \""
+              << json_escape(f.chain) << "\", \"baseline_suppressed\": "
+              << (f.baseline_suppressed ? "true" : "false")
+              << ", \"message\": \"" << json_escape(f.message) << "\"}";
   }
   std::cout << (findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
 }
@@ -154,10 +177,20 @@ int main(int argc, char** argv) {
   std::set<std::string> only;
   std::string baseline_path;
   std::vector<fs::path> roots;
+  std::size_t jobs = 1;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(arg.c_str() + 7, &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) {
+        std::cerr << "ifet_lint: --jobs needs a non-negative integer\n";
+        return kExitError;
+      }
+      jobs = n == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                    : static_cast<std::size_t>(n);
     } else if (arg == "--baseline") {
       if (a + 1 >= argc) {
         std::cerr << "ifet_lint: --baseline needs a file argument\n";
@@ -194,7 +227,7 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) {
     std::cerr << "usage: ifet_lint [--format=text|json] "
-                 "[--only=rule,rule...] [--baseline=<file>] "
+                 "[--only=rule,rule...] [--baseline=<file>] [--jobs=N] "
                  "<dir-or-file>...\n";
     return kExitError;
   }
@@ -206,11 +239,11 @@ int main(int argc, char** argv) {
     return kExitError;
   }
 
-  std::vector<SourceFile> files;
+  std::vector<fs::path> all_paths;
   for (const auto& root : roots) {
     std::error_code ec;
     if (fs::is_regular_file(root, ec)) {
-      files.push_back(ifet_lint::load_file(root));
+      all_paths.push_back(root);
       continue;
     }
     if (!fs::is_directory(root, ec)) {
@@ -228,32 +261,59 @@ int main(int argc, char** argv) {
     // Directory iteration order is filesystem-dependent; sort so findings
     // and include-graph traversal are stable across machines.
     std::sort(paths.begin(), paths.end());
-    for (const auto& p : paths) files.push_back(ifet_lint::load_file(p));
+    all_paths.insert(all_paths.end(), paths.begin(), paths.end());
   }
 
-  std::vector<Finding> findings;
-  for (const auto& f : files) {
-    if (!f.ok) {
-      findings.push_back({f.path.string(), 0, "io-error", "cannot read file"});
-      continue;
+  // Per-file work (load, tokenize, conventions scan) fans out over
+  // --jobs threads; each file's findings land in its own slot and merge
+  // in path order below, so the report is byte-identical at any width.
+  // The cross-TU passes stay serial — they consume the whole file set.
+  std::vector<SourceFile> files(all_paths.size());
+  std::vector<std::vector<Finding>> per_file(all_paths.size());
+  {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < all_paths.size();
+           i = next.fetch_add(1)) {
+        files[i] = ifet_lint::load_file(all_paths[i]);
+        if (!files[i].ok) {
+          per_file[i].push_back(
+              {files[i].path.string(), 0, "io-error", "cannot read file"});
+          continue;
+        }
+        ifet_lint::run_conventions_pass(files[i], per_file[i]);
+      }
+    };
+    const std::size_t width =
+        std::min<std::size_t>(std::max<std::size_t>(jobs, 1),
+                              all_paths.empty() ? 1 : all_paths.size());
+    if (width <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < width; ++t) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
     }
-    ifet_lint::run_conventions_pass(f, findings);
   }
+  std::vector<Finding> findings;
+  for (auto& pf : per_file) {
+    for (auto& f : pf) findings.push_back(std::move(f));
+  }
+
   ifet_lint::run_lock_order_pass(files, findings);
   ifet_lint::run_layering_pass(files, findings);
-  ifet_lint::run_callgraph_pass(files, findings);
+  const auto analysis = ifet_lint::build_callgraph_analysis(files);
+  ifet_lint::run_callgraph_pass(files, analysis, findings);
+  ifet_lint::run_determinism_pass(files, analysis, findings);
 
   std::size_t baseline_suppressed = 0;
   if (!baseline.empty()) {
-    std::vector<Finding> kept;
     for (auto& f : findings) {
       if (baseline.count(baseline_key(f)) != 0) {
+        f.baseline_suppressed = true;
         ++baseline_suppressed;
-      } else {
-        kept.push_back(std::move(f));
       }
     }
-    findings.swap(kept);
   }
 
   if (!only.empty()) {
@@ -267,18 +327,23 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  for (const auto& f : findings) exit_code |= exit_bit_for(f.rule);
+  for (const auto& f : findings) {
+    if (!f.baseline_suppressed) exit_code |= exit_bit_for(f.rule);
+  }
 
   if (format == "json") {
     print_json(findings, files.size(), baseline_suppressed, exit_code);
     return exit_code;
   }
+  std::size_t live = 0;
   for (const auto& f : findings) {
+    if (f.baseline_suppressed) continue;
+    ++live;
     std::cerr << f.path << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
-  if (!findings.empty()) {
-    std::cerr << "ifet_lint: " << findings.size() << " finding(s) in "
+  if (live != 0) {
+    std::cerr << "ifet_lint: " << live << " finding(s) in "
               << files.size() << " file(s)";
     if (baseline_suppressed > 0) {
       std::cerr << " (+" << baseline_suppressed << " baselined)";

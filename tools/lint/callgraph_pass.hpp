@@ -74,10 +74,11 @@ inline bool is_keyword(const std::string& name) {
 }
 
 struct Violation {
-  std::string rule;     // hot-path-{alloc,throw,io,lock}
+  std::string rule;     // hot-path-{alloc,throw,io,lock} or det-*
   std::string what;     // short human description of the escape
   std::string cls;      // enclosing class at the site (lock resolution)
-  std::string mutex;    // hot-path-lock only: the mutex member name
+  std::string mutex;    // hot-path-lock: the mutex member name;
+                        // det-unordered-iter: the range-for receiver
   std::size_t line = 0;  // 1-based
   std::size_t file_index = 0;
 };
@@ -96,15 +97,18 @@ struct FnNode {
   std::string path;
   std::size_t line = 0;  // first definition head, 1-based
   bool hot = false;
+  bool det = false;  // IFET_DETERMINISTIC root
   std::vector<Violation> violations;
   std::vector<CallRef> calls;
   std::map<std::string, std::string> local_types;  // var -> type
+  std::set<std::string> unordered_locals;  // unordered_map/set locals
 };
 
 struct ClassInfo {
   std::map<std::string, std::string> member_types;  // name_ -> Type
   std::map<std::string, std::string> mutex_ranks;   // mutex_ -> rank ("" = unranked)
   std::set<std::string> methods_defined;
+  std::set<std::string> unordered_members;  // unordered_map/set members
 };
 
 struct Model {
@@ -112,6 +116,7 @@ struct Model {
   std::map<std::string, ClassInfo> classes;
   std::map<std::string, std::string> aliases;  // VolumeF -> Volume
   std::map<std::string, int> rank_values;      // kCacheManager -> 30
+  std::set<std::string> unordered_aliases;     // MemoMap -> unordered_map
 };
 
 inline std::string fn_key(const std::string& cls, const std::string& name) {
@@ -134,6 +139,8 @@ struct Event {
     kMutexDecl,   // a=mutex member, b=rank name ("" = unranked)
     kViolation,   // rule/what filled
     kLock,        // a=mutex name
+    kUnorderedDecl,  // a=var declared as std::unordered_{map,set,...}
+    kRangeFor,    // a=range-for receiver identifier
   } kind;
   std::string a, b;
   std::string rule, what;
@@ -152,10 +159,23 @@ inline bool line_has_hot_marker(const std::vector<std::string>& code,
   return i > 0 && std::regex_search(code[i - 1], hot_re);
 }
 
+inline bool line_has_det_marker(const std::vector<std::string>& code,
+                                std::size_t i) {
+  static const std::regex det_re(R"(\bIFET_DETERMINISTIC\b)");
+  if (std::regex_search(code[i], det_re)) return true;
+  return i > 0 && std::regex_search(code[i - 1], det_re);
+}
+
 inline bool hot_allow_waived(const std::vector<std::string>& code,
                              std::size_t i) {
   if (code[i].find("IFET_HOT_ALLOW") != std::string::npos) return true;
   return i > 0 && code[i - 1].find("IFET_HOT_ALLOW") != std::string::npos;
+}
+
+inline bool det_allow_waived(const std::vector<std::string>& code,
+                             std::size_t i) {
+  if (code[i].find("IFET_DET_ALLOW") != std::string::npos) return true;
+  return i > 0 && code[i - 1].find("IFET_DET_ALLOW") != std::string::npos;
 }
 
 inline void scan_line_events(const std::string& line,
@@ -193,6 +213,30 @@ inline void scan_line_events(const std::string& line,
       R"(\b(OrderedMutexLock|MutexLock|GenericMutexLock\s*<[^>]*>)\s+\w+\s*[({]\s*(\w+)\s*[)}])");
   static const std::regex std_lock_re(
       R"(\bstd\s*::\s*(lock_guard|unique_lock|scoped_lock)\s*<[^>]*>\s+\w+\s*[({]\s*(\w+))");
+  // Determinism-contract sites (rules det-*, reported only when reachable
+  // from an IFET_DETERMINISTIC root; see determinism_pass.hpp).
+  static const std::regex unordered_decl_re(
+      R"(\bunordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*[;={(])");
+  static const std::regex range_for_re(
+      R"(\bfor\s*\(([^()]*[^:\s])\s*:\s*(\w+)\s*\))");
+  // Seeded engines (mt19937 with a fixed seed) are reproducible and NOT
+  // flagged; random_device and the C rand() state are the escapes.
+  static const std::regex det_rand_re(
+      R"(\b(?:rand\s*\(\s*\)|srand\s*\(|random_device\b))");
+  static const std::regex det_time_re(
+      R"(\b(?:(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(|gettimeofday\s*\(|clock_gettime\s*\(|clock\s*\(\s*\)|time\s*\(\s*(?:NULL|nullptr|0|&)))");
+  static const std::regex det_ptr_hash_re(
+      R"(\bstd\s*::\s*(?:hash|less|greater)\s*<\s*[^<>]*\*\s*>)");
+  static const std::regex det_ptr_cast_re(
+      R"(\breinterpret_cast\s*<\s*(?:std\s*::\s*)?u?intptr_t\s*>)");
+  static const std::regex det_reduce_re(
+      R"(\bstd\s*::\s*(?:reduce|transform_reduce)\s*\()");
+  static const std::regex det_policy_re(
+      R"(\bexecution\s*::\s*(?:par_unseq|par|unseq)\b)");
+  static const std::regex det_atomic_float_re(
+      R"(\batomic\s*<\s*(?:float|double|long\s+double)\s*>)");
+  static const std::regex det_env_re(
+      R"(\b(?:getenv\s*\(|secure_getenv\s*\(|setlocale\s*\(|std\s*::\s*locale\b))");
 
   std::vector<std::pair<std::size_t, std::size_t>> claimed;
   auto claim = [&](std::size_t pos, std::size_t len) {
@@ -359,6 +403,62 @@ inline void scan_line_events(const std::string& line,
     Event e{Event::kLock, (*it)[2].str(), "", "", ""};
     ev[static_cast<std::size_t>(it->position(0))].push_back(std::move(e));
   }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), unordered_decl_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kUnorderedDecl, (*it)[1].str(), "", "", ""});
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), range_for_re);
+       it != std::sregex_iterator(); ++it) {
+    add(static_cast<std::size_t>(it->position(0)),
+        {Event::kRangeFor, (*it)[2].str(), "", "", ""});
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), det_rand_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "det-rand-time",
+                  "non-deterministic random source");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), det_time_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "det-rand-time",
+                  "wall-clock read");
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), det_ptr_hash_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)),
+                  "det-pointer-order", "hashing/ordering by pointer value");
+  }
+  for (auto it =
+           std::sregex_iterator(line.begin(), line.end(), det_ptr_cast_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)),
+                  "det-pointer-order", "pointer-to-integer cast");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), det_reduce_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)),
+                  "det-float-reduce",
+                  "std::reduce reassociates floating-point sums");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), det_policy_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)),
+                  "det-float-reduce", "parallel execution policy");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                      det_atomic_float_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)),
+                  "det-float-reduce",
+                  "atomic float accumulation is timing-ordered");
+  }
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), det_env_re);
+       it != std::sregex_iterator(); ++it) {
+    add_violation(static_cast<std::size_t>(it->position(0)), "det-env",
+                  "environment/locale dependence");
+  }
   (void)m;
   (void)begin;
 }
@@ -369,6 +469,8 @@ inline void harvest_line_globals(const std::string& code_line,
                                  bool& in_rank_enum, Model& model) {
   static const std::regex using_alias_re(
       R"(\busing\s+(\w+)\s*=\s*(?:ifet\s*::\s*)?(\w+))");
+  static const std::regex unordered_alias_re(
+      R"(\busing\s+(\w+)\s*=\s*(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\b)");
   static const std::regex enum_head_re(R"(\benum\s+(class\s+)?MutexRank\b)");
   static const std::regex enum_value_re(R"(\b(k\w+)\s*=\s*(\d+))");
 
@@ -378,6 +480,11 @@ inline void harvest_line_globals(const std::string& code_line,
     if ((*it)[1].str() != (*it)[2].str()) {
       model.aliases[(*it)[1].str()] = (*it)[2].str();
     }
+  }
+  for (auto it = std::sregex_iterator(code_line.begin(), code_line.end(),
+                                      unordered_alias_re);
+       it != std::sregex_iterator(); ++it) {
+    model.unordered_aliases.insert((*it)[1].str());
   }
   if (std::regex_search(code_line, enum_head_re)) in_rank_enum = true;
   if (in_rank_enum) {
@@ -397,6 +504,7 @@ inline void walk_file(const SourceFile& file, std::size_t file_index,
     std::string cls, name;
     std::size_t head_line = 0;
     bool hot = false;
+    bool det = false;
   };
   std::vector<Scope> scopes;
   Pending pending_fn;
@@ -408,8 +516,12 @@ inline void walk_file(const SourceFile& file, std::size_t file_index,
     return scopes.empty() ? nullptr : &scopes.back();
   };
   auto enclosing_class = [&]() -> std::string {
+    // Out-of-class definitions (`int Table::total() {...}`) have no kClass
+    // scope; the method scope carries the qualifying class, so self-calls
+    // and member lookups resolve there too.
     for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
       if (it->kind == Scope::kClass) return it->cls;
+      if (it->kind == Scope::kMethod && !it->cls.empty()) return it->cls;
     }
     return "";
   };
@@ -460,6 +572,7 @@ inline void walk_file(const SourceFile& file, std::size_t file_index,
         node.line = pending_fn.head_line + 1;
       }
       node.hot = node.hot || pending_fn.hot;
+      node.det = node.det || pending_fn.det;
       if (!pending_fn.cls.empty()) {
         model.classes[pending_fn.cls].methods_defined.insert(pending_fn.name);
       }
@@ -499,7 +612,8 @@ inline void walk_file(const SourceFile& file, std::size_t file_index,
             case Event::kQualName:
               if (at_ns && !pending_fn.active) {
                 pending_fn = {true, e.a, e.b, i,
-                              line_has_hot_marker(file.code, i)};
+                              line_has_hot_marker(file.code, i),
+                              line_has_det_marker(file.code, i)};
               } else if (!fn.empty()) {
                 model.fns[fn].calls.push_back(
                     {CallRef::kQualified, "", e.b, e.a});
@@ -511,10 +625,12 @@ inline void walk_file(const SourceFile& file, std::size_t file_index,
                     {CallRef::kBare, "", e.a, enclosing_class()});
               } else if (in_class && !pending_fn.active) {
                 pending_fn = {true, enclosing_class(), e.a, i,
-                              line_has_hot_marker(file.code, i)};
+                              line_has_hot_marker(file.code, i),
+                              line_has_det_marker(file.code, i)};
               } else if (at_ns && !pending_fn.active && e.b == "1") {
                 pending_fn = {true, "", e.a, i,
-                              line_has_hot_marker(file.code, i)};
+                              line_has_hot_marker(file.code, i),
+                              line_has_det_marker(file.code, i)};
               }
               break;
             case Event::kMemberCall:
@@ -561,6 +677,23 @@ inline void walk_file(const SourceFile& file, std::size_t file_index,
               if (!fn.empty()) {
                 model.fns[fn].violations.push_back(
                     {"hot-path-lock", "", enclosing_class(), e.a, i + 1,
+                     file_index});
+              }
+              break;
+            case Event::kUnorderedDecl:
+              if (!fn.empty()) {
+                model.fns[fn].unordered_locals.insert(e.a);
+              } else if (in_class) {
+                model.classes[top->cls].unordered_members.insert(e.a);
+              }
+              break;
+            case Event::kRangeFor:
+              // Candidate only: the determinism pass resolves the receiver
+              // against the unordered members/locals and drops the rest
+              // (edge-conservative, like hot-path-lock).
+              if (!fn.empty()) {
+                model.fns[fn].violations.push_back(
+                    {"det-unordered-iter", "", enclosing_class(), e.a, i + 1,
                      file_index});
               }
               break;
@@ -641,39 +774,44 @@ inline std::string resolve_call(const Model& model, const FnNode& from,
   return "";
 }
 
-}  // namespace cg_detail
-
-/// Runs the hot-path escape analysis over all scanned files.
-inline void run_callgraph_pass(const std::vector<SourceFile>& files,
-                               std::vector<Finding>& findings) {
-  using namespace cg_detail;
+/// The call graph built once per run and shared between the hot-path and
+/// determinism passes (both walk the same edges, from different roots).
+struct Analysis {
   Model model;
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    if (files[i].ok) walk_file(files[i], i, model);
-  }
-
-  // Edges, resolved once.
   std::map<std::string, std::set<std::string>> edges;
-  for (const auto& [key, node] : model.fns) {
+};
+
+/// fn -> {owning root, parent on the chain from that root}.
+using ReachMap = std::map<std::string, std::pair<std::string, std::string>>;
+
+inline Analysis build_analysis(const std::vector<SourceFile>& files) {
+  Analysis a;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].ok) walk_file(files[i], i, a.model);
+  }
+  // Edges, resolved once.
+  for (const auto& [key, node] : a.model.fns) {
     for (const CallRef& call : node.calls) {
-      const std::string target = resolve_call(model, node, call);
-      if (!target.empty() && target != key) edges[key].insert(target);
+      const std::string target = resolve_call(a.model, node, call);
+      if (!target.empty() && target != key) a.edges[key].insert(target);
     }
   }
+  return a;
+}
 
-  // Reachability from IFET_HOT roots; first root (in sorted order) to
-  // reach a function owns its report chain.
-  std::map<std::string, std::pair<std::string, std::string>>
-      reached;  // fn -> {root, parent}
-  for (const auto& [key, node] : model.fns) {
-    if (!node.hot || reached.count(key) != 0) continue;
+/// Reachability from every root where `flag` is set; the first root (in
+/// sorted order) to reach a function owns its report chain.
+inline ReachMap reach_from_roots(const Analysis& a, bool FnNode::*flag) {
+  ReachMap reached;
+  for (const auto& [key, node] : a.model.fns) {
+    if (!(node.*flag) || reached.count(key) != 0) continue;
     reached[key] = {key, ""};
     std::vector<std::string> queue{key};
     while (!queue.empty()) {
       const std::string cur = queue.back();
       queue.pop_back();
-      auto eit = edges.find(cur);
-      if (eit == edges.end()) continue;
+      auto eit = a.edges.find(cur);
+      if (eit == a.edges.end()) continue;
       for (const std::string& next : eit->second) {
         if (reached.count(next) != 0) continue;
         reached[next] = {key, cur};
@@ -681,21 +819,40 @@ inline void run_callgraph_pass(const std::vector<SourceFile>& files,
       }
     }
   }
+  return reached;
+}
 
-  auto chain_of = [&](const std::string& fn) {
-    std::vector<std::string> rev;
-    std::string cur = fn;
-    while (!cur.empty()) {
-      rev.push_back(cur);
-      cur = reached[cur].second;
-    }
-    std::string out;
-    for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
-      if (!out.empty()) out += " -> ";
-      out += *it;
-    }
-    return out;
-  };
+inline std::string chain_of(ReachMap& reached, const std::string& fn) {
+  std::vector<std::string> rev;
+  std::string cur = fn;
+  while (!cur.empty()) {
+    rev.push_back(cur);
+    cur = reached[cur].second;
+  }
+  std::string out;
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    if (!out.empty()) out += " -> ";
+    out += *it;
+  }
+  return out;
+}
+
+}  // namespace cg_detail
+
+/// Builds the shared cross-TU call graph once; ifet_lint hands the result
+/// to both run_callgraph_pass and run_determinism_pass.
+inline cg_detail::Analysis build_callgraph_analysis(
+    const std::vector<SourceFile>& files) {
+  return cg_detail::build_analysis(files);
+}
+
+/// Runs the hot-path escape analysis over a prebuilt call graph.
+inline void run_callgraph_pass(const std::vector<SourceFile>& files,
+                               const cg_detail::Analysis& analysis,
+                               std::vector<Finding>& findings) {
+  using namespace cg_detail;
+  const Model& model = analysis.model;
+  ReachMap reached = reach_from_roots(analysis, &FnNode::hot);
 
   std::set<std::string> emitted;
   for (const auto& [key, node] : model.fns) {
@@ -705,6 +862,8 @@ inline void run_callgraph_pass(const std::vector<SourceFile>& files,
     for (const Violation& v : node.violations) {
       std::string rule = v.rule;
       std::string what = v.what;
+      // det-* sites belong to the determinism pass, whose roots differ.
+      if (rule.rfind("det-", 0) == 0) continue;
       if (rule == "hot-path-lock") {
         // Only mutex members of the enclosing class are judged; locals
         // and unresolvable names produce no finding.
@@ -734,13 +893,20 @@ inline void run_callgraph_pass(const std::vector<SourceFile>& files,
       f.line = v.line;
       f.rule = rule;
       f.symbol = key;
+      f.chain = chain_of(reached, key);
       f.message = what + " in '" + key + "', reachable from IFET_HOT root '" +
-                  root + "' via " + chain_of(key) +
+                  root + "' via " + f.chain +
                   "; hot paths must stay allocation/throw/IO-free once warm "
                   "(waive with IFET_HOT_ALLOW(reason))";
       findings.push_back(std::move(f));
     }
   }
+}
+
+/// Compatibility entry point: builds the graph itself (fixture drivers).
+inline void run_callgraph_pass(const std::vector<SourceFile>& files,
+                               std::vector<Finding>& findings) {
+  run_callgraph_pass(files, cg_detail::build_analysis(files), findings);
 }
 
 }  // namespace ifet_lint

@@ -33,7 +33,10 @@ struct Finding {
   std::string rule;
   std::string message;
   std::string symbol;  // enclosing function, when a pass knows it
-                       // (callgraph pass); baseline entries key on it
+                       // (callgraph passes); baseline entries key on it
+  std::string chain;   // root -> ... -> fn call chain (callgraph passes)
+  bool baseline_suppressed = false;  // listed in JSON, excluded from the
+                                     // exit code and the text report
 };
 
 struct SourceFile {
