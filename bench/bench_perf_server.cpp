@@ -28,6 +28,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,6 +42,7 @@
 
 #include "bench_util.hpp"
 #include "server/session_manager.hpp"
+#include "stream/fault_injection.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -205,6 +207,408 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] + frac * (values[hi] - values[lo]);
 }
 
+// ---------------------------------------------------------------------------
+// --overload: the deterministic overload harness (docs/ROBUSTNESS.md,
+// "Overload and deadlines").
+//
+// Same canonical script, but the tier now sits on a uniformly SLOW device
+// (FaultInjectingSource slow@all), the strand queues are bounded with
+// kShedOldest, the pressure monitor is live, and every session is
+// simultaneously flooded by an open-loop spam thread of read-only
+// commands — a quarter of them carrying a deliberately impossible
+// deadline. Script clients retry on kOverloaded (shed commands never
+// executed, so the retry preserves exactly-once); spam NEVER resubmits,
+// which bounds shed-callback recursion and keeps the flood finite.
+//
+// Shape claims (exit nonzero on failure):
+//   - exactly-once: completions == submissions for scripts and spam alike
+//     (no silent drop, no double completion);
+//   - every script command eventually succeeds AND is bitwise identical to
+//     the unloaded serial reference — overload sheds work, never data;
+//   - spam outcomes are only kOk / kOverloaded / kDeadlineExceeded — an
+//     overloaded server refuses work with types, it does not error;
+//   - per-session peak queue depth never exceeds the configured bound;
+//   - the storm visibly shed (commands_shed > 0), timed out work
+//     (deadline_exceeded > 0), handed out a retry-after hint, engaged the
+//     pressure monitor, and the watchdog scanned;
+//   - latency p99 stays bounded (no command waited unbounded behind the
+//     flood).
+struct OverloadClient {
+  int id = -1;
+  std::vector<ServerResult> results;  ///< Script results, post-retry.
+  std::vector<double> latency_ms;     ///< First submit -> final completion.
+  std::vector<std::chrono::steady_clock::time_point> start;
+  std::vector<std::uint8_t> spam_status;
+  std::vector<double> spam_latency_ms;
+};
+
+struct OverloadGen {
+  SessionManager& manager;
+  const std::vector<Command>& script;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;
+  std::atomic<std::uint64_t> script_submits{0};
+  std::atomic<std::uint64_t> script_callbacks{0};
+  std::atomic<std::uint64_t> script_retries{0};
+  std::atomic<std::uint64_t> spam_submits{0};
+  std::atomic<std::uint64_t> spam_callbacks{0};
+  std::atomic<bool> retry_hint_seen{false};
+};
+
+/// Submit script command `index`; on kOverloaded (shed by newer spam —
+/// the command never ran) resubmit the SAME index, otherwise record and
+/// chain. Retries are bounded: each shed consumes one finite spam
+/// arrival, so the chain always terminates once the flood drains.
+void submit_overload_script(OverloadGen& gen, OverloadClient& run,
+                            std::size_t index) {
+  if (index == gen.script.size()) {
+    std::lock_guard<std::mutex> lock(gen.done_mutex);
+    ++gen.finished;
+    gen.done_cv.notify_all();
+    return;
+  }
+  if (run.start[index] == std::chrono::steady_clock::time_point{}) {
+    run.start[index] = std::chrono::steady_clock::now();
+  }
+  gen.script_submits.fetch_add(1, std::memory_order_relaxed);
+  gen.manager.submit(
+      run.id, gen.script[index],
+      [&gen, &run, index](const ServerResult& r) {
+        gen.script_callbacks.fetch_add(1, std::memory_order_relaxed);
+        if (r.status == ServerStatus::kOverloaded) {
+          if (r.retry_after_ms > 0.0) {
+            gen.retry_hint_seen.store(true, std::memory_order_relaxed);
+          }
+          gen.script_retries.fetch_add(1, std::memory_order_relaxed);
+          submit_overload_script(gen, run, index);
+          return;
+        }
+        run.results[index] = r;
+        run.latency_ms[index] =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - run.start[index])
+                .count();
+        submit_overload_script(gen, run, index + 1);
+      });
+}
+
+/// Open-loop flood of one session: read-only sheddable kinds only
+/// (kQueryTf / kHistogram / kRender), every 4th carrying an impossible
+/// deadline so the typed kDeadlineExceeded path fires under load. Never
+/// resubmits — a shed spam command just records its typed refusal.
+void spam_session(OverloadGen& gen, OverloadClient& run, int steps,
+                  std::size_t total) {
+  for (std::size_t i = 0; i < total; ++i) {
+    Command cmd;
+    if (i % 8 == 7) {
+      cmd.kind = CommandKind::kRender;
+      cmd.image_size = 16;
+    } else if (i % 2 == 0) {
+      cmd.kind = CommandKind::kHistogram;
+    } else {
+      cmd.kind = CommandKind::kQueryTf;
+    }
+    cmd.step = static_cast<int>(i) % steps;
+    const bool tranche = (i % 4) == 3;
+    if (tranche) cmd.deadline_ms = 0.01;
+    const auto t0 = std::chrono::steady_clock::now();
+    gen.spam_submits.fetch_add(1, std::memory_order_relaxed);
+    gen.manager.submit(
+        run.id, cmd, [&gen, &run, i, t0](const ServerResult& r) {
+          gen.spam_callbacks.fetch_add(1, std::memory_order_relaxed);
+          run.spam_status[i] = static_cast<std::uint8_t>(r.status);
+          run.spam_latency_ms[i] =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          if (r.status == ServerStatus::kOverloaded &&
+              r.retry_after_ms > 0.0) {
+            gen.retry_hint_seen.store(true, std::memory_order_relaxed);
+          }
+        });
+    if (tranche) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+int run_overload(int clients, Dims dims, int steps) {
+  const std::size_t step_bytes =
+      static_cast<std::size_t>(dims.count()) * sizeof(float);
+  const std::vector<Command> script = canonical_script(dims, steps);
+  const std::size_t kQueueBound = 4;
+  const int kSlowMs = 3;
+
+  std::cout << "=== perf: overload harness, " << clients << " clients, "
+            << steps << " steps of " << dims.x << "^3, " << script.size()
+            << " script commands + flood ===\n";
+
+  bench::ShapeCheck check;
+
+  // Slow device + tight budget + bounded queues + live pressure monitor.
+  SessionManagerConfig config;
+  config.tier.budget_bytes = 4 * step_bytes;
+  config.tier.pin_quota_bytes = 2 * step_bytes;
+  config.tier.async_prefetch = true;
+  config.tier.pressure.enabled = true;
+  config.max_queue_depth = kQueueBound;
+  config.backpressure = BackpressurePolicy::kShedOldest;
+  config.watchdog_interval_ms = 5.0;
+
+  std::vector<std::unique_ptr<OverloadClient>> runs;
+  std::vector<StreamStats> client_stats;
+  std::vector<SessionQueueStats> queue_stats;
+  StreamStats storm_stats;
+  PressureReport pressure;
+  WatchdogReport watchdog;
+  double storm_seconds = 0.0;
+  const std::size_t spam_total = 2 * script.size();
+  std::uint64_t script_submits = 0, script_callbacks = 0, script_retries = 0;
+  std::uint64_t spam_submits = 0, spam_callbacks = 0;
+  bool retry_hint_seen = false;
+  {
+    SessionManager manager(
+        std::make_shared<FaultInjectingSource>(
+            blob_source(dims, steps),
+            std::vector<FaultSpec>{
+                parse_fault_spec("slow@all:" + std::to_string(kSlowMs))}),
+        config);
+    OverloadGen gen{manager, script, {}, {}, 0};
+    for (int c = 0; c < clients; ++c) {
+      auto run = std::make_unique<OverloadClient>();
+      run->id = manager.create_session();
+      run->results.resize(script.size());
+      run->latency_ms.resize(script.size(), 0.0);
+      run->start.resize(script.size());
+      run->spam_status.resize(spam_total, 0);
+      run->spam_latency_ms.resize(spam_total, 0.0);
+      runs.push_back(std::move(run));
+    }
+
+    Stopwatch storm_watch;
+    for (auto& run : runs) submit_overload_script(gen, *run, 0);
+    std::vector<std::thread> floods;
+    for (auto& run : runs) {
+      floods.emplace_back([&gen, &run, steps, spam_total] {
+        spam_session(gen, *run, steps, spam_total);
+      });
+    }
+    for (auto& t : floods) t.join();
+    {
+      std::unique_lock<std::mutex> lock(gen.done_mutex);
+      gen.done_cv.wait(lock, [&gen, &runs] {
+        return gen.finished == runs.size();
+      });
+    }
+    manager.drain_all();
+    storm_seconds = storm_watch.seconds();
+
+    script_submits = gen.script_submits.load();
+    script_callbacks = gen.script_callbacks.load();
+    script_retries = gen.script_retries.load();
+    spam_submits = gen.spam_submits.load();
+    spam_callbacks = gen.spam_callbacks.load();
+    retry_hint_seen = gen.retry_hint_seen.load();
+    storm_stats = manager.tier().stats();
+    pressure = manager.tier().pressure().report();
+    watchdog = manager.watchdog_report();
+    for (const auto& run : runs) {
+      client_stats.push_back(manager.session_stats(run->id));
+      queue_stats.push_back(manager.session_queue(run->id));
+    }
+  }
+
+  // --- Exactly-once: every submit got exactly one completion.
+  check.expect(script_callbacks == script_submits &&
+                   spam_callbacks == spam_submits,
+               "exactly one completion per submitted command");
+
+  // --- Unloaded serial reference (no faults, unlimited budget): the
+  // surviving script results must match it bitwise — shedding and
+  // pressure shape latency and residency, never data.
+  bool script_ok = true;
+  bool bitwise = true;
+  {
+    SessionManagerConfig iso;  // budget 0 = fully resident, no overload
+    SessionManager manager(blob_source(dims, steps), iso);
+    const int id = manager.create_session();
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      const ServerResult reference = manager.execute(id, script[i]);
+      if (!reference.ok) script_ok = false;
+      for (const auto& run : runs) {
+        if (!run->results[i].ok) {
+          std::cout << "  client " << run->id << " command " << i
+                    << " failed: " << run->results[i].error << "\n";
+          script_ok = false;
+        }
+        if (run->results[i].ok != reference.ok ||
+            run->results[i].digest != reference.digest ||
+            run->results[i].value != reference.value) {
+          std::cout << "  mismatch: client " << run->id << " command " << i
+                    << "\n";
+          bitwise = false;
+        }
+      }
+    }
+  }
+  check.expect(script_ok, "every script command succeeds despite the flood");
+  check.expect(bitwise,
+               "script results under overload are bitwise identical to the "
+               "unloaded serial reference");
+
+  // --- Typed refusals only: a flooded server sheds and times out with
+  // types; it never converts overload into kError.
+  bool spam_typed = true;
+  std::uint64_t spam_ok = 0, spam_overloaded = 0, spam_deadline = 0;
+  std::vector<double> spam_latencies;
+  for (const auto& run : runs) {
+    for (std::size_t i = 0; i < spam_total; ++i) {
+      const auto status = static_cast<ServerStatus>(run->spam_status[i]);
+      switch (status) {
+        case ServerStatus::kOk:
+          ++spam_ok;
+          break;
+        case ServerStatus::kOverloaded:
+          ++spam_overloaded;
+          break;
+        case ServerStatus::kDeadlineExceeded:
+          ++spam_deadline;
+          break;
+        case ServerStatus::kError:
+          spam_typed = false;
+          break;
+      }
+      spam_latencies.push_back(run->spam_latency_ms[i]);
+    }
+  }
+  check.expect(spam_typed,
+               "flood outcomes are typed (kOk / kOverloaded / "
+               "kDeadlineExceeded), never kError");
+
+  // --- Bounded queues, visible shedding, live deadlines and monitors.
+  std::size_t peak_depth_max = 0;
+  bool depth_bounded = true;
+  for (const auto& q : queue_stats) {
+    peak_depth_max = std::max(peak_depth_max, q.peak_depth);
+    if (q.peak_depth > kQueueBound) depth_bounded = false;
+  }
+  check.expect(depth_bounded,
+               "peak strand queue depth never exceeds the configured bound");
+  check.expect(storm_stats.commands_shed > 0,
+               "the flood visibly shed queued commands");
+  check.expect(storm_stats.deadline_exceeded > 0,
+               "the impossible-deadline tranche visibly timed out");
+  check.expect(retry_hint_seen,
+               "at least one kOverloaded refusal carried a retry-after hint");
+  check.expect(storm_stats.pressure_transitions > 0 && pressure.enters > 0,
+               "the pressure monitor engaged under the pinned-window demand");
+  check.expect(watchdog.scans > 0, "the stuck-strand watchdog scanned");
+
+  std::vector<double> script_latencies;
+  for (const auto& run : runs) {
+    script_latencies.insert(script_latencies.end(), run->latency_ms.begin(),
+                            run->latency_ms.end());
+  }
+  const double script_p50 = percentile(script_latencies, 0.50);
+  const double script_p99 = percentile(script_latencies, 0.99);
+  const double spam_p50 = percentile(spam_latencies, 0.50);
+  const double spam_p99 = percentile(spam_latencies, 0.99);
+  check.expect(script_p99 < 10000.0 && spam_p99 < 10000.0,
+               "p99 latency stays bounded under the flood (< 10 s)");
+
+  Table table({"metric", "value"});
+  table.add_row({"clients", std::to_string(clients)});
+  table.add_row({"storm_seconds", Table::num(storm_seconds, 3)});
+  table.add_row({"script_submits", std::to_string(script_submits)});
+  table.add_row({"script_retries", std::to_string(script_retries)});
+  table.add_row({"spam_submits", std::to_string(spam_submits)});
+  table.add_row({"spam_ok", std::to_string(spam_ok)});
+  table.add_row({"spam_overloaded", std::to_string(spam_overloaded)});
+  table.add_row({"spam_deadline", std::to_string(spam_deadline)});
+  table.add_row({"commands_shed", std::to_string(storm_stats.commands_shed)});
+  table.add_row(
+      {"commands_rejected", std::to_string(storm_stats.commands_rejected)});
+  table.add_row(
+      {"deadline_exceeded", std::to_string(storm_stats.deadline_exceeded)});
+  table.add_row({"pressure_enters", std::to_string(pressure.enters)});
+  table.add_row({"pressure_exits", std::to_string(pressure.exits)});
+  table.add_row({"derived_shed", std::to_string(pressure.derived_shed)});
+  table.add_row({"pins_clamped", std::to_string(pressure.pins_clamped)});
+  table.add_row({"watchdog_scans", std::to_string(watchdog.scans)});
+  table.add_row(
+      {"watchdog_stuck", std::to_string(watchdog.stuck_observations)});
+  table.add_row({"peak_queue_depth", std::to_string(peak_depth_max)});
+  table.add_row({"script_p50_ms", Table::num(script_p50, 3)});
+  table.add_row({"script_p99_ms", Table::num(script_p99, 3)});
+  table.add_row({"spam_p50_ms", Table::num(spam_p50, 3)});
+  table.add_row({"spam_p99_ms", Table::num(spam_p99, 3)});
+  table.print(std::cout);
+
+  // Ascending session id — the same observable-order contract as the
+  // storm bench's fairness table.
+  std::vector<std::size_t> by_id(runs.size());
+  std::iota(by_id.begin(), by_id.end(), std::size_t{0});
+  std::sort(by_id.begin(), by_id.end(), [&](std::size_t a, std::size_t b) {
+    return runs[a]->id < runs[b]->id;
+  });
+  Table fair({"client", "shed", "rejected", "deadline_exceeded",
+              "peak_depth"});
+  for (const std::size_t c : by_id) {
+    fair.add_row({std::to_string(runs[c]->id),
+                  std::to_string(client_stats[c].commands_shed),
+                  std::to_string(client_stats[c].commands_rejected),
+                  std::to_string(client_stats[c].deadline_exceeded),
+                  std::to_string(queue_stats[c].peak_depth)});
+  }
+  fair.print(std::cout);
+
+  std::ofstream json("BENCH_server_overload.json");
+  json << "{\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"steps\": " << steps << ",\n"
+       << "  \"storm_seconds\": " << storm_seconds << ",\n"
+       << "  \"script_submits\": " << script_submits << ",\n"
+       << "  \"script_retries\": " << script_retries << ",\n"
+       << "  \"spam_submits\": " << spam_submits << ",\n"
+       << "  \"spam_ok\": " << spam_ok << ",\n"
+       << "  \"spam_overloaded\": " << spam_overloaded << ",\n"
+       << "  \"spam_deadline\": " << spam_deadline << ",\n"
+       << "  \"commands_shed\": " << storm_stats.commands_shed << ",\n"
+       << "  \"commands_rejected\": " << storm_stats.commands_rejected
+       << ",\n"
+       << "  \"deadline_exceeded\": " << storm_stats.deadline_exceeded
+       << ",\n"
+       << "  \"pressure_enters\": " << pressure.enters << ",\n"
+       << "  \"pressure_exits\": " << pressure.exits << ",\n"
+       << "  \"derived_shed\": " << pressure.derived_shed << ",\n"
+       << "  \"pins_clamped\": " << pressure.pins_clamped << ",\n"
+       << "  \"pins_restored\": " << pressure.pins_restored << ",\n"
+       << "  \"watchdog_scans\": " << watchdog.scans << ",\n"
+       << "  \"watchdog_stuck\": " << watchdog.stuck_observations << ",\n"
+       << "  \"peak_queue_depth\": " << peak_depth_max << ",\n"
+       << "  \"script_p50_ms\": " << script_p50 << ",\n"
+       << "  \"script_p99_ms\": " << script_p99 << ",\n"
+       << "  \"spam_p50_ms\": " << spam_p50 << ",\n"
+       << "  \"spam_p99_ms\": " << spam_p99 << ",\n"
+       << "  \"bitwise_identical\": " << (bitwise ? "true" : "false")
+       << ",\n"
+       << "  \"per_client\": [\n";
+  for (std::size_t k = 0; k < by_id.size(); ++k) {
+    const std::size_t c = by_id[k];
+    json << "    {\"client\": " << runs[c]->id
+         << ", \"shed\": " << client_stats[c].commands_shed
+         << ", \"rejected\": " << client_stats[c].commands_rejected
+         << ", \"deadline_exceeded\": " << client_stats[c].deadline_exceeded
+         << ", \"peak_depth\": " << queue_stats[c].peak_depth << "}"
+         << (k + 1 < by_id.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "overload report: shed " << storm_stats.commands_shed
+            << ", script p99 " << script_p99
+            << " ms -> BENCH_server_overload.json\n";
+
+  return check.exit_code();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,19 +618,24 @@ int main(int argc, char** argv) {
   int clients = 8;
   Dims dims{24, 24, 24};
   int steps = 12;
+  bool overload = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--smoke") {
       clients = 4;
       dims = Dims{16, 16, 16};
       steps = 8;
+    } else if (arg == "--overload") {
+      overload = true;
     } else if (arg.rfind("--clients=", 0) == 0) {
       clients = std::max(1, std::atoi(arg.substr(10).data()));
     } else {
-      std::cerr << "usage: bench_perf_server [--smoke] [--clients=N]\n";
+      std::cerr << "usage: bench_perf_server [--smoke] [--overload] "
+                   "[--clients=N]\n";
       return 2;
     }
   }
+  if (overload) return run_overload(clients, dims, steps);
 
   const std::size_t step_bytes =
       static_cast<std::size_t>(dims.count()) * sizeof(float);

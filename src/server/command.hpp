@@ -33,11 +33,45 @@ enum class CommandKind {
   kHintWindow,       ///< Declare the client's step window.
 };
 
+/// Backpressure class of a command kind (docs/SERVER.md contract table).
+/// Sheddable commands are idempotent reads whose product a client can
+/// re-request without losing session state (renders, TF queries,
+/// histograms, classification snapshots); once a newer request supersedes
+/// them they may be dropped from a full queue. State-mutating commands
+/// (paint, training, key frames, tracking, window hints) are NEVER shed
+/// once accepted — a client must be able to rely on an accepted mutation
+/// happening — so under overload they can only be rejected at submit.
+constexpr bool command_is_sheddable(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kClassify:
+    case CommandKind::kQueryTf:
+    case CommandKind::kHistogram:
+    case CommandKind::kRender:
+      return true;
+    case CommandKind::kPaint:
+    case CommandKind::kSelectUnwanted:
+    case CommandKind::kTrainClassifier:
+    case CommandKind::kSetKeyFrame:
+    case CommandKind::kTrainTf:
+    case CommandKind::kTrack:
+    case CommandKind::kHintWindow:
+      return false;
+  }
+  return false;
+}
+
 struct Command {
   CommandKind kind = CommandKind::kHintWindow;
   /// Target step (paint / classify / key frame / query / track seed step /
   /// render / histogram).
   int step = 0;
+
+  /// Time budget in milliseconds, stamped as an ABSOLUTE deadline when the
+  /// command is accepted (queue time counts); 0 = unlimited. A command
+  /// whose budget runs out fails with ServerStatus::kDeadlineExceeded —
+  /// mutating commands interrupted mid-flight may have partially applied,
+  /// so clients give mutations generous budgets (docs/SERVER.md).
+  double deadline_ms = 0.0;
 
   // kPaint
   PaintStroke stroke{};
@@ -68,8 +102,25 @@ struct Command {
   int window_hi = 0;
 };
 
+/// Typed outcome of a submitted command. Every submitted command gets
+/// exactly one result — never a silent drop, never a hang: a refused or
+/// shed command completes with kOverloaded, a blown budget with
+/// kDeadlineExceeded (docs/ROBUSTNESS.md, "Overload and deadlines").
+enum class ServerStatus : std::uint8_t {
+  kOk,                ///< Command ran; digest/value are valid.
+  kError,             ///< Command ran and failed; `error` has the text.
+  kOverloaded,        ///< Rejected at submit or shed from a full queue;
+                      ///< retry after `retry_after_ms`.
+  kDeadlineExceeded,  ///< The command's budget ran out (queued or running).
+};
+
 struct ServerResult {
   bool ok = true;
+  ServerStatus status = ServerStatus::kOk;  ///< Typed outcome; ok ==
+                                            ///< (status == kOk).
+  double retry_after_ms = 0.0;  ///< kOverloaded only: the server's backlog
+                                ///< estimate (queue depth x recent service
+                                ///< time) — when a retry is worth sending.
   std::string error;      ///< Exception text when !ok.
   std::uint32_t digest = 0;  ///< CRC32 of the command's product (0 for
                              ///< commands without one).

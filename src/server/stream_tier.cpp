@@ -39,6 +39,9 @@ StreamTier::StreamTier(std::shared_ptr<const VolumeSource> source,
       hash_combine(static_cast<std::uint64_t>(config_.histogram_bins),
                    hash_double(lo)),
       hash_double(hi));
+  pressure_ = std::make_unique<PressureMonitor>(
+      store_->cache(), admission_, derived_, aggregate_, hist_params_,
+      config_.budget_bytes, step_bytes(), config_.pressure);
 }
 
 std::size_t StreamTier::step_bytes() const {
@@ -48,6 +51,15 @@ std::size_t StreamTier::step_bytes() const {
 StreamStats StreamTier::stats() const {
   StreamStats out = store_->stats();
   out.merge(derived_.stats());
+  // The overload counters live ONLY in the manager-side aggregate (views
+  // and the store never count them). The aggregate's access counters stay
+  // out: they mirror the per-view layer and would double-count the
+  // store's own hits/misses.
+  const StreamStats agg = aggregate_.snapshot();
+  out.commands_rejected += agg.commands_rejected;
+  out.commands_shed += agg.commands_shed;
+  out.deadline_exceeded += agg.deadline_exceeded;
+  out.pressure_transitions += agg.pressure_transitions;
   return out;
 }
 

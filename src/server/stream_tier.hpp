@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "server/admission.hpp"
+#include "server/pressure.hpp"
 #include "stream/derived_cache.hpp"
 #include "stream/stream_stats.hpp"
 #include "stream/volume_store.hpp"
@@ -40,6 +41,9 @@ struct StreamTierConfig {
   int max_retries = 2;
   double retry_backoff_ms = 0.0;
   int histogram_bins = 256;
+  /// Memory-pressure renegotiation (server/pressure.hpp); disabled by
+  /// default — enabling it changes residency shape, never bytes.
+  PressureConfig pressure;
 };
 
 class StreamTier {
@@ -65,6 +69,12 @@ class StreamTier {
   const VolumeStore& store() const { return *store_; }
   DerivedCache& derived() { return derived_; }
   AdmissionController& admission() { return admission_; }
+  PressureMonitor& pressure() { return *pressure_; }
+
+  /// One pressure check + any indicated transition; the SessionManager
+  /// drain loop calls this after every command (cheap no-op when the
+  /// monitor is disabled or the state is steady).
+  void poll_pressure() { pressure_->poll(); }
 
   /// Process-wide concurrently-mutable aggregate of the per-view access
   /// counters (the per-client views each keep their own SharedStreamStats).
@@ -85,6 +95,10 @@ class StreamTier {
   AdmissionController admission_;
   SharedStreamStats aggregate_;
   std::uint64_t hist_params_ = 0;
+  /// Constructed last (needs hist_params_ and references every sibling);
+  /// unique_ptr because the monitor is immovable and hist_params_ is only
+  /// known after the store opens.
+  std::unique_ptr<PressureMonitor> pressure_;
 };
 
 }  // namespace ifet

@@ -25,6 +25,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "delay";
     case FaultKind::kBitFlip:
       return "bitflip";
+    case FaultKind::kSlow:
+      return "slow";
   }
   return "?";
 }
@@ -37,8 +39,10 @@ FaultKind parse_fault_kind(const std::string& name) {
   if (name == "notfound" || name == "not-found") return FaultKind::kNotFound;
   if (name == "delay") return FaultKind::kDelay;
   if (name == "bitflip" || name == "bit-flip") return FaultKind::kBitFlip;
+  if (name == "slow") return FaultKind::kSlow;
   throw Error("unknown fault kind '" + name +
-              "' (expected transient, corrupt, notfound, delay, or bitflip)");
+              "' (expected transient, corrupt, notfound, delay, bitflip, "
+              "or slow)");
 }
 
 int parse_spec_int(const std::string& text, const std::string& what) {
@@ -108,6 +112,7 @@ VolumeF FaultInjectingSource::generate(int step) const {
   // shared between prefetch workers), then act on it lock-free — a kDelay
   // sleep or the inner decode must not serialize the whole stack.
   FaultKind kind = FaultKind::kTransient;
+  int slow_ms = 0;
   bool fire = false;
   {
     MutexLock lock(mutex_);
@@ -123,6 +128,9 @@ VolumeF FaultInjectingSource::generate(int step) const {
         (void)fresh;
       }
       kind = spec.kind;
+      // kSlow repurposes count as a per-load latency (never decremented —
+      // the device is slow on every load).
+      slow_ms = spec.count;
       fire = true;
       ++fired_;
       break;
@@ -140,6 +148,11 @@ VolumeF FaultInjectingSource::generate(int step) const {
       throw NotFoundError("simulated missing file" + where);
     case FaultKind::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return inner_->generate(step);
+    case FaultKind::kSlow:
+      // The sleep runs lock-free (see above): concurrent loads of a slow
+      // device overlap, they do not serialize behind the schedule lock.
+      std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
       return inner_->generate(step);
     case FaultKind::kBitFlip:
       break;

@@ -29,6 +29,10 @@ enum class FaultKind : std::uint8_t {
   kNotFound,   ///< NotFoundError on every matching load.
   kDelay,      ///< Sleep ~1ms per count, then produce the real volume.
   kBitFlip,    ///< Flip one seeded-random voxel's bits (silent corruption).
+  kSlow,       ///< Sleep `count` ms on EVERY matching load, forever — a
+               ///< uniformly slow device, not a transient hiccup. The
+               ///< overload harness's latency injector (spec syntax
+               ///< `slow@step[:ms]`; docs/ROBUSTNESS.md).
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -38,6 +42,9 @@ const char* fault_kind_name(FaultKind kind);
 /// "every step fails exactly once" — the schedule for the canonical
 /// fault-equivalence property. kCorrupt and kNotFound ignore the count
 /// and fail forever — they model a bad file, not a flaky transport.
+/// kSlow also fires forever; its `count` field is repurposed as the
+/// per-load delay in milliseconds (a device that IS slow, not one that
+/// fails N times).
 struct FaultSpec {
   static constexpr int kAllSteps = -1;
   int step = kAllSteps;
@@ -46,8 +53,9 @@ struct FaultSpec {
 };
 
 /// Parse `kind@step[:count]` (step = integer or "all"), e.g.
-/// "transient@all", "corrupt@7", "transient@3:2". Throws ifet::Error on
-/// malformed input.
+/// "transient@all", "corrupt@7", "transient@3:2", "slow@all:5" (every
+/// load of every step takes 5 ms extra). Throws ifet::Error on malformed
+/// input.
 FaultSpec parse_fault_spec(const std::string& text);
 
 /// Parse a comma-separated list of fault specs (the --inject-faults CLI

@@ -36,7 +36,11 @@ void Prefetcher::schedule(int step) {
       seconds = timer.seconds();
       cache_.insert(step, std::move(volume), /*from_prefetch=*/true);
       loaded = true;
-    } catch (const std::exception&) {
+    } catch (...) {  // ifet-lint: allow(catch-all) — parked for take_failure
+      // Any escape — std or not — must still run the erase/notify cleanup
+      // below, or every waiter queued on this step blocks forever (the
+      // regression tests/stream_test.cpp pins). The exception is parked,
+      // not swallowed: take_failure() rethrows it on a fetching thread.
       error = std::current_exception();
     }
     // notify_all must happen under the lock: ~Prefetcher may destroy the
@@ -63,9 +67,18 @@ void Prefetcher::schedule(int step) {
 }
 
 bool Prefetcher::wait(int step) {
+  return wait(step, Deadline::unlimited());
+}
+
+bool Prefetcher::wait(int step, const Deadline& deadline) {
   OrderedMutexLock lock(mutex_);
   if (in_flight_.count(step) == 0) return false;
-  while (in_flight_.count(step) != 0) done_cv_.wait(mutex_);
+  while (in_flight_.count(step) != 0) {
+    // Throws the typed DeadlineExceeded once the budget is gone; the load
+    // itself keeps running and lands in the cache for a later retry.
+    deadline.check("Prefetcher::wait for in-flight load");
+    deadline.wait_once(done_cv_, mutex_);
+  }
   return true;
 }
 

@@ -24,6 +24,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "stream/cache_manager.hpp"
+#include "util/deadline.hpp"
 #include "util/ordered_mutex.hpp"
 
 namespace ifet {
@@ -50,6 +51,14 @@ class Prefetcher {
   /// actually waited on (or raced with) a scheduled load — the caller
   /// should re-check the cache before loading itself.
   bool wait(int step) IFET_EXCLUDES(mutex_);
+
+  /// Deadline-bounded variant: gives up with a typed DeadlineExceeded when
+  /// `deadline` runs out while the step is still in flight. The async load
+  /// itself keeps running (workers carry no deadline) and lands in the
+  /// cache as usual, so a later fetch with a fresh budget hits. This is
+  /// what keeps a stuck or slow decode from blocking a server strand
+  /// forever (docs/ROBUSTNESS.md, "Overload and deadlines").
+  bool wait(int step, const Deadline& deadline) IFET_EXCLUDES(mutex_);
 
   bool in_flight(int step) const IFET_EXCLUDES(mutex_);
 

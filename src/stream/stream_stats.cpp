@@ -37,6 +37,13 @@ std::string StreamStats::summary() const {
     os << ", checksums " << checksum_verified << " ok / "
        << checksum_unverified << " UNVERIFIED";
   }
+  if (commands_rejected != 0 || commands_shed != 0 ||
+      deadline_exceeded != 0 || pressure_transitions != 0) {
+    os << ", overload: " << commands_rejected << " rejected, "
+       << commands_shed << " shed, " << deadline_exceeded
+       << " deadline-exceeded, " << pressure_transitions
+       << " pressure transitions";
+  }
   return os.str();
 }
 
@@ -68,6 +75,10 @@ StreamStats& StreamStats::merge(const StreamStats& other) {
   if (other.quarantined_steps != 0) quarantined_steps = other.quarantined_steps;
   skipped_fetches += other.skipped_fetches;
   nearest_good_substitutions += other.nearest_good_substitutions;
+  commands_rejected += other.commands_rejected;
+  commands_shed += other.commands_shed;
+  deadline_exceeded += other.deadline_exceeded;
+  pressure_transitions += other.pressure_transitions;
   return *this;
 }
 
@@ -80,6 +91,13 @@ void SharedStreamStats::add(const StreamStats& delta) {
                              std::memory_order_relaxed);
   nearest_good_substitutions_.fetch_add(delta.nearest_good_substitutions,
                                         std::memory_order_relaxed);
+  commands_rejected_.fetch_add(delta.commands_rejected,
+                               std::memory_order_relaxed);
+  commands_shed_.fetch_add(delta.commands_shed, std::memory_order_relaxed);
+  deadline_exceeded_.fetch_add(delta.deadline_exceeded,
+                               std::memory_order_relaxed);
+  pressure_transitions_.fetch_add(delta.pressure_transitions,
+                                  std::memory_order_relaxed);
 }
 
 StreamStats SharedStreamStats::snapshot() const {
@@ -91,6 +109,11 @@ StreamStats SharedStreamStats::snapshot() const {
   out.skipped_fetches = skipped_fetches_.load(std::memory_order_relaxed);
   out.nearest_good_substitutions =
       nearest_good_substitutions_.load(std::memory_order_relaxed);
+  out.commands_rejected = commands_rejected_.load(std::memory_order_relaxed);
+  out.commands_shed = commands_shed_.load(std::memory_order_relaxed);
+  out.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  out.pressure_transitions =
+      pressure_transitions_.load(std::memory_order_relaxed);
   return out;
 }
 

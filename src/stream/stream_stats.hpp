@@ -61,6 +61,16 @@ struct StreamStats {
   std::uint64_t nearest_good_substitutions = 0;  ///< Quarantined fetches
                                         ///< served by a healthy neighbour.
 
+  // Overload resilience (docs/ROBUSTNESS.md, "Overload and deadlines").
+  std::uint64_t commands_rejected = 0;  ///< Submits refused at a full strand
+                                        ///< queue (typed Overloaded).
+  std::uint64_t commands_shed = 0;      ///< Queued sheddable commands dropped
+                                        ///< to admit newer work (kShedOldest).
+  std::uint64_t deadline_exceeded = 0;  ///< Commands that ran out of budget
+                                        ///< (typed DeadlineExceeded).
+  std::uint64_t pressure_transitions = 0;  ///< PressureMonitor enter+exit
+                                           ///< transitions applied.
+
   /// Fraction of accesses served without any load.
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -124,6 +134,22 @@ class SharedStreamStats {
   void count_substitution() {
     nearest_good_substitutions_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Submit refused at a full strand queue (typed Overloaded response).
+  void count_rejected() {
+    commands_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Queued sheddable command dropped to admit newer work (kShedOldest).
+  void count_shed() {
+    commands_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Command failed with the typed DeadlineExceeded.
+  void count_deadline_exceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One pressure enter or exit transition applied (process aggregate).
+  void count_pressure_transition() {
+    pressure_transitions_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Fold a whole counter delta in (e.g. re-publishing a per-layer
   /// snapshot difference into the aggregate).
@@ -143,6 +169,10 @@ class SharedStreamStats {
   std::atomic<std::uint64_t> derived_misses_{0};
   std::atomic<std::uint64_t> skipped_fetches_{0};
   std::atomic<std::uint64_t> nearest_good_substitutions_{0};
+  std::atomic<std::uint64_t> commands_rejected_{0};
+  std::atomic<std::uint64_t> commands_shed_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> pressure_transitions_{0};
 };
 
 }  // namespace ifet

@@ -7,6 +7,7 @@
 #include "io/checksum.hpp"
 #include "io/compressed.hpp"
 #include "io/volume_io.hpp"
+#include "util/deadline.hpp"
 #include "util/error.hpp"
 #include "util/io_error.hpp"
 #include "util/timer.hpp"
@@ -120,6 +121,11 @@ VolumeF VolumeStore::load_with_retry(int step, bool prefetch_context) {
     const ChecksumCounters before = checksum_counters();
     try {
       return timed_load(step, prefetch_context);
+    } catch (const DeadlineExceeded&) {
+      // Ordering contract (util/io_error.hpp): a timeout is NOT a data
+      // failure — never retried against the budget that just expired and
+      // never quarantines the (healthy) step.
+      throw;
     } catch (const NotFoundError&) {
       // A missing step will not appear by retrying.
       note_failure(step, std::current_exception());
@@ -139,9 +145,16 @@ VolumeF VolumeStore::load_with_retry(int step, bool prefetch_context) {
         ++retries_;
       }
       if (config_.retry_backoff_ms > 0.0) {
-        // Deterministic exponential backoff, no jitter: base * 2^attempt.
-        const double ms = config_.retry_backoff_ms *
-                          static_cast<double>(std::uint64_t{1} << attempt);
+        // Deterministic exponential backoff, no jitter: base * 2^attempt —
+        // capped by the caller's remaining deadline budget (unlimited for
+        // prefetch workers and non-server callers), and a spent budget
+        // raises the typed DeadlineExceeded instead of sleeping at all.
+        const Deadline deadline = DeadlineScope::current();
+        deadline.check("VolumeStore retry backoff");
+        const double ms = std::min(
+            config_.retry_backoff_ms *
+                static_cast<double>(std::uint64_t{1} << attempt),
+            deadline.remaining_ms());
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(ms));
       }
@@ -157,8 +170,12 @@ void VolumeStore::note_failure(int step, std::exception_ptr error) {
 }
 
 std::shared_ptr<const VolumeF> VolumeStore::fetch_resident(int step) {
+  // The caller's scoped deadline (unlimited when no scope is installed —
+  // see util/deadline.hpp) bounds both blocking paths: the in-flight
+  // prefetch wait and the demand decode below.
+  const Deadline deadline = DeadlineScope::current();
   auto volume = cache_.lookup(step);
-  if (!volume && prefetcher_.wait(step)) {
+  if (!volume && prefetcher_.wait(step, deadline)) {
     // An in-flight prefetch covered this step; don't re-count hit/miss.
     volume = cache_.lookup_quiet(step);
   }
@@ -167,9 +184,14 @@ std::shared_ptr<const VolumeF> VolumeStore::fetch_resident(int step) {
     // record cannot shadow this demand attempt — which retries from a
     // fresh budget on the calling thread and reports its own outcome.
     prefetcher_.take_failure(step);
+    deadline.check("VolumeStore demand load");
     volume = cache_.insert(step,
                            load_with_retry(step, /*prefetch_context=*/false),
                            /*from_prefetch=*/false);
+    // Re-check AFTER the decode: a budget blown inside the load gives up
+    // here instead of doing more work on borrowed time. The bytes were
+    // inserted first, so a retry with a fresh budget hits the cache.
+    deadline.check("VolumeStore demand load (completed late)");
   }
   return volume;
 }
@@ -188,6 +210,11 @@ std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
   std::shared_ptr<const VolumeF> volume;
   try {
     volume = fetch_resident(step);
+  } catch (const DeadlineExceeded&) {
+    // A timeout is not a data failure: never quarantined, never resolved
+    // through the FailPolicy — the typed error surfaces to the caller and
+    // the same fetch succeeds later with a fresh budget.
+    throw;
   } catch (const IoError&) {
     // Retries are exhausted and the step is quarantined; apply the policy.
     return resolve_unavailable(step, std::current_exception());
@@ -199,7 +226,11 @@ std::shared_ptr<const VolumeF> VolumeStore::fetch(int step) {
     direction = step >= last_fetched_step_ ? 1 : -1;
     last_fetched_step_ = step;
   }
+  const Deadline deadline = DeadlineScope::current();
   for (int k = 1; k <= config_.lookahead; ++k) {
+    // Lookahead is advisory; don't spend a caller's exhausted budget on it
+    // (matters on the synchronous prefetch path, which decodes inline).
+    if (deadline.expired()) break;
     prefetch(step + direction * k);
   }
   return volume;
@@ -230,6 +261,10 @@ std::shared_ptr<const VolumeF> VolumeStore::resolve_unavailable(
         OrderedMutexLock lock(mutex_);
         ++nearest_good_substitutions_;
         return volume;
+      } catch (const DeadlineExceeded&) {
+        // Budget gone mid-search: stop widening and surface the timeout —
+        // the candidate is healthy, substituting nothing is wrong.
+        throw;
       } catch (const IoError&) {
         // The candidate just failed (and is now quarantined itself); keep
         // widening the search.
@@ -252,6 +287,10 @@ void VolumeStore::prefetch(int step) {
   try {
     cache_.insert(step, load_with_retry(step, /*prefetch_context=*/true),
                   /*from_prefetch=*/true);
+  } catch (const DeadlineExceeded&) {
+    // The caller's budget ran out during advisory lookahead: nothing is
+    // recorded (the step is healthy); the caller's own next blocking
+    // operation reports the timeout.
   } catch (const IoError&) {
     // Lookahead is advisory: the failure is recorded (quarantine + stats)
     // and surfaces when the step is actually fetched.

@@ -16,6 +16,12 @@
 //                       complete), then quarantined.
 //   NotFoundError     — the file or step does not exist at all. Not
 //                       retried; quarantined immediately.
+//   DeadlineExceeded  — the caller's time budget ran out while waiting
+//                       for the data (util/deadline.hpp). The data is NOT
+//                       bad: never retried against the budget that just
+//                       expired, never quarantines the step, never
+//                       triggers a FailPolicy substitution — the same
+//                       fetch with a fresh budget is expected to succeed.
 //
 // All three derive from IoError (itself an ifet::Error), so legacy
 // `catch (const Error&)` handlers keep working while new code handles each
@@ -51,6 +57,16 @@ class CorruptDataError : public IoError {
 class NotFoundError : public IoError {
  public:
   explicit NotFoundError(const std::string& what) : IoError(what) {}
+};
+
+/// The caller's time budget (or cancellation token) expired while waiting
+/// on the streaming stack. IMPORTANT ordering contract: every
+/// `catch (const IoError&)` on the load path must pre-catch and rethrow
+/// this type — a timeout must never be retried, quarantined, or
+/// substituted like a data failure (the step itself is healthy).
+class DeadlineExceeded : public IoError {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : IoError(what) {}
 };
 
 }  // namespace ifet

@@ -41,12 +41,17 @@ enum class MutexRank : int {
   kServerStrand = 6,       ///< Per-session command queue (strand) mutex
   kStreamedSequence = 10,  ///< StreamedSequence window/held-refs mutex
   kClientView = 12,        ///< ClientSequenceView window/held-refs mutex
+  kPressure = 15,          ///< PressureMonitor transition state (held across
+                           ///< admission/cache/derived calls, all ranked
+                           ///< higher, while a pressure transition applies)
   kVolumeStore = 20,       ///< VolumeStore load counters
   kCacheManager = 30,      ///< CacheManager residency state
   kAdmission = 35,         ///< AdmissionController per-client pin ledger
   kPrefetcher = 40,        ///< Prefetcher in-flight set
   kDerivedCache = 50,      ///< DerivedCache memo maps
   kFlatMlpCache = 60,      ///< FlatMlpCache rebuild slot
+  kWatchdog = 70,          ///< SessionManager watchdog report state (leaf;
+                           ///< never held while sampling session atomics)
   kThreadPool = 90,        ///< ThreadPool queue (innermost leaf)
 };
 

@@ -26,6 +26,10 @@
 #      across perturbed thread counts), and the bench_perf_server --smoke
 #      load generator (deterministic small fleet, bitwise-equivalence
 #      gate) under TSan
+#   5b. overload harness: bench_perf_server --overload --smoke under TSan
+#      (bounded queues, typed refusals, deadlines, pressure, watchdog;
+#      docs/ROBUSTNESS.md "Overload and deadlines"), archiving the
+#      shed/latency JSON as build-tsan/ci_overload_bench.json
 #   6. thread-safety: clang build with -Wthread-safety promoted to errors
 #      over the IFET_GUARDED_BY annotations (docs/STATIC_ANALYSIS.md);
 #      skips if clang is not installed
@@ -160,6 +164,21 @@ stage_tsan() {
     (cd "$ROOT/build-tsan/bench" && ./bench_perf_server --smoke)
 }
 
+stage_overload() {
+  # Overload harness under TSan (docs/ROBUSTNESS.md, "Overload and
+  # deadlines"): scripted clients racing an open-loop flood over a slow
+  # device, gating bounded queue depth, bounded p99, typed refusals only,
+  # visible shed/deadline/pressure/watchdog activity, and the
+  # bitwise-identical non-shed results — while TSan watches the deadline
+  # scopes, the watchdog's lock-free samples, and the pressure
+  # transitions race the strands. The shed/latency JSON is archived next
+  # to the storm bench's BENCH_server.json.
+  (cd "$ROOT/build-tsan/bench" && ./bench_perf_server --overload --smoke) &&
+    cp "$ROOT/build-tsan/bench/BENCH_server_overload.json" \
+      "$ROOT/build-tsan/ci_overload_bench.json" &&
+    echo "overload bench artifact: $ROOT/build-tsan/ci_overload_bench.json"
+}
+
 stage_thread_safety() {
   # A dedicated build tree: the analysis only exists under clang, and the
   # default preset tree is configured for the host's default compiler.
@@ -189,8 +208,11 @@ fi
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   run_stage "tsan preset (concurrency stress)" stage_tsan
+  run_stage "overload harness (bench_perf_server --overload, TSan)" \
+    stage_overload
 else
   record "tsan preset (concurrency stress)" "skip"
+  record "overload harness (bench_perf_server --overload, TSan)" "skip"
 fi
 
 if [ "${SKIP_THREAD_SAFETY:-0}" = "1" ]; then
